@@ -1,0 +1,91 @@
+// Design ablation: the Δ_redn aggregate-interference margin (eq. (1)).
+//
+// WATCH admits SUs one by one against a per-SU budget that already reserves
+// Δ_redn of headroom for *other* SUs. This bench sweeps Δ_redn and reports,
+// for a fixed candidate workload:
+//   * how many SUs get admitted (capacity cost of the margin), and
+//   * the realized worst-case PU SINR margin with all admitted SUs on air
+//     simultaneously (what the margin buys).
+// Expected shape: Δ_redn = 0 over-admits and can drive the realized margin
+// negative under aggregation; growing Δ_redn trades admissions for safety.
+#include <cstdio>
+#include <vector>
+
+#include "bigint/random_source.hpp"
+#include "radio/pathloss.hpp"
+#include "watch/aggregate.hpp"
+
+namespace {
+
+using namespace pisa;
+using radio::BlockId;
+using radio::ChannelId;
+
+}  // namespace
+
+int main() {
+  std::printf("Aggregate-interference margin ablation (eq. (1) Δ_redn)\n");
+  std::printf("=======================================================\n\n");
+
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+
+  // Worst case for aggregation: K SUs, each pushed (by binary search) to the
+  // highest EIRP the per-SU budget still admits. WATCH grants do not shrink
+  // the budget — the Δ_redn headroom is the *only* protection against their
+  // sum. Note eq. (1) adds Δ_redn to Δ_TV_SINR as a *linear ratio*: to
+  // shelter K maxed-out SUs it must satisfy
+  //   Δ_SINR + Δ_redn >= K · Δ_SINR  ⇔  Δ_redn >= (K−1)·Δ_SINR,
+  // i.e. ≈ 23 dB + 10·log10(K−1), not a few dB. The sweep shows exactly
+  // where protection kicks in and what it costs in per-SU power.
+  constexpr int kNumSus = 5;
+
+  std::printf("%-14s %10s %18s %22s %12s\n", "Δ_redn (dB)", "SUs on air",
+              "per-SU EIRP (mW)", "worst PU margin (dB)", "protected");
+  for (double redn_db : {0.0, 10.0, 23.0, 26.0, 29.0, 32.0}) {
+    watch::WatchConfig cfg;
+    cfg.grid_rows = 20;
+    cfg.grid_cols = 30;
+    cfg.block_size_m = 100.0;
+    cfg.channels = 1;
+    cfg.delta_redn_db = redn_db;
+
+    std::vector<watch::PuSite> sites{{0, BlockId{0}}};
+    watch::PlainWatch watch_sys{cfg, sites, model};
+    watch_sys.pu_update(0, watch::PuTuning{ChannelId{0}, 1e-6});
+
+    // K SUs at the same far-corner distance, each at its individual limit.
+    std::vector<watch::SuRequest> candidates;
+    double eirp_admitted = 0;
+    for (int k = 0; k < kNumSus; ++k) {
+      auto block = BlockId{static_cast<std::uint32_t>(19 * 30 + 25 + k)};
+      double lo = 0, hi = 4000;
+      for (int iter = 0; iter < 40; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        if (watch_sys.process_request({900, block, {mid}}).granted)
+          lo = mid;
+        else
+          hi = mid;
+      }
+      if (lo > 0) {
+        candidates.push_back({static_cast<std::uint32_t>(900 + k), block, {lo}});
+        eirp_admitted = lo;
+      }
+    }
+
+    auto admission = watch::admit_sequentially(watch_sys, candidates);
+    std::vector<watch::PuTuning> tunings{{ChannelId{0}, 1e-6}};
+    auto exposures = watch::compute_exposures(cfg, sites, tunings,
+                                              admission.admitted, model,
+                                              cfg.delta_tv_sinr_db);
+    double margin = watch::worst_margin_db(exposures, cfg.delta_tv_sinr_db);
+    std::printf("%-14.1f %10zu %18.4f %22.2f %12s\n", redn_db,
+                admission.admitted.size(), eirp_admitted, margin,
+                margin >= 0 ? "yes" : "NO");
+  }
+
+  std::printf("\nProtection flips exactly where Δ_SINR + Δ_redn crosses "
+              "%d x Δ_SINR (Δ_redn ≈ %.1f dB);\neach protected row pays for "
+              "it with ~%dx lower per-SU EIRP.\n",
+              kNumSus, 23.0 + 10.0 * std::log10(kNumSus - 1.0), kNumSus);
+  return 0;
+}

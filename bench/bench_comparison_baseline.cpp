@@ -1,0 +1,114 @@
+// PISA's blinding trick vs bitwise secure comparison (the approach of the
+// paper's refs [12], [13], [18] that §IV-B argues is "extremely complex and
+// time-consuming").
+//
+// Both pipelines decide sign(I) for one interference-budget entry:
+//   PISA      : 1 owner encryption; SDC ≈ 4 homomorphic ops (⊗X, ⊖, ⊗α, ε);
+//               STP 1 decryption + 1 re-encryption.
+//   bitwise ℓ : ℓ owner encryptions; SDC ≈ 3ℓ homomorphic ops + ℓ blinding
+//               exponentiations; STP ℓ decryptions.
+// The gap must widen linearly in the bit width ℓ (paper uses ℓ = 60).
+#include <benchmark/benchmark.h>
+
+#include "bigint/prime.hpp"
+#include "core/comparison_baseline.hpp"
+#include "crypto/chacha_rng.hpp"
+
+namespace {
+
+using namespace pisa;
+
+constexpr std::size_t kKeyBits = 1024;
+
+crypto::ChaChaRng& rng() {
+  static crypto::ChaChaRng r{std::uint64_t{0xC0817A}};
+  return r;
+}
+
+const crypto::PaillierKeyPair& keys() {
+  static crypto::PaillierKeyPair kp = crypto::paillier_generate(kKeyBits, rng(), 16);
+  return kp;
+}
+
+// --- PISA per-entry pipeline (eqs. (11)-(16) for a single (c, b) entry).
+
+void BM_PisaEntryOwnerEncrypt(benchmark::State& state) {
+  const auto& kp = keys();
+  bn::BigUint f = bn::random_bits(rng(), 60);
+  for (auto _ : state) benchmark::DoNotOptimize(kp.pk.encrypt(f, rng()));
+}
+BENCHMARK(BM_PisaEntryOwnerEncrypt)->Unit(benchmark::kMillisecond);
+
+void BM_PisaEntrySdcBlind(benchmark::State& state) {
+  const auto& kp = keys();
+  auto n_ct = kp.pk.encrypt(bn::random_bits(rng(), 60), rng());
+  auto f_ct = kp.pk.encrypt(bn::random_bits(rng(), 40), rng());
+  bn::BigUint x{202};
+  for (auto _ : state) {
+    auto r = kp.pk.scalar_mul(x, f_ct);
+    auto i = kp.pk.sub(n_ct, r);
+    bn::BigUint alpha = bn::random_bits(rng(), 128);
+    alpha.set_bit(127);
+    bn::BigUint beta = bn::random_below(rng(), alpha - bn::BigUint{1}) + bn::BigUint{1};
+    auto v = kp.pk.sub(kp.pk.scalar_mul(alpha, i), kp.pk.encrypt_deterministic(beta));
+    if (rng().next_u64() & 1) v = kp.pk.negate(v);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_PisaEntrySdcBlind)->Unit(benchmark::kMillisecond);
+
+void BM_PisaEntryStpConvert(benchmark::State& state) {
+  const auto& kp = keys();
+  auto v = kp.pk.encrypt(bn::random_bits(rng(), 100), rng());
+  for (auto _ : state) {
+    auto plain = kp.sk.decrypt_signed(v);
+    bn::BigInt x = plain.sign() > 0 ? bn::BigInt{1} : bn::BigInt{-1};
+    benchmark::DoNotOptimize(kp.pk.encrypt_signed(x, rng()));
+  }
+}
+BENCHMARK(BM_PisaEntryStpConvert)->Unit(benchmark::kMillisecond);
+
+// --- Bitwise baseline, parameterized by bit width.
+
+void BM_BitwiseOwnerEncrypt(benchmark::State& state) {
+  const auto& kp = keys();
+  core::BitwiseComparisonBaseline cmp{kp.pk, static_cast<unsigned>(state.range(0))};
+  std::uint64_t v = rng().next_u64() & ((1ULL << state.range(0)) - 1);
+  for (auto _ : state) benchmark::DoNotOptimize(cmp.encrypt_bits(v, rng()));
+  state.counters["ciphertexts"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_BitwiseOwnerEncrypt)->Arg(8)->Arg(16)->Arg(32)->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BitwiseSdcCompare(benchmark::State& state) {
+  const auto& kp = keys();
+  auto width = static_cast<unsigned>(state.range(0));
+  core::BitwiseComparisonBaseline cmp{kp.pk, width};
+  std::uint64_t mask = (width >= 64) ? ~0ULL : ((1ULL << width) - 1);
+  auto bits = cmp.encrypt_bits(rng().next_u64() & mask, rng());
+  std::uint64_t y = rng().next_u64() & mask;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cmp.compare_gt_public(bits, y, rng()));
+  }
+}
+BENCHMARK(BM_BitwiseSdcCompare)->Arg(8)->Arg(16)->Arg(32)->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BitwiseStpDecrypt(benchmark::State& state) {
+  const auto& kp = keys();
+  auto width = static_cast<unsigned>(state.range(0));
+  core::BitwiseComparisonBaseline cmp{kp.pk, width};
+  std::uint64_t mask = (width >= 64) ? ~0ULL : ((1ULL << width) - 1);
+  auto garbled =
+      cmp.compare_gt_public(cmp.encrypt_bits(rng().next_u64() & mask, rng()),
+                            rng().next_u64() & mask, rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::BitwiseComparisonBaseline::any_zero(garbled, kp.sk));
+  }
+}
+BENCHMARK(BM_BitwiseStpDecrypt)->Arg(8)->Arg(16)->Arg(32)->Arg(60)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Extension ablation: Damgård–Jurik generalized Paillier.
+//
+// PISA carries 60-bit quantized powers in 2048-bit Paillier plaintext slots
+// — a 2x ciphertext expansion on |n| bits, but a ~68x expansion on the bits
+// that actually matter. Damgård–Jurik (s > 1) is the standard knob: one
+// ciphertext of (s+1)·|n| bits carries s·|n| plaintext bits (expansion
+// (s+1)/s), enabling e.g. batched W-columns per ciphertext in a future
+// packed variant. This bench measures the trade: encryption/decryption cost
+// vs payload capacity across s.
+#include <benchmark/benchmark.h>
+
+#include "bigint/prime.hpp"
+#include "crypto/chacha_rng.hpp"
+#include "crypto/damgard_jurik.hpp"
+
+namespace {
+
+using namespace pisa;
+
+constexpr std::size_t kKeyBits = 1024;
+
+crypto::ChaChaRng& rng() {
+  static crypto::ChaChaRng r{std::uint64_t{0xD1}};
+  return r;
+}
+
+const crypto::DamgardJurikKeyPair& keys(std::size_t s) {
+  static std::map<std::size_t, crypto::DamgardJurikKeyPair> cache;
+  auto it = cache.find(s);
+  if (it == cache.end()) {
+    it = cache.emplace(s, crypto::damgard_jurik_generate(kKeyBits, s, rng(), 16))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_DjEncrypt(benchmark::State& state) {
+  const auto& kp = keys(static_cast<std::size_t>(state.range(0)));
+  bn::BigUint m = bn::random_below(rng(), kp.pk.plaintext_modulus());
+  for (auto _ : state) benchmark::DoNotOptimize(kp.pk.encrypt(m, rng()));
+  state.counters["plaintext_bits"] =
+      static_cast<double>(kp.pk.plaintext_bytes() * 8);
+  state.counters["expansion"] = kp.pk.expansion();
+}
+BENCHMARK(BM_DjEncrypt)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_DjDecrypt(benchmark::State& state) {
+  const auto& kp = keys(static_cast<std::size_t>(state.range(0)));
+  auto ct = kp.pk.encrypt(bn::random_below(rng(), kp.pk.plaintext_modulus()), rng());
+  for (auto _ : state) benchmark::DoNotOptimize(kp.sk.decrypt(ct));
+}
+BENCHMARK(BM_DjDecrypt)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_DjHomomorphicAdd(benchmark::State& state) {
+  const auto& kp = keys(static_cast<std::size_t>(state.range(0)));
+  auto a = kp.pk.encrypt(bn::BigUint{1}, rng());
+  auto b = kp.pk.encrypt(bn::BigUint{2}, rng());
+  for (auto _ : state) benchmark::DoNotOptimize(kp.pk.add(a, b));
+}
+BENCHMARK(BM_DjHomomorphicAdd)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Throughput view: microseconds of encryption per useful plaintext *byte* —
+// the number that decides whether fatter ciphertexts pay off.
+void BM_DjEncryptPerPayloadByte(benchmark::State& state) {
+  const auto& kp = keys(static_cast<std::size_t>(state.range(0)));
+  bn::BigUint m = bn::random_below(rng(), kp.pk.plaintext_modulus());
+  for (auto _ : state) benchmark::DoNotOptimize(kp.pk.encrypt(m, rng()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kp.pk.plaintext_bytes()));
+}
+BENCHMARK(BM_DjEncryptPerPayloadByte)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Operating-regime workload: a compressed "day in the life" of a PISA
+// deployment at the paper's §VI-A rates.
+//
+// The paper defends PISA's per-operation costs by arguing they are paid
+// rarely: TV viewers switch (virtual) channels only 2.3–2.7 times per hour,
+// and SUs re-request on configuration changes. This bench runs a generated
+// schedule at exactly those rates through the full encrypted pipeline
+// (scaled grid, n = 1024) and reports the aggregate spectrum-manager view:
+// decisions, oracle agreement, wall-clock compute and bytes moved per
+// simulated hour.
+#include <chrono>
+#include <cstdio>
+
+#include "core/scenario.hpp"
+#include "crypto/chacha_rng.hpp"
+#include "radio/pathloss.hpp"
+
+namespace {
+
+using namespace pisa;
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+int main() {
+  std::printf("A (compressed) day of PISA operation — paper SVI-A rates\n");
+  std::printf("========================================================\n\n");
+
+  core::PisaConfig cfg;
+  cfg.watch.grid_rows = 3;
+  cfg.watch.grid_cols = 8;
+  cfg.watch.block_size_m = 200.0;
+  cfg.watch.channels = 4;
+  cfg.paillier_bits = 1024;
+  cfg.rsa_bits = 512;
+  cfg.blind_bits = 96;
+  cfg.mr_rounds = 12;
+
+  crypto::ChaChaRng rng{std::uint64_t{0xDAE}};
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  std::vector<watch::PuSite> sites;
+  for (std::uint32_t i = 0; i < 4; ++i) sites.push_back({i, radio::BlockId{i * 6}});
+
+  core::PisaSystem system{cfg, sites, model, rng};
+  for (std::uint32_t su = 0; su < 3; ++su) system.add_su(1000 + su);
+  watch::PlainWatch oracle{cfg.watch, sites, model};
+  core::ScenarioRunner runner{system, oracle};
+
+  const double hours = 6.0;
+  auto events = core::make_viewing_workload(
+      cfg, /*viewers=*/4, /*requesters=*/3, hours,
+      /*switches_per_hour=*/2.5,  // paper: 2.3–2.7 switches/viewer-hour
+      /*request_period_s=*/1200.0, 20260706);
+
+  std::printf("Schedule: %zu events over %.1f simulated hours "
+              "(4 viewers @ 2.5 switches/h, 3 SUs re-requesting every 20 min)\n\n",
+              events.size(), hours);
+
+  auto t0 = Clock::now();
+  auto stats = runner.run(std::move(events));
+  double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::printf("PU updates processed        : %zu\n", stats.pu_updates);
+  std::printf("SU requests processed       : %zu (%.0f%% granted)\n",
+              stats.requests, 100.0 * stats.grant_rate());
+  std::printf("Oracle mismatches           : %zu (must be 0)\n",
+              stats.oracle_mismatches);
+  std::printf("Traffic                     : %.1f MB total, %.2f MB per "
+              "simulated hour\n",
+              static_cast<double>(stats.bytes_on_wire) / 1e6,
+              static_cast<double>(stats.bytes_on_wire) / 1e6 / hours);
+  std::printf("Compute (1 core, n=1024)    : %.1f s total, %.1f s per "
+              "simulated hour\n", wall_s, wall_s / hours);
+  std::printf("\nAt the paper's rates the SDC spends ~%.1f%% of real time on "
+              "crypto at this scale —\nthe rarity of PU switches is what "
+              "makes encrypted allocation practical.\n",
+              100.0 * wall_s / (hours * 3600.0));
+  return stats.oracle_mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,157 @@
+// City-scale simulation: synthetic terrain, TV towers, dozens of TV
+// receivers and a fleet of WiFi access points competing for UHF spectrum.
+//
+// Exercises the whole substrate stack — fractal terrain, the Extended Hata
+// model with terrain-aware diffraction penalties, the TVWS baseline and the
+// plaintext WATCH allocator — and then spot-checks a handful of the
+// decisions through the full encrypted PISA pipeline to show plaintext and
+// ciphertext agree at city scale too.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "crypto/chacha_rng.hpp"
+#include "radio/itm_lite.hpp"
+#include "radio/terrain.hpp"
+#include "watch/plain_watch.hpp"
+#include "watch/tvws_baseline.hpp"
+
+using namespace pisa;
+using radio::BlockId;
+using radio::ChannelId;
+
+int main() {
+  std::printf("City-scale spectrum simulation\n");
+  std::printf("==============================\n\n");
+
+  // --- A 3.2 km x 3.2 km city with rugged terrain.
+  auto terrain = std::make_shared<radio::Terrain>(6u, 50.0, 250.0, 0.65,
+                                                  std::uint64_t{20260706});
+  std::printf("Terrain: %zu x %zu samples, extent %.1f km\n",
+              terrain->samples_per_side(), terrain->samples_per_side(),
+              terrain->extent_m() / 1000.0);
+
+  watch::WatchConfig cfg;
+  cfg.grid_rows = 16;
+  cfg.grid_cols = 16;
+  cfg.block_size_m = 200.0;
+  cfg.channels = 6;
+
+  radio::ExtendedHataModel tv_model{600.0, 150.0, 10.0};
+  radio::ExtendedHataModel su_model{600.0, 30.0, 10.0};
+
+  // --- Two broadcast towers; terrain shadows some receivers.
+  std::vector<watch::TvTransmitter> towers{
+      {{800.0, 800.0}, ChannelId{1}, 80.0},
+      {{2400.0, 2400.0}, ChannelId{3}, 80.0},
+  };
+  watch::TvwsBaseline tvws{cfg, towers, tv_model};
+  std::printf("TVWS availability: %zu / %zu (channel, block) pairs\n\n",
+              tvws.available_pairs(), tvws.total_pairs());
+
+  // --- 24 registered receiver households.
+  bn::SplitMix64Random layout_rng{7};
+  std::vector<watch::PuSite> sites;
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    sites.push_back({i, BlockId{static_cast<std::uint32_t>(
+                            layout_rng.next_u64() % 256)}});
+  }
+  watch::PlainWatch city{cfg, sites, su_model};
+
+  // Evening schedule: two thirds of receivers watching something. TV signal
+  // strength at each home is predicted with ITM-lite (the irregular-terrain
+  // stand-in for the paper's Longley-Rice, DESIGN.md §2): knife-edge
+  // diffraction over the fractal terrain shadows some receivers.
+  auto area = cfg.make_area();
+  std::size_t watching = 0, shadowed = 0;
+  for (const auto& site : sites) {
+    if (layout_rng.next_u64() % 3 == 2) {
+      city.pu_update(site.pu_id, watch::PuTuning{});
+      continue;
+    }
+    ++watching;
+    auto channel = ChannelId{static_cast<std::uint32_t>(
+        towers[layout_rng.next_u64() % towers.size()].channel.index)};
+    auto home = area.block_center(site.block);
+    const auto& tower = towers[channel.index == 1 ? 0 : 1];
+    radio::ItmLiteModel itm{terrain, 600.0, tower.location.x, tower.location.y,
+                            150.0, home.x, home.y, 10.0};
+    if (!itm.line_of_sight()) ++shadowed;
+    double rx_mw = radio::dbm_to_mw(tower.eirp_dbm) * itm.site_gain();
+    rx_mw = std::max(rx_mw, cfg.pu_min_signal_mw());
+    city.pu_update(site.pu_id, watch::PuTuning{channel, rx_mw});
+  }
+  std::printf("%zu of %zu receivers actively watching; %zu of them terrain-"
+              "shadowed (ITM-lite diffraction)\n\n",
+              watching, sites.size(), shadowed);
+
+  // --- A WiFi operator probes every 4th block on every channel at 100 mW.
+  std::size_t watch_ok = 0, tvws_ok = 0, probes = 0;
+  for (std::uint32_t b = 0; b < 256; b += 4) {
+    for (std::uint32_t c = 0; c < cfg.channels; ++c) {
+      std::vector<double> eirp(cfg.channels, 0.0);
+      eirp[c] = 100.0;
+      ++probes;
+      if (city.process_request({9000, BlockId{b}, eirp}).granted) ++watch_ok;
+      if (tvws.channel_available(ChannelId{c}, BlockId{b})) ++tvws_ok;
+    }
+  }
+  std::printf("Access-point survey (%zu probes at 100 mW):\n", probes);
+  std::printf("  WATCH (receiver-aware) grants : %5.1f%%\n",
+              100.0 * static_cast<double>(watch_ok) / static_cast<double>(probes));
+  std::printf("  TVWS (tower contours) grants  : %5.1f%%\n\n",
+              100.0 * static_cast<double>(tvws_ok) / static_cast<double>(probes));
+
+  // --- Spot-check four decisions through the encrypted pipeline.
+  core::PisaConfig pcfg;
+  pcfg.watch = cfg;
+  pcfg.paillier_bits = 768;
+  pcfg.rsa_bits = 384;
+  pcfg.blind_bits = 64;
+  pcfg.mr_rounds = 12;
+  crypto::ChaChaRng rng{std::uint64_t{5150}};
+  core::PisaSystem pisa{pcfg, sites, su_model, rng};
+  pisa.add_su(9000);
+  // Mirror the PU state into the encrypted system by replaying the same
+  // deterministic schedule generator (seed 7, after the 24 placement draws).
+  {
+    bn::SplitMix64Random rng2{7};
+    for (std::uint32_t i = 0; i < 24; ++i) (void)(rng2.next_u64() % 256);
+    for (const auto& site : sites) {
+      if (rng2.next_u64() % 3 == 2) {
+        pisa.pu_update(site.pu_id, watch::PuTuning{});
+        continue;
+      }
+      auto channel = ChannelId{static_cast<std::uint32_t>(
+          towers[rng2.next_u64() % towers.size()].channel.index)};
+      auto home = area.block_center(site.block);
+      const auto& tower = towers[channel.index == 1 ? 0 : 1];
+      radio::ItmLiteModel itm{terrain, 600.0, tower.location.x,
+                              tower.location.y, 150.0, home.x, home.y, 10.0};
+      double rx_mw = radio::dbm_to_mw(tower.eirp_dbm) * itm.site_gain();
+      rx_mw = std::max(rx_mw, cfg.pu_min_signal_mw());
+      pisa.pu_update(site.pu_id, watch::PuTuning{channel, rx_mw});
+    }
+  }
+
+  std::printf("Encrypted spot-checks (PISA vs plaintext WATCH):\n");
+  int agreements = 0, total_checks = 0;
+  for (std::uint32_t b : {0u, 128u}) {
+    // Channel 1 carries viewers (expect denies near them); channel 0 is
+    // idle everywhere (expect grants).
+    for (std::uint32_t c : {1u, 0u}) {
+      std::vector<double> eirp(cfg.channels, 0.0);
+      eirp[c] = 100.0;
+      watch::SuRequest req{9000, BlockId{b}, eirp};
+      bool plain = city.process_request(req).granted;
+      bool enc = pisa.su_request(req).granted;
+      std::printf("  block %3u channel %u: plaintext=%s encrypted=%s\n", b, c,
+                  plain ? "GRANT" : "DENY", enc ? "GRANT" : "DENY");
+      ++total_checks;
+      if (plain == enc) ++agreements;
+    }
+  }
+  std::printf("%d/%d decisions agree.\n", agreements, total_checks);
+  return agreements == total_checks ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// The §VI-A location-privacy dial, interactively demonstrated.
+//
+// An SU may disclose a coarse region ("somewhere in the north half") to cut
+// request preparation and SDC processing time proportionally. This example
+// walks one SU through four privacy levels against the same PU state and
+// shows that (a) the decision never changes, (b) cost falls linearly, and
+// (c) what the SDC actually learns at each level.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "crypto/chacha_rng.hpp"
+#include "radio/pathloss.hpp"
+
+using namespace pisa;
+using Clock = std::chrono::steady_clock;
+
+int main() {
+  core::PisaConfig cfg;
+  cfg.watch.grid_rows = 4;
+  cfg.watch.grid_cols = 8;  // 32 blocks: column 0..7 west->east
+  cfg.watch.block_size_m = 200.0;
+  cfg.watch.channels = 4;
+  cfg.paillier_bits = 768;
+  cfg.rsa_bits = 384;
+  cfg.blind_bits = 64;
+  cfg.mr_rounds = 12;
+
+  crypto::ChaChaRng rng = crypto::ChaChaRng::from_os_entropy();
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+
+  // One PU site in block 2 (north-west); the SU sits in block 5 nearby.
+  core::PisaSystem pisa{cfg, {{0, radio::BlockId{2}}}, model, rng};
+  pisa.add_su(1);
+  pisa.pu_update(0, watch::PuTuning{radio::ChannelId{0}, 1e-6});
+
+  watch::SuRequest request{1, radio::BlockId{5},
+                           std::vector<double>{0.0, 0.01, 0.01, 0.01}};
+
+  struct Level {
+    const char* name;
+    const char* sdc_learns;
+    std::uint32_t hi;  // disclosed range [0, hi)
+  };
+  // All levels keep block 2 (the PU site, where F != 0) inside the range.
+  Level levels[] = {
+      {"full privacy", "nothing about the SU's location", 32},
+      {"half area", "SU is in the western half", 16},
+      {"quarter area", "SU is in the north-west quarter", 8},
+      {"tight box", "SU is within 6 specific blocks", 6},
+  };
+
+  std::printf("%-14s %-38s %10s %10s %9s\n", "privacy level", "SDC learns",
+              "prep (ms)", "proc (ms)", "decision");
+  for (const auto& lvl : levels) {
+    auto t0 = Clock::now();
+    auto outcome = pisa.su_request(request, std::make_pair(0u, lvl.hi));
+    double total_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    const auto& stats = pisa.sdc().stats();
+    double proc = stats.last_phase1_ms + stats.last_phase2_ms;
+    std::printf("%-14s %-38s %10.1f %10.1f %9s\n", lvl.name, lvl.sdc_learns,
+                total_ms - proc, proc, outcome.granted ? "GRANTED" : "DENIED");
+  }
+
+  std::printf("\nThe decision is invariant; cost tracks the disclosed "
+              "fraction (paper: linear trade-off).\n");
+  return 0;
+}

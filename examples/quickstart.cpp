@@ -1,0 +1,92 @@
+// Quickstart: the smallest complete PISA deployment.
+//
+// One TV receiver (PU), one WiFi device (SU), a spectrum database
+// controller (SDC) and the semi-trusted party (STP), exchanging encrypted
+// messages over the simulated network. Shows the whole lifecycle:
+//
+//   1. system setup (group Paillier key at the STP, RSA license key at the
+//      SDC, per-SU Paillier keys),
+//   2. the PU privately announcing that it started watching a channel,
+//   3. the SU requesting spectrum — denied, because it would interfere,
+//   4. the PU turning off — the same request is now granted, and the SU
+//      walks away with a verifiable signed license.
+//
+// Small key sizes keep this instant; production would use
+// cfg.paillier_bits = 2048 (see bench/bench_system.cpp).
+#include <cstdio>
+
+#include "core/protocol.hpp"
+#include "crypto/chacha_rng.hpp"
+#include "radio/pathloss.hpp"
+
+using namespace pisa;
+
+int main() {
+  // --- Configuration: a 1 km x 1.5 km suburb, 4 TV channels.
+  core::PisaConfig cfg;
+  cfg.watch.grid_rows = 10;
+  cfg.watch.grid_cols = 15;
+  cfg.watch.block_size_m = 100.0;
+  cfg.watch.channels = 4;
+  cfg.paillier_bits = 768;  // demo size; use 2048 in production
+  cfg.rsa_bits = 384;
+  cfg.blind_bits = 64;
+  cfg.mr_rounds = 12;
+
+  crypto::ChaChaRng rng = crypto::ChaChaRng::from_os_entropy();
+  radio::ExtendedHataModel propagation{600.0, 30.0, 10.0};
+
+  // --- One registered TV receiver near the middle of the area. Its
+  // location is public; what it watches never leaves it unencrypted.
+  std::vector<watch::PuSite> sites{{0, radio::BlockId{5 * 15 + 7}}};
+
+  std::printf("Setting up PISA (group key %zu bits, license key %zu bits)...\n",
+              cfg.paillier_bits, cfg.rsa_bits);
+  core::PisaSystem pisa{cfg, sites, propagation, rng};
+  pisa.add_su(1);
+  std::printf("Exclusion radius d^c = %.1f km\n\n",
+              pisa.exclusion_radius() / 1000.0);
+
+  // --- The PU tunes to channel 2 at -60 dBm reception strength. The update
+  // is C ciphertexts; the SDC cannot tell which channel changed.
+  std::printf("PU 0 tunes to channel 2 (encrypted update, %zu bytes)...\n",
+              pisa.pu(0).update_bytes());
+  pisa.pu_update(0, watch::PuTuning{radio::ChannelId{2}, 1e-6});
+
+  // --- The SU, one block away, asks to transmit 100 mW on every channel.
+  watch::SuRequest request{1, radio::BlockId{5 * 15 + 8},
+                           std::vector<double>(cfg.watch.channels, 100.0)};
+  auto outcome = pisa.su_request(request);
+  std::printf("SU 1 requests 100 mW on all channels: %s\n",
+              outcome.granted ? "GRANTED" : "DENIED");
+  std::printf("  (request %zu bytes -> SDC, response %zu bytes back)\n",
+              outcome.request_bytes, outcome.response_bytes);
+
+  // --- Masking out the PU's channel makes the request harmless...
+  auto eirp = std::vector<double>(cfg.watch.channels, 100.0);
+  eirp[2] = 0.0;
+  auto outcome2 = pisa.su_request({1, request.block, eirp});
+  std::printf("SU 1 re-requests, skipping channel 2: %s\n",
+              outcome2.granted ? "GRANTED" : "DENIED");
+
+  // --- ...and when the receiver turns off, even the full request passes.
+  pisa.pu_update(0, watch::PuTuning{});  // receiver off
+  auto outcome3 = pisa.su_request(request);
+  std::printf("PU turns off; original request again:  %s\n",
+              outcome3.granted ? "GRANTED" : "DENIED");
+
+  if (outcome3.granted) {
+    bool valid = pisa.sdc().license_key().verify(
+        outcome3.license.signing_bytes(), outcome3.signature);
+    std::printf("\nLicense #%llu for SU %u issued by '%s': signature %s\n",
+                static_cast<unsigned long long>(outcome3.license.serial),
+                outcome3.license.su_id, outcome3.license.issuer.c_str(),
+                valid ? "VALID" : "INVALID");
+  }
+
+  auto total = pisa.network().total_stats();
+  std::printf("\nTotal protocol traffic: %llu messages, %.2f MB\n",
+              static_cast<unsigned long long>(total.messages),
+              static_cast<double>(total.bytes) / 1e6);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// The paper's real-world experiment (§VI-B, Figures 7–11) as a narrative
+// walkthrough: two secondary transmitters share WiFi channel 6 with a TV
+// receiver, and PISA decides — over real ciphertexts — which of them may
+// keep transmitting. The Ettus USRP hardware is replaced by the channel
+// simulator (DESIGN.md §2); the protocol side is unchanged.
+//
+// Run bench/bench_scenarios for the quantitative figure data; this example
+// focuses on the event flow and prints the envelope traces as ASCII art.
+#include <cstdio>
+#include <string>
+
+#include "core/protocol.hpp"
+#include "crypto/chacha_rng.hpp"
+#include "radio/channel_sim.hpp"
+#include "radio/pathloss.hpp"
+
+using namespace pisa;
+
+namespace {
+
+// Tiny ASCII oscilloscope: one row, amplitude binned into 0-8.
+void draw_trace(const std::vector<radio::EnvelopeSample>& trace,
+                const char* label, double ref_peak = 0.0) {
+  static const char* glyphs = " .:-=+*#%";
+  double peak = ref_peak;
+  for (const auto& s : trace) peak = std::max(peak, s.amplitude);
+  std::string line;
+  std::size_t cols = 72;
+  std::size_t stride = std::max<std::size_t>(1, trace.size() / cols);
+  for (std::size_t i = 0; i < trace.size(); i += stride) {
+    double hi = 0;
+    for (std::size_t j = i; j < std::min(i + stride, trace.size()); ++j)
+      hi = std::max(hi, trace[j].amplitude);
+    auto level = static_cast<std::size_t>(hi / peak * 8.0);
+    line.push_back(glyphs[std::min<std::size_t>(level, 8)]);
+  }
+  std::printf("  %-10s |%s|\n", label, line.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("PISA over the (simulated) USRP bench — paper §VI-B\n");
+  std::printf("==================================================\n\n");
+
+  // Bench geometry: PU monitor at origin; SU1 8 m away, SU2 60 m away.
+  radio::FreeSpaceModel ch6{2437.0};
+  radio::ChannelSimulator sim{ch6, 0.0, 0.0};
+  auto su1 = sim.add_transmitter({"SU1", 8.0, 0.0, 15.0, true, 80.0, 350.0, 0.0});
+  auto su2 = sim.add_transmitter({"SU2", 60.0, 0.0, 15.0, true, 80.0, 350.0, 170.0});
+
+  std::printf("Scenario 1 — PU idle; SU1 and SU2 both transmit (Fig. 8):\n");
+  auto t1 = sim.capture(700.0, 2e6);
+  auto s1 = sim.analyze(t1);
+  const double scope_peak = s1.peak_amplitude;
+  draw_trace(t1, "PU sees", scope_peak);
+  std::printf("  %d packets; the taller bursts are SU1 (7.5x closer)\n\n",
+              s1.packets_observed);
+
+  // The protocol side: 1-channel strip of 10 m blocks along the bench.
+  core::PisaConfig cfg;
+  cfg.watch.grid_rows = 1;
+  cfg.watch.grid_cols = 8;
+  cfg.watch.block_size_m = 10.0;
+  cfg.watch.channels = 1;
+  cfg.paillier_bits = 768;
+  cfg.rsa_bits = 384;
+  cfg.blind_bits = 64;
+  cfg.mr_rounds = 12;
+  crypto::ChaChaRng rng = crypto::ChaChaRng::from_os_entropy();
+  radio::LogDistanceModel su_model{2437.0, 3.0};
+  core::PisaSystem pisa{cfg, {{0, radio::BlockId{0}}}, su_model, rng};
+  pisa.add_su(1);
+  pisa.add_su(2);
+
+  std::printf("Scenario 2 — PU claims the channel (Fig. 10):\n");
+  pisa.pu_update(0, watch::PuTuning{radio::ChannelId{0}, 2e-7});
+  sim.transmitter(su1).active = false;
+  sim.transmitter(su2).active = false;
+  draw_trace(sim.capture(700.0, 2e6), "PU sees", scope_peak);
+  std::printf("  encrypted update sent; SDC silences both SUs — channel "
+              "quiet for the PU\n\n");
+
+  std::printf("Scenario 3 — both SUs request transmission (Fig. 11):\n");
+  watch::SuRequest near_loud{1, radio::BlockId{1}, {50.0}};
+  watch::SuRequest far_quiet{2, radio::BlockId{6}, {0.05}};
+  std::printf("  SU1 (block 1, 50 mW) and SU2 (block 6, 0.05 mW) submit "
+              "encrypted requests\n\n");
+
+  std::printf("Scenario 4 — SDC decides over ciphertexts (Fig. 9):\n");
+  auto o1 = pisa.su_request(near_loud);
+  auto o2 = pisa.su_request(far_quiet);
+  std::printf("  SU1: %s, SU2: %s\n", o1.granted ? "GRANTED" : "DENIED",
+              o2.granted ? "GRANTED" : "DENIED");
+  sim.transmitter(su1).active = o1.granted;
+  sim.transmitter(su2).active = o2.granted;
+  sim.transmitter(su2).period_us = 1900.0;
+  sim.transmitter(su2).burst_us = 200.0;
+  auto t4 = sim.capture(20'000.0, 2e6);
+  draw_trace(t4, "PU sees", scope_peak);
+  std::printf("  %d packets in 20 ms from the granted SU (paper: ~11)\n",
+              sim.analyze(t4).packets_observed);
+
+  std::printf("\nNote the SDC never saw the PU's channel, the SUs' EIRPs, or "
+              "the decision itself in the clear.\n");
+  return 0;
+}

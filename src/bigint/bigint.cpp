@@ -1,0 +1,104 @@
+#include "bigint/bigint.hpp"
+
+#include <stdexcept>
+
+namespace pisa::bn {
+
+BigInt::BigInt(std::int64_t v) {
+  if (v < 0) {
+    neg_ = true;
+    // Avoid UB on INT64_MIN: negate in unsigned space.
+    mag_ = BigUint{~static_cast<std::uint64_t>(v) + 1};
+  } else {
+    mag_ = BigUint{static_cast<std::uint64_t>(v)};
+  }
+}
+
+BigInt::BigInt(BigUint mag, bool negative)
+    : mag_(std::move(mag)), neg_(negative) {
+  fix_zero();
+}
+
+BigInt BigInt::from_dec(std::string_view dec) {
+  bool neg = false;
+  if (!dec.empty() && dec.front() == '-') {
+    neg = true;
+    dec.remove_prefix(1);
+  }
+  return BigInt{BigUint::from_dec(dec), neg};
+}
+
+BigInt BigInt::operator-() const {
+  BigInt r = *this;
+  if (!r.is_zero()) r.neg_ = !r.neg_;
+  return r;
+}
+
+BigInt& BigInt::operator+=(const BigInt& o) {
+  if (neg_ == o.neg_) {
+    mag_ += o.mag_;
+  } else if (mag_ >= o.mag_) {
+    mag_ -= o.mag_;
+  } else {
+    mag_ = o.mag_ - mag_;
+    neg_ = o.neg_;
+  }
+  fix_zero();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& o) { return *this += -o; }
+
+BigInt& BigInt::operator*=(const BigInt& o) {
+  mag_ *= o.mag_;
+  neg_ = neg_ != o.neg_;
+  fix_zero();
+  return *this;
+}
+
+BigInt& BigInt::operator/=(const BigInt& o) {
+  bool rneg = neg_ != o.neg_;
+  mag_ /= o.mag_;
+  neg_ = rneg;
+  fix_zero();
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& o) {
+  mag_ %= o.mag_;  // remainder magnitude; sign follows dividend
+  fix_zero();
+  return *this;
+}
+
+std::strong_ordering BigInt::operator<=>(const BigInt& o) const {
+  if (neg_ != o.neg_) return neg_ ? std::strong_ordering::less : std::strong_ordering::greater;
+  auto c = mag_ <=> o.mag_;
+  if (!neg_) return c;
+  if (c == std::strong_ordering::less) return std::strong_ordering::greater;
+  if (c == std::strong_ordering::greater) return std::strong_ordering::less;
+  return std::strong_ordering::equal;
+}
+
+BigUint BigInt::mod_euclid(const BigUint& m) const {
+  BigUint r = mag_ % m;
+  if (neg_ && !r.is_zero()) r = m - r;
+  return r;
+}
+
+std::string BigInt::to_dec() const {
+  std::string s = mag_.to_dec();
+  return neg_ ? "-" + s : s;
+}
+
+std::int64_t BigInt::to_i64() const {
+  std::uint64_t v = mag_.to_u64();
+  if (neg_) {
+    if (v > (std::uint64_t{1} << 63))
+      throw std::overflow_error("BigInt::to_i64: out of range");
+    return -static_cast<std::int64_t>(v - 1) - 1;
+  }
+  if (v >> 63) throw std::overflow_error("BigInt::to_i64: out of range");
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace pisa::bn

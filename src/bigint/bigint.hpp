@@ -1,0 +1,68 @@
+// Signed arbitrary-precision integers (sign + magnitude over BigUint).
+//
+// Used where the protocol algebra genuinely needs signs: the extended
+// Euclid inverse, centered lifts of Paillier plaintexts (values > n/2
+// decode as negatives), and the plaintext-domain WATCH reference math.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bigint/biguint.hpp"
+
+namespace pisa::bn {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor)
+  BigInt(BigUint mag, bool negative = false);  // NOLINT(google-explicit-constructor)
+
+  /// Parse decimal with optional leading '-'.
+  static BigInt from_dec(std::string_view dec);
+
+  const BigUint& magnitude() const { return mag_; }
+  bool is_negative() const { return neg_; }
+  bool is_zero() const { return mag_.is_zero(); }
+  int sign() const { return mag_.is_zero() ? 0 : (neg_ ? -1 : 1); }
+
+  BigInt operator-() const;
+  BigInt abs() const { return BigInt{mag_, false}; }
+
+  BigInt& operator+=(const BigInt& o);
+  BigInt& operator-=(const BigInt& o);
+  BigInt& operator*=(const BigInt& o);
+  /// Truncated division (C semantics): quotient rounds toward zero.
+  BigInt& operator/=(const BigInt& o);
+  /// Remainder matching truncated division: sign follows the dividend.
+  BigInt& operator%=(const BigInt& o);
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { a += b; return a; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { a -= b; return a; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { a *= b; return a; }
+  friend BigInt operator/(BigInt a, const BigInt& b) { a /= b; return a; }
+  friend BigInt operator%(BigInt a, const BigInt& b) { a %= b; return a; }
+
+  std::strong_ordering operator<=>(const BigInt& o) const;
+  bool operator==(const BigInt& o) const {
+    return (*this <=> o) == std::strong_ordering::equal;
+  }
+
+  /// Euclidean (non-negative) residue mod m, m > 0.
+  BigUint mod_euclid(const BigUint& m) const;
+
+  std::string to_dec() const;
+
+  /// Checked narrowing; throws std::overflow_error if out of range.
+  std::int64_t to_i64() const;
+
+ private:
+  void fix_zero() { if (mag_.is_zero()) neg_ = false; }
+
+  BigUint mag_;
+  bool neg_ = false;
+};
+
+}  // namespace pisa::bn

@@ -1,0 +1,369 @@
+#include "bigint/biguint.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <stdexcept>
+
+namespace pisa::bn {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+namespace {
+
+constexpr std::size_t kKaratsubaThreshold = 32;  // limbs
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+BigUint::BigUint(u64 v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+void BigUint::normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_limbs(std::vector<Limb> limbs) {
+  BigUint r;
+  r.limbs_ = std::move(limbs);
+  r.normalize();
+  return r;
+}
+
+std::strong_ordering BigUint::cmp(const BigUint& o) const {
+  if (limbs_.size() != o.limbs_.size())
+    return limbs_.size() <=> o.limbs_.size();
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != o.limbs_[i]) return limbs_[i] <=> o.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+std::size_t BigUint::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t top = 64 - static_cast<std::size_t>(__builtin_clzll(limbs_.back()));
+  return (limbs_.size() - 1) * 64 + top;
+}
+
+bool BigUint::bit(std::size_t i) const {
+  std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+void BigUint::set_bit(std::size_t i) {
+  std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) limbs_.resize(limb + 1, 0);
+  limbs_[limb] |= (u64{1} << (i % 64));
+}
+
+std::uint64_t BigUint::to_u64() const {
+  if (limbs_.size() > 1) throw std::overflow_error("BigUint::to_u64: value too large");
+  return low_u64();
+}
+
+BigUint& BigUint::operator+=(const BigUint& o) {
+  if (o.limbs_.size() > limbs_.size()) limbs_.resize(o.limbs_.size(), 0);
+  u64 carry = 0;
+  std::size_t i = 0;
+  for (; i < o.limbs_.size(); ++i) {
+    u128 s = static_cast<u128>(limbs_[i]) + o.limbs_[i] + carry;
+    limbs_[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  for (; carry && i < limbs_.size(); ++i) {
+    u128 s = static_cast<u128>(limbs_[i]) + carry;
+    limbs_[i] = static_cast<u64>(s);
+    carry = static_cast<u64>(s >> 64);
+  }
+  if (carry) limbs_.push_back(carry);
+  return *this;
+}
+
+BigUint& BigUint::operator-=(const BigUint& o) {
+  if (*this < o) throw std::underflow_error("BigUint subtraction underflow");
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u64 sub = (i < o.limbs_.size()) ? o.limbs_[i] : 0;
+    u128 d = static_cast<u128>(limbs_[i]) - sub - borrow;
+    limbs_[i] = static_cast<u64>(d);
+    borrow = static_cast<u64>((d >> 64) & 1);  // 1 iff wrapped
+    if (sub == 0 && borrow == 0 && i >= o.limbs_.size()) break;
+  }
+  normalize();
+  return *this;
+}
+
+BigUint BigUint::mul_schoolbook(const BigUint& a, const BigUint& b) {
+  if (a.is_zero() || b.is_zero()) return {};
+  std::vector<u64> out(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    u64 carry = 0;
+    u64 ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      u128 cur = static_cast<u128>(ai) * b.limbs_[j] + out[i + j] + carry;
+      out[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    out[i + b.limbs_.size()] += carry;
+  }
+  return from_limbs(std::move(out));
+}
+
+BigUint BigUint::mul_karatsuba(const BigUint& a, const BigUint& b) {
+  std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  if (std::min(a.limbs_.size(), b.limbs_.size()) < kKaratsubaThreshold)
+    return mul_schoolbook(a, b);
+  std::size_t half = (n + 1) / 2;
+
+  auto split_low = [&](const BigUint& x) {
+    std::vector<u64> lo(x.limbs_.begin(),
+                        x.limbs_.begin() + static_cast<std::ptrdiff_t>(
+                                               std::min(half, x.limbs_.size())));
+    return from_limbs(std::move(lo));
+  };
+  auto split_high = [&](const BigUint& x) {
+    if (x.limbs_.size() <= half) return BigUint{};
+    std::vector<u64> hi(x.limbs_.begin() + static_cast<std::ptrdiff_t>(half),
+                        x.limbs_.end());
+    return from_limbs(std::move(hi));
+  };
+
+  BigUint a0 = split_low(a), a1 = split_high(a);
+  BigUint b0 = split_low(b), b1 = split_high(b);
+
+  BigUint z0 = mul_karatsuba(a0, b0);
+  BigUint z2 = mul_karatsuba(a1, b1);
+  BigUint z1 = mul_karatsuba(a0 + a1, b0 + b1);
+  z1 -= z0;
+  z1 -= z2;
+
+  BigUint result = z0;
+  result += z1 << (half * 64);
+  result += z2 << (2 * half * 64);
+  return result;
+}
+
+BigUint operator*(const BigUint& a, const BigUint& b) {
+  if (std::min(a.limbs_.size(), b.limbs_.size()) >= kKaratsubaThreshold)
+    return BigUint::mul_karatsuba(a, b);
+  return BigUint::mul_schoolbook(a, b);
+}
+
+BigUint& BigUint::operator<<=(std::size_t bits) {
+  if (is_zero() || bits == 0) return *this;
+  std::size_t limb_shift = bits / 64;
+  std::size_t bit_shift = bits % 64;
+  std::size_t old = limbs_.size();
+  limbs_.resize(old + limb_shift + (bit_shift ? 1 : 0), 0);
+  if (bit_shift == 0) {
+    for (std::size_t i = old; i-- > 0;) limbs_[i + limb_shift] = limbs_[i];
+  } else {
+    for (std::size_t i = old; i-- > 0;) {
+      u64 hi = limbs_[i] >> (64 - bit_shift);
+      u64 lo = limbs_[i] << bit_shift;
+      limbs_[i + limb_shift + 1] |= hi;
+      limbs_[i + limb_shift] = lo;
+    }
+  }
+  for (std::size_t i = 0; i < limb_shift; ++i) limbs_[i] = 0;
+  normalize();
+  return *this;
+}
+
+BigUint& BigUint::operator>>=(std::size_t bits) {
+  if (is_zero() || bits == 0) return *this;
+  std::size_t limb_shift = bits / 64;
+  std::size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::size_t n = limbs_.size() - limb_shift;
+  if (bit_shift == 0) {
+    for (std::size_t i = 0; i < n; ++i) limbs_[i] = limbs_[i + limb_shift];
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      u64 lo = limbs_[i + limb_shift] >> bit_shift;
+      u64 hi = (i + limb_shift + 1 < limbs_.size())
+                   ? (limbs_[i + limb_shift + 1] << (64 - bit_shift))
+                   : 0;
+      limbs_[i] = lo | hi;
+    }
+  }
+  limbs_.resize(n);
+  normalize();
+  return *this;
+}
+
+std::pair<BigUint, BigUint> BigUint::divmod(const BigUint& num, const BigUint& den) {
+  if (den.is_zero()) throw std::domain_error("BigUint division by zero");
+  if (num < den) return {BigUint{}, num};
+
+  // Single-limb divisor fast path.
+  if (den.limbs_.size() == 1) {
+    u64 d = den.limbs_[0];
+    std::vector<u64> q(num.limbs_.size());
+    u64 rem = 0;
+    for (std::size_t i = num.limbs_.size(); i-- > 0;) {
+      u128 cur = (static_cast<u128>(rem) << 64) | num.limbs_[i];
+      q[i] = static_cast<u64>(cur / d);
+      rem = static_cast<u64>(cur % d);
+    }
+    return {from_limbs(std::move(q)), BigUint{rem}};
+  }
+
+  // Knuth algorithm D. Normalize so the divisor's top limb has its high bit set.
+  int shift = __builtin_clzll(den.limbs_.back());
+  BigUint u = num << static_cast<std::size_t>(shift);
+  BigUint v = den << static_cast<std::size_t>(shift);
+  std::size_t n = v.limbs_.size();
+  std::size_t m = u.limbs_.size() - n;
+  u.limbs_.push_back(0);  // u has m+n+1 limbs
+
+  std::vector<u64> q(m + 1, 0);
+  const u64 vn1 = v.limbs_[n - 1];
+  const u64 vn2 = v.limbs_[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    u128 top = (static_cast<u128>(u.limbs_[j + n]) << 64) | u.limbs_[j + n - 1];
+    u128 qhat = top / vn1;
+    u128 rhat = top % vn1;
+    while (qhat >> 64 ||
+           static_cast<u128>(static_cast<u64>(qhat)) * vn2 >
+               ((rhat << 64) | u.limbs_[j + n - 2])) {
+      --qhat;
+      rhat += vn1;
+      if (rhat >> 64) break;
+    }
+    // Multiply and subtract: u[j..j+n] -= qhat * v.
+    u64 qh = static_cast<u64>(qhat);
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      u128 p = static_cast<u128>(qh) * v.limbs_[i] + carry;
+      carry = p >> 64;
+      u128 sub = static_cast<u128>(u.limbs_[j + i]) - static_cast<u64>(p) - borrow;
+      u.limbs_[j + i] = static_cast<u64>(sub);
+      borrow = (sub >> 64) & 1;
+    }
+    u128 sub = static_cast<u128>(u.limbs_[j + n]) - carry - borrow;
+    u.limbs_[j + n] = static_cast<u64>(sub);
+    if ((sub >> 64) & 1) {
+      // qhat was one too large: add back.
+      --qh;
+      u128 c2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        u128 s = static_cast<u128>(u.limbs_[j + i]) + v.limbs_[i] + c2;
+        u.limbs_[j + i] = static_cast<u64>(s);
+        c2 = s >> 64;
+      }
+      u.limbs_[j + n] += static_cast<u64>(c2);
+    }
+    q[j] = qh;
+  }
+
+  u.limbs_.resize(n);
+  u.normalize();
+  u >>= static_cast<std::size_t>(shift);
+  return {from_limbs(std::move(q)), std::move(u)};
+}
+
+BigUint& BigUint::operator/=(const BigUint& o) {
+  *this = divmod(*this, o).first;
+  return *this;
+}
+
+BigUint& BigUint::operator%=(const BigUint& o) {
+  *this = divmod(*this, o).second;
+  return *this;
+}
+
+BigUint BigUint::from_hex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  if (hex.empty()) throw std::invalid_argument("BigUint::from_hex: empty string");
+  BigUint r;
+  // Parse 16 hex digits per limb from the tail.
+  std::size_t nd = hex.size();
+  std::size_t nlimbs = (nd + 15) / 16;
+  r.limbs_.assign(nlimbs, 0);
+  for (std::size_t i = 0; i < nd; ++i) {
+    int d = hex_digit(hex[nd - 1 - i]);
+    if (d < 0) throw std::invalid_argument("BigUint::from_hex: bad digit");
+    r.limbs_[i / 16] |= static_cast<u64>(d) << (4 * (i % 16));
+  }
+  r.normalize();
+  return r;
+}
+
+std::string BigUint::to_hex() const {
+  if (is_zero()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  s.reserve(limbs_.size() * 16);
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4)
+      s.push_back(digits[(limbs_[i] >> shift) & 0xF]);
+  }
+  std::size_t first = s.find_first_not_of('0');
+  return s.substr(first);
+}
+
+BigUint BigUint::from_dec(std::string_view dec) {
+  if (dec.empty()) throw std::invalid_argument("BigUint::from_dec: empty string");
+  BigUint r;
+  for (char c : dec) {
+    if (c < '0' || c > '9') throw std::invalid_argument("BigUint::from_dec: bad digit");
+    r = r * BigUint{10} + BigUint{static_cast<u64>(c - '0')};
+  }
+  return r;
+}
+
+std::string BigUint::to_dec() const {
+  if (is_zero()) return "0";
+  std::string s;
+  BigUint v = *this;
+  const BigUint ten{10};
+  while (!v.is_zero()) {
+    auto [q, r] = divmod(v, ten);
+    s.push_back(static_cast<char>('0' + r.low_u64()));
+    v = std::move(q);
+  }
+  std::reverse(s.begin(), s.end());
+  return s;
+}
+
+BigUint BigUint::from_bytes_be(std::span<const std::uint8_t> bytes) {
+  BigUint r;
+  std::size_t nb = bytes.size();
+  if (nb == 0) return r;
+  r.limbs_.assign((nb + 7) / 8, 0);
+  for (std::size_t i = 0; i < nb; ++i) {
+    std::uint8_t b = bytes[nb - 1 - i];
+    r.limbs_[i / 8] |= static_cast<u64>(b) << (8 * (i % 8));
+  }
+  r.normalize();
+  return r;
+}
+
+std::vector<std::uint8_t> BigUint::to_bytes_be(std::size_t width) const {
+  std::size_t nb = (bit_length() + 7) / 8;
+  if (width == 0) width = nb;
+  if (nb > width) throw std::length_error("BigUint::to_bytes_be: width too small");
+  std::vector<std::uint8_t> out(width, 0);
+  for (std::size_t i = 0; i < nb; ++i) {
+    u64 limb = limbs_[i / 8];
+    out[width - 1 - i] = static_cast<std::uint8_t>(limb >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+}  // namespace pisa::bn

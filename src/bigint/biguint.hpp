@@ -1,0 +1,117 @@
+// Arbitrary-precision unsigned integers.
+//
+// This is the workhorse of the crypto substrate: Paillier over a 2048-bit
+// modulus computes with 4096-bit values mod n^2, so everything here is
+// written for 64-bit limbs with __uint128_t products. Multiplication
+// switches to Karatsuba above a limb threshold; division is Knuth
+// algorithm D.
+//
+// Representation: little-endian vector of 64-bit limbs, always normalized
+// (no trailing zero limbs); zero is the empty vector.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pisa::bn {
+
+class BigUint {
+ public:
+  using Limb = std::uint64_t;
+  static constexpr int kLimbBits = 64;
+
+  /// Zero.
+  BigUint() = default;
+
+  /// From a machine word.
+  BigUint(std::uint64_t v);  // NOLINT(google-explicit-constructor): numeric literal convenience
+
+  /// Parse a (case-insensitive) hex string, optional "0x" prefix.
+  /// Throws std::invalid_argument on malformed input.
+  static BigUint from_hex(std::string_view hex);
+
+  /// Parse a decimal string. Throws std::invalid_argument on malformed input.
+  static BigUint from_dec(std::string_view dec);
+
+  /// From big-endian bytes (as produced by to_bytes_be).
+  static BigUint from_bytes_be(std::span<const std::uint8_t> bytes);
+
+  /// Lowercase hex, no prefix, no leading zeros ("0" for zero).
+  std::string to_hex() const;
+
+  /// Decimal string.
+  std::string to_dec() const;
+
+  /// Big-endian bytes, minimal length (empty for zero) unless `width` is
+  /// given, in which case the output is left-padded with zeros to exactly
+  /// `width` bytes. Throws std::length_error if the value does not fit.
+  std::vector<std::uint8_t> to_bytes_be(std::size_t width = 0) const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool is_even() const { return !is_odd(); }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const;
+
+  /// Number of significant limbs.
+  std::size_t limb_count() const { return limbs_.size(); }
+
+  /// Value of bit i (0 = least significant).
+  bool bit(std::size_t i) const;
+
+  /// Set bit i to 1, growing as needed.
+  void set_bit(std::size_t i);
+
+  /// Low 64 bits (0 for zero).
+  std::uint64_t low_u64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+
+  /// Checked narrowing: throws std::overflow_error if the value exceeds
+  /// std::uint64_t.
+  std::uint64_t to_u64() const;
+
+  std::strong_ordering operator<=>(const BigUint& o) const { return cmp(o); }
+  bool operator==(const BigUint& o) const = default;
+
+  BigUint& operator+=(const BigUint& o);
+  BigUint& operator-=(const BigUint& o);  ///< Throws std::underflow_error if o > *this.
+  BigUint& operator*=(const BigUint& o) { *this = *this * o; return *this; }
+  BigUint& operator/=(const BigUint& o);
+  BigUint& operator%=(const BigUint& o);
+  BigUint& operator<<=(std::size_t bits);
+  BigUint& operator>>=(std::size_t bits);
+
+  friend BigUint operator+(BigUint a, const BigUint& b) { a += b; return a; }
+  friend BigUint operator-(BigUint a, const BigUint& b) { a -= b; return a; }
+  friend BigUint operator*(const BigUint& a, const BigUint& b);
+  friend BigUint operator/(BigUint a, const BigUint& b) { a /= b; return a; }
+  friend BigUint operator%(BigUint a, const BigUint& b) { a %= b; return a; }
+  friend BigUint operator<<(BigUint a, std::size_t b) { a <<= b; return a; }
+  friend BigUint operator>>(BigUint a, std::size_t b) { a >>= b; return a; }
+
+  /// Quotient and remainder in one pass ({quot, rem}). Throws
+  /// std::domain_error on division by zero.
+  static std::pair<BigUint, BigUint> divmod(const BigUint& num, const BigUint& den);
+
+  /// Read-only view of the limbs (little-endian, normalized).
+  std::span<const Limb> limbs() const { return limbs_; }
+
+  /// Build from raw little-endian limbs (normalizes).
+  static BigUint from_limbs(std::vector<Limb> limbs);
+
+ private:
+  std::strong_ordering cmp(const BigUint& o) const;
+  void normalize();
+
+  static BigUint mul_schoolbook(const BigUint& a, const BigUint& b);
+  static BigUint mul_karatsuba(const BigUint& a, const BigUint& b);
+
+  std::vector<Limb> limbs_;
+};
+
+}  // namespace pisa::bn

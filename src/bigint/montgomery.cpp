@@ -1,0 +1,156 @@
+#include "bigint/montgomery.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace pisa::bn {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+namespace {
+
+// -x^{-1} mod 2^64 for odd x, by Newton iteration.
+u64 neg_inv64(u64 x) {
+  u64 inv = x;  // correct to 3 bits
+  for (int i = 0; i < 5; ++i) inv *= 2 - x * inv;
+  return ~inv + 1;  // -inv
+}
+
+// raw >= mod (as length-k little-endian arrays)?
+bool raw_geq(const u64* a, const u64* b, std::size_t k) {
+  for (std::size_t i = k; i-- > 0;) {
+    if (a[i] != b[i]) return a[i] > b[i];
+  }
+  return true;
+}
+
+// a -= b (length k), a >= b required.
+void raw_sub(u64* a, const u64* b, std::size_t k) {
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    u128 d = static_cast<u128>(a[i]) - b[i] - borrow;
+    a[i] = static_cast<u64>(d);
+    borrow = static_cast<u64>((d >> 64) & 1);
+  }
+}
+
+}  // namespace
+
+Montgomery::Montgomery(BigUint modulus) : n_(std::move(modulus)) {
+  if (n_.is_even() || n_ < BigUint{3})
+    throw std::invalid_argument("Montgomery: modulus must be odd and >= 3");
+  k_ = n_.limb_count();
+  n_limbs_.assign(n_.limbs().begin(), n_.limbs().end());
+  n0inv_ = neg_inv64(n_limbs_[0]);
+
+  // R = 2^(64k); R^2 mod n via one big division.
+  BigUint r2 = BigUint{1} << (2 * 64 * k_);
+  r2 %= n_;
+  r2_ = to_raw(r2);
+  BigUint r1 = (BigUint{1} << (64 * k_)) % n_;
+  one_mont_ = to_raw(r1);
+}
+
+std::vector<u64> Montgomery::to_raw(const BigUint& a) const {
+  assert(a < n_);
+  std::vector<u64> out(k_, 0);
+  auto limbs = a.limbs();
+  std::copy(limbs.begin(), limbs.end(), out.begin());
+  return out;
+}
+
+BigUint Montgomery::from_raw(const std::vector<u64>& raw) const {
+  return BigUint::from_limbs(raw);
+}
+
+void Montgomery::mont_mul(const u64* a, const u64* b, u64* out) const {
+  // CIOS (Coarsely Integrated Operand Scanning), Koç et al.
+  const std::size_t k = k_;
+  const u64* n = n_limbs_.data();
+  std::vector<u64> t(k + 2, 0);
+
+  for (std::size_t i = 0; i < k; ++i) {
+    u64 carry = 0;
+    const u64 ai = a[i];
+    for (std::size_t j = 0; j < k; ++j) {
+      u128 cur = static_cast<u128>(ai) * b[j] + t[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(t[k]) + carry;
+    t[k] = static_cast<u64>(cur);
+    t[k + 1] = static_cast<u64>(cur >> 64);
+
+    const u64 m = t[0] * n0inv_;
+    cur = static_cast<u128>(m) * n[0] + t[0];
+    carry = static_cast<u64>(cur >> 64);
+    for (std::size_t j = 1; j < k; ++j) {
+      cur = static_cast<u128>(m) * n[j] + t[j] + carry;
+      t[j - 1] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    cur = static_cast<u128>(t[k]) + carry;
+    t[k - 1] = static_cast<u64>(cur);
+    t[k] = t[k + 1] + static_cast<u64>(cur >> 64);
+    t[k + 1] = 0;
+  }
+
+  if (t[k] != 0 || raw_geq(t.data(), n, k)) raw_sub(t.data(), n, k);
+  std::copy(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k), out);
+}
+
+BigUint Montgomery::mul(const BigUint& a, const BigUint& b) const {
+  std::vector<u64> am = to_raw(a), bm = to_raw(b);
+  std::vector<u64> tmp(k_), out(k_);
+  // mont(a, R2) = aR; mont(aR, b) = ab.
+  mont_mul(am.data(), r2_.data(), tmp.data());
+  mont_mul(tmp.data(), bm.data(), out.data());
+  return from_raw(out);
+}
+
+BigUint Montgomery::pow(const BigUint& base, const BigUint& exp) const {
+  if (exp.is_zero()) return BigUint{1} % n_;
+
+  std::vector<u64> b = to_raw(base);
+  std::vector<u64> bm(k_);
+  mont_mul(b.data(), r2_.data(), bm.data());  // base in mont form
+
+  // 4-bit window table: table[i] = base^i (mont form).
+  constexpr std::size_t kWindow = 4;
+  std::vector<std::vector<u64>> table(1u << kWindow);
+  table[0] = one_mont_;
+  table[1] = bm;
+  for (std::size_t i = 2; i < table.size(); ++i) {
+    table[i].resize(k_);
+    mont_mul(table[i - 1].data(), bm.data(), table[i].data());
+  }
+
+  std::size_t bits = exp.bit_length();
+  std::size_t nwin = (bits + kWindow - 1) / kWindow;
+  std::vector<u64> acc = one_mont_;
+  std::vector<u64> tmp(k_);
+  for (std::size_t w = nwin; w-- > 0;) {
+    for (std::size_t s = 0; s < kWindow; ++s) {
+      mont_mul(acc.data(), acc.data(), tmp.data());
+      acc.swap(tmp);
+    }
+    unsigned nib = 0;
+    for (std::size_t bb = 0; bb < kWindow; ++bb) {
+      std::size_t idx = w * kWindow + bb;
+      if (idx < bits && exp.bit(idx)) nib |= (1u << bb);
+    }
+    if (nib != 0) {
+      mont_mul(acc.data(), table[nib].data(), tmp.data());
+      acc.swap(tmp);
+    }
+  }
+
+  // Leave the Montgomery domain: mont(acc, 1) = acc * R^{-1}.
+  std::vector<u64> one_raw(k_, 0);
+  one_raw[0] = 1;
+  mont_mul(acc.data(), one_raw.data(), tmp.data());
+  return from_raw(tmp);
+}
+
+}  // namespace pisa::bn

@@ -1,0 +1,51 @@
+// Montgomery modular arithmetic for odd moduli.
+//
+// Paillier works mod n^2 and RSA mod n, both odd, so Montgomery (CIOS)
+// multiplication and windowed exponentiation carry essentially all of the
+// cryptographic cost in this codebase.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/biguint.hpp"
+
+namespace pisa::bn {
+
+/// Precomputed context for arithmetic modulo a fixed odd modulus.
+/// Construction costs one big division (for R^2 mod n); each mul is a single
+/// CIOS pass.
+class Montgomery {
+ public:
+  /// Throws std::invalid_argument if `modulus` is even or < 3.
+  explicit Montgomery(BigUint modulus);
+
+  const BigUint& modulus() const { return n_; }
+
+  /// (a * b) mod n for a, b < n. Inputs in the normal domain.
+  BigUint mul(const BigUint& a, const BigUint& b) const;
+
+  /// (a * a) mod n.
+  BigUint sqr(const BigUint& a) const { return mul(a, a); }
+
+  /// base^exp mod n via 4-bit windowed Montgomery ladder. base < n.
+  BigUint pow(const BigUint& base, const BigUint& exp) const;
+
+ private:
+  using Limb = std::uint64_t;
+
+  std::vector<Limb> to_raw(const BigUint& a) const;  // zero-padded to k limbs
+  BigUint from_raw(const std::vector<Limb>& raw) const;
+
+  // out = mont(a, b) = a*b*R^{-1} mod n, all length-k little-endian.
+  void mont_mul(const Limb* a, const Limb* b, Limb* out) const;
+
+  BigUint n_;
+  std::vector<Limb> n_limbs_;   // modulus, k limbs
+  std::size_t k_ = 0;           // limb count of modulus
+  Limb n0inv_ = 0;              // -n^{-1} mod 2^64
+  std::vector<Limb> r2_;        // R^2 mod n (mont form of R)
+  std::vector<Limb> one_mont_;  // mont form of 1 (= R mod n)
+};
+
+}  // namespace pisa::bn

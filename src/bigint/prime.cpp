@@ -1,0 +1,95 @@
+#include "bigint/prime.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "bigint/modular.hpp"
+#include "bigint/montgomery.hpp"
+
+namespace pisa::bn {
+
+namespace {
+
+constexpr std::array<std::uint64_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+}  // namespace
+
+BigUint random_bits(RandomSource& rng, std::size_t bits) {
+  if (bits == 0) return {};
+  std::size_t nbytes = (bits + 7) / 8;
+  std::vector<std::uint8_t> buf(nbytes);
+  rng.fill(buf);
+  std::size_t excess = nbytes * 8 - bits;
+  buf[0] &= static_cast<std::uint8_t>(0xFF >> excess);
+  return BigUint::from_bytes_be(buf);
+}
+
+BigUint random_below(RandomSource& rng, const BigUint& bound) {
+  if (bound.is_zero()) throw std::invalid_argument("random_below: zero bound");
+  std::size_t bits = bound.bit_length();
+  for (;;) {
+    BigUint v = random_bits(rng, bits);
+    if (v < bound) return v;
+  }
+}
+
+BigUint random_coprime(RandomSource& rng, const BigUint& n) {
+  if (n < BigUint{2}) throw std::invalid_argument("random_coprime: n < 2");
+  for (;;) {
+    BigUint v = random_below(rng, n);
+    if (!v.is_zero() && gcd(v, n) == BigUint{1}) return v;
+  }
+}
+
+bool is_probable_prime(const BigUint& n, RandomSource& rng, int rounds) {
+  if (n < BigUint{2}) return false;
+  for (std::uint64_t p : kSmallPrimes) {
+    BigUint bp{p};
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+  // n is odd and > 251 here. Write n-1 = d * 2^s.
+  BigUint n_minus_1 = n - BigUint{1};
+  std::size_t s = 0;
+  BigUint d = n_minus_1;
+  while (d.is_even()) {
+    d >>= 1;
+    ++s;
+  }
+  Montgomery mont{n};
+  BigUint two{2};
+  BigUint n_minus_3 = n - BigUint{3};
+  for (int round = 0; round < rounds; ++round) {
+    // a uniform in [2, n-2]
+    BigUint a = random_below(rng, n_minus_3) + two;
+    BigUint x = mont.pow(a, d);
+    if (x == BigUint{1} || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 1; i < s; ++i) {
+      x = mont.sqr(x);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigUint random_prime(RandomSource& rng, std::size_t bits, int mr_rounds) {
+  if (bits < 8) throw std::invalid_argument("random_prime: bits < 8");
+  for (;;) {
+    BigUint cand = random_bits(rng, bits);
+    cand.set_bit(bits - 1);
+    cand.set_bit(bits - 2);
+    cand.set_bit(0);
+    if (is_probable_prime(cand, rng, mr_rounds)) return cand;
+  }
+}
+
+}  // namespace pisa::bn

@@ -1,0 +1,29 @@
+// Probabilistic primality testing and random prime generation, used by
+// Paillier and RSA key generation.
+#pragma once
+
+#include <cstddef>
+
+#include "bigint/biguint.hpp"
+#include "bigint/random_source.hpp"
+
+namespace pisa::bn {
+
+/// Uniform value in [0, 2^bits).
+BigUint random_bits(RandomSource& rng, std::size_t bits);
+
+/// Uniform value in [0, bound) by rejection sampling. bound > 0.
+BigUint random_below(RandomSource& rng, const BigUint& bound);
+
+/// Uniform value in [1, n) with gcd(v, n) == 1 — an element of Z_n^*.
+BigUint random_coprime(RandomSource& rng, const BigUint& n);
+
+/// Miller-Rabin with `rounds` random bases, after small-prime trial division.
+/// Error probability <= 4^-rounds for composites.
+bool is_probable_prime(const BigUint& n, RandomSource& rng, int rounds = 32);
+
+/// Random prime with exactly `bits` bits and the top two bits set, so that a
+/// product of two such primes has exactly 2*bits bits. bits >= 8.
+BigUint random_prime(RandomSource& rng, std::size_t bits, int mr_rounds = 32);
+
+}  // namespace pisa::bn

@@ -1,0 +1,35 @@
+#include "bigint/random_source.hpp"
+
+#include <cstring>
+
+namespace pisa::bn {
+
+std::uint64_t RandomSource::next_u64() {
+  std::uint8_t buf[8];
+  fill(buf);
+  std::uint64_t v;
+  std::memcpy(&v, buf, sizeof v);
+  return v;
+}
+
+std::uint64_t SplitMix64Random::next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void SplitMix64Random::fill(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    std::uint64_t v = next();
+    std::memcpy(out.data() + i, &v, 8);
+    i += 8;
+  }
+  if (i < out.size()) {
+    std::uint64_t v = next();
+    std::memcpy(out.data() + i, &v, out.size() - i);
+  }
+}
+
+}  // namespace pisa::bn

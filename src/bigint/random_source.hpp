@@ -1,0 +1,42 @@
+// Randomness interface for the bignum layer.
+//
+// The bignum layer (prime generation, uniform sampling) needs random bytes
+// but must not depend on the crypto layer, which sits above it. This header
+// defines the abstract source; `crypto::ChaChaRng` implements it for
+// production use, and `SplitMix64Random` below is a fast deterministic
+// source for tests and simulation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace pisa::bn {
+
+/// Abstract source of random bytes. Implementations must fill the whole span.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Fill `out` with random bytes.
+  virtual void fill(std::span<std::uint8_t> out) = 0;
+
+  /// Convenience: one uniformly random 64-bit value.
+  std::uint64_t next_u64();
+};
+
+/// Deterministic, seedable, non-cryptographic source (SplitMix64).
+/// Suitable for tests, property sweeps and reproducible simulations only.
+class SplitMix64Random final : public RandomSource {
+ public:
+  explicit SplitMix64Random(std::uint64_t seed) : state_(seed) {}
+
+  void fill(std::span<std::uint8_t> out) override;
+
+ private:
+  std::uint64_t next();
+
+  std::uint64_t state_;
+};
+
+}  // namespace pisa::bn

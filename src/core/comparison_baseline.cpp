@@ -1,0 +1,96 @@
+#include "core/comparison_baseline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bigint/prime.hpp"
+
+namespace pisa::core {
+
+using bn::BigInt;
+using bn::BigUint;
+
+BitwiseComparisonBaseline::BitwiseComparisonBaseline(crypto::PaillierPublicKey pk,
+                                                     unsigned bit_width)
+    : pk_(std::move(pk)), width_(bit_width) {
+  if (bit_width == 0 || bit_width > 63)
+    throw std::invalid_argument("BitwiseComparisonBaseline: bad bit width");
+}
+
+BitEncryptedValue BitwiseComparisonBaseline::encrypt_bits(
+    std::uint64_t value, bn::RandomSource& rng) const {
+  if (width_ < 64 && (value >> width_) != 0)
+    throw std::out_of_range("encrypt_bits: value wider than bit_width");
+  BitEncryptedValue out;
+  out.bits.reserve(width_);
+  for (unsigned i = 0; i < width_; ++i) {
+    out.bits.push_back(pk_.encrypt(BigUint{(value >> i) & 1}, rng));
+  }
+  return out;
+}
+
+std::vector<crypto::PaillierCiphertext>
+BitwiseComparisonBaseline::compare_gt_public(const BitEncryptedValue& x,
+                                             std::uint64_t y,
+                                             bn::RandomSource& rng) const {
+  if (x.bits.size() != width_)
+    throw std::invalid_argument("compare_gt_public: width mismatch");
+
+  // DGK: x > y  ⟺  ∃i: x_i = 1 ∧ y_i = 0 ∧ ∀j>i: x_j = y_j.
+  // c_i = x_i − y_i − 1 + 3·Σ_{j>i} (x_j ⊕ y_j); the predicate holds iff
+  // some c_i is exactly 0. With y public, x_j ⊕ y_j is affine in x_j:
+  //   y_j = 0 → x_j;   y_j = 1 → 1 − x_j.
+  const auto enc0 = pk_.encrypt_deterministic(BigUint{0});
+
+  std::vector<crypto::PaillierCiphertext> garbled;
+  garbled.reserve(width_);
+
+  // Running Σ_{j>i} (x_j ⊕ y_j), built from the MSB down.
+  auto xor_sum = enc0;
+  for (unsigned ii = width_; ii-- > 0;) {
+    std::uint64_t y_i = (y >> ii) & 1;
+
+    // c_i = x_i − (y_i + 1) + 3·xor_sum.
+    auto c = pk_.sub(x.bits[ii], pk_.encrypt_deterministic(BigUint{y_i + 1}));
+    c = pk_.add(c, pk_.scalar_mul(BigUint{3}, xor_sum));
+
+    // Blind by a fresh non-zero factor: zero stays zero, non-zero becomes
+    // a random-looking value.
+    BigUint r = bn::random_bits(rng, 32);
+    r.set_bit(31);
+    garbled.push_back(pk_.scalar_mul(r, c));
+
+    // Extend the suffix-xor sum with bit i for the next (lower) index.
+    auto xor_i = (y_i == 0)
+                     ? x.bits[ii]
+                     : pk_.sub(pk_.encrypt_deterministic(BigUint{1}), x.bits[ii]);
+    xor_sum = pk_.add(xor_sum, xor_i);
+  }
+
+  // Shuffle so the decryptor cannot learn *which* bit position matched.
+  for (std::size_t i = garbled.size(); i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(rng.next_u64() % i);
+    std::swap(garbled[i - 1], garbled[j]);
+  }
+  return garbled;
+}
+
+bool BitwiseComparisonBaseline::any_zero(
+    const std::vector<crypto::PaillierCiphertext>& garbled,
+    const crypto::PaillierPrivateKey& sk) {
+  bool found = false;
+  for (const auto& ct : garbled) {
+    if (sk.decrypt(ct).is_zero()) found = true;  // no early exit: fixed work
+  }
+  return found;
+}
+
+bool BitwiseComparisonBaseline::secure_greater_than(
+    std::uint64_t x, std::uint64_t y, const crypto::PaillierPrivateKey& sk,
+    bn::RandomSource& rng) const {
+  auto bits = encrypt_bits(x, rng);
+  auto garbled = compare_gt_public(bits, y, rng);
+  return any_zero(garbled, sk);
+}
+
+}  // namespace pisa::core

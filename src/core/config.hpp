@@ -1,0 +1,51 @@
+// PISA protocol configuration (paper §III-C, §IV-B).
+//
+// Validation enforces the arithmetic headroom the blinding tricks need:
+// eq. (14) computes α·I − β inside the Paillier plaintext space under the
+// centered lift, so |α·I| must stay below n/2. With 60-bit quantized powers
+// and an X scalar of ~8 bits, |I| < 2^69; blind_bits more bits of α gives
+// |α·I| < 2^(69 + blind_bits), which must fit under paillier_bits − 2.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "watch/config.hpp"
+
+namespace pisa::core {
+
+struct PisaConfig {
+  watch::WatchConfig watch;
+
+  std::size_t paillier_bits = 2048;  // group key and SU keys (NIST 112-bit level)
+  std::size_t rsa_bits = 1024;       // license signature key
+  std::size_t blind_bits = 128;      // α, β, η one-time blinding factors
+  int mr_rounds = 16;                // Miller-Rabin rounds for keygen
+
+  /// Threshold-STP mode (the paper's §VII future-work direction): the group
+  /// decryption exponent is 2-of-2 shared between SDC and STP, so the STP
+  /// alone can no longer decrypt stored PU/SU ciphertexts — it can only
+  /// open the blinded Ṽ values the SDC explicitly co-decrypts during key
+  /// conversion. Costs one extra exponentiation per entry at the SDC and
+  /// one extra ciphertext per entry on the SDC→STP link.
+  bool threshold_stp = false;
+
+  /// Throws std::invalid_argument when parameter combinations cannot work.
+  void validate() const {
+    if (paillier_bits < 64 || paillier_bits % 2 != 0)
+      throw std::invalid_argument("PisaConfig: bad paillier_bits");
+    if (rsa_bits + 2 > paillier_bits)
+      throw std::invalid_argument(
+          "PisaConfig: rsa_bits must be < paillier_bits (eq. (17) embeds the "
+          "signature value in a Paillier plaintext slot)");
+    // |I| <= max(N) + X*max(F) < 2^(q+9) with q = quantizer width.
+    std::size_t value_bits = watch.quantizer.max_bits + 9;
+    if (value_bits + blind_bits + 2 > paillier_bits)
+      throw std::invalid_argument(
+          "PisaConfig: blind_bits + value width exceed the plaintext space");
+    if (blind_bits < 8)
+      throw std::invalid_argument("PisaConfig: blind_bits too small to hide values");
+  }
+};
+
+}  // namespace pisa::core

@@ -1,0 +1,214 @@
+#include "core/messages.hpp"
+
+namespace pisa::core {
+
+void put_ciphertexts(net::Encoder& enc,
+                     const std::vector<crypto::PaillierCiphertext>& cts,
+                     std::size_t ct_width_bytes) {
+  enc.put_u32(static_cast<std::uint32_t>(cts.size()));
+  enc.put_u32(static_cast<std::uint32_t>(ct_width_bytes));
+  for (const auto& ct : cts) {
+    auto bytes = ct.value.to_bytes_be(ct_width_bytes);
+    // Fixed width: no per-entry length prefix needed.
+    for (auto b : bytes) enc.put_u8(b);
+  }
+}
+
+std::vector<crypto::PaillierCiphertext> get_ciphertexts(net::Decoder& dec) {
+  std::uint32_t count = dec.get_u32();
+  std::uint32_t width = dec.get_u32();
+  if (width == 0 || width > (1u << 20))
+    throw net::DecodeError("get_ciphertexts: implausible ciphertext width");
+  // Bound allocations by the actual input size before reserving anything —
+  // a mutated count field must not become a giant allocation.
+  if (static_cast<std::uint64_t>(count) * width > dec.remaining())
+    throw net::DecodeError("get_ciphertexts: count exceeds remaining input");
+  std::vector<crypto::PaillierCiphertext> out;
+  out.reserve(count);
+  std::vector<std::uint8_t> buf(width);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    for (std::uint32_t j = 0; j < width; ++j) buf[j] = dec.get_u8();
+    out.push_back({bn::BigUint::from_bytes_be(buf)});
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> PuUpdateMsg::encode(std::size_t ct_width) const {
+  net::Encoder enc;
+  enc.put_u32(pu_id);
+  enc.put_u32(block);
+  put_ciphertexts(enc, w_column, ct_width);
+  return enc.take();
+}
+
+PuUpdateMsg PuUpdateMsg::decode(const std::vector<std::uint8_t>& bytes) {
+  net::Decoder dec{bytes};
+  PuUpdateMsg m;
+  m.pu_id = dec.get_u32();
+  m.block = dec.get_u32();
+  m.w_column = get_ciphertexts(dec);
+  dec.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> SuRequestMsg::encode(std::size_t ct_width) const {
+  net::Encoder enc;
+  enc.put_u32(su_id);
+  enc.put_u64(request_id);
+  enc.put_u32(block_lo);
+  enc.put_u32(block_hi);
+  put_ciphertexts(enc, f, ct_width);
+  return enc.take();
+}
+
+SuRequestMsg SuRequestMsg::decode(const std::vector<std::uint8_t>& bytes) {
+  net::Decoder dec{bytes};
+  SuRequestMsg m;
+  m.su_id = dec.get_u32();
+  m.request_id = dec.get_u64();
+  m.block_lo = dec.get_u32();
+  m.block_hi = dec.get_u32();
+  if (m.block_hi <= m.block_lo)
+    throw net::DecodeError("SuRequestMsg: empty block range");
+  m.f = get_ciphertexts(dec);
+  dec.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> ConvertRequestMsg::encode(std::size_t ct_width) const {
+  net::Encoder enc;
+  enc.put_u64(request_id);
+  enc.put_u32(su_id);
+  put_ciphertexts(enc, v, ct_width);
+  put_ciphertexts(enc, partials, ct_width);
+  return enc.take();
+}
+
+ConvertRequestMsg ConvertRequestMsg::decode(const std::vector<std::uint8_t>& bytes) {
+  net::Decoder dec{bytes};
+  ConvertRequestMsg m;
+  m.request_id = dec.get_u64();
+  m.su_id = dec.get_u32();
+  m.v = get_ciphertexts(dec);
+  m.partials = get_ciphertexts(dec);
+  if (!m.partials.empty() && m.partials.size() != m.v.size())
+    throw net::DecodeError("ConvertRequestMsg: partials/v size mismatch");
+  dec.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> ConvertResponseMsg::encode(std::size_t ct_width) const {
+  net::Encoder enc;
+  enc.put_u64(request_id);
+  put_ciphertexts(enc, x, ct_width);
+  return enc.take();
+}
+
+ConvertResponseMsg ConvertResponseMsg::decode(const std::vector<std::uint8_t>& bytes) {
+  net::Decoder dec{bytes};
+  ConvertResponseMsg m;
+  m.request_id = dec.get_u64();
+  m.x = get_ciphertexts(dec);
+  dec.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> KeyRegisterMsg::encode() const {
+  net::Encoder enc;
+  enc.put_u32(su_id);
+  enc.put_bytes(public_key);
+  return enc.take();
+}
+
+KeyRegisterMsg KeyRegisterMsg::decode(const std::vector<std::uint8_t>& bytes) {
+  net::Decoder dec{bytes};
+  KeyRegisterMsg m;
+  m.su_id = dec.get_u32();
+  m.public_key = dec.get_bytes();
+  dec.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> KeyLookupMsg::encode() const {
+  net::Encoder enc;
+  enc.put_u32(su_id);
+  return enc.take();
+}
+
+KeyLookupMsg KeyLookupMsg::decode(const std::vector<std::uint8_t>& bytes) {
+  net::Decoder dec{bytes};
+  KeyLookupMsg m;
+  m.su_id = dec.get_u32();
+  dec.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> KeyLookupResponseMsg::encode() const {
+  net::Encoder enc;
+  enc.put_u32(su_id);
+  enc.put_u8(found ? 1 : 0);
+  enc.put_bytes(public_key);
+  return enc.take();
+}
+
+KeyLookupResponseMsg KeyLookupResponseMsg::decode(
+    const std::vector<std::uint8_t>& bytes) {
+  net::Decoder dec{bytes};
+  KeyLookupResponseMsg m;
+  m.su_id = dec.get_u32();
+  m.found = dec.get_u8() != 0;
+  m.public_key = dec.get_bytes();
+  if (m.found == m.public_key.empty())
+    throw net::DecodeError("KeyLookupResponseMsg: found flag/key mismatch");
+  dec.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> LicenseBody::signing_bytes() const {
+  net::Encoder enc;
+  enc.put_string("PISA-LICENSE-V1");
+  encode_into(enc);
+  return enc.take();
+}
+
+void LicenseBody::encode_into(net::Encoder& enc) const {
+  enc.put_u32(su_id);
+  enc.put_string(issuer);
+  enc.put_u64(serial);
+  enc.put_bytes(std::span<const std::uint8_t>(request_digest.data(),
+                                              request_digest.size()));
+}
+
+LicenseBody LicenseBody::decode_from(net::Decoder& dec) {
+  LicenseBody b;
+  b.su_id = dec.get_u32();
+  b.issuer = dec.get_string();
+  b.serial = dec.get_u64();
+  auto digest = dec.get_bytes();
+  if (digest.size() != b.request_digest.size())
+    throw net::DecodeError("LicenseBody: bad digest length");
+  std::copy(digest.begin(), digest.end(), b.request_digest.begin());
+  return b;
+}
+
+std::vector<std::uint8_t> SuResponseMsg::encode(std::size_t ct_width) const {
+  net::Encoder enc;
+  enc.put_u64(request_id);
+  license.encode_into(enc);
+  put_ciphertexts(enc, {g}, ct_width);
+  return enc.take();
+}
+
+SuResponseMsg SuResponseMsg::decode(const std::vector<std::uint8_t>& bytes) {
+  net::Decoder dec{bytes};
+  SuResponseMsg m;
+  m.request_id = dec.get_u64();
+  m.license = LicenseBody::decode_from(dec);
+  auto cts = get_ciphertexts(dec);
+  if (cts.size() != 1) throw net::DecodeError("SuResponseMsg: expected one ciphertext");
+  m.g = std::move(cts[0]);
+  dec.expect_done();
+  return m;
+}
+
+}  // namespace pisa::core

@@ -1,0 +1,149 @@
+// PISA wire messages (the flows of Figures 4 and 5).
+//
+// Every message serializes through net::Encoder/Decoder; ciphertexts are
+// encoded at the fixed |n²| width so on-wire sizes match the paper's
+// Figure 6 accounting (PU update ≈ 0.05 MB for C=100, SU request ≈ 29 MB
+// for C×B = 100×600, SU response ≈ one ciphertext ≈ 4.1 kb).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/paillier.hpp"
+#include "net/codec.hpp"
+
+namespace pisa::core {
+
+/// Message-type strings used on the simulated network.
+inline constexpr const char* kMsgPuUpdate = "pu_update";
+inline constexpr const char* kMsgSuRequest = "su_request";
+inline constexpr const char* kMsgConvertRequest = "stp_convert_request";
+inline constexpr const char* kMsgConvertResponse = "stp_convert_response";
+inline constexpr const char* kMsgSuResponse = "su_response";
+inline constexpr const char* kMsgKeyRegister = "stp_key_register";
+inline constexpr const char* kMsgKeyLookup = "stp_key_lookup";
+inline constexpr const char* kMsgKeyLookupResponse = "stp_key_lookup_response";
+
+/// Ciphertext vector codec at fixed width (|n²| bytes per ciphertext).
+void put_ciphertexts(net::Encoder& enc,
+                     const std::vector<crypto::PaillierCiphertext>& cts,
+                     std::size_t ct_width_bytes);
+std::vector<crypto::PaillierCiphertext> get_ciphertexts(net::Decoder& dec);
+
+/// Figure 4: PU i announces (encrypted) channel reception. The PU's block
+/// is public (registered receiver location), so only the C-entry channel
+/// column travels: W(c, i_block) = T − E for the tuned channel, 0 elsewhere,
+/// each entry encrypted under pk_G.
+struct PuUpdateMsg {
+  std::uint32_t pu_id = 0;
+  std::uint32_t block = 0;
+  std::vector<crypto::PaillierCiphertext> w_column;  // C entries
+
+  std::vector<std::uint8_t> encode(std::size_t ct_width) const;
+  static PuUpdateMsg decode(const std::vector<std::uint8_t>& bytes);
+};
+
+/// Figure 5 step 1–2: SU j requests transmission. `block_lo`/`block_hi`
+/// implement the §VI-A location-privacy/time trade-off: the SU discloses
+/// only that it lies somewhere in [block_lo, block_hi) and ships the F̃
+/// submatrix for that range (full privacy = the whole area). Entries are
+/// channel-major: f[c * range + (b - block_lo)].
+struct SuRequestMsg {
+  std::uint32_t su_id = 0;
+  std::uint64_t request_id = 0;
+  std::uint32_t block_lo = 0;
+  std::uint32_t block_hi = 0;
+  std::vector<crypto::PaillierCiphertext> f;
+
+  std::size_t range() const { return block_hi - block_lo; }
+
+  std::vector<std::uint8_t> encode(std::size_t ct_width) const;
+  static SuRequestMsg decode(const std::vector<std::uint8_t>& bytes);
+};
+
+/// Figure 5 step 5: SDC forwards the blinded indicator matrix Ṽ to the STP
+/// for key conversion. In threshold-STP mode (PisaConfig::threshold_stp)
+/// `partials` carries the SDC's partial decryption of each Ṽ entry — the
+/// STP can only open entries the SDC co-decrypted.
+struct ConvertRequestMsg {
+  std::uint64_t request_id = 0;
+  std::uint32_t su_id = 0;  // tells the STP which pk_j to convert to
+  std::vector<crypto::PaillierCiphertext> v;
+  std::vector<crypto::PaillierCiphertext> partials;  // empty = classic mode
+
+  std::vector<std::uint8_t> encode(std::size_t ct_width) const;
+  static ConvertRequestMsg decode(const std::vector<std::uint8_t>& bytes);
+};
+
+/// Figure 5 step 8: STP returns X̃ under SU j's own key pk_j.
+struct ConvertResponseMsg {
+  std::uint64_t request_id = 0;
+  std::vector<crypto::PaillierCiphertext> x;
+
+  std::vector<std::uint8_t> encode(std::size_t ct_width) const;
+  static ConvertResponseMsg decode(const std::vector<std::uint8_t>& bytes);
+};
+
+/// The cleartext license body whose RSA signature is delivered (blinded)
+/// inside G̃. Contains no SU secrets: the operation parameters are bound via
+/// the digest of the encrypted request matrix (paper §IV-B step 2: the
+/// license "includes ... S̃_j, the ciphertext of SU j's operation
+/// parameters").
+struct LicenseBody {
+  std::uint32_t su_id = 0;
+  std::string issuer;
+  std::uint64_t serial = 0;
+  std::array<std::uint8_t, 32> request_digest{};
+
+  /// Canonical bytes for signing/verification.
+  std::vector<std::uint8_t> signing_bytes() const;
+
+  void encode_into(net::Encoder& enc) const;
+  static LicenseBody decode_from(net::Decoder& dec);
+
+  bool operator==(const LicenseBody&) const = default;
+};
+
+/// Key-directory traffic (paper §III-C: "Each SU i ... uploads pk_i to STP"
+/// and "Anyone can retrieve pk_G and SU Paillier public keys from the STP").
+/// SUs register their keys with the STP; the SDC looks keys up on demand
+/// when it first serves an SU.
+struct KeyRegisterMsg {
+  std::uint32_t su_id = 0;
+  std::vector<std::uint8_t> public_key;  // key_codec serialization
+
+  std::vector<std::uint8_t> encode() const;
+  static KeyRegisterMsg decode(const std::vector<std::uint8_t>& bytes);
+};
+
+struct KeyLookupMsg {
+  std::uint32_t su_id = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static KeyLookupMsg decode(const std::vector<std::uint8_t>& bytes);
+};
+
+struct KeyLookupResponseMsg {
+  std::uint32_t su_id = 0;
+  bool found = false;
+  std::vector<std::uint8_t> public_key;  // empty when !found
+
+  std::vector<std::uint8_t> encode() const;
+  static KeyLookupResponseMsg decode(const std::vector<std::uint8_t>& bytes);
+};
+
+/// Figure 5 step 11: response to the SU — the license body in clear plus
+/// G̃^{pk_j}, which decrypts to a *valid* signature iff every interference
+/// budget held (eq. (17)).
+struct SuResponseMsg {
+  std::uint64_t request_id = 0;
+  LicenseBody license;
+  crypto::PaillierCiphertext g;
+
+  std::vector<std::uint8_t> encode(std::size_t ct_width) const;
+  static SuResponseMsg decode(const std::vector<std::uint8_t>& bytes);
+};
+
+}  // namespace pisa::core

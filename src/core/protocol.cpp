@@ -1,0 +1,123 @@
+#include "core/protocol.hpp"
+
+#include <stdexcept>
+
+#include "crypto/key_codec.hpp"
+
+namespace pisa::core {
+
+PisaSystem::PisaSystem(const PisaConfig& cfg, std::vector<watch::PuSite> sites,
+                       const radio::PathLossModel& model, bn::RandomSource& rng)
+    : cfg_(cfg), sites_(std::move(sites)), model_(model), rng_(rng),
+      d_c_m_(watch::exclusion_radius_m(cfg.watch, model)) {
+  cfg_.validate();
+  stp_ = std::make_unique<StpServer>(cfg_, rng_);
+  sdc_ = std::make_unique<SdcServer>(cfg_, stp_->group_key(),
+                                     watch::make_e_matrix(cfg_.watch), rng_);
+  if (cfg_.threshold_stp) sdc_->set_threshold_share(stp_->sdc_share());
+  stp_->attach(net_, "stp");
+  sdc_->attach(net_, "sdc", "stp");
+
+  auto e = watch::make_e_matrix(cfg_.watch);
+  for (const auto& site : sites_) {
+    std::vector<std::int64_t> e_column(cfg_.watch.channels);
+    for (std::uint32_t c = 0; c < cfg_.watch.channels; ++c)
+      e_column[c] = e.at(radio::ChannelId{c}, site.block);
+    auto [it, inserted] = pus_.emplace(
+        site.pu_id, std::make_unique<PuClient>(site, cfg_, stp_->group_key(),
+                                               std::move(e_column), rng_));
+    (void)it;
+    if (!inserted)
+      throw std::invalid_argument("PisaSystem: duplicate PU id");
+  }
+}
+
+SuClient& PisaSystem::add_su(std::uint32_t su_id, std::size_t precompute) {
+  if (sus_.contains(su_id))
+    throw std::invalid_argument("PisaSystem: duplicate SU id");
+  auto client = std::make_unique<SuClient>(su_id, cfg_, stp_->group_key(), rng_);
+  // Paper §III-C: the SU uploads pk_j to the STP; the SDC retrieves it from
+  // the STP's directory on demand (asynchronously, during the first request).
+  KeyRegisterMsg reg{su_id, crypto::serialize(client->public_key())};
+  net_.send({su_name(su_id), "stp", kMsgKeyRegister, reg.encode()});
+  net_.run();
+  if (precompute > 0) client->precompute_randomizers(precompute);
+  net_.register_endpoint(su_name(su_id), [this](const net::Message& msg) {
+    if (msg.type != kMsgSuResponse)
+      throw std::runtime_error("SU endpoint: unexpected message " + msg.type);
+    auto resp = SuResponseMsg::decode(msg.payload);
+    responses_.insert_or_assign(resp.request_id, std::move(resp));
+  });
+  auto& ref = *client;
+  sus_.emplace(su_id, std::move(client));
+  return ref;
+}
+
+SuClient& PisaSystem::su(std::uint32_t su_id) {
+  auto it = sus_.find(su_id);
+  if (it == sus_.end()) throw std::out_of_range("PisaSystem: unknown SU");
+  return *it->second;
+}
+
+PuClient& PisaSystem::pu(std::uint32_t pu_id) {
+  auto it = pus_.find(pu_id);
+  if (it == pus_.end()) throw std::out_of_range("PisaSystem: unknown PU");
+  return *it->second;
+}
+
+void PisaSystem::pu_update(std::uint32_t pu_id, const watch::PuTuning& tuning) {
+  auto& client = pu(pu_id);
+  auto update = client.make_update(tuning);
+  net_.send({"pu_" + std::to_string(pu_id), "sdc", kMsgPuUpdate,
+             update.encode(stp_->group_key().ciphertext_bytes())});
+  net_.run();
+}
+
+watch::QMatrix PisaSystem::build_f(const watch::SuRequest& request) const {
+  return watch::build_su_f_matrix(cfg_.watch, sites_, request.block,
+                                  request.eirp_mw_per_channel, model_, d_c_m_);
+}
+
+PisaSystem::RequestOutcome PisaSystem::su_request(
+    const watch::SuRequest& request,
+    std::optional<std::pair<std::uint32_t, std::uint32_t>> range, PrepMode mode) {
+  auto& client = su(request.su_id);
+  auto f = build_f(request);
+
+  std::uint64_t rid = next_request_id_++;
+  std::uint32_t lo = range ? range->first : 0;
+  std::uint32_t hi = range ? range->second : static_cast<std::uint32_t>(f.blocks());
+  auto msg = client.prepare_request(f, rid, lo, hi, mode);
+
+  auto before = net_.total_stats();
+  auto su_sdc_before = net_.stats(su_name(request.su_id), "sdc").bytes;
+  auto sdc_stp_before = net_.stats("sdc", "stp").bytes;
+  auto stp_sdc_before = net_.stats("stp", "sdc").bytes;
+  auto sdc_su_before = net_.stats("sdc", su_name(request.su_id)).bytes;
+  (void)before;
+
+  double t_send = net_.now_us();
+  net_.send({su_name(request.su_id), "sdc", kMsgSuRequest,
+             msg.encode(stp_->group_key().ciphertext_bytes())});
+  net_.run();
+  double t_done = net_.now_us();
+
+  auto it = responses_.find(rid);
+  if (it == responses_.end())
+    throw std::runtime_error("PisaSystem: no response for request");
+  auto outcome = client.process_response(it->second, sdc_->license_key());
+  responses_.erase(it);
+
+  RequestOutcome out;
+  out.granted = outcome.granted;
+  out.license = outcome.license;
+  out.signature = outcome.signature;
+  out.request_bytes = net_.stats(su_name(request.su_id), "sdc").bytes - su_sdc_before;
+  out.convert_bytes = net_.stats("sdc", "stp").bytes - sdc_stp_before;
+  out.convert_reply_bytes = net_.stats("stp", "sdc").bytes - stp_sdc_before;
+  out.response_bytes = net_.stats("sdc", su_name(request.su_id)).bytes - sdc_su_before;
+  out.latency_us = t_done - t_send;
+  return out;
+}
+
+}  // namespace pisa::core

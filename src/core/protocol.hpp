@@ -1,0 +1,99 @@
+// End-to-end PISA deployment over the simulated network.
+//
+// PisaSystem owns one STP, one SDC, one PuClient per registered TV-receiver
+// site and any number of SuClients, and drives the full message flows of
+// Figures 4 and 5: PU tuning updates, and the two-phase SU request with the
+// STP key-conversion round. It reuses the exact plaintext matrix builders
+// of the watch layer, so a PlainWatch instance fed the same inputs is a
+// bit-exact decision oracle for this encrypted pipeline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "bigint/random_source.hpp"
+#include "core/config.hpp"
+#include "core/pu_client.hpp"
+#include "core/sdc_server.hpp"
+#include "core/stp_server.hpp"
+#include "core/su_client.hpp"
+#include "net/bus.hpp"
+#include "radio/pathloss.hpp"
+#include "watch/plain_watch.hpp"
+
+namespace pisa::core {
+
+class PisaSystem {
+ public:
+  /// Sets up STP (generating pk_G), SDC (with the public E matrix) and one
+  /// PuClient per site, all attached to an internal simulated network.
+  /// `model` and `rng` must outlive the system.
+  PisaSystem(const PisaConfig& cfg, std::vector<watch::PuSite> sites,
+             const radio::PathLossModel& model, bn::RandomSource& rng);
+
+  /// Create an SU client, register its public key with STP and SDC, and
+  /// optionally precompute `precompute` offline randomizer factors.
+  SuClient& add_su(std::uint32_t su_id, std::size_t precompute = 0);
+
+  /// Drive a PU tuning change through the network (Figure 4).
+  void pu_update(std::uint32_t pu_id, const watch::PuTuning& tuning);
+
+  struct RequestOutcome {
+    bool granted = false;
+    LicenseBody license;
+    bn::BigUint signature;
+    // Communication accounting for this request (Figure 6):
+    std::size_t request_bytes = 0;   // SU → SDC
+    std::size_t convert_bytes = 0;   // SDC → STP
+    std::size_t convert_reply_bytes = 0;  // STP → SDC
+    std::size_t response_bytes = 0;  // SDC → SU
+    /// Virtual network time from request send to response delivery (the
+    /// simulated-link latency + transfer component, excluding compute).
+    double latency_us = 0;
+  };
+
+  /// Full request round trip (Figure 5). `range` narrows the disclosed
+  /// block interval (the §VI-A privacy/time trade-off); nullopt = full
+  /// privacy. `mode` selects the preparation strategy (fresh / pooled /
+  /// hybrid, see SuClient).
+  RequestOutcome su_request(
+      const watch::SuRequest& request,
+      std::optional<std::pair<std::uint32_t, std::uint32_t>> range = std::nullopt,
+      PrepMode mode = PrepMode::kFresh);
+
+  /// The F matrix the request encrypts — shared with PlainWatch's pipeline.
+  watch::QMatrix build_f(const watch::SuRequest& request) const;
+
+  const PisaConfig& config() const { return cfg_; }
+  double exclusion_radius() const { return d_c_m_; }
+  const std::vector<watch::PuSite>& sites() const { return sites_; }
+
+  net::SimulatedNetwork& network() { return net_; }
+  SdcServer& sdc() { return *sdc_; }
+  StpServer& stp() { return *stp_; }
+  SuClient& su(std::uint32_t su_id);
+  PuClient& pu(std::uint32_t pu_id);
+
+ private:
+  static std::string su_name(std::uint32_t id) { return "su_" + std::to_string(id); }
+
+  PisaConfig cfg_;
+  std::vector<watch::PuSite> sites_;
+  const radio::PathLossModel& model_;
+  bn::RandomSource& rng_;
+  double d_c_m_;
+
+  net::SimulatedNetwork net_;
+  std::unique_ptr<StpServer> stp_;
+  std::unique_ptr<SdcServer> sdc_;
+  std::map<std::uint32_t, std::unique_ptr<PuClient>> pus_;
+  std::map<std::uint32_t, std::unique_ptr<SuClient>> sus_;
+  std::map<std::uint64_t, SuResponseMsg> responses_;  // by request id
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace pisa::core

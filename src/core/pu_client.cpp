@@ -1,0 +1,43 @@
+#include "core/pu_client.hpp"
+
+#include <stdexcept>
+
+namespace pisa::core {
+
+PuClient::PuClient(watch::PuSite site, const PisaConfig& cfg,
+                   crypto::PaillierPublicKey group_pk,
+                   std::vector<std::int64_t> e_column, bn::RandomSource& rng)
+    : site_(site), cfg_(cfg), group_pk_(std::move(group_pk)),
+      e_column_(std::move(e_column)), rng_(rng) {
+  if (e_column_.size() != cfg_.watch.channels)
+    throw std::invalid_argument("PuClient: E column must have one entry per channel");
+}
+
+PuUpdateMsg PuClient::make_update(const watch::PuTuning& tuning) const {
+  PuUpdateMsg msg;
+  msg.pu_id = site_.pu_id;
+  msg.block = site_.block.index;
+  msg.w_column.reserve(cfg_.watch.channels);
+
+  std::uint32_t tuned = tuning.channel ? tuning.channel->index : UINT32_MAX;
+  if (tuning.channel && tuned >= cfg_.watch.channels)
+    throw std::out_of_range("PuClient: bad channel");
+
+  for (std::uint32_t c = 0; c < cfg_.watch.channels; ++c) {
+    bn::BigInt w{0};
+    if (c == tuned) {
+      std::int64_t t = cfg_.watch.quantizer.quantize_mw(tuning.signal_mw);
+      if (t <= 0)
+        throw std::domain_error("PuClient: active PU needs positive signal");
+      w = bn::BigInt{t} - bn::BigInt{e_column_[c]};
+    }
+    msg.w_column.push_back(group_pk_.encrypt_signed(w, rng_));
+  }
+  return msg;
+}
+
+std::size_t PuClient::update_bytes() const {
+  return make_update(watch::PuTuning{}).encode(group_pk_.ciphertext_bytes()).size();
+}
+
+}  // namespace pisa::core

@@ -1,0 +1,47 @@
+// Primary-user (TV receiver) client (paper Figure 4).
+//
+// On every channel switch / power-off the PU builds its W column
+// W(c) = T − E_S(c, block) for the tuned channel and 0 elsewhere, encrypts
+// all C entries under pk_G (so the SDC cannot tell which channel changed)
+// and ships them. The block index travels in clear — receiver locations are
+// public, registered data (§III-D).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/random_source.hpp"
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "crypto/paillier.hpp"
+#include "watch/config.hpp"
+
+namespace pisa::core {
+
+class PuClient {
+ public:
+  /// `e_column` holds the public E_S(c, site.block) budget for this PU's
+  /// block, one entry per channel.
+  PuClient(watch::PuSite site, const PisaConfig& cfg,
+           crypto::PaillierPublicKey group_pk,
+           std::vector<std::int64_t> e_column, bn::RandomSource& rng);
+
+  const watch::PuSite& site() const { return site_; }
+
+  /// Build the encrypted update for a (re)tuning event. Receiver-off is the
+  /// all-zeros column (still encrypted, still C entries — indistinguishable
+  /// from any other update).
+  PuUpdateMsg make_update(const watch::PuTuning& tuning) const;
+
+  /// Serialized size of one update in bytes (Fig. 6: ≈ 0.05 MB at C = 100).
+  std::size_t update_bytes() const;
+
+ private:
+  watch::PuSite site_;
+  PisaConfig cfg_;
+  crypto::PaillierPublicKey group_pk_;
+  std::vector<std::int64_t> e_column_;
+  bn::RandomSource& rng_;
+};
+
+}  // namespace pisa::core

@@ -1,0 +1,85 @@
+// Discrete-event scenario runner.
+//
+// Drives a PisaSystem (and, in lock-step, a plaintext PlainWatch oracle)
+// through a timed schedule of PU tuning changes and SU transmission
+// requests, collecting operational statistics. This is the harness behind
+// the long-horizon workload benchmarks: the paper argues PISA's costs are
+// acceptable because PU updates are rare (§VI-A cites 2.3–2.7 virtual-
+// channel switches per viewer-hour) — the runner lets us measure a whole
+// simulated day at that rate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "watch/plain_watch.hpp"
+
+namespace pisa::core {
+
+/// A PU (re)tunes — or turns off, when `tuning.channel` is empty.
+struct PuTuneEvent {
+  std::uint32_t pu_id = 0;
+  watch::PuTuning tuning;
+};
+
+/// An SU asks for spectrum.
+struct SuRequestEvent {
+  watch::SuRequest request;
+  PrepMode mode = PrepMode::kFresh;
+};
+
+struct ScenarioEvent {
+  double at_seconds = 0;  // virtual wall-clock time
+  std::variant<PuTuneEvent, SuRequestEvent> action;
+};
+
+struct ScenarioStats {
+  std::size_t pu_updates = 0;
+  std::size_t requests = 0;
+  std::size_t grants = 0;
+  std::size_t denials = 0;
+  /// Decisions where the encrypted system disagreed with the plaintext
+  /// oracle — must stay 0; anything else is a correctness bug.
+  std::size_t oracle_mismatches = 0;
+  std::uint64_t bytes_on_wire = 0;
+  double horizon_seconds = 0;  // timestamp of the last event
+
+  double grant_rate() const {
+    return requests ? static_cast<double>(grants) / static_cast<double>(requests)
+                    : 0.0;
+  }
+};
+
+class ScenarioRunner {
+ public:
+  /// `system` is driven for real (ciphertexts and all); a PlainWatch oracle
+  /// with the same config/sites/model is replayed in lock-step for
+  /// validation. Both must outlive the runner.
+  ScenarioRunner(PisaSystem& system, watch::PlainWatch& oracle);
+
+  /// Run events in timestamp order (the vector is sorted internally; ties
+  /// keep their relative order). Returns aggregate statistics.
+  ScenarioStats run(std::vector<ScenarioEvent> events);
+
+  /// Per-request decision log from the last run, in execution order.
+  const std::vector<bool>& decisions() const { return decisions_; }
+
+ private:
+  PisaSystem& system_;
+  watch::PlainWatch& oracle_;
+  std::vector<bool> decisions_;
+};
+
+/// Workload generator for the paper's operating regime: `viewers` PUs that
+/// switch channels at `switches_per_hour` (Poisson-ish via exponential
+/// gaps), and `requesters` SUs that re-request every `request_period_s`.
+/// Deterministic for a given seed.
+std::vector<ScenarioEvent> make_viewing_workload(
+    const PisaConfig& cfg, std::size_t viewers, std::size_t requesters,
+    double hours, double switches_per_hour, double request_period_s,
+    std::uint64_t seed);
+
+}  // namespace pisa::core

@@ -1,0 +1,261 @@
+#include "core/sdc_server.hpp"
+
+#include <stdexcept>
+
+#include "bigint/prime.hpp"
+#include "crypto/key_codec.hpp"
+#include "crypto/sha256.hpp"
+
+namespace pisa::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+SdcServer::SdcServer(const PisaConfig& cfg, crypto::PaillierPublicKey group_pk,
+                     watch::QMatrix e_matrix, bn::RandomSource& rng,
+                     std::string issuer_name)
+    : cfg_(cfg), group_pk_(std::move(group_pk)), e_matrix_(std::move(e_matrix)),
+      rng_(rng),
+      rsa_(crypto::rsa_generate(cfg.rsa_bits, rng, cfg.mr_rounds)),
+      issuer_(std::move(issuer_name)) {
+  cfg_.validate();
+  std::size_t blocks = cfg_.watch.grid_rows * cfg_.watch.grid_cols;
+  if (e_matrix_.channels() != cfg_.watch.channels || e_matrix_.blocks() != blocks)
+    throw std::invalid_argument("SdcServer: E matrix shape mismatch");
+  // Ñ starts as the (deterministic) encryption of the public matrix E.
+  budget_ = CipherMatrix{cfg_.watch.channels, blocks};
+  for (std::size_t i = 0; i < budget_.size(); ++i) {
+    std::int64_t e = e_matrix_[i];
+    if (e < 0) throw std::invalid_argument("SdcServer: E entries must be >= 0");
+    budget_[i] = group_pk_.encrypt_deterministic(
+        bn::BigUint{static_cast<std::uint64_t>(e)});
+  }
+}
+
+void SdcServer::register_su_key(std::uint32_t su_id, crypto::PaillierPublicKey pk) {
+  su_keys_.insert_or_assign(su_id, std::move(pk));
+}
+
+void SdcServer::set_threshold_share(crypto::ThresholdKeyShare share) {
+  threshold_share_ = std::move(share);
+}
+
+const crypto::PaillierPublicKey& SdcServer::su_key(std::uint32_t su_id) const {
+  auto it = su_keys_.find(su_id);
+  if (it == su_keys_.end())
+    throw std::out_of_range("SdcServer: unknown SU key " + std::to_string(su_id));
+  return it->second;
+}
+
+crypto::PaillierCiphertext& SdcServer::budget_at(std::uint32_t c, std::uint32_t b) {
+  return budget_.at(radio::ChannelId{c}, radio::BlockId{b});
+}
+
+void SdcServer::handle_pu_update(const PuUpdateMsg& update) {
+  auto t0 = Clock::now();
+  if (update.w_column.size() != cfg_.watch.channels)
+    throw std::invalid_argument("SdcServer: W column must have C entries");
+  if (update.block >= budget_.blocks())
+    throw std::out_of_range("SdcServer: PU block outside the service area");
+
+  // Retract this PU's previous contribution, if any.
+  auto it = pu_columns_.find(update.pu_id);
+  if (it != pu_columns_.end()) {
+    const auto& old = it->second;
+    for (std::uint32_t c = 0; c < cfg_.watch.channels; ++c) {
+      budget_at(c, old.block) =
+          group_pk_.sub(budget_at(c, old.block), old.w_column[c]);
+    }
+  }
+  for (std::uint32_t c = 0; c < cfg_.watch.channels; ++c) {
+    budget_at(c, update.block) =
+        group_pk_.add(budget_at(c, update.block), update.w_column[c]);
+  }
+  pu_columns_.insert_or_assign(update.pu_id, update);
+  ++stats_.pu_updates;
+  stats_.last_update_ms = ms_since(t0);
+}
+
+void SdcServer::recompute_budget() {
+  for (std::size_t i = 0; i < budget_.size(); ++i) {
+    budget_[i] = group_pk_.encrypt_deterministic(
+        bn::BigUint{static_cast<std::uint64_t>(e_matrix_[i])});
+  }
+  for (const auto& [id, col] : pu_columns_) {
+    for (std::uint32_t c = 0; c < cfg_.watch.channels; ++c) {
+      budget_at(c, col.block) = group_pk_.add(budget_at(c, col.block), col.w_column[c]);
+    }
+  }
+}
+
+ConvertRequestMsg SdcServer::begin_request(const SuRequestMsg& request) {
+  auto t0 = Clock::now();
+  std::size_t range = request.block_hi - request.block_lo;
+  if (request.block_hi > budget_.blocks() || range == 0)
+    throw std::invalid_argument("SdcServer: bad request block range");
+  if (request.f.size() != cfg_.watch.channels * range)
+    throw std::invalid_argument("SdcServer: F matrix size mismatch");
+  if (pending_.contains(request.request_id))
+    throw std::invalid_argument("SdcServer: duplicate request id");
+
+  const bn::BigUint x_scalar{
+      static_cast<std::uint64_t>(cfg_.watch.protection_scalar())};
+
+  PendingRequest pend;
+  pend.request = request;
+  pend.epsilon.reserve(request.f.size());
+
+  ConvertRequestMsg conv;
+  conv.request_id = request.request_id;
+  conv.su_id = request.su_id;
+  conv.v.reserve(request.f.size());
+
+  crypto::Sha256 digest;
+  std::size_t ct_width = group_pk_.ciphertext_bytes();
+
+  std::size_t idx = 0;
+  for (std::uint32_t c = 0; c < cfg_.watch.channels; ++c) {
+    for (std::uint32_t b = request.block_lo; b < request.block_hi; ++b, ++idx) {
+      const auto& f_ct = request.f[idx];
+      digest.update(f_ct.value.to_bytes_be(ct_width));
+
+      // Eq. (11): R̃ = F̃ ⊗ X.
+      auto r_ct = group_pk_.scalar_mul(x_scalar, f_ct);
+      // Eq. (12): Ĩ = Ñ ⊖ R̃.
+      auto i_ct = group_pk_.sub(budget_at(c, b), r_ct);
+
+      // Eq. (14): Ṽ = ε ⊗ [(α ⊗ Ĩ) ⊖ β̃], fresh α > β > 0, ε ∈ {−1, +1}.
+      bn::BigUint alpha = bn::random_bits(rng_, cfg_.blind_bits);
+      alpha.set_bit(cfg_.blind_bits - 1);
+      bn::BigUint beta = bn::random_below(rng_, alpha - bn::BigUint{1}) + bn::BigUint{1};
+      bool flip = (rng_.next_u64() & 1) != 0;
+      pend.epsilon.push_back(flip ? -1 : 1);
+
+      auto blinded = group_pk_.sub(group_pk_.scalar_mul(alpha, i_ct),
+                                   group_pk_.encrypt_deterministic(beta));
+      conv.v.push_back(flip ? group_pk_.negate(blinded) : blinded);
+      if (threshold_share_) {
+        conv.partials.push_back({crypto::threshold_partial_decrypt(
+            group_pk_, *threshold_share_, conv.v.back())});
+      }
+    }
+  }
+
+  // License + signature (Figure 5 step 10). The digest binds the license to
+  // the exact encrypted operation parameters the SU submitted.
+  pend.license.su_id = request.su_id;
+  pend.license.issuer = issuer_;
+  pend.license.serial = ++serial_;
+  auto d = digest.finalize();
+  std::copy(d.begin(), d.end(), pend.license.request_digest.begin());
+  pend.signature = rsa_.sk.sign(pend.license.signing_bytes());
+
+  pending_.emplace(request.request_id, std::move(pend));
+  ++stats_.requests_started;
+  stats_.last_phase1_ms = ms_since(t0);
+  return conv;
+}
+
+SuResponseMsg SdcServer::finish_request(const ConvertResponseMsg& response) {
+  auto t0 = Clock::now();
+  auto it = pending_.find(response.request_id);
+  if (it == pending_.end())
+    throw std::out_of_range("SdcServer: unknown request id");
+  PendingRequest pend = std::move(it->second);
+  pending_.erase(it);
+
+  if (response.x.size() != pend.epsilon.size())
+    throw std::invalid_argument("SdcServer: conversion size mismatch");
+
+  const auto& pk_j = su_key(pend.request.su_id);
+  const auto one = pk_j.encrypt_deterministic(bn::BigUint{1});
+
+  // Eq. (16): Q̃ = (ε ⊗ X̃) ⊖ 1̃, accumulated: ⊕_{c,i} Q̃(c,i).
+  auto acc = pk_j.encrypt_deterministic(bn::BigUint{0});
+  for (std::size_t i = 0; i < response.x.size(); ++i) {
+    auto q = pk_j.sub(pend.epsilon[i] < 0 ? pk_j.negate(response.x[i])
+                                          : response.x[i],
+                      one);
+    acc = pk_j.add(acc, q);
+  }
+
+  // Eq. (17): G̃ = S̃G ⊕ (η ⊗ ΣQ̃), fresh η >= 1.
+  bn::BigUint eta = bn::random_bits(rng_, cfg_.blind_bits);
+  eta.set_bit(cfg_.blind_bits - 1);
+  auto g = pk_j.add(pk_j.encrypt(pend.signature, rng_),
+                    pk_j.scalar_mul(eta, acc));
+
+  SuResponseMsg resp;
+  resp.request_id = response.request_id;
+  resp.license = pend.license;
+  resp.g = std::move(g);
+  ++stats_.requests_finished;
+  stats_.last_phase2_ms = ms_since(t0);
+  return resp;
+}
+
+void SdcServer::attach(net::SimulatedNetwork& net, const std::string& name,
+                       const std::string& stp_name) {
+  // Completing a request needs pk_j (eq. (16) operates under the SU's key).
+  // Keys arrive asynchronously from the STP directory, so conversions that
+  // beat their key are parked in awaiting_key_ and drained on arrival.
+  auto complete = [this, &net, name](const ConvertResponseMsg& response) {
+    auto reply_to = pending_.at(response.request_id).reply_to;
+    auto su_resp = finish_request(response);
+    std::size_t width = su_key(su_resp.license.su_id).ciphertext_bytes();
+    net.send({name, reply_to, kMsgSuResponse, su_resp.encode(width)});
+  };
+
+  net.register_endpoint(name, [this, &net, name, stp_name, complete](
+                                  const net::Message& msg) {
+    if (msg.type == kMsgPuUpdate) {
+      handle_pu_update(PuUpdateMsg::decode(msg.payload));
+    } else if (msg.type == kMsgSuRequest) {
+      auto request = SuRequestMsg::decode(msg.payload);
+      auto conv = begin_request(request);
+      pending_.at(request.request_id).reply_to = msg.from;
+      net.send({name, stp_name, kMsgConvertRequest,
+                conv.encode(group_pk_.ciphertext_bytes())});
+      // Prefetch the SU's key in parallel with the conversion round.
+      if (!su_keys_.contains(request.su_id) &&
+          !lookups_in_flight_.contains(request.su_id)) {
+        lookups_in_flight_.insert(request.su_id);
+        net.send({name, stp_name, kMsgKeyLookup,
+                  KeyLookupMsg{request.su_id}.encode()});
+      }
+    } else if (msg.type == kMsgConvertResponse) {
+      auto response = ConvertResponseMsg::decode(msg.payload);
+      auto su_id = pending_.at(response.request_id).request.su_id;
+      if (su_keys_.contains(su_id)) {
+        complete(response);
+      } else {
+        awaiting_key_[su_id].push_back(std::move(response));
+      }
+    } else if (msg.type == kMsgKeyLookupResponse) {
+      auto resp = KeyLookupResponseMsg::decode(msg.payload);
+      lookups_in_flight_.erase(resp.su_id);
+      if (!resp.found)
+        throw std::runtime_error("SdcServer: STP has no key for SU " +
+                                 std::to_string(resp.su_id));
+      register_su_key(resp.su_id,
+                      crypto::parse_paillier_public_key(resp.public_key));
+      auto it = awaiting_key_.find(resp.su_id);
+      if (it != awaiting_key_.end()) {
+        auto parked = std::move(it->second);
+        awaiting_key_.erase(it);
+        for (const auto& response : parked) complete(response);
+      }
+    } else {
+      throw std::runtime_error("SdcServer: unexpected message type " + msg.type);
+    }
+  });
+}
+
+}  // namespace pisa::core

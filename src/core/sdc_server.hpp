@@ -1,0 +1,119 @@
+// Spectrum Database Controller (paper Figures 4 & 5, §IV-B).
+//
+// The SDC never holds a Paillier private key: every spectrum quantity it
+// touches stays encrypted under pk_G (or pk_j after conversion). It keeps
+//   * the encrypted interference budget Ñ (eq. (10)), maintained from PU
+//     update columns without any secure comparison,
+//   * per-request blinding state (the ε signs of eq. (14)) between the two
+//     phases of request processing, and
+//   * the RSA license-signing key (eq. (17)).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bigint/random_source.hpp"
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "crypto/paillier.hpp"
+#include "crypto/rsa_signature.hpp"
+#include "crypto/threshold_paillier.hpp"
+#include "net/bus.hpp"
+#include "radio/grid.hpp"
+#include "watch/matrices.hpp"
+
+namespace pisa::core {
+
+using CipherMatrix = radio::CbMatrix<crypto::PaillierCiphertext>;
+
+class SdcServer {
+ public:
+  /// `e_matrix` is the public initialization-step matrix E (§IV-A1); the
+  /// SDC encrypts it itself (deterministically — E is public data).
+  SdcServer(const PisaConfig& cfg, crypto::PaillierPublicKey group_pk,
+            watch::QMatrix e_matrix, bn::RandomSource& rng,
+            std::string issuer_name = "sdc");
+
+  const crypto::RsaPublicKey& license_key() const { return rsa_.pk; }
+  const std::string& issuer_name() const { return issuer_; }
+
+  /// SU public-key directory (retrieved from the STP out of band).
+  void register_su_key(std::uint32_t su_id, crypto::PaillierPublicKey pk);
+
+  /// Install this server's 2-of-2 share of the group decryption exponent
+  /// (threshold-STP mode); begin_request then attaches a partial decryption
+  /// of every blinded Ṽ entry so the STP can open only those.
+  void set_threshold_share(crypto::ThresholdKeyShare share);
+
+  /// Figure 4 step 4: fold a PU's W̃ column into Ñ. Incremental: retract the
+  /// PU's previous column homomorphically, then add the new one.
+  void handle_pu_update(const PuUpdateMsg& update);
+
+  /// Ablation path: rebuild Ñ from Ẽ and every stored W̃ column (the paper's
+  /// literal "aggregate all PU inputs" formulation, eq. (9)/(10)).
+  void recompute_budget();
+
+  /// Figure 5 steps 3–5: compute R̃, Ĩ, blind into Ṽ, remember ε, return the
+  /// conversion request for the STP.
+  ConvertRequestMsg begin_request(const SuRequestMsg& request);
+
+  /// Figure 5 steps 9–11: unblind X̃ into Q̃ (eq. (16)), aggregate, sign the
+  /// license and blind the signature into G̃ (eq. (17)).
+  SuResponseMsg finish_request(const ConvertResponseMsg& response);
+
+  /// Wire onto a simulated network: listens for PU updates and SU requests,
+  /// talks to `stp_name`, answers the requesting SU by sender name.
+  void attach(net::SimulatedNetwork& net, const std::string& name = "sdc",
+              const std::string& stp_name = "stp");
+
+  /// Encrypted budget access for tests/benches (the SDC itself cannot
+  /// decrypt it).
+  const CipherMatrix& encrypted_budget() const { return budget_; }
+
+  struct Stats {
+    std::uint64_t pu_updates = 0;
+    std::uint64_t requests_started = 0;
+    std::uint64_t requests_finished = 0;
+    double last_update_ms = 0;
+    double last_phase1_ms = 0;  // begin_request
+    double last_phase2_ms = 0;  // finish_request
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PendingRequest {
+    SuRequestMsg request;
+    std::vector<std::int8_t> epsilon;  // ±1 per entry
+    LicenseBody license;
+    bn::BigUint signature;  // SG, plaintext — never leaves the SDC unblinded
+    std::string reply_to;   // network sender, empty for direct calls
+  };
+
+  crypto::PaillierCiphertext& budget_at(std::uint32_t c, std::uint32_t b);
+  const crypto::PaillierPublicKey& su_key(std::uint32_t su_id) const;
+
+  PisaConfig cfg_;
+  crypto::PaillierPublicKey group_pk_;
+  watch::QMatrix e_matrix_;
+  bn::RandomSource& rng_;
+  crypto::RsaKeyPair rsa_;
+  std::string issuer_;
+
+  CipherMatrix budget_;  // Ñ
+  std::optional<crypto::ThresholdKeyShare> threshold_share_;
+  std::map<std::uint32_t, PuUpdateMsg> pu_columns_;   // latest W̃ per PU
+  std::map<std::uint32_t, crypto::PaillierPublicKey> su_keys_;
+  std::map<std::uint64_t, PendingRequest> pending_;
+  // Network mode: conversions that arrived before the SU's key did.
+  std::map<std::uint32_t, std::vector<ConvertResponseMsg>> awaiting_key_;
+  std::set<std::uint32_t> lookups_in_flight_;
+  std::uint64_t serial_ = 0;
+  Stats stats_;
+};
+
+}  // namespace pisa::core

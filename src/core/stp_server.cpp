@@ -1,0 +1,106 @@
+#include "core/stp_server.hpp"
+
+#include <stdexcept>
+
+#include "crypto/key_codec.hpp"
+
+namespace pisa::core {
+
+StpServer::StpServer(const PisaConfig& cfg, bn::RandomSource& rng)
+    : cfg_(cfg), rng_(rng),
+      group_(crypto::paillier_generate(cfg.paillier_bits, rng, cfg.mr_rounds)) {
+  cfg_.validate();
+  if (cfg_.threshold_stp) deal_ = crypto::threshold_split(group_.sk, rng_);
+}
+
+const crypto::ThresholdKeyShare& StpServer::sdc_share() const {
+  if (!deal_) throw std::logic_error("StpServer: not in threshold mode");
+  return deal_->share1;
+}
+
+void StpServer::register_su_key(std::uint32_t su_id, crypto::PaillierPublicKey pk) {
+  su_keys_.insert_or_assign(su_id, std::move(pk));
+}
+
+const crypto::PaillierPublicKey& StpServer::su_key(std::uint32_t su_id) const {
+  auto it = su_keys_.find(su_id);
+  if (it == su_keys_.end())
+    throw std::out_of_range("StpServer: unknown SU key " + std::to_string(su_id));
+  return it->second;
+}
+
+void StpServer::precompute_su_randomizers(std::uint32_t su_id, std::size_t count) {
+  crypto::RandomizerPool pool{su_key(su_id), count};
+  pool.refill(rng_);
+  su_pools_.insert_or_assign(su_id, std::move(pool));
+}
+
+ConvertResponseMsg StpServer::convert(const ConvertRequestMsg& request) {
+  const auto& pk_j = su_key(request.su_id);
+  auto pool_it = su_pools_.find(request.su_id);
+  crypto::RandomizerPool* pool =
+      (pool_it != su_pools_.end() &&
+       pool_it->second.available() >= request.v.size())
+          ? &pool_it->second
+          : nullptr;
+
+  if (deal_ && request.partials.size() != request.v.size())
+    throw std::invalid_argument(
+        "StpServer: threshold mode requires one SDC partial per entry");
+
+  ConvertResponseMsg resp;
+  resp.request_id = request.request_id;
+  resp.x.reserve(request.v.size());
+  for (std::size_t i = 0; i < request.v.size(); ++i) {
+    const auto& v_ct = request.v[i];
+    // Eq. (15): X = +1 if V > 0, −1 otherwise. In threshold mode the STP
+    // cannot decrypt alone: it completes the SDC's partial decryption.
+    bn::BigInt v;
+    if (deal_) {
+      auto p2 = crypto::threshold_partial_decrypt(group_.pk, deal_->share2, v_ct);
+      v = crypto::threshold_combine_signed(group_.pk, request.partials[i].value, p2);
+    } else {
+      v = group_.sk.decrypt_signed(v_ct);
+    }
+    bn::BigInt x = (v.sign() > 0) ? bn::BigInt{1} : bn::BigInt{-1};
+    if (pool) {
+      resp.x.push_back(pk_j.rerandomize_with(
+          pk_j.encrypt_deterministic(x.mod_euclid(pk_j.n())), pool->pop()));
+    } else {
+      resp.x.push_back(pk_j.encrypt_signed(x, rng_));
+    }
+  }
+  ++conversions_;
+  entries_ += request.v.size();
+  return resp;
+}
+
+void StpServer::attach(net::SimulatedNetwork& net, const std::string& name) {
+  net.register_endpoint(name, [this, &net, name](const net::Message& msg) {
+    if (msg.type == kMsgConvertRequest) {
+      auto request = ConvertRequestMsg::decode(msg.payload);
+      auto response = convert(request);
+      // X̃ is under pk_j, whose modulus may differ from pk_G's.
+      std::size_t width = su_key(request.su_id).ciphertext_bytes();
+      net.send({name, msg.from, kMsgConvertResponse, response.encode(width)});
+    } else if (msg.type == kMsgKeyRegister) {
+      auto reg = KeyRegisterMsg::decode(msg.payload);
+      register_su_key(reg.su_id,
+                      crypto::parse_paillier_public_key(reg.public_key));
+    } else if (msg.type == kMsgKeyLookup) {
+      auto lookup = KeyLookupMsg::decode(msg.payload);
+      KeyLookupResponseMsg resp;
+      resp.su_id = lookup.su_id;
+      auto it = su_keys_.find(lookup.su_id);
+      if (it != su_keys_.end()) {
+        resp.found = true;
+        resp.public_key = crypto::serialize(it->second);
+      }
+      net.send({name, msg.from, kMsgKeyLookupResponse, resp.encode()});
+    } else {
+      throw std::runtime_error("StpServer: unexpected message type " + msg.type);
+    }
+  });
+}
+
+}  // namespace pisa::core

@@ -1,0 +1,81 @@
+// Semi-trusted third party (paper §III-C).
+//
+// The STP owns the global Paillier key pair (pk_G, sk_G) and a directory of
+// SU public keys, and provides exactly one service: key conversion. Given
+// the blinded indicator matrix Ṽ (under pk_G), it decrypts each entry, maps
+// the sign to ±1 (eq. (15)) and re-encrypts under the requesting SU's own
+// key pk_j. It never sees unblinded interference values — the ε/α/β
+// blinding applied by the SDC (eq. (14)) hides both magnitude and sign.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include <optional>
+
+#include "bigint/random_source.hpp"
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "crypto/paillier.hpp"
+#include "crypto/threshold_paillier.hpp"
+#include "net/bus.hpp"
+
+namespace pisa::core {
+
+class StpServer {
+ public:
+  /// Generates the global key pair from `rng` (kept by reference; must
+  /// outlive the server).
+  StpServer(const PisaConfig& cfg, bn::RandomSource& rng);
+
+  const crypto::PaillierPublicKey& group_key() const { return group_.pk; }
+
+  /// SU key directory (paper: "Each SU i ... uploads pk_i to STP").
+  void register_su_key(std::uint32_t su_id, crypto::PaillierPublicKey pk);
+  const crypto::PaillierPublicKey& su_key(std::uint32_t su_id) const;
+
+  /// The key-conversion service, callable directly (tests, benches) or via
+  /// the network handler.
+  ConvertResponseMsg convert(const ConvertRequestMsg& request);
+
+  /// Offline optimization: precompute `count` r^n factors for SU `su_id`'s
+  /// key so the conversion re-encryption costs one modular multiplication
+  /// per entry instead of a full encryption. The STP knows every pk_j in
+  /// advance, so this moves its dominant cost off the request path — the
+  /// same trick §VI-A applies to SU request preparation.
+  void precompute_su_randomizers(std::uint32_t su_id, std::size_t count);
+
+  /// Threshold mode (PisaConfig::threshold_stp): at setup this server acts
+  /// as the dealer, keeps share 2 and hands share 1 to the SDC (a deployed
+  /// system would use a distributed keygen instead). Afterwards, convert()
+  /// only opens Ṽ entries whose SDC partial decryption is attached.
+  const crypto::ThresholdKeyShare& sdc_share() const;
+  bool threshold_mode() const { return deal_.has_value(); }
+
+  /// Wire onto a simulated network under `name`, replying to the sender of
+  /// each conversion request.
+  void attach(net::SimulatedNetwork& net, const std::string& name = "stp");
+
+  std::uint64_t conversions_served() const { return conversions_; }
+  std::uint64_t entries_converted() const { return entries_; }
+
+  /// TEST/AUDIT ONLY: decrypt a group-key ciphertext. Models what a curious
+  /// STP could compute; the privacy tests use it to show blinded values
+  /// carry no sign information.
+  bn::BigInt peek_decrypt_signed(const crypto::PaillierCiphertext& ct) const {
+    return group_.sk.decrypt_signed(ct);
+  }
+
+ private:
+  PisaConfig cfg_;
+  bn::RandomSource& rng_;
+  crypto::PaillierKeyPair group_;
+  std::map<std::uint32_t, crypto::PaillierPublicKey> su_keys_;
+  std::map<std::uint32_t, crypto::RandomizerPool> su_pools_;
+  std::optional<crypto::ThresholdDeal> deal_;  // set iff cfg.threshold_stp
+  std::uint64_t conversions_ = 0;
+  std::uint64_t entries_ = 0;
+};
+
+}  // namespace pisa::core

@@ -1,0 +1,81 @@
+#include "core/su_client.hpp"
+
+#include <stdexcept>
+
+namespace pisa::core {
+
+SuClient::SuClient(std::uint32_t su_id, const PisaConfig& cfg,
+                   crypto::PaillierPublicKey group_pk, bn::RandomSource& rng)
+    : su_id_(su_id), cfg_(cfg), group_pk_(std::move(group_pk)), rng_(rng),
+      keys_(crypto::paillier_generate(cfg.paillier_bits, rng, cfg.mr_rounds)),
+      pool_(group_pk_, 0) {
+  cfg_.validate();
+}
+
+void SuClient::precompute_randomizers(std::size_t count) {
+  pool_ = crypto::RandomizerPool{group_pk_, count};
+  pool_.refill(rng_);
+}
+
+SuRequestMsg SuClient::prepare_request(const watch::QMatrix& f,
+                                       std::uint64_t request_id,
+                                       std::uint32_t block_lo,
+                                       std::uint32_t block_hi, PrepMode mode) {
+  if (f.channels() != cfg_.watch.channels ||
+      f.blocks() != cfg_.watch.grid_rows * cfg_.watch.grid_cols)
+    throw std::invalid_argument("SuClient: F matrix shape mismatch");
+  if (block_lo >= block_hi || block_hi > f.blocks())
+    throw std::invalid_argument("SuClient: bad block range");
+
+  // Safety: anything non-zero outside the disclosed range would evade the
+  // SDC's interference check.
+  for (std::uint32_t c = 0; c < f.channels(); ++c) {
+    for (std::uint32_t b = 0; b < f.blocks(); ++b) {
+      if ((b < block_lo || b >= block_hi) &&
+          f.at(radio::ChannelId{c}, radio::BlockId{b}) != 0)
+        throw std::invalid_argument(
+            "SuClient: non-zero F entry outside the disclosed block range");
+    }
+  }
+
+  SuRequestMsg msg;
+  msg.su_id = su_id_;
+  msg.request_id = request_id;
+  msg.block_lo = block_lo;
+  msg.block_hi = block_hi;
+  msg.f.reserve(static_cast<std::size_t>(f.channels()) * (block_hi - block_lo));
+
+  for (std::uint32_t c = 0; c < f.channels(); ++c) {
+    for (std::uint32_t b = block_lo; b < block_hi; ++b) {
+      std::int64_t v = f.at(radio::ChannelId{c}, radio::BlockId{b});
+      if (v < 0) throw std::domain_error("SuClient: F entries must be >= 0");
+      bn::BigUint m{static_cast<std::uint64_t>(v)};
+      bool pooled = mode == PrepMode::kPooled ||
+                    (mode == PrepMode::kHybrid && v == 0);
+      if (pooled) {
+        msg.f.push_back(group_pk_.rerandomize_with(
+            group_pk_.encrypt_deterministic(m), pool_.pop()));
+      } else {
+        msg.f.push_back(group_pk_.encrypt(m, rng_));
+      }
+    }
+  }
+  return msg;
+}
+
+SuRequestMsg SuClient::prepare_request(const watch::QMatrix& f,
+                                       std::uint64_t request_id, PrepMode mode) {
+  return prepare_request(f, request_id, 0,
+                         static_cast<std::uint32_t>(f.blocks()), mode);
+}
+
+SuClient::Outcome SuClient::process_response(
+    const SuResponseMsg& response, const crypto::RsaPublicKey& issuer_key) const {
+  Outcome out;
+  out.license = response.license;
+  out.signature = keys_.sk.decrypt(response.g);
+  out.granted = issuer_key.verify(out.license.signing_bytes(), out.signature);
+  return out;
+}
+
+}  // namespace pisa::core

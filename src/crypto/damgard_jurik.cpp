@@ -1,0 +1,129 @@
+#include "crypto/damgard_jurik.hpp"
+
+#include <stdexcept>
+
+#include "bigint/modular.hpp"
+#include "bigint/prime.hpp"
+
+namespace pisa::crypto {
+
+using bn::BigInt;
+using bn::BigUint;
+
+DamgardJurikPublicKey::DamgardJurikPublicKey(BigUint n, std::size_t s)
+    : n_(std::move(n)), s_(s) {
+  if (s_ == 0 || s_ > 8)
+    throw std::invalid_argument("DamgardJurik: s must be in [1, 8]");
+  if (n_.is_even() || n_ < BigUint{6})
+    throw std::invalid_argument("DamgardJurik: invalid modulus");
+  n_pows_.reserve(s_ + 2);
+  n_pows_.push_back(BigUint{1});
+  for (std::size_t j = 1; j <= s_ + 1; ++j) n_pows_.push_back(n_pows_.back() * n_);
+  mont_ = std::make_shared<bn::Montgomery>(n_pows_[s_ + 1]);
+}
+
+BigUint DamgardJurikPublicKey::g_pow(const BigUint& m) const {
+  // (1+n)^m = Σ_{k=0}^{s} C(m, k) n^k (mod n^{s+1}); higher terms vanish.
+  const BigUint& mod = ciphertext_modulus();
+  BigUint acc{1};
+  BigUint falling{1};  // m (m−1) … (m−k+1), exact
+  BigUint kfact{1};
+  for (std::size_t k = 1; k <= s_; ++k) {
+    if (BigUint{static_cast<std::uint64_t>(k) - 1} >= m) break;  // C(m,k)=0
+    falling *= m - BigUint{static_cast<std::uint64_t>(k) - 1};
+    kfact *= BigUint{static_cast<std::uint64_t>(k)};
+    // C(m,k) is integral: divide exactly, then reduce.
+    BigUint binom = falling / kfact;
+    acc = (acc + binom % mod * n_pows_[k]) % mod;
+  }
+  return acc;
+}
+
+PaillierCiphertext DamgardJurikPublicKey::encrypt(const BigUint& m,
+                                                  bn::RandomSource& rng) const {
+  if (m >= plaintext_modulus())
+    throw std::out_of_range("DamgardJurik encrypt: m >= n^s");
+  BigUint r = bn::random_coprime(rng, n_);
+  BigUint rns = mont_->pow(r, n_pows_[s_]);  // r^{n^s} mod n^{s+1}
+  return {mont_->mul(g_pow(m), rns)};
+}
+
+PaillierCiphertext DamgardJurikPublicKey::add(const PaillierCiphertext& a,
+                                              const PaillierCiphertext& b) const {
+  return {mont_->mul(a.value, b.value)};
+}
+
+PaillierCiphertext DamgardJurikPublicKey::sub(const PaillierCiphertext& a,
+                                              const PaillierCiphertext& b) const {
+  auto inv = bn::mod_inverse(b.value, ciphertext_modulus());
+  if (!inv) throw std::invalid_argument("DamgardJurik sub: not a unit");
+  return {mont_->mul(a.value, *inv)};
+}
+
+PaillierCiphertext DamgardJurikPublicKey::scalar_mul(
+    const BigUint& k, const PaillierCiphertext& c) const {
+  return {mont_->pow(c.value, k)};
+}
+
+DamgardJurikPrivateKey::DamgardJurikPrivateKey(const BigUint& p, const BigUint& q,
+                                               std::size_t s)
+    : pk_(p * q, s) {
+  if (p == q || p.is_even() || q.is_even())
+    throw std::invalid_argument("DamgardJurik: bad factors");
+  BigUint lambda = bn::lcm(p - BigUint{1}, q - BigUint{1});
+  // d ≡ 0 (mod λ), d ≡ 1 (mod n^s): d = λ · (λ⁻¹ mod n^s).
+  auto inv = bn::mod_inverse(lambda % pk_.plaintext_modulus(),
+                             pk_.plaintext_modulus());
+  if (!inv) throw std::invalid_argument("DamgardJurik: gcd(lambda, n^s) != 1");
+  d_ = lambda * *inv;
+}
+
+BigUint DamgardJurikPrivateKey::decrypt(const PaillierCiphertext& c) const {
+  if (c.value.is_zero() || c.value >= pk_.ciphertext_modulus())
+    throw std::out_of_range("DamgardJurik decrypt: ciphertext out of range");
+  // a = c^d = (1+n)^m mod n^{s+1}; extract m with the DJ01 algorithm.
+  BigUint a = pk_.mont().pow(c.value, d_);
+  const BigUint& n = pk_.n();
+  const std::size_t s = pk_.s();
+
+  auto l_func = [&](const BigUint& x) { return (x - BigUint{1}) / n; };
+
+  BigUint m;  // m mod n^j, grown one rung per iteration
+  for (std::size_t j = 1; j <= s; ++j) {
+    const BigUint& nj = pk_.n_pow(j);
+    BigUint t1 = l_func(a % pk_.n_pow(j + 1));  // in [0, n^j)
+    BigUint t2 = m;                             // m mod n^{j-1}
+    BigUint i_run = m;
+    BigUint kfact{1};
+    for (std::size_t k = 2; k <= j; ++k) {
+      // t2 ← t2 · (m − k + 1); running falling factorial mod n^j.
+      BigInt dec = BigInt{i_run} - BigInt{1};
+      i_run = dec.mod_euclid(nj);
+      t2 = t2 * i_run % nj;
+      kfact *= BigUint{static_cast<std::uint64_t>(k)};
+      auto kfact_inv = bn::mod_inverse(kfact % nj, nj);
+      if (!kfact_inv) throw std::logic_error("DamgardJurik: k! not invertible");
+      BigUint term = t2 * pk_.n_pow(k - 1) % nj * *kfact_inv % nj;
+      t1 = (BigInt{t1} - BigInt{term}).mod_euclid(nj);
+    }
+    m = t1;
+  }
+  return m;
+}
+
+DamgardJurikKeyPair damgard_jurik_generate(std::size_t n_bits, std::size_t s,
+                                           bn::RandomSource& rng, int mr_rounds) {
+  if (n_bits < 16 || n_bits % 2 != 0)
+    throw std::invalid_argument("damgard_jurik_generate: bad n_bits");
+  for (;;) {
+    BigUint p = bn::random_prime(rng, n_bits / 2, mr_rounds);
+    BigUint q = bn::random_prime(rng, n_bits / 2, mr_rounds);
+    if (p == q) continue;
+    if (bn::gcd(p * q, (p - BigUint{1}) * (q - BigUint{1})) != BigUint{1}) continue;
+    DamgardJurikPrivateKey sk{p, q, s};
+    DamgardJurikPublicKey pk = sk.public_key();
+    return {std::move(pk), std::move(sk)};
+  }
+}
+
+}  // namespace pisa::crypto

@@ -1,0 +1,92 @@
+// Damgård–Jurik generalized Paillier (PKC'01).
+//
+// Paillier is the s = 1 member of a family: ciphertexts live in Z*_{n^{s+1}}
+// and plaintexts in Z_{n^s}, so one ciphertext carries s·|n| plaintext bits
+// at expansion (s+1)/s instead of Paillier's 2. PISA packs 60-bit quantized
+// powers into 2048-bit Paillier slots; this module is the paper's natural
+// extension knob for fatter payloads (e.g. shipping whole W columns per
+// ciphertext) and is benchmarked as an ablation in
+// bench/bench_damgard_jurik.cpp.
+//
+// Same homomorphic surface as crypto::Paillier: ⊕, ⊖, scalar ⊗.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "bigint/biguint.hpp"
+#include "bigint/montgomery.hpp"
+#include "bigint/random_source.hpp"
+#include "crypto/paillier.hpp"
+
+namespace pisa::crypto {
+
+class DamgardJurikPublicKey {
+ public:
+  /// Modulus n, exponent s >= 1 (s = 1 is textbook Paillier).
+  DamgardJurikPublicKey(bn::BigUint n, std::size_t s);
+
+  const bn::BigUint& n() const { return n_; }
+  std::size_t s() const { return s_; }
+  /// n^s — the plaintext modulus.
+  const bn::BigUint& plaintext_modulus() const { return n_pows_[s_]; }
+  /// n^{s+1} — the ciphertext modulus.
+  const bn::BigUint& ciphertext_modulus() const { return n_pows_[s_ + 1]; }
+
+  std::size_t plaintext_bytes() const { return (n_.bit_length() * s_ + 7) / 8; }
+  std::size_t ciphertext_bytes() const {
+    return (n_.bit_length() * (s_ + 1) + 7) / 8;
+  }
+  /// Ciphertext expansion factor (s+1)/s — Paillier's is 2.
+  double expansion() const {
+    return static_cast<double>(s_ + 1) / static_cast<double>(s_);
+  }
+
+  /// Encrypt m ∈ [0, n^s).
+  PaillierCiphertext encrypt(const bn::BigUint& m, bn::RandomSource& rng) const;
+
+  /// (1+n)^m mod n^{s+1} via the closed-form binomial expansion — no modexp.
+  bn::BigUint g_pow(const bn::BigUint& m) const;
+
+  PaillierCiphertext add(const PaillierCiphertext& a, const PaillierCiphertext& b) const;
+  PaillierCiphertext sub(const PaillierCiphertext& a, const PaillierCiphertext& b) const;
+  PaillierCiphertext scalar_mul(const bn::BigUint& k, const PaillierCiphertext& c) const;
+
+  /// n^j for j <= s+1.
+  const bn::BigUint& n_pow(std::size_t j) const { return n_pows_.at(j); }
+
+  const bn::Montgomery& mont() const { return *mont_; }
+
+ private:
+  bn::BigUint n_;
+  std::size_t s_;
+  std::vector<bn::BigUint> n_pows_;  // n^0 .. n^{s+1}
+  std::shared_ptr<const bn::Montgomery> mont_;  // mod n^{s+1}
+};
+
+class DamgardJurikPrivateKey {
+ public:
+  DamgardJurikPrivateKey(const bn::BigUint& p, const bn::BigUint& q, std::size_t s);
+
+  const DamgardJurikPublicKey& public_key() const { return pk_; }
+
+  /// Decrypt to the canonical residue in [0, n^s).
+  bn::BigUint decrypt(const PaillierCiphertext& c) const;
+
+ private:
+  DamgardJurikPublicKey pk_;
+  bn::BigUint d_;  // d ≡ 0 (mod λ), d ≡ 1 (mod n^s)
+};
+
+struct DamgardJurikKeyPair {
+  DamgardJurikPublicKey pk;
+  DamgardJurikPrivateKey sk;
+};
+
+DamgardJurikKeyPair damgard_jurik_generate(std::size_t n_bits, std::size_t s,
+                                           bn::RandomSource& rng,
+                                           int mr_rounds = 32);
+
+}  // namespace pisa::crypto

@@ -1,0 +1,147 @@
+#include "crypto/key_codec.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace pisa::crypto {
+
+namespace {
+
+constexpr std::uint32_t kMagicPaillierPub = 0x50495031;   // "PIP1"
+constexpr std::uint32_t kMagicPaillierPriv = 0x50495331;  // "PIS1"
+constexpr std::uint32_t kMagicRsaPub = 0x50495232;        // "PIR2"
+constexpr std::uint8_t kVersion = 1;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_big(std::vector<std::uint8_t>& out, const bn::BigUint& v) {
+  auto bytes = v.to_bytes_be();
+  put_u32(out, static_cast<std::uint32_t>(bytes.size()));
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  bn::BigUint big() {
+    std::uint32_t len = u32();
+    need(len);
+    auto v = bn::BigUint::from_bytes_be(data_.subspan(pos_, len));
+    pos_ += len;
+    return v;
+  }
+
+  void expect_done() const {
+    if (pos_ != data_.size())
+      throw std::invalid_argument("key codec: trailing bytes");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n)
+      throw std::invalid_argument("key codec: truncated input");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+void header(std::vector<std::uint8_t>& out, std::uint32_t magic) {
+  put_u32(out, magic);
+  out.push_back(kVersion);
+}
+
+Reader open(std::span<const std::uint8_t> bytes, std::uint32_t magic) {
+  Reader r{bytes};
+  if (r.u32() != magic) throw std::invalid_argument("key codec: wrong magic");
+  if (r.u8() != kVersion) throw std::invalid_argument("key codec: unknown version");
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const PaillierPublicKey& pk) {
+  std::vector<std::uint8_t> out;
+  header(out, kMagicPaillierPub);
+  put_big(out, pk.n());
+  return out;
+}
+
+PaillierPublicKey parse_paillier_public_key(std::span<const std::uint8_t> bytes) {
+  Reader r = open(bytes, kMagicPaillierPub);
+  bn::BigUint n = r.big();
+  r.expect_done();
+  return PaillierPublicKey{std::move(n)};  // constructor validates
+}
+
+std::vector<std::uint8_t> serialize(const PaillierPrivateKey& sk) {
+  std::vector<std::uint8_t> out;
+  header(out, kMagicPaillierPriv);
+  put_big(out, sk.p());
+  put_big(out, sk.q());
+  return out;
+}
+
+PaillierPrivateKey parse_paillier_private_key(std::span<const std::uint8_t> bytes) {
+  Reader r = open(bytes, kMagicPaillierPriv);
+  bn::BigUint p = r.big();
+  bn::BigUint q = r.big();
+  r.expect_done();
+  return PaillierPrivateKey{p, q};  // constructor re-derives and validates
+}
+
+std::vector<std::uint8_t> serialize(const RsaPublicKey& pk) {
+  std::vector<std::uint8_t> out;
+  header(out, kMagicRsaPub);
+  put_big(out, pk.n());
+  put_big(out, pk.e());
+  return out;
+}
+
+RsaPublicKey parse_rsa_public_key(std::span<const std::uint8_t> bytes) {
+  Reader r = open(bytes, kMagicRsaPub);
+  bn::BigUint n = r.big();
+  bn::BigUint e = r.big();
+  r.expect_done();
+  return RsaPublicKey{std::move(n), std::move(e)};
+}
+
+namespace {
+
+std::uint64_t fingerprint_bytes(const std::vector<std::uint8_t>& bytes) {
+  auto digest = Sha256::hash(bytes);
+  std::uint64_t v;
+  std::memcpy(&v, digest.data(), 8);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t key_fingerprint(const PaillierPublicKey& pk) {
+  return fingerprint_bytes(serialize(pk));
+}
+
+std::uint64_t key_fingerprint(const RsaPublicKey& pk) {
+  return fingerprint_bytes(serialize(pk));
+}
+
+}  // namespace pisa::crypto

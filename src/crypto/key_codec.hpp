@@ -1,0 +1,40 @@
+// Key serialization.
+//
+// The protocol's setup steps move keys between parties — SUs upload pk_j to
+// the STP, everyone fetches pk_G, the SDC publishes its RSA license key —
+// so public keys need a stable byte format. Private keys serialize too (for
+// operator persistence), with the factorization; treat those bytes like the
+// key itself.
+//
+// Format: magic u32 ‖ version u8 ‖ fields, each field a u32 length prefix +
+// big-endian magnitude. Little-endian scalars. Decoding validates magics,
+// lengths and key invariants (oddness, ranges) and throws
+// std::invalid_argument on anything malformed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/paillier.hpp"
+#include "crypto/rsa_signature.hpp"
+
+namespace pisa::crypto {
+
+std::vector<std::uint8_t> serialize(const PaillierPublicKey& pk);
+PaillierPublicKey parse_paillier_public_key(std::span<const std::uint8_t> bytes);
+
+/// Serializes the factorization (p, q); everything else is re-derived on
+/// parse, so the format cannot encode an inconsistent key.
+std::vector<std::uint8_t> serialize(const PaillierPrivateKey& sk);
+PaillierPrivateKey parse_paillier_private_key(std::span<const std::uint8_t> bytes);
+
+std::vector<std::uint8_t> serialize(const RsaPublicKey& pk);
+RsaPublicKey parse_rsa_public_key(std::span<const std::uint8_t> bytes);
+
+/// A stable short identifier for key directories / audit logs: the first 8
+/// bytes of SHA-256 over the serialized public key.
+std::uint64_t key_fingerprint(const PaillierPublicKey& pk);
+std::uint64_t key_fingerprint(const RsaPublicKey& pk);
+
+}  // namespace pisa::crypto

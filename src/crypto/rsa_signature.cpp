@@ -1,0 +1,87 @@
+#include "crypto/rsa_signature.hpp"
+
+#include <stdexcept>
+
+#include "bigint/modular.hpp"
+#include "bigint/prime.hpp"
+#include "crypto/sha256.hpp"
+
+namespace pisa::crypto {
+
+using bn::BigUint;
+
+RsaPublicKey::RsaPublicKey(BigUint n, BigUint e) : n_(std::move(n)), e_(std::move(e)) {
+  if (n_.is_even() || n_ < BigUint{15})
+    throw std::invalid_argument("RsaPublicKey: invalid modulus");
+  if (e_ < BigUint{3} || e_.is_even())
+    throw std::invalid_argument("RsaPublicKey: invalid exponent");
+  mont_n_ = std::make_shared<bn::Montgomery>(n_);
+}
+
+BigUint RsaPublicKey::encode_message(std::span<const std::uint8_t> message) const {
+  auto digest = Sha256::hash(message);
+  std::size_t em_len = (key_bits() + 7) / 8;
+  if (em_len < digest.size() + 11)
+    throw std::invalid_argument("RSA key too small for EMSA padding");
+  // 0x00 0x01 FF..FF 0x00 digest
+  std::vector<std::uint8_t> em(em_len, 0xFF);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[em_len - digest.size() - 1] = 0x00;
+  std::copy(digest.begin(), digest.end(), em.end() - static_cast<std::ptrdiff_t>(digest.size()));
+  return BigUint::from_bytes_be(em);
+}
+
+bool RsaPublicKey::verify(std::span<const std::uint8_t> message,
+                          const BigUint& signature) const {
+  if (signature >= n_) return false;
+  return mont_n_->pow(signature, e_) == encode_message(message);
+}
+
+RsaPrivateKey::RsaPrivateKey(const BigUint& p, const BigUint& q, BigUint e)
+    : pk_(p * q, std::move(e)), p_(p), q_(q) {
+  if (p == q) throw std::invalid_argument("RSA: p == q");
+  BigUint p1 = p - BigUint{1};
+  BigUint q1 = q - BigUint{1};
+  BigUint phi = p1 * q1;
+  auto d = bn::mod_inverse(pk_.e(), phi);
+  if (!d) throw std::invalid_argument("RSA: e not invertible mod phi");
+  dp_ = *d % p1;
+  dq_ = *d % q1;
+  auto qinv = bn::mod_inverse(q, p);
+  if (!qinv) throw std::invalid_argument("RSA: q not invertible mod p");
+  q_inv_mod_p_ = std::move(*qinv);
+  mont_p_ = std::make_shared<bn::Montgomery>(p_);
+  mont_q_ = std::make_shared<bn::Montgomery>(q_);
+}
+
+BigUint RsaPrivateKey::sign(std::span<const std::uint8_t> message) const {
+  BigUint em = pk_.encode_message(message);
+  // CRT: sp = em^dp mod p, sq = em^dq mod q, recombine.
+  BigUint sp = mont_p_->pow(em % p_, dp_);
+  BigUint sq = mont_q_->pow(em % q_, dq_);
+  // s = sq + q·((sp − sq)·q⁻¹ mod p)
+  bn::BigInt diff = bn::BigInt{sp} - bn::BigInt{sq};
+  BigUint h = diff.mod_euclid(p_) * q_inv_mod_p_ % p_;
+  return sq + q_ * h;
+}
+
+RsaKeyPair rsa_generate(std::size_t n_bits, bn::RandomSource& rng, int mr_rounds) {
+  // 384 bits is the floor at which EMSA padding (11 + 32 digest bytes)
+  // still fits; production configs use >= 1024.
+  if (n_bits < 384 || n_bits % 2 != 0)
+    throw std::invalid_argument("rsa_generate: n_bits must be even and >= 384");
+  const BigUint e{65537};
+  for (;;) {
+    BigUint p = bn::random_prime(rng, n_bits / 2, mr_rounds);
+    BigUint q = bn::random_prime(rng, n_bits / 2, mr_rounds);
+    if (p == q) continue;
+    // e must be coprime to (p-1)(q-1).
+    if (bn::gcd(e, (p - BigUint{1}) * (q - BigUint{1})) != BigUint{1}) continue;
+    RsaPrivateKey sk{p, q, e};
+    RsaPublicKey pk = sk.public_key();
+    return {std::move(pk), std::move(sk)};
+  }
+}
+
+}  // namespace pisa::crypto

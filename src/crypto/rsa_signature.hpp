@@ -1,0 +1,70 @@
+// RSA hash-then-sign signatures for transmission licenses (paper §IV-B
+// step 2: "a typical digital signature algorithm (e.g., RSA, DSA)").
+//
+// Scheme: SHA-256 digest, EMSA-PKCS#1-v1.5-style padding
+// (0x00 01 FF…FF 00 ‖ digest; the ASN.1 DigestInfo prefix is omitted — a
+// documented simplification that changes no protocol behaviour), then
+// s = pad^d mod n with CRT. The *integer value* of a signature matters to
+// PISA: eq. (17) adds η·ΣQ to it inside a Paillier plaintext slot, so the
+// signature value must stay below the Paillier modulus — enforced by the
+// protocol layer choosing rsa_bits < paillier_bits.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "bigint/biguint.hpp"
+#include "bigint/montgomery.hpp"
+#include "bigint/random_source.hpp"
+
+namespace pisa::crypto {
+
+class RsaPublicKey {
+ public:
+  RsaPublicKey(bn::BigUint n, bn::BigUint e);
+
+  const bn::BigUint& n() const { return n_; }
+  const bn::BigUint& e() const { return e_; }
+  std::size_t key_bits() const { return n_.bit_length(); }
+
+  /// True iff `signature` is a valid signature of `message` under this key.
+  bool verify(std::span<const std::uint8_t> message, const bn::BigUint& signature) const;
+
+  /// The padded digest as an integer — what a valid signature must
+  /// exponentiate to.
+  bn::BigUint encode_message(std::span<const std::uint8_t> message) const;
+
+ private:
+  bn::BigUint n_, e_;
+  std::shared_ptr<const bn::Montgomery> mont_n_;
+};
+
+class RsaPrivateKey {
+ public:
+  /// From prime factors and public exponent.
+  RsaPrivateKey(const bn::BigUint& p, const bn::BigUint& q, bn::BigUint e);
+
+  const RsaPublicKey& public_key() const { return pk_; }
+
+  /// Sign a message (hash-then-sign, CRT exponentiation). The returned
+  /// integer is < n and doubles as the license token PISA encrypts.
+  bn::BigUint sign(std::span<const std::uint8_t> message) const;
+
+ private:
+  RsaPublicKey pk_;
+  bn::BigUint p_, q_;
+  bn::BigUint dp_, dq_, q_inv_mod_p_;  // CRT exponents
+  std::shared_ptr<const bn::Montgomery> mont_p_, mont_q_;
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pk;
+  RsaPrivateKey sk;
+};
+
+/// Generate an RSA key pair with modulus of `n_bits` bits, e = 65537.
+RsaKeyPair rsa_generate(std::size_t n_bits, bn::RandomSource& rng,
+                        int mr_rounds = 32);
+
+}  // namespace pisa::crypto

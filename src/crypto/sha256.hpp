@@ -1,0 +1,45 @@
+// SHA-256 (FIPS 180-4), incremental API.
+//
+// Used for license signing (hash-then-sign RSA) and for deriving seeds.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace pisa::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Absorb more input. May be called any number of times.
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data);
+
+  /// Finish and return the digest. The object must not be reused afterwards
+  /// without reset().
+  Digest finalize();
+
+  /// Reset to the initial state.
+  void reset();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data);
+  static Digest hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace pisa::crypto

@@ -1,0 +1,69 @@
+#include "crypto/threshold_paillier.hpp"
+
+#include <stdexcept>
+
+#include "bigint/modular.hpp"
+#include "bigint/prime.hpp"
+
+namespace pisa::crypto {
+
+using bn::BigInt;
+using bn::BigUint;
+
+ThresholdDeal threshold_split(const PaillierPrivateKey& sk, bn::RandomSource& rng,
+                              std::size_t statistical_bits) {
+  const PaillierPublicKey& pk = sk.public_key();
+  const BigUint& n = pk.n();
+  const BigUint& lambda = sk.lambda();
+
+  // d ≡ 0 (mod λ) and d ≡ 1 (mod n) ⇒ c^d = 1 + m·n (mod n²).
+  auto lambda_inv = bn::mod_inverse(lambda % n, n);
+  if (!lambda_inv)
+    throw std::invalid_argument("threshold_split: gcd(lambda, n) != 1");
+  BigUint d = lambda * *lambda_inv;
+
+  BigUint share1 = bn::random_bits(rng, d.bit_length() + statistical_bits);
+  BigInt share2 = BigInt{d} - BigInt{share1};
+
+  return {pk, ThresholdKeyShare{BigInt{share1}}, ThresholdKeyShare{share2}};
+}
+
+ThresholdDeal threshold_paillier_deal(std::size_t n_bits, bn::RandomSource& rng,
+                                      int mr_rounds) {
+  auto kp = paillier_generate(n_bits, rng, mr_rounds);
+  return threshold_split(kp.sk, rng);
+}
+
+BigUint threshold_partial_decrypt(const PaillierPublicKey& pk,
+                                  const ThresholdKeyShare& share,
+                                  const PaillierCiphertext& c) {
+  if (c.value.is_zero() || c.value >= pk.n_squared())
+    throw std::out_of_range("threshold_partial_decrypt: ciphertext out of range");
+  BigUint base = c.value;
+  if (share.exponent.is_negative()) {
+    auto inv = bn::mod_inverse(base, pk.n_squared());
+    if (!inv)
+      throw std::invalid_argument("threshold_partial_decrypt: not a unit");
+    base = std::move(*inv);
+  }
+  return pk.mont_n2().pow(base, share.exponent.magnitude());
+}
+
+BigUint threshold_combine(const PaillierPublicKey& pk, const BigUint& partial1,
+                          const BigUint& partial2) {
+  BigUint a = pk.mont_n2().mul(partial1, partial2);
+  // A consistent combination yields a = 1 + m·n (mod n²).
+  if (a % pk.n() != BigUint{1})
+    throw std::invalid_argument("threshold_combine: inconsistent partials");
+  return (a - BigUint{1}) / pk.n() % pk.n();
+}
+
+BigInt threshold_combine_signed(const PaillierPublicKey& pk,
+                                const BigUint& partial1,
+                                const BigUint& partial2) {
+  BigUint m = threshold_combine(pk, partial1, partial2);
+  if (m > (pk.n() >> 1)) return BigInt{pk.n() - m, /*negative=*/true};
+  return BigInt{std::move(m)};
+}
+
+}  // namespace pisa::crypto

@@ -1,0 +1,63 @@
+// 2-of-2 threshold Paillier decryption.
+//
+// The paper's future-work direction (§VII) is to "relax the assumption on
+// the STP". With threshold decryption, no single party holds a key that
+// decrypts PU/SU data: a dealer splits a decryption exponent d (d ≡ 0 mod λ,
+// d ≡ 1 mod n, so c^d = (1+n)^m) additively over the integers between the
+// SDC and the STP. A ciphertext opens only when *both* contribute a partial
+// decryption — the STP can no longer unilaterally decrypt stored PU updates
+// or SU requests, it can only open the blinded Ṽ values the SDC explicitly
+// co-decrypts during key conversion (see core::SdcServer/StpServer threshold
+// mode).
+//
+// Shares are statistically hiding: share 1 is uniform over a range 2^80
+// times wider than d, share 2 = d − share 1 (signed).
+#pragma once
+
+#include "bigint/bigint.hpp"
+#include "bigint/biguint.hpp"
+#include "bigint/random_source.hpp"
+#include "crypto/paillier.hpp"
+
+namespace pisa::crypto {
+
+/// One party's additive share of the decryption exponent. Signed: the
+/// second share is usually negative.
+struct ThresholdKeyShare {
+  bn::BigInt exponent;
+};
+
+/// The result of dealing: the public key plus the two shares.
+struct ThresholdDeal {
+  PaillierPublicKey pk;
+  ThresholdKeyShare share1;
+  ThresholdKeyShare share2;
+};
+
+/// Generate a fresh Paillier modulus and deal 2-of-2 shares of its
+/// decryption exponent.
+ThresholdDeal threshold_paillier_deal(std::size_t n_bits, bn::RandomSource& rng,
+                                      int mr_rounds = 32);
+
+/// Split an existing private key (the dealer role). `statistical_bits`
+/// widens share 1's range beyond |d| for statistical hiding.
+ThresholdDeal threshold_split(const PaillierPrivateKey& sk, bn::RandomSource& rng,
+                              std::size_t statistical_bits = 80);
+
+/// Partial decryption: c^{share} mod n² (negative shares exponentiate the
+/// ciphertext's inverse).
+bn::BigUint threshold_partial_decrypt(const PaillierPublicKey& pk,
+                                      const ThresholdKeyShare& share,
+                                      const PaillierCiphertext& c);
+
+/// Combine both partials into the plaintext m ∈ [0, n).
+bn::BigUint threshold_combine(const PaillierPublicKey& pk,
+                              const bn::BigUint& partial1,
+                              const bn::BigUint& partial2);
+
+/// Signed combination via the centered lift.
+bn::BigInt threshold_combine_signed(const PaillierPublicKey& pk,
+                                    const bn::BigUint& partial1,
+                                    const bn::BigUint& partial2);
+
+}  // namespace pisa::crypto

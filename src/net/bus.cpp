@@ -1,0 +1,76 @@
+#include "net/bus.hpp"
+
+#include <stdexcept>
+
+namespace pisa::net {
+
+SimulatedNetwork::SimulatedNetwork(double base_latency_us,
+                                   double bandwidth_bytes_per_us)
+    : base_latency_us_(base_latency_us),
+      bandwidth_bytes_per_us_(bandwidth_bytes_per_us) {
+  if (base_latency_us < 0 || bandwidth_bytes_per_us <= 0)
+    throw std::invalid_argument("SimulatedNetwork: bad link parameters");
+}
+
+void SimulatedNetwork::register_endpoint(const std::string& name, Handler handler) {
+  if (!handler) throw std::invalid_argument("SimulatedNetwork: null handler");
+  auto [it, inserted] = endpoints_.emplace(name, std::move(handler));
+  (void)it;
+  if (!inserted)
+    throw std::invalid_argument("SimulatedNetwork: duplicate endpoint " + name);
+  audit_.emplace(name, std::vector<DeliveryRecord>{});
+}
+
+bool SimulatedNetwork::has_endpoint(const std::string& name) const {
+  return endpoints_.contains(name);
+}
+
+void SimulatedNetwork::send(Message m) {
+  if (!endpoints_.contains(m.to))
+    throw std::out_of_range("SimulatedNetwork: unknown endpoint " + m.to);
+  double transfer = static_cast<double>(m.payload.size()) / bandwidth_bytes_per_us_;
+  double arrival = now_us_ + base_latency_us_ + transfer;
+  queue_.push(Pending{arrival, next_seq_++, std::move(m)});
+}
+
+bool SimulatedNetwork::deliver_one() {
+  if (queue_.empty()) return false;
+  Pending p = queue_.top();
+  queue_.pop();
+  now_us_ = p.arrival_us;
+
+  std::size_t bytes = p.msg.payload.size();
+  auto& link = traffic_[{p.msg.from, p.msg.to}];
+  link.messages += 1;
+  link.bytes += bytes;
+  total_.messages += 1;
+  total_.bytes += bytes;
+  audit_[p.msg.to].push_back({p.msg.from, p.msg.type, bytes, p.arrival_us});
+
+  endpoints_.at(p.msg.to)(p.msg);
+  return true;
+}
+
+std::size_t SimulatedNetwork::run() {
+  std::size_t n = 0;
+  while (deliver_one()) ++n;
+  return n;
+}
+
+TrafficStats SimulatedNetwork::stats(const std::string& from,
+                                     const std::string& to) const {
+  auto it = traffic_.find({from, to});
+  return it == traffic_.end() ? TrafficStats{} : it->second;
+}
+
+TrafficStats SimulatedNetwork::total_stats() const { return total_; }
+
+const std::vector<DeliveryRecord>& SimulatedNetwork::audit_log(
+    const std::string& endpoint) const {
+  auto it = audit_.find(endpoint);
+  if (it == audit_.end())
+    throw std::out_of_range("SimulatedNetwork: unknown endpoint " + endpoint);
+  return it->second;
+}
+
+}  // namespace pisa::net

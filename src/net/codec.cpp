@@ -1,0 +1,88 @@
+#include "net/codec.hpp"
+
+#include <cstring>
+
+namespace pisa::net {
+
+void Encoder::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::put_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  put_u64(bits);
+}
+
+void Encoder::put_bytes(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() > UINT32_MAX) throw std::length_error("Encoder: bytes too long");
+  put_u32(static_cast<std::uint32_t>(bytes.size()));
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void Encoder::put_string(std::string_view s) {
+  put_bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void Encoder::put_biguint(const bn::BigUint& v) {
+  auto bytes = v.to_bytes_be();
+  put_bytes(bytes);
+}
+
+std::span<const std::uint8_t> Decoder::need(std::size_t n) {
+  if (remaining() < n) throw DecodeError("Decoder: truncated input");
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::uint8_t Decoder::get_u8() { return need(1)[0]; }
+
+std::uint32_t Decoder::get_u32() {
+  auto b = need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Decoder::get_u64() {
+  auto b = need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+double Decoder::get_f64() {
+  std::uint64_t bits = get_u64();
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+std::vector<std::uint8_t> Decoder::get_bytes() {
+  std::uint32_t len = get_u32();
+  auto b = need(len);
+  return {b.begin(), b.end()};
+}
+
+std::string Decoder::get_string() {
+  std::uint32_t len = get_u32();
+  auto b = need(len);
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+bn::BigUint Decoder::get_biguint() {
+  auto bytes = get_bytes();
+  return bn::BigUint::from_bytes_be(bytes);
+}
+
+void Decoder::expect_done() const {
+  if (!done()) throw DecodeError("Decoder: trailing bytes");
+}
+
+}  // namespace pisa::net

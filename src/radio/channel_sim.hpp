@@ -1,0 +1,80 @@
+// Wireless channel and waveform simulator.
+//
+// Substitute for the paper's USRP testbed (§VI-B, Figures 7–11): models a
+// shared channel (e.g. WiFi channel 6 at 2.437 GHz), transmitters sending
+// packet bursts, and a monitoring receiver sampling the superposed signal
+// envelope at a configurable rate. Reproduces the observable facts of the
+// SDR experiment: amplitude differences with distance (Fig. 8), packet
+// counts over a capture window (Fig. 9), and channel occupancy transitions
+// across the four scenarios.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "radio/pathloss.hpp"
+#include "radio/units.hpp"
+
+namespace pisa::radio {
+
+/// One transmitter on the shared channel.
+struct ChannelTransmitter {
+  std::string name;
+  double x_m = 0;
+  double y_m = 0;
+  double eirp_dbm = 0;
+  bool active = false;
+  /// Packet burst schedule: transmit `burst_us` µs every `period_us` µs,
+  /// starting at `offset_us`.
+  double burst_us = 100;
+  double period_us = 2000;
+  double offset_us = 0;
+};
+
+/// A captured sample of the receiver's envelope.
+struct EnvelopeSample {
+  double t_us = 0;
+  double amplitude = 0;  // volts into 1 Ω, i.e. sqrt(received mW)
+};
+
+struct CaptureStats {
+  int packets_observed = 0;
+  double peak_amplitude = 0;
+  double mean_active_amplitude = 0;  // mean amplitude over on-air samples
+};
+
+/// Receiver + channel composition.
+class ChannelSimulator {
+ public:
+  /// `model` converts transmitter–receiver distance to linear power gain;
+  /// `noise_floor_dbm` sets the idle envelope level.
+  ChannelSimulator(const PathLossModel& model, double rx_x_m, double rx_y_m,
+                   double noise_floor_dbm = -95.0);
+
+  /// Add a transmitter; returns its index.
+  std::size_t add_transmitter(ChannelTransmitter tx);
+
+  ChannelTransmitter& transmitter(std::size_t idx) { return txs_.at(idx); }
+  const ChannelTransmitter& transmitter(std::size_t idx) const { return txs_.at(idx); }
+  std::size_t num_transmitters() const { return txs_.size(); }
+
+  /// Received power (mW) contributed by one transmitter if it were on air.
+  double rx_power_mw(std::size_t idx) const;
+
+  /// Sample the envelope over [0, window_us] at `sample_rate_hz`.
+  std::vector<EnvelopeSample> capture(double window_us, double sample_rate_hz) const;
+
+  /// Count packet bursts and amplitude statistics in a capture.
+  CaptureStats analyze(const std::vector<EnvelopeSample>& trace) const;
+
+ private:
+  bool on_air(const ChannelTransmitter& tx, double t_us) const;
+
+  const PathLossModel& model_;
+  double rx_x_, rx_y_;
+  double noise_mw_;
+  std::vector<ChannelTransmitter> txs_;
+};
+
+}  // namespace pisa::radio

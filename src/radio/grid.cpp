@@ -1,0 +1,45 @@
+#include "radio/grid.hpp"
+
+#include <cmath>
+
+namespace pisa::radio {
+
+ServiceArea::ServiceArea(std::size_t rows, std::size_t cols, double block_size_m,
+                         std::size_t channels)
+    : rows_(rows), cols_(cols), channels_(channels), block_size_m_(block_size_m) {
+  if (rows == 0 || cols == 0 || channels == 0 || block_size_m <= 0)
+    throw std::invalid_argument("ServiceArea: degenerate dimensions");
+}
+
+Point ServiceArea::block_center(BlockId b) const {
+  if (!valid(b)) throw std::out_of_range("ServiceArea::block_center: bad block");
+  std::size_t r = b.index / cols_;
+  std::size_t c = b.index % cols_;
+  return {(static_cast<double>(c) + 0.5) * block_size_m_,
+          (static_cast<double>(r) + 0.5) * block_size_m_};
+}
+
+BlockId ServiceArea::block_at(Point p) const {
+  if (p.x < 0 || p.y < 0) throw std::out_of_range("ServiceArea::block_at: outside");
+  auto c = static_cast<std::size_t>(p.x / block_size_m_);
+  auto r = static_cast<std::size_t>(p.y / block_size_m_);
+  if (c >= cols_ || r >= rows_)
+    throw std::out_of_range("ServiceArea::block_at: outside");
+  return BlockId{static_cast<std::uint32_t>(r * cols_ + c)};
+}
+
+double ServiceArea::block_distance_m(BlockId a, BlockId b) const {
+  Point pa = block_center(a), pb = block_center(b);
+  return std::hypot(pa.x - pb.x, pa.y - pb.y);
+}
+
+std::vector<BlockId> ServiceArea::blocks_within(BlockId center, double radius_m) const {
+  std::vector<BlockId> out;
+  for (std::uint32_t i = 0; i < num_blocks(); ++i) {
+    BlockId b{i};
+    if (block_distance_m(center, b) <= radius_m) out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace pisa::radio

@@ -1,0 +1,113 @@
+// Service-area quantization (paper §III-D): the SDC's coverage region is
+// divided into B blocks (typically 10 m × 10 m per [36]); PU/SU private
+// inputs are C×B matrices indexed by (channel, block).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace pisa::radio {
+
+/// Identifies one of the B blocks. Blocks are laid out row-major.
+struct BlockId {
+  std::uint32_t index = 0;
+
+  bool operator==(const BlockId&) const = default;
+  auto operator<=>(const BlockId&) const = default;
+};
+
+/// Identifies one of the C channels.
+struct ChannelId {
+  std::uint32_t index = 0;
+
+  bool operator==(const ChannelId&) const = default;
+  auto operator<=>(const ChannelId&) const = default;
+};
+
+/// A point in the service-area plane, meters.
+struct Point {
+  double x = 0;
+  double y = 0;
+};
+
+/// Rectangular block grid over the SDC's service area.
+class ServiceArea {
+ public:
+  /// rows × cols blocks, each block_size_m on a side, channels C.
+  ServiceArea(std::size_t rows, std::size_t cols, double block_size_m,
+              std::size_t channels);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t num_blocks() const { return rows_ * cols_; }
+  std::size_t num_channels() const { return channels_; }
+  double block_size_m() const { return block_size_m_; }
+
+  /// Center coordinates of a block.
+  Point block_center(BlockId b) const;
+
+  /// The block containing a point; throws std::out_of_range outside the area.
+  BlockId block_at(Point p) const;
+
+  /// Euclidean distance between block centers, meters.
+  double block_distance_m(BlockId a, BlockId b) const;
+
+  /// All blocks whose centers lie within `radius_m` of block `center`.
+  std::vector<BlockId> blocks_within(BlockId center, double radius_m) const;
+
+  bool valid(BlockId b) const { return b.index < num_blocks(); }
+  bool valid(ChannelId c) const { return c.index < channels_; }
+
+  /// Flat index into a C×B matrix stored row-per-channel.
+  std::size_t flat_index(ChannelId c, BlockId b) const {
+    if (!valid(c) || !valid(b)) throw std::out_of_range("ServiceArea: bad (c,b)");
+    return static_cast<std::size_t>(c.index) * num_blocks() + b.index;
+  }
+
+ private:
+  std::size_t rows_, cols_, channels_;
+  double block_size_m_;
+};
+
+/// Dense C×B matrix of T, addressed by (channel, block). The value type is
+/// a template parameter: int64 in the plaintext domain, ciphertexts in the
+/// encrypted domain.
+template <typename T>
+class CbMatrix {
+ public:
+  CbMatrix() = default;
+  CbMatrix(std::size_t channels, std::size_t blocks, T init = T{})
+      : channels_(channels), blocks_(blocks),
+        data_(channels * blocks, std::move(init)) {}
+
+  std::size_t channels() const { return channels_; }
+  std::size_t blocks() const { return blocks_; }
+  std::size_t size() const { return data_.size(); }
+
+  T& at(ChannelId c, BlockId b) { return data_[check(c, b)]; }
+  const T& at(ChannelId c, BlockId b) const { return data_[check(c, b)]; }
+
+  T& operator[](std::size_t flat) { return data_.at(flat); }
+  const T& operator[](std::size_t flat) const { return data_.at(flat); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  bool operator==(const CbMatrix&) const = default;
+
+ private:
+  std::size_t check(ChannelId c, BlockId b) const {
+    if (c.index >= channels_ || b.index >= blocks_)
+      throw std::out_of_range("CbMatrix: bad (c,b)");
+    return static_cast<std::size_t>(c.index) * blocks_ + b.index;
+  }
+
+  std::size_t channels_ = 0, blocks_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace pisa::radio

@@ -1,0 +1,137 @@
+#include "radio/itm_lite.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "radio/units.hpp"
+
+namespace pisa::radio {
+
+namespace {
+
+double friis_loss_db(double distance_m, double freq_mhz) {
+  double d_km = std::max(distance_m, 1.0) / 1000.0;
+  return 20.0 * std::log10(d_km) + 20.0 * std::log10(freq_mhz) + 32.44;
+}
+
+}  // namespace
+
+ItmLiteModel::ItmLiteModel(std::shared_ptr<const Terrain> terrain,
+                           double freq_mhz, double tx_x, double tx_y,
+                           double tx_agl_m, double rx_x, double rx_y,
+                           double rx_agl_m, std::size_t profile_points)
+    : terrain_(std::move(terrain)), freq_mhz_(freq_mhz),
+      tx_x_(tx_x), tx_y_(tx_y), tx_agl_(tx_agl_m),
+      rx_x_(rx_x), rx_y_(rx_y), rx_agl_(rx_agl_m),
+      n_points_(profile_points) {
+  if (!terrain_) throw std::invalid_argument("ItmLiteModel: null terrain");
+  if (freq_mhz <= 0) throw std::invalid_argument("ItmLiteModel: bad frequency");
+  if (tx_agl_m <= 0 || rx_agl_m <= 0)
+    throw std::invalid_argument("ItmLiteModel: non-positive antenna height");
+  if (n_points_ < 8) throw std::invalid_argument("ItmLiteModel: too few profile points");
+
+  path_length_m_ = std::hypot(rx_x_ - tx_x_, rx_y_ - tx_y_);
+  tx_ant_m_ = terrain_->elevation_m(tx_x_, tx_y_) + tx_agl_;
+  rx_ant_m_ = terrain_->elevation_m(rx_x_, rx_y_) + rx_agl_;
+  extract_profile();
+  find_edges();
+  for (const auto& e : edges_) diffraction_loss_db_ += e.loss_db;
+}
+
+void ItmLiteModel::extract_profile() {
+  profile_.reserve(n_points_);
+  for (std::size_t i = 0; i < n_points_; ++i) {
+    double t = static_cast<double>(i) / static_cast<double>(n_points_ - 1);
+    double x = tx_x_ + (rx_x_ - tx_x_) * t;
+    double y = tx_y_ + (rx_y_ - tx_y_) * t;
+    profile_.push_back({t * path_length_m_, terrain_->elevation_m(x, y)});
+  }
+}
+
+double ItmLiteModel::knife_edge_loss_db(double nu) {
+  // ITU-R P.526 single knife-edge approximation J(ν).
+  if (nu <= -0.78) return 0.0;
+  double t = nu - 0.1;
+  return 6.9 + 20.0 * std::log10(std::sqrt(t * t + 1.0) + t);
+}
+
+void ItmLiteModel::find_edges() {
+  if (path_length_m_ < 1.0 || profile_.size() < 3) return;
+  const double wavelength_m = kSpeedOfLight / (freq_mhz_ * 1e6);
+
+  // Epstein–Peterson: find the dominant edge between two path anchors, then
+  // recurse on the two sub-paths with the edge as a new anchor.
+  struct Anchor {
+    double d, h;  // along-path distance, effective radio height
+  };
+
+  // Recursive lambda over [lo, hi] profile index ranges.
+  auto recurse = [&](auto&& self, std::size_t lo, std::size_t hi,
+                     const Anchor& a, const Anchor& b, int depth) -> void {
+    if (depth <= 0 || hi <= lo + 1) return;
+    double span = b.d - a.d;
+    if (span < 1.0) return;
+
+    double best_nu = -1e9;
+    std::size_t best_idx = 0;
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      double d1 = profile_[i].distance_m - a.d;
+      double d2 = b.d - profile_[i].distance_m;
+      if (d1 < 1.0 || d2 < 1.0) continue;
+      double los = a.h + (b.h - a.h) * (d1 / span);
+      double clearance = profile_[i].elevation_m - los;  // > 0 blocks
+      double nu = clearance * std::sqrt(2.0 * span / (wavelength_m * d1 * d2));
+      if (nu > best_nu) {
+        best_nu = nu;
+        best_idx = i;
+      }
+    }
+    if (best_nu <= -0.78) return;  // everything clears with Fresnel margin
+
+    edges_.push_back({profile_[best_idx].distance_m, best_nu,
+                      knife_edge_loss_db(best_nu)});
+    Anchor edge{profile_[best_idx].distance_m, profile_[best_idx].elevation_m};
+    self(self, lo, best_idx, a, edge, depth - 1);
+    self(self, best_idx, hi, edge, b, depth - 1);
+  };
+
+  Anchor tx{0.0, tx_ant_m_};
+  Anchor rx{path_length_m_, rx_ant_m_};
+  recurse(recurse, 0, profile_.size() - 1, tx, rx, /*depth=*/4);
+  std::sort(edges_.begin(), edges_.end(),
+            [](const KnifeEdge& a, const KnifeEdge& b) {
+              return a.distance_m < b.distance_m;
+            });
+}
+
+double ItmLiteModel::site_loss_db() const {
+  double base = friis_loss_db(path_length_m_, freq_mhz_);
+  if (line_of_sight()) {
+    // Two-ray regime for long smooth paths: beyond the crossover distance
+    // d_c = 4π·h_t·h_r/λ the ground reflection steepens decay to 40 dB/dec.
+    const double wavelength_m = kSpeedOfLight / (freq_mhz_ * 1e6);
+    double crossover = 4.0 * M_PI * tx_agl_ * rx_agl_ / wavelength_m;
+    if (path_length_m_ > crossover) {
+      double two_ray =
+          40.0 * std::log10(path_length_m_) -
+          20.0 * std::log10(tx_agl_ * rx_agl_);
+      return std::max(base, two_ray);
+    }
+    return base;
+  }
+  return base + diffraction_loss_db_;
+}
+
+double ItmLiteModel::site_gain() const {
+  return std::min(1.0, db_to_ratio(-site_loss_db()));
+}
+
+double ItmLiteModel::path_gain(double distance_m) const {
+  // Spreading rescales with distance along the same bearing; the terrain
+  // diffraction term is a property of the configured path.
+  double loss = friis_loss_db(distance_m, freq_mhz_) + diffraction_loss_db_;
+  return std::min(1.0, db_to_ratio(-loss));
+}
+
+}  // namespace pisa::radio

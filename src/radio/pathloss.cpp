@@ -1,0 +1,123 @@
+#include "radio/pathloss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "radio/units.hpp"
+
+namespace pisa::radio {
+
+namespace {
+
+// Friis free-space loss in dB: 20·log10(d_km) + 20·log10(f_MHz) + 32.44.
+double friis_loss_db(double distance_m, double freq_mhz) {
+  double d_km = distance_m / 1000.0;
+  return 20.0 * std::log10(d_km) + 20.0 * std::log10(freq_mhz) + 32.44;
+}
+
+double loss_db_to_gain(double loss_db) {
+  // Gain is capped at 1 (no amplification from propagation).
+  return std::min(1.0, db_to_ratio(-loss_db));
+}
+
+}  // namespace
+
+double PathLossModel::path_loss_db(double distance_m) const {
+  return -ratio_to_db(path_gain(distance_m));
+}
+
+double PathLossModel::distance_for_gain(double target_gain,
+                                        double max_distance_m) const {
+  if (!(target_gain > 0.0) || target_gain > 1.0)
+    throw std::domain_error("distance_for_gain: target must be in (0, 1]");
+  double lo = 1.0, hi = max_distance_m;
+  if (path_gain(hi) > target_gain) return max_distance_m;
+  if (path_gain(lo) <= target_gain) return lo;
+  for (int i = 0; i < 80; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (path_gain(mid) <= target_gain)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+FreeSpaceModel::FreeSpaceModel(double freq_mhz) : freq_mhz_(freq_mhz) {
+  if (freq_mhz <= 0) throw std::domain_error("FreeSpaceModel: bad frequency");
+}
+
+double FreeSpaceModel::path_gain(double distance_m) const {
+  if (distance_m < 1.0) distance_m = 1.0;
+  return loss_db_to_gain(friis_loss_db(distance_m, freq_mhz_));
+}
+
+LogDistanceModel::LogDistanceModel(double freq_mhz, double exponent,
+                                   double ref_distance_m)
+    : exponent_(exponent), ref_distance_m_(ref_distance_m) {
+  if (freq_mhz <= 0 || exponent <= 0 || ref_distance_m <= 0)
+    throw std::domain_error("LogDistanceModel: bad parameters");
+  ref_loss_db_ = friis_loss_db(ref_distance_m, freq_mhz);
+}
+
+double LogDistanceModel::path_gain(double distance_m) const {
+  if (distance_m < ref_distance_m_) distance_m = ref_distance_m_;
+  double loss = ref_loss_db_ + 10.0 * exponent_ * std::log10(distance_m / ref_distance_m_);
+  return loss_db_to_gain(loss);
+}
+
+ExtendedHataModel::ExtendedHataModel(double freq_mhz, double tx_height_m,
+                                     double rx_height_m)
+    : freq_mhz_(freq_mhz), hb_(tx_height_m), hm_(rx_height_m) {
+  if (freq_mhz < 30 || freq_mhz > 3000)
+    throw std::domain_error("ExtendedHataModel: frequency out of 30–3000 MHz");
+  if (tx_height_m <= 0 || rx_height_m <= 0)
+    throw std::domain_error("ExtendedHataModel: non-positive antenna height");
+}
+
+double ExtendedHataModel::loss_db(double d_km) const {
+  const double f = freq_mhz_;
+  const double logf = std::log10(f);
+
+  // Mobile antenna correction a(hm) (medium/small city form).
+  double a_hm = (1.1 * logf - 0.7) * hm_ - (1.56 * logf - 0.8);
+
+  // Urban Hata core, with the frequency term split per the extended model's
+  // bands (ERC Report 68 formulation, simplified to its 150–1500 MHz branch
+  // plus the standard >1500 MHz COST-231 style branch).
+  double fterm;
+  if (f <= 1500.0)
+    fterm = 69.55 + 26.16 * logf;
+  else
+    fterm = 46.3 + 33.9 * logf;
+
+  double loss_urban = fterm - 13.82 * std::log10(hb_) - a_hm +
+                      (44.9 - 6.55 * std::log10(hb_)) * std::log10(std::max(d_km, 0.01));
+
+  // Sub-urban correction (Hata): −2·[log10(f/28)]² − 5.4.
+  double sub = 2.0 * std::pow(std::log10(f / 28.0), 2.0) + 5.4;
+  return loss_urban - sub;
+}
+
+double ExtendedHataModel::path_gain(double distance_m) const {
+  double d_km = std::max(distance_m, 1.0) / 1000.0;
+  // Below ~40 m the Hata form is extrapolated; clamp the gain at 1 anyway.
+  return loss_db_to_gain(loss_db(d_km));
+}
+
+std::unique_ptr<PathLossModel> make_free_space(double freq_mhz) {
+  return std::make_unique<FreeSpaceModel>(freq_mhz);
+}
+
+std::unique_ptr<PathLossModel> make_log_distance(double freq_mhz, double exponent) {
+  return std::make_unique<LogDistanceModel>(freq_mhz, exponent);
+}
+
+std::unique_ptr<PathLossModel> make_extended_hata_suburban(double freq_mhz,
+                                                           double tx_height_m,
+                                                           double rx_height_m) {
+  return std::make_unique<ExtendedHataModel>(freq_mhz, tx_height_m, rx_height_m);
+}
+
+}  // namespace pisa::radio

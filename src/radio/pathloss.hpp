@@ -1,0 +1,82 @@
+// Path-loss models.
+//
+// WATCH/PISA consume a path *gain* h(d) ∈ (0, 1]: received power =
+// transmitted power × h(d). The paper names the Extended Hata sub-urban
+// model for the SDC's E_S precomputation (§IV-A1) and the L-R irregular
+// terrain model for TV signal strength; our terrain substitute lives in
+// terrain.hpp (see DESIGN.md for the substitution rationale).
+//
+// All models are monotone non-increasing in distance, which
+// `distance_for_gain` exploits (bisection) to realize eq. (1): solving for
+// the exclusion radius d^c at which SU interference falls below the
+// protection threshold.
+#pragma once
+
+#include <memory>
+
+namespace pisa::radio {
+
+/// Interface: linear path gain at a given separation.
+class PathLossModel {
+ public:
+  virtual ~PathLossModel() = default;
+
+  /// Linear power gain h(d) ∈ (0, 1] at distance d (meters). Implementations
+  /// must be monotone non-increasing in d and clamp to 1 at very short range.
+  virtual double path_gain(double distance_m) const = 0;
+
+  /// Path loss in dB (convenience).
+  double path_loss_db(double distance_m) const;
+
+  /// Smallest distance at which path_gain(d) <= target_gain, via bisection
+  /// over [1 m, max_distance_m]. Returns max_distance_m if the gain never
+  /// drops that low. target_gain must be in (0, 1].
+  double distance_for_gain(double target_gain, double max_distance_m = 200'000.0) const;
+};
+
+/// Free-space (Friis) propagation at a fixed carrier frequency.
+class FreeSpaceModel final : public PathLossModel {
+ public:
+  explicit FreeSpaceModel(double freq_mhz);
+  double path_gain(double distance_m) const override;
+
+ private:
+  double freq_mhz_;
+};
+
+/// Log-distance model: loss(d) = loss(d0) + 10·γ·log10(d/d0).
+class LogDistanceModel final : public PathLossModel {
+ public:
+  /// `exponent` γ is typically 2 (free space) to 4 (dense urban).
+  LogDistanceModel(double freq_mhz, double exponent, double ref_distance_m = 1.0);
+  double path_gain(double distance_m) const override;
+
+ private:
+  double exponent_;
+  double ref_distance_m_;
+  double ref_loss_db_;  // free-space loss at the reference distance
+};
+
+/// Extended Hata model, sub-urban variant (CEPT SE42 / ERC Report 68 form),
+/// valid for 30 MHz – 3 GHz and up to ~40 km. Heights in meters.
+class ExtendedHataModel final : public PathLossModel {
+ public:
+  ExtendedHataModel(double freq_mhz, double tx_height_m, double rx_height_m);
+  double path_gain(double distance_m) const override;
+
+ private:
+  double loss_db(double distance_km) const;
+
+  double freq_mhz_;
+  double hb_;  // base (transmitter) antenna height
+  double hm_;  // mobile (receiver) antenna height
+};
+
+/// Factory helpers.
+std::unique_ptr<PathLossModel> make_free_space(double freq_mhz);
+std::unique_ptr<PathLossModel> make_log_distance(double freq_mhz, double exponent);
+std::unique_ptr<PathLossModel> make_extended_hata_suburban(double freq_mhz,
+                                                           double tx_height_m,
+                                                           double rx_height_m);
+
+}  // namespace pisa::radio

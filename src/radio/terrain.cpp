@@ -1,0 +1,126 @@
+#include "radio/terrain.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "bigint/random_source.hpp"
+#include "radio/units.hpp"
+
+namespace pisa::radio {
+
+namespace {
+
+// Uniform double in [-1, 1] from a SplitMix64 stream.
+double unit_noise(bn::SplitMix64Random& rng) {
+  return static_cast<double>(rng.next_u64() >> 11) * (2.0 / 9007199254740992.0) - 1.0;
+}
+
+}  // namespace
+
+Terrain::Terrain(unsigned k, double cell_size_m, double peak_height_m,
+                 double roughness, std::uint64_t seed)
+    : side_((std::size_t{1} << k) + 1), cell_size_m_(cell_size_m) {
+  if (k == 0 || k > 12) throw std::invalid_argument("Terrain: k must be in [1, 12]");
+  if (cell_size_m <= 0 || peak_height_m < 0 || roughness <= 0 || roughness > 1)
+    throw std::invalid_argument("Terrain: bad parameters");
+
+  bn::SplitMix64Random rng{seed};
+  height_.assign(side_ * side_, 0.0);
+  auto h = [&](std::size_t r, std::size_t c) -> double& {
+    return height_[r * side_ + c];
+  };
+
+  double amp = peak_height_m;
+  h(0, 0) = amp * unit_noise(rng);
+  h(0, side_ - 1) = amp * unit_noise(rng);
+  h(side_ - 1, 0) = amp * unit_noise(rng);
+  h(side_ - 1, side_ - 1) = amp * unit_noise(rng);
+
+  for (std::size_t step = side_ - 1; step > 1; step /= 2) {
+    std::size_t half = step / 2;
+    // Diamond pass.
+    for (std::size_t r = half; r < side_; r += step) {
+      for (std::size_t c = half; c < side_; c += step) {
+        double avg = (h(r - half, c - half) + h(r - half, c + half) +
+                      h(r + half, c - half) + h(r + half, c + half)) / 4.0;
+        h(r, c) = avg + amp * roughness * unit_noise(rng);
+      }
+    }
+    // Square pass.
+    for (std::size_t r = 0; r < side_; r += half) {
+      std::size_t c0 = (r / half) % 2 == 0 ? half : 0;
+      for (std::size_t c = c0; c < side_; c += step) {
+        double sum = 0;
+        int cnt = 0;
+        if (r >= half) { sum += h(r - half, c); ++cnt; }
+        if (r + half < side_) { sum += h(r + half, c); ++cnt; }
+        if (c >= half) { sum += h(r, c - half); ++cnt; }
+        if (c + half < side_) { sum += h(r, c + half); ++cnt; }
+        h(r, c) = sum / cnt + amp * roughness * unit_noise(rng);
+      }
+    }
+    amp *= roughness;
+  }
+
+  // Shift so the minimum elevation is zero (sea level).
+  double lo = *std::min_element(height_.begin(), height_.end());
+  for (double& v : height_) v -= lo;
+}
+
+double Terrain::elevation_m(double x_m, double y_m) const {
+  double fx = std::clamp(x_m / cell_size_m_, 0.0, static_cast<double>(side_ - 1));
+  double fy = std::clamp(y_m / cell_size_m_, 0.0, static_cast<double>(side_ - 1));
+  auto c0 = static_cast<std::size_t>(fx);
+  auto r0 = static_cast<std::size_t>(fy);
+  std::size_t c1 = std::min(c0 + 1, side_ - 1);
+  std::size_t r1 = std::min(r0 + 1, side_ - 1);
+  double tx = fx - static_cast<double>(c0);
+  double ty = fy - static_cast<double>(r0);
+  double top = at(r0, c0) * (1 - tx) + at(r0, c1) * tx;
+  double bot = at(r1, c0) * (1 - tx) + at(r1, c1) * tx;
+  return top * (1 - ty) + bot * ty;
+}
+
+int Terrain::obstructions(double x1, double y1, double h1_agl_m, double x2,
+                          double y2, double h2_agl_m) const {
+  double e1 = elevation_m(x1, y1) + h1_agl_m;
+  double e2 = elevation_m(x2, y2) + h2_agl_m;
+  double dist = std::hypot(x2 - x1, y2 - y1);
+  if (dist < cell_size_m_) return 0;
+  int steps = static_cast<int>(dist / cell_size_m_);
+  int count = 0;
+  for (int i = 1; i < steps; ++i) {
+    double t = static_cast<double>(i) / steps;
+    double los = e1 + (e2 - e1) * t;  // line-of-sight height at this point
+    double ground = elevation_m(x1 + (x2 - x1) * t, y1 + (y2 - y1) * t);
+    if (ground > los) ++count;
+  }
+  return count;
+}
+
+TerrainAwareModel::TerrainAwareModel(std::shared_ptr<const Terrain> terrain,
+                                     std::shared_ptr<const PathLossModel> base,
+                                     double tx_x, double tx_y, double tx_agl_m,
+                                     double rx_x, double rx_y, double rx_agl_m,
+                                     double db_per_obstruction)
+    : terrain_(std::move(terrain)), base_(std::move(base)),
+      tx_x_(tx_x), tx_y_(tx_y), tx_agl_(tx_agl_m),
+      rx_x_(rx_x), rx_y_(rx_y), rx_agl_(rx_agl_m),
+      db_per_obstruction_(db_per_obstruction) {
+  if (!terrain_ || !base_) throw std::invalid_argument("TerrainAwareModel: null dependency");
+}
+
+double TerrainAwareModel::path_gain(double distance_m) const {
+  // Same obstruction profile scaled by how far along the bearing we are.
+  int obs = terrain_->obstructions(tx_x_, tx_y_, tx_agl_, rx_x_, rx_y_, rx_agl_);
+  double penalty_db = db_per_obstruction_ * obs;
+  return std::min(1.0, base_->path_gain(distance_m) * db_to_ratio(-penalty_db));
+}
+
+double TerrainAwareModel::site_gain() const {
+  double d = std::hypot(rx_x_ - tx_x_, rx_y_ - tx_y_);
+  return path_gain(d);
+}
+
+}  // namespace pisa::radio

@@ -1,0 +1,71 @@
+// RF unit conversions and EIRP arithmetic.
+//
+// The paper quantizes all RF quantities to integer mW before encryption
+// (§III-D: "integer representation of the mean TV signal strength in mW"),
+// so this header also provides the fixed-point quantizer used at the
+// crypto boundary.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace pisa::radio {
+
+/// dBm -> milliwatts.
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+/// Milliwatts -> dBm. mw must be > 0.
+inline double mw_to_dbm(double mw) {
+  if (mw <= 0) throw std::domain_error("mw_to_dbm: non-positive power");
+  return 10.0 * std::log10(mw);
+}
+
+/// dB ratio -> linear ratio.
+inline double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Linear ratio -> dB. ratio must be > 0.
+inline double ratio_to_db(double ratio) {
+  if (ratio <= 0) throw std::domain_error("ratio_to_db: non-positive ratio");
+  return 10.0 * std::log10(ratio);
+}
+
+/// EIRP in dBm from transmit power, antenna gain and line loss
+/// (paper §III-D: EIRP = PT + GA − LS).
+inline double eirp_dbm(double pt_dbm, double ga_db, double ls_db) {
+  return pt_dbm + ga_db - ls_db;
+}
+
+/// Fixed-point quantization used at the encryption boundary. The paper uses
+/// a 60-bit integer representation (Table I); we scale powers expressed in
+/// mW by `scale` and round. Throws if the result does not fit in `max_bits`.
+struct PowerQuantizer {
+  double scale = 1e6;       // sub-µW resolution on mW values
+  unsigned max_bits = 60;   // paper's Table I bit width
+
+  std::int64_t quantize_mw(double mw) const {
+    if (!(mw >= 0)) throw std::domain_error("quantize_mw: negative power");
+    double scaled = std::round(mw * scale);
+    if (scaled >= std::ldexp(1.0, static_cast<int>(max_bits)))
+      throw std::overflow_error("quantize_mw: exceeds integer representation width");
+    return static_cast<std::int64_t>(scaled);
+  }
+
+  double dequantize_mw(std::int64_t q) const {
+    return static_cast<double>(q) / scale;
+  }
+};
+
+/// Speed of light, m/s.
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Center frequency (MHz) of a US UHF TV channel (post-repack numbering:
+/// channels 14–36 occupy 470–608 MHz in 6 MHz steps). Throws
+/// std::out_of_range outside that band.
+inline double uhf_channel_center_mhz(unsigned channel) {
+  if (channel < 14 || channel > 36)
+    throw std::out_of_range("uhf_channel_center_mhz: US UHF is channels 14-36");
+  return 470.0 + 6.0 * static_cast<double>(channel - 14) + 3.0;
+}
+
+}  // namespace pisa::radio

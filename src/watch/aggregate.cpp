@@ -1,0 +1,67 @@
+#include "watch/aggregate.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "radio/units.hpp"
+
+namespace pisa::watch {
+
+std::vector<PuExposure> compute_exposures(
+    const WatchConfig& cfg, const std::vector<PuSite>& sites,
+    const std::vector<PuTuning>& tunings, const std::vector<ActiveSu>& sus,
+    const radio::PathLossModel& model, double required_sinr_db) {
+  if (sites.size() != tunings.size())
+    throw std::invalid_argument("compute_exposures: sites/tunings mismatch");
+  auto area = cfg.make_area();
+
+  std::vector<PuExposure> out;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const auto& tuning = tunings[i];
+    if (!tuning.channel.has_value()) continue;
+
+    PuExposure e;
+    e.pu_id = sites[i].pu_id;
+    e.signal_mw = tuning.signal_mw;
+    for (const auto& su : sus) {
+      if (su.channel != *tuning.channel) continue;
+      double d = area.block_distance_m(sites[i].block, su.block);
+      e.interference_mw += su.eirp_mw * model.path_gain(d);
+    }
+    if (e.interference_mw > 0) {
+      e.sinr_db = radio::ratio_to_db(e.signal_mw / e.interference_mw);
+    } else {
+      e.sinr_db = std::numeric_limits<double>::infinity();
+    }
+    e.protected_ok = e.sinr_db >= required_sinr_db;
+    out.push_back(e);
+  }
+  return out;
+}
+
+AdmissionResult admit_sequentially(PlainWatch& watch,
+                                   const std::vector<SuRequest>& candidates) {
+  AdmissionResult result;
+  for (const auto& request : candidates) {
+    if (!watch.process_request(request).granted) {
+      ++result.denied;
+      continue;
+    }
+    for (std::uint32_t c = 0; c < request.eirp_mw_per_channel.size(); ++c) {
+      if (request.eirp_mw_per_channel[c] > 0) {
+        result.admitted.push_back({request.block, radio::ChannelId{c},
+                                   request.eirp_mw_per_channel[c]});
+      }
+    }
+  }
+  return result;
+}
+
+double worst_margin_db(const std::vector<PuExposure>& exposures,
+                       double required_sinr_db) {
+  double worst = std::numeric_limits<double>::infinity();
+  for (const auto& e : exposures) worst = std::min(worst, e.sinr_db - required_sinr_db);
+  return worst;
+}
+
+}  // namespace pisa::watch

@@ -1,0 +1,70 @@
+// WATCH system configuration and shared quantities (paper §III-A).
+//
+// Both the plaintext reference (plain_watch) and the encrypted protocol
+// (core/) consume this config, so that the two pipelines share the exact
+// same numeric path — the equivalence tests rely on that.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "radio/grid.hpp"
+#include "radio/pathloss.hpp"
+#include "radio/units.hpp"
+
+namespace pisa::watch {
+
+/// A registered TV-receiver site. Per the paper (§III-D), the *location* of
+/// a TV receiver is public (registration is mandatory in e.g. Norway); only
+/// its tuned channel and signal strength are private.
+struct PuSite {
+  std::uint32_t pu_id = 0;
+  radio::BlockId block;
+};
+
+/// The PU-private part of a site's state.
+struct PuTuning {
+  std::optional<radio::ChannelId> channel;  // nullopt = receiver off
+  double signal_mw = 0;                     // mean TV signal strength S^PU_{c,i}
+};
+
+struct WatchConfig {
+  std::size_t grid_rows = 20;
+  std::size_t grid_cols = 30;
+  double block_size_m = 10.0;    // per [36], blocks are ~10 m × 10 m
+  std::size_t channels = 100;    // paper Table I
+
+  double delta_tv_sinr_db = 23.0;   // ATSC co-channel protection ratio
+  double delta_redn_db = 3.0;       // aggregate-interference reduction margin
+  double su_max_eirp_dbm = 36.0;    // S^SU_max (4 W)
+  double pu_min_signal_dbm = -84.0; // S^PU_sv_min (ATSC sensitivity)
+
+  /// Quantizer at picowatt resolution: TV signal strengths near the ATSC
+  /// sensitivity floor (−84 dBm ≈ 4 fW) and SU EIRPs up to 4 W must share
+  /// one integer scale inside the paper's 60-bit representation.
+  /// 4000 mW × 1e12 × (Δ≈203) ≈ 8.1e17 < 2^60 ≈ 1.15e18.
+  radio::PowerQuantizer quantizer{1e12, 60};
+
+  radio::ServiceArea make_area() const {
+    return radio::ServiceArea{grid_rows, grid_cols, block_size_m, channels};
+  }
+
+  /// The plaintext scalar X = Δ_TV_SINR + Δ_redn of eq. (6)/(11), as the
+  /// integer the homomorphic scalar multiplication uses.
+  std::int64_t protection_scalar() const {
+    return std::llround(radio::db_to_ratio(delta_tv_sinr_db) +
+                        radio::db_to_ratio(delta_redn_db));
+  }
+
+  double su_max_eirp_mw() const { return radio::dbm_to_mw(su_max_eirp_dbm); }
+  double pu_min_signal_mw() const { return radio::dbm_to_mw(pu_min_signal_dbm); }
+};
+
+/// Exclusion radius d^c from eq. (1): the distance beyond which even a
+/// maximum-EIRP SU cannot push a PU below its protection ratio.
+double exclusion_radius_m(const WatchConfig& cfg, const radio::PathLossModel& model);
+
+}  // namespace pisa::watch

@@ -1,0 +1,108 @@
+#include "watch/matrices.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pisa::watch {
+
+double exclusion_radius_m(const WatchConfig& cfg, const radio::PathLossModel& model) {
+  // Eq. (1): Δ_SINR + Δ_redn = S^PU_min / (S^SU_max · h_max(d^c))
+  //   ⇒ h_max(d^c) = S^PU_min / (S^SU_max · (Δ_SINR + Δ_redn)).
+  double delta = radio::db_to_ratio(cfg.delta_tv_sinr_db) +
+                 radio::db_to_ratio(cfg.delta_redn_db);
+  double target = cfg.pu_min_signal_mw() / (cfg.su_max_eirp_mw() * delta);
+  return model.distance_for_gain(std::min(target, 1.0));
+}
+
+QMatrix make_e_matrix(const WatchConfig& cfg) {
+  std::int64_t e = cfg.quantizer.quantize_mw(cfg.su_max_eirp_mw());
+  return QMatrix{cfg.channels, cfg.grid_rows * cfg.grid_cols, e};
+}
+
+QMatrix build_pu_w_matrix(const WatchConfig& cfg, const QMatrix& e_matrix,
+                          const PuSite& site, const PuTuning& tuning) {
+  QMatrix w{cfg.channels, cfg.grid_rows * cfg.grid_cols, 0};
+  if (!tuning.channel.has_value()) return w;  // receiver off: all-zero update
+  radio::ChannelId c = *tuning.channel;
+  if (c.index >= cfg.channels)
+    throw std::out_of_range("build_pu_w_matrix: bad channel");
+  std::int64_t t = cfg.quantizer.quantize_mw(tuning.signal_mw);
+  if (t <= 0)
+    throw std::domain_error("build_pu_w_matrix: active PU needs positive signal");
+  w.at(c, site.block) = t - e_matrix.at(c, site.block);
+  return w;
+}
+
+QMatrix build_su_f_matrix(const WatchConfig& cfg,
+                          const std::vector<PuSite>& sites,
+                          radio::BlockId su_block,
+                          const std::vector<double>& eirp_mw_per_channel,
+                          const radio::PathLossModel& model, double radius_m) {
+  if (eirp_mw_per_channel.size() != cfg.channels)
+    throw std::invalid_argument("build_su_f_matrix: need one EIRP per channel");
+  auto area = cfg.make_area();
+  if (!area.valid(su_block))
+    throw std::out_of_range("build_su_f_matrix: bad SU block");
+
+  QMatrix f{cfg.channels, area.num_blocks(), 0};
+  for (const auto& site : sites) {
+    double d = area.block_distance_m(su_block, site.block);
+    if (d > radius_m) continue;
+    double gain = model.path_gain(d);
+    for (std::uint32_t c = 0; c < cfg.channels; ++c) {
+      double eirp_mw = eirp_mw_per_channel[c];
+      if (eirp_mw <= 0) continue;
+      f.at(radio::ChannelId{c}, site.block) =
+          cfg.quantizer.quantize_mw(eirp_mw * gain);
+    }
+  }
+  return f;
+}
+
+std::size_t nonzero_entries(const QMatrix& m) {
+  return static_cast<std::size_t>(
+      std::count_if(m.begin(), m.end(), [](std::int64_t v) { return v != 0; }));
+}
+
+std::vector<ChannelBand> make_channel_bands(
+    const WatchConfig& cfg,
+    const std::vector<const radio::PathLossModel*>& models) {
+  if (models.size() != cfg.channels)
+    throw std::invalid_argument("make_channel_bands: need one model per channel");
+  std::vector<ChannelBand> bands;
+  bands.reserve(models.size());
+  for (const auto* model : models) {
+    if (!model) throw std::invalid_argument("make_channel_bands: null model");
+    bands.push_back({model, exclusion_radius_m(cfg, *model)});
+  }
+  return bands;
+}
+
+QMatrix build_su_f_matrix_multiband(const WatchConfig& cfg,
+                                    const std::vector<PuSite>& sites,
+                                    radio::BlockId su_block,
+                                    const std::vector<double>& eirp_mw_per_channel,
+                                    const std::vector<ChannelBand>& bands) {
+  if (eirp_mw_per_channel.size() != cfg.channels || bands.size() != cfg.channels)
+    throw std::invalid_argument(
+        "build_su_f_matrix_multiband: need one EIRP and one band per channel");
+  auto area = cfg.make_area();
+  if (!area.valid(su_block))
+    throw std::out_of_range("build_su_f_matrix_multiband: bad SU block");
+
+  QMatrix f{cfg.channels, area.num_blocks(), 0};
+  for (const auto& site : sites) {
+    double d = area.block_distance_m(su_block, site.block);
+    for (std::uint32_t c = 0; c < cfg.channels; ++c) {
+      const auto& band = bands[c];
+      if (d > band.exclusion_radius_m) continue;  // per-channel d^c
+      double eirp_mw = eirp_mw_per_channel[c];
+      if (eirp_mw <= 0) continue;
+      f.at(radio::ChannelId{c}, site.block) =
+          cfg.quantizer.quantize_mw(eirp_mw * band.model->path_gain(d));
+    }
+  }
+  return f;
+}
+
+}  // namespace pisa::watch

@@ -1,0 +1,63 @@
+// Builders for the C×B matrices the protocol exchanges (paper §III-D,
+// §IV-A): E (max SU EIRP), W_i (PU update deltas), F_j (SU interference
+// profile). These run in the plaintext domain; the encrypted protocol
+// encrypts their outputs entry by entry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "radio/grid.hpp"
+#include "radio/pathloss.hpp"
+#include "watch/config.hpp"
+
+namespace pisa::watch {
+
+using QMatrix = radio::CbMatrix<std::int64_t>;
+
+/// E = {E_S(c,b)}: the per-(channel, block) maximum SU EIRP budget used when
+/// no PU occupies the entry (eq. (4) else-branch). Uniform S^SU_max here;
+/// callers may further cap entries (e.g. near TV transmitters).
+QMatrix make_e_matrix(const WatchConfig& cfg);
+
+/// W_i = T_i − E for PU i's single active (c, i) entry, zero elsewhere — the
+/// paper's comparison-free budget encoding (eq. (9)). Empty tuning (receiver
+/// off) yields the all-zero matrix.
+QMatrix build_pu_w_matrix(const WatchConfig& cfg, const QMatrix& e_matrix,
+                          const PuSite& site, const PuTuning& tuning);
+
+/// F_j(c,i) = S^SU_{c,j} · h(d_{i,j}) (eq. (5)) quantized, for every
+/// registered PU site within `radius_m` of the SU; zero elsewhere.
+/// `eirp_mw_per_channel` has one EIRP per channel (0 = not requesting).
+QMatrix build_su_f_matrix(const WatchConfig& cfg,
+                          const std::vector<PuSite>& sites,
+                          radio::BlockId su_block,
+                          const std::vector<double>& eirp_mw_per_channel,
+                          const radio::PathLossModel& model, double radius_m);
+
+/// Count of non-zero entries (the ciphertexts an SU must freshly prepare).
+std::size_t nonzero_entries(const QMatrix& m);
+
+/// Per-channel propagation: the paper notes "d^c is only related to the
+/// channel" — different UHF channels propagate differently, so each channel
+/// may carry its own path-loss model and hence its own exclusion radius.
+/// `models[c]` must be non-null and outlive the returned values' use.
+struct ChannelBand {
+  const radio::PathLossModel* model = nullptr;
+  double exclusion_radius_m = 0;  // d^c for this channel
+};
+
+/// Build one ChannelBand per channel from per-channel models (eq. (1)
+/// applied per band).
+std::vector<ChannelBand> make_channel_bands(
+    const WatchConfig& cfg, const std::vector<const radio::PathLossModel*>& models);
+
+/// Multiband F builder: like build_su_f_matrix, but each channel uses its
+/// own model and exclusion radius.
+QMatrix build_su_f_matrix_multiband(const WatchConfig& cfg,
+                                    const std::vector<PuSite>& sites,
+                                    radio::BlockId su_block,
+                                    const std::vector<double>& eirp_mw_per_channel,
+                                    const std::vector<ChannelBand>& bands);
+
+}  // namespace pisa::watch

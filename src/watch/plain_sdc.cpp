@@ -1,0 +1,64 @@
+#include "watch/plain_sdc.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace pisa::watch {
+
+PlainSdc::PlainSdc(const WatchConfig& cfg, QMatrix e_matrix)
+    : cfg_(cfg), e_(std::move(e_matrix)), n_(e_) {
+  if (e_.channels() != cfg.channels ||
+      e_.blocks() != cfg.grid_rows * cfg.grid_cols)
+    throw std::invalid_argument("PlainSdc: E matrix shape mismatch");
+}
+
+void PlainSdc::rebuild() {
+  n_ = e_;
+  for (const auto& [id, w] : pu_w_) {
+    for (std::size_t i = 0; i < n_.size(); ++i) n_[i] += w[i];
+  }
+}
+
+void PlainSdc::pu_update(std::uint32_t pu_id, QMatrix w_matrix) {
+  if (w_matrix.channels() != e_.channels() || w_matrix.blocks() != e_.blocks())
+    throw std::invalid_argument("PlainSdc: W matrix shape mismatch");
+  pu_w_[pu_id] = std::move(w_matrix);
+  rebuild();
+}
+
+void PlainSdc::pu_update_incremental(std::uint32_t pu_id, QMatrix w_matrix) {
+  if (w_matrix.channels() != e_.channels() || w_matrix.blocks() != e_.blocks())
+    throw std::invalid_argument("PlainSdc: W matrix shape mismatch");
+  auto it = pu_w_.find(pu_id);
+  if (it != pu_w_.end()) {
+    for (std::size_t i = 0; i < n_.size(); ++i) n_[i] -= it->second[i];
+  }
+  for (std::size_t i = 0; i < n_.size(); ++i) n_[i] += w_matrix[i];
+  pu_w_[pu_id] = std::move(w_matrix);
+}
+
+Decision PlainSdc::evaluate(const QMatrix& f_matrix) const {
+  if (f_matrix.channels() != e_.channels() || f_matrix.blocks() != e_.blocks())
+    throw std::invalid_argument("PlainSdc: F matrix shape mismatch");
+  const std::int64_t x = cfg_.protection_scalar();
+  Decision d;
+  d.worst_margin = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t i = 0; i < n_.size(); ++i) {
+    // eq. (6) in 128-bit: a misconfigured quantizer scale must fail loudly,
+    // not wrap (the ciphertext pipeline has the analogous headroom check in
+    // PisaConfig::validate).
+    auto wide = static_cast<__int128>(f_matrix[i]) * x;
+    if (wide > std::numeric_limits<std::int64_t>::max())
+      throw std::overflow_error(
+          "PlainSdc::evaluate: F*X exceeds the integer representation; "
+          "reduce the quantizer scale or the protection scalar");
+    auto interference = static_cast<std::int64_t>(wide);
+    std::int64_t margin = n_[i] - interference;   // eq. (7)
+    if (margin <= 0) ++d.violations;
+    d.worst_margin = std::min(d.worst_margin, margin);
+  }
+  d.granted = d.violations == 0;
+  return d;
+}
+
+}  // namespace pisa::watch

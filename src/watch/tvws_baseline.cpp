@@ -1,0 +1,38 @@
+#include "watch/tvws_baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "radio/units.hpp"
+
+namespace pisa::watch {
+
+TvwsBaseline::TvwsBaseline(const WatchConfig& cfg,
+                           std::vector<TvTransmitter> towers,
+                           const radio::PathLossModel& tv_model)
+    : occupied_(cfg.channels, cfg.grid_rows * cfg.grid_cols, 0) {
+  auto area = cfg.make_area();
+  double threshold_mw = cfg.pu_min_signal_mw();
+  for (const auto& tower : towers) {
+    if (!area.valid(tower.channel)) continue;
+    double tx_mw = radio::dbm_to_mw(tower.eirp_dbm);
+    for (std::uint32_t b = 0; b < area.num_blocks(); ++b) {
+      auto center = area.block_center(radio::BlockId{b});
+      double d = std::hypot(center.x - tower.location.x,
+                            center.y - tower.location.y);
+      if (tx_mw * tv_model.path_gain(d) >= threshold_mw)
+        occupied_.at(tower.channel, radio::BlockId{b}) = 1;
+    }
+  }
+}
+
+bool TvwsBaseline::channel_available(radio::ChannelId c, radio::BlockId b) const {
+  return occupied_.at(c, b) == 0;
+}
+
+std::size_t TvwsBaseline::available_pairs() const {
+  return static_cast<std::size_t>(
+      std::count(occupied_.begin(), occupied_.end(), std::uint8_t{0}));
+}
+
+}  // namespace pisa::watch

@@ -1,0 +1,45 @@
+// Static TV-white-space baseline (paper §I): the pre-WATCH model where a
+// channel is unusable in the entire protection contour of any TV
+// *transmitter* broadcasting on it, regardless of whether anyone is
+// watching. Used by the utilization benchmark to reproduce the paper's
+// motivating claim that dynamic exclusion zones vastly increase re-use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "radio/grid.hpp"
+#include "radio/pathloss.hpp"
+#include "watch/config.hpp"
+
+namespace pisa::watch {
+
+/// A TV broadcast tower (public data).
+struct TvTransmitter {
+  radio::Point location;
+  radio::ChannelId channel;
+  double eirp_dbm = 80.0;  // ~100 kW class UHF station
+};
+
+class TvwsBaseline {
+ public:
+  /// A block is excluded on a transmitter's channel if the TV signal there
+  /// still exceeds `cfg.pu_min_signal_dbm` (the protection contour).
+  TvwsBaseline(const WatchConfig& cfg, std::vector<TvTransmitter> towers,
+               const radio::PathLossModel& tv_model);
+
+  /// May an SU transmit on channel c in block b? (TVWS: only on idle
+  /// channels, i.e. outside every protection contour.)
+  bool channel_available(radio::ChannelId c, radio::BlockId b) const;
+
+  /// Number of (channel, block) pairs available for secondary use.
+  std::size_t available_pairs() const;
+
+  /// Total pairs (C × B), for utilization ratios.
+  std::size_t total_pairs() const { return occupied_.size(); }
+
+ private:
+  radio::CbMatrix<std::uint8_t> occupied_;  // 1 = inside a protection contour
+};
+
+}  // namespace pisa::watch

@@ -1,0 +1,97 @@
+#include "bigint/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace pisa::bn {
+namespace {
+
+TEST(BigInt, ConstructionAndSign) {
+  EXPECT_EQ(BigInt{}.sign(), 0);
+  EXPECT_EQ(BigInt{5}.sign(), 1);
+  EXPECT_EQ(BigInt{-5}.sign(), -1);
+  EXPECT_EQ(BigInt(BigUint{}, true).sign(), 0) << "negative zero normalizes";
+  EXPECT_EQ(BigInt{-5}.abs(), BigInt{5});
+  EXPECT_EQ((-BigInt{7}).sign(), -1);
+  EXPECT_EQ((-BigInt{0}).sign(), 0);
+}
+
+TEST(BigInt, Int64MinRoundTrip) {
+  auto min = std::numeric_limits<std::int64_t>::min();
+  BigInt v{min};
+  EXPECT_EQ(v.to_i64(), min);
+  EXPECT_EQ(v.to_dec(), "-9223372036854775808");
+  auto max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(BigInt{max}.to_i64(), max);
+}
+
+TEST(BigInt, ToI64OverflowThrows) {
+  BigInt big{BigUint::from_hex("8000000000000000")};  // 2^63
+  EXPECT_THROW(big.to_i64(), std::overflow_error);
+  BigInt low{BigUint::from_hex("8000000000000000"), true};  // -2^63 fits
+  EXPECT_EQ(low.to_i64(), std::numeric_limits<std::int64_t>::min());
+  BigInt toolow{BigUint::from_hex("8000000000000001"), true};
+  EXPECT_THROW(toolow.to_i64(), std::overflow_error);
+}
+
+TEST(BigInt, ExhaustiveSmallArithmeticMatchesMachine) {
+  // All four operators over [-20, 20]^2 against native int semantics
+  // (truncated division, remainder sign follows dividend).
+  for (int a = -20; a <= 20; ++a) {
+    for (int b = -20; b <= 20; ++b) {
+      BigInt ba{a}, bb{b};
+      EXPECT_EQ((ba + bb).to_i64(), a + b) << a << "+" << b;
+      EXPECT_EQ((ba - bb).to_i64(), a - b) << a << "-" << b;
+      EXPECT_EQ((ba * bb).to_i64(), a * b) << a << "*" << b;
+      if (b != 0) {
+        EXPECT_EQ((ba / bb).to_i64(), a / b) << a << "/" << b;
+        EXPECT_EQ((ba % bb).to_i64(), a % b) << a << "%" << b;
+      }
+    }
+  }
+}
+
+TEST(BigInt, OrderingMatchesMachine) {
+  for (int a = -10; a <= 10; ++a) {
+    for (int b = -10; b <= 10; ++b) {
+      EXPECT_EQ(BigInt{a} < BigInt{b}, a < b);
+      EXPECT_EQ(BigInt{a} == BigInt{b}, a == b);
+      EXPECT_EQ(BigInt{a} > BigInt{b}, a > b);
+    }
+  }
+}
+
+TEST(BigInt, ModEuclidAlwaysNonNegative) {
+  BigUint m{7};
+  for (int a = -30; a <= 30; ++a) {
+    BigUint r = BigInt{a}.mod_euclid(m);
+    EXPECT_LT(r, m);
+    long expected = ((a % 7) + 7) % 7;
+    EXPECT_EQ(r.to_u64(), static_cast<std::uint64_t>(expected)) << a;
+  }
+}
+
+TEST(BigInt, DecParsing) {
+  EXPECT_EQ(BigInt::from_dec("-12345").to_i64(), -12345);
+  EXPECT_EQ(BigInt::from_dec("0").sign(), 0);
+  EXPECT_EQ(BigInt::from_dec("-0").sign(), 0);
+  EXPECT_EQ(
+      BigInt::from_dec("-340282366920938463463374607431768211456").to_dec(),
+      "-340282366920938463463374607431768211456");
+}
+
+TEST(BigInt, LargeMixedSignAlgebra) {
+  BigInt a = BigInt::from_dec("-123456789012345678901234567890");
+  BigInt b = BigInt::from_dec("987654321098765432109876543210");
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) - b, a);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a * b).sign(), -1);
+  EXPECT_EQ((a * b) / b, a);
+  EXPECT_EQ(a - a, BigInt{0});
+}
+
+}  // namespace
+}  // namespace pisa::bn

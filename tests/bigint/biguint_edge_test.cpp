@@ -1,0 +1,178 @@
+// Edge-case and algebraic-law sweeps for BigUint beyond the basic suite:
+// ring axioms under random sizes, serialization fuzz, borrow/carry chains,
+// and cross-representation consistency. The crypto stack is only as sound
+// as these invariants.
+#include <gtest/gtest.h>
+
+#include "bigint/biguint.hpp"
+#include "bigint/random_source.hpp"
+
+namespace pisa::bn {
+namespace {
+
+BigUint random_value(SplitMix64Random& rng, std::size_t max_bytes) {
+  std::size_t len = rng.next_u64() % (max_bytes + 1);
+  std::vector<std::uint8_t> bytes(len);
+  rng.fill(bytes);
+  return BigUint::from_bytes_be(bytes);
+}
+
+TEST(BigUintLaws, AdditionMonoid) {
+  SplitMix64Random rng{101};
+  for (int i = 0; i < 50; ++i) {
+    BigUint a = random_value(rng, 64), b = random_value(rng, 64),
+            c = random_value(rng, 64);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a + BigUint{}, a);
+  }
+}
+
+TEST(BigUintLaws, MultiplicationMonoidAndAnnihilator) {
+  SplitMix64Random rng{102};
+  for (int i = 0; i < 30; ++i) {
+    BigUint a = random_value(rng, 40), b = random_value(rng, 40),
+            c = random_value(rng, 40);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * BigUint{1}, a);
+    EXPECT_TRUE((a * BigUint{}).is_zero());
+  }
+}
+
+TEST(BigUintLaws, AddThenSubtractRoundTrips) {
+  SplitMix64Random rng{103};
+  for (int i = 0; i < 50; ++i) {
+    BigUint a = random_value(rng, 100), b = random_value(rng, 100);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a + b) - a, b);
+  }
+}
+
+TEST(BigUintLaws, ComparisonIsTotalOrderCompatibleWithAddition) {
+  SplitMix64Random rng{104};
+  for (int i = 0; i < 50; ++i) {
+    BigUint a = random_value(rng, 32), b = random_value(rng, 32);
+    BigUint d = random_value(rng, 16) + BigUint{1};
+    // a < a + d always (d > 0); order is preserved by adding a constant.
+    EXPECT_LT(a, a + d);
+    if (a < b) {
+      EXPECT_LT(a + d, b + d);
+    }
+    // Trichotomy.
+    int rel = (a < b) + (a == b) + (a > b);
+    EXPECT_EQ(rel, 1);
+  }
+}
+
+TEST(BigUintLaws, BytesRoundTripFuzz) {
+  SplitMix64Random rng{105};
+  for (int i = 0; i < 200; ++i) {
+    BigUint v = random_value(rng, 150);
+    EXPECT_EQ(BigUint::from_bytes_be(v.to_bytes_be()), v);
+    EXPECT_EQ(BigUint::from_hex(v.to_hex()), v);
+    EXPECT_EQ(BigUint::from_dec(v.to_dec()), v);
+  }
+}
+
+TEST(BigUintLaws, LeadingZeroBytesAreCanonicalized) {
+  std::vector<std::uint8_t> padded = {0, 0, 0, 0x12, 0x34};
+  BigUint v = BigUint::from_bytes_be(padded);
+  EXPECT_EQ(v.to_u64(), 0x1234u);
+  EXPECT_EQ(v.to_bytes_be().size(), 2u);
+  std::vector<std::uint8_t> zeros(10, 0);
+  EXPECT_TRUE(BigUint::from_bytes_be(zeros).is_zero());
+}
+
+TEST(BigUintLaws, BorrowRipplesAcrossManyLimbs) {
+  // (2^640) − 1 must borrow across all ten limbs.
+  BigUint big = BigUint{1} << 640;
+  BigUint r = big - BigUint{1};
+  EXPECT_EQ(r.bit_length(), 640u);
+  for (std::size_t i = 0; i < 640; i += 64) EXPECT_TRUE(r.bit(i));
+  EXPECT_EQ(r + BigUint{1}, big);
+}
+
+TEST(BigUintLaws, CarryRipplesAcrossManyLimbs) {
+  BigUint ones = (BigUint{1} << 512) - BigUint{1};
+  EXPECT_EQ((ones + ones) >> 1, ones);
+  EXPECT_EQ(ones + ones, ones * BigUint{2});
+  EXPECT_EQ(ones + ones + BigUint{2}, (BigUint{1} << 513));
+}
+
+TEST(BigUintLaws, ShiftEqualsMulDivByPowerOfTwo) {
+  SplitMix64Random rng{106};
+  for (int i = 0; i < 30; ++i) {
+    BigUint a = random_value(rng, 64);
+    std::size_t k = rng.next_u64() % 200;
+    EXPECT_EQ(a << k, a * (BigUint{1} << k));
+    EXPECT_EQ(a >> k, a / (BigUint{1} << k));
+  }
+}
+
+TEST(BigUintLaws, DivModEuclideanForExtremeShapes) {
+  SplitMix64Random rng{107};
+  // Degenerate shapes: 1-limb / many-limb, equal values, divisor = n±1.
+  BigUint n = random_value(rng, 96) + BigUint{2};
+  auto check = [&](const BigUint& num, const BigUint& den) {
+    auto [q, r] = BigUint::divmod(num, den);
+    EXPECT_EQ(q * den + r, num);
+    EXPECT_LT(r, den);
+  };
+  check(BigUint{5}, n);
+  check(n, n);
+  check(n, n - BigUint{1});
+  check(n, n + BigUint{1});
+  check(n * n + BigUint{1}, n);
+  check(n * n - BigUint{1}, n);
+}
+
+TEST(BigUintLaws, SelfAliasingOperationsAreSafe) {
+  BigUint a = BigUint::from_hex("deadbeefdeadbeefdeadbeefdeadbeef");
+  BigUint orig = a;
+  a += a;
+  EXPECT_EQ(a, orig * BigUint{2});
+  a -= a;
+  EXPECT_TRUE(a.is_zero());
+  BigUint b = orig;
+  b *= b;
+  EXPECT_EQ(b, orig * orig);
+  BigUint c = orig;
+  c /= c;
+  EXPECT_EQ(c.to_u64(), 1u);
+  BigUint d = orig;
+  d %= d;
+  EXPECT_TRUE(d.is_zero());
+}
+
+TEST(BigUintLaws, DistributivityOverSubtraction) {
+  SplitMix64Random rng{108};
+  for (int i = 0; i < 30; ++i) {
+    BigUint a = random_value(rng, 48);
+    BigUint b = random_value(rng, 48);
+    BigUint c = random_value(rng, 24);
+    if (b < c) std::swap(b, c);
+    EXPECT_EQ(a * (b - c), a * b - a * c);
+  }
+}
+
+TEST(BigUintLaws, DecimalStringsOfPowersOfTen) {
+  BigUint v{1};
+  std::string expected = "1";
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_EQ(v.to_dec(), expected);
+    v *= BigUint{10};
+    expected += "0";
+  }
+}
+
+TEST(BigUintLaws, HexAndDecAgreeOnRandomValues) {
+  SplitMix64Random rng{109};
+  for (int i = 0; i < 30; ++i) {
+    BigUint v = random_value(rng, 80);
+    EXPECT_EQ(BigUint::from_dec(v.to_dec()), BigUint::from_hex(v.to_hex()));
+  }
+}
+
+}  // namespace
+}  // namespace pisa::bn

@@ -1,0 +1,250 @@
+#include "bigint/biguint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "bigint/random_source.hpp"
+
+namespace pisa::bn {
+namespace {
+
+using u128 = unsigned __int128;
+
+TEST(BigUint, DefaultIsZero) {
+  BigUint z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_hex(), "0");
+  EXPECT_EQ(z.to_dec(), "0");
+  EXPECT_EQ(z.limb_count(), 0u);
+}
+
+TEST(BigUint, SmallValues) {
+  BigUint one{1};
+  EXPECT_FALSE(one.is_zero());
+  EXPECT_TRUE(one.is_odd());
+  EXPECT_EQ(one.bit_length(), 1u);
+  EXPECT_EQ(one.to_u64(), 1u);
+  BigUint big{0xDEADBEEFCAFEBABEULL};
+  EXPECT_EQ(big.to_hex(), "deadbeefcafebabe");
+  EXPECT_EQ(big.bit_length(), 64u);
+}
+
+TEST(BigUint, HexRoundTrip) {
+  const char* cases[] = {
+      "0", "1", "f", "10", "ffffffffffffffff", "10000000000000000",
+      "123456789abcdef0fedcba9876543210",
+      "ffffffffffffffffffffffffffffffffffffffffffffffff"};
+  for (const char* c : cases) {
+    EXPECT_EQ(BigUint::from_hex(c).to_hex(), c) << c;
+  }
+  EXPECT_EQ(BigUint::from_hex("0x00ff").to_hex(), "ff");
+  EXPECT_EQ(BigUint::from_hex("ABCDEF").to_hex(), "abcdef");
+}
+
+TEST(BigUint, HexRejectsBadInput) {
+  EXPECT_THROW(BigUint::from_hex(""), std::invalid_argument);
+  EXPECT_THROW(BigUint::from_hex("0x"), std::invalid_argument);
+  EXPECT_THROW(BigUint::from_hex("12g4"), std::invalid_argument);
+}
+
+TEST(BigUint, DecRoundTrip) {
+  const char* cases[] = {
+      "0", "1", "9", "10", "18446744073709551615", "18446744073709551616",
+      "340282366920938463463374607431768211456",  // 2^128
+      "123456789012345678901234567890123456789012345678901234567890"};
+  for (const char* c : cases) {
+    EXPECT_EQ(BigUint::from_dec(c).to_dec(), c) << c;
+  }
+  EXPECT_THROW(BigUint::from_dec(""), std::invalid_argument);
+  EXPECT_THROW(BigUint::from_dec("12a"), std::invalid_argument);
+}
+
+TEST(BigUint, BytesRoundTrip) {
+  std::vector<std::uint8_t> bytes = {0x01, 0x02, 0x03, 0xFF, 0x00, 0xAB};
+  BigUint v = BigUint::from_bytes_be(bytes);
+  EXPECT_EQ(v.to_hex(), "10203ff00ab");
+  EXPECT_EQ(v.to_bytes_be(), bytes);
+  // Fixed-width padding.
+  auto padded = v.to_bytes_be(8);
+  ASSERT_EQ(padded.size(), 8u);
+  EXPECT_EQ(padded[0], 0);
+  EXPECT_EQ(padded[1], 0);
+  EXPECT_EQ(BigUint::from_bytes_be(padded), v);
+  EXPECT_THROW(v.to_bytes_be(3), std::length_error);
+  EXPECT_TRUE(BigUint{}.to_bytes_be().empty());
+}
+
+TEST(BigUint, AdditionCarryChain) {
+  BigUint max64{0xFFFFFFFFFFFFFFFFULL};
+  BigUint sum = max64 + BigUint{1};
+  EXPECT_EQ(sum.to_hex(), "10000000000000000");
+  // Long chain of 0xFF..FF limbs + 1.
+  BigUint chain = BigUint::from_hex(std::string(64, 'f'));
+  BigUint r = chain + BigUint{1};
+  EXPECT_EQ(r.to_hex(), "1" + std::string(64, '0'));
+  EXPECT_EQ(r - BigUint{1}, chain);
+}
+
+TEST(BigUint, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigUint{1} - BigUint{2}, std::underflow_error);
+  EXPECT_EQ((BigUint{5} - BigUint{5}).to_u64(), 0u);
+}
+
+TEST(BigUint, MulMatchesU128Reference) {
+  SplitMix64Random rng{42};
+  for (int i = 0; i < 200; ++i) {
+    std::uint64_t a = rng.next_u64();
+    std::uint64_t b = rng.next_u64();
+    u128 prod = static_cast<u128>(a) * b;
+    BigUint big = BigUint{a} * BigUint{b};
+    EXPECT_EQ(big.low_u64(), static_cast<std::uint64_t>(prod));
+    EXPECT_EQ((big >> 64).low_u64(), static_cast<std::uint64_t>(prod >> 64));
+  }
+}
+
+TEST(BigUint, MulByZeroAndOne) {
+  BigUint a = BigUint::from_hex("123456789abcdef0123456789abcdef");
+  EXPECT_TRUE((a * BigUint{}).is_zero());
+  EXPECT_EQ(a * BigUint{1}, a);
+  EXPECT_EQ(BigUint{1} * a, a);
+}
+
+class BigUintSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BigUintSizeSweep, DivModInvariant) {
+  // q*d + r == n and r < d across operand sizes, including sizes that
+  // exercise the Karatsuba path and multi-limb Knuth division.
+  SplitMix64Random rng{GetParam()};
+  std::size_t bits = GetParam();
+  for (int i = 0; i < 20; ++i) {
+    std::vector<std::uint8_t> nb(bits / 8), db(bits / 16 + 1);
+    rng.fill(nb);
+    rng.fill(db);
+    BigUint n = BigUint::from_bytes_be(nb);
+    BigUint d = BigUint::from_bytes_be(db);
+    if (d.is_zero()) d = BigUint{7};
+    auto [q, r] = BigUint::divmod(n, d);
+    EXPECT_LT(r, d);
+    EXPECT_EQ(q * d + r, n);
+  }
+}
+
+TEST_P(BigUintSizeSweep, MulDistributesOverAdd) {
+  SplitMix64Random rng{GetParam() * 7 + 1};
+  std::size_t bytes = GetParam() / 8;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::uint8_t> ab(bytes), bb(bytes), cb(bytes);
+    rng.fill(ab);
+    rng.fill(bb);
+    rng.fill(cb);
+    BigUint a = BigUint::from_bytes_be(ab);
+    BigUint b = BigUint::from_bytes_be(bb);
+    BigUint c = BigUint::from_bytes_be(cb);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a * b, b * a);
+  }
+}
+
+TEST_P(BigUintSizeSweep, MulDivRoundTrip) {
+  SplitMix64Random rng{GetParam() * 13 + 5};
+  std::size_t bytes = GetParam() / 8;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::uint8_t> ab(bytes), bb(bytes / 2 + 1);
+    rng.fill(ab);
+    rng.fill(bb);
+    BigUint a = BigUint::from_bytes_be(ab);
+    BigUint b = BigUint::from_bytes_be(bb);
+    if (b.is_zero()) b = BigUint{3};
+    BigUint p = a * b;
+    EXPECT_EQ(p / b, a);
+    EXPECT_TRUE((p % b).is_zero());
+  }
+}
+
+// 4096-bit operands cross the Karatsuba threshold (32 limbs = 2048 bits).
+INSTANTIATE_TEST_SUITE_P(Sizes, BigUintSizeSweep,
+                         ::testing::Values(64, 128, 512, 1024, 2048, 4096, 8192));
+
+TEST(BigUint, DivisionByZeroThrows) {
+  EXPECT_THROW(BigUint{5} / BigUint{}, std::domain_error);
+  EXPECT_THROW(BigUint{5} % BigUint{}, std::domain_error);
+}
+
+TEST(BigUint, DivSmallerThanDivisor) {
+  auto [q, r] = BigUint::divmod(BigUint{5}, BigUint{100});
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(r.to_u64(), 5u);
+}
+
+TEST(BigUint, KnuthAddBackCase) {
+  // A crafted case that historically triggers the rare "add back" branch in
+  // algorithm D: dividend with a run of high limbs against divisor slightly
+  // below a power of two.
+  BigUint n = BigUint::from_hex(
+      "80000000000000000000000000000000"
+      "00000000000000000000000000000000");
+  BigUint d = BigUint::from_hex("800000000000000000000000000000ff");
+  auto [q, r] = BigUint::divmod(n, d);
+  EXPECT_EQ(q * d + r, n);
+  EXPECT_LT(r, d);
+}
+
+TEST(BigUint, ShiftRoundTrip) {
+  BigUint a = BigUint::from_hex("deadbeefcafebabe123456789");
+  for (std::size_t k : {1u, 7u, 63u, 64u, 65u, 127u, 200u}) {
+    EXPECT_EQ(((a << k) >> k), a) << k;
+    EXPECT_EQ(a << k, a * (BigUint{1} << k)) << k;
+  }
+  EXPECT_TRUE((BigUint{1} >> 1).is_zero());
+  EXPECT_TRUE((a >> 2000).is_zero());
+}
+
+TEST(BigUint, BitLengthPowersOfTwo) {
+  for (std::size_t k : {0u, 1u, 63u, 64u, 65u, 255u, 4095u}) {
+    EXPECT_EQ((BigUint{1} << k).bit_length(), k + 1) << k;
+  }
+}
+
+TEST(BigUint, BitAccess) {
+  BigUint v;
+  v.set_bit(0);
+  v.set_bit(64);
+  v.set_bit(129);
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(64));
+  EXPECT_TRUE(v.bit(129));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_FALSE(v.bit(128));
+  EXPECT_FALSE(v.bit(100000));
+  EXPECT_EQ(v.bit_length(), 130u);
+}
+
+TEST(BigUint, Ordering) {
+  BigUint a{5}, b{7};
+  BigUint c = BigUint::from_hex("100000000000000000");
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_GT(c, a);
+  EXPECT_EQ(a, BigUint{5});
+  EXPECT_LE(a, a);
+  EXPECT_GE(c, c);
+}
+
+TEST(BigUint, ToU64OverflowThrows) {
+  BigUint big = BigUint::from_hex("10000000000000000");
+  EXPECT_THROW(big.to_u64(), std::overflow_error);
+  EXPECT_EQ(BigUint{123}.to_u64(), 123u);
+}
+
+TEST(BigUint, KnownLargeProduct) {
+  // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+  BigUint a = BigUint::from_hex(std::string(32, 'f'));
+  BigUint expect = (BigUint{1} << 256) - (BigUint{1} << 129) + BigUint{1};
+  EXPECT_EQ(a * a, expect);
+}
+
+}  // namespace
+}  // namespace pisa::bn

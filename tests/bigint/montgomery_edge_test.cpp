@@ -1,0 +1,136 @@
+// Montgomery arithmetic at its boundaries: tiny moduli, single-limb and
+// limb-boundary sizes, extreme operands, and window-size-aligned exponents.
+// These are the shapes where CIOS index arithmetic and the final
+// conditional subtraction historically go wrong.
+#include <gtest/gtest.h>
+
+#include "bigint/modular.hpp"
+#include "bigint/montgomery.hpp"
+#include "bigint/prime.hpp"
+#include "bigint/random_source.hpp"
+
+namespace pisa::bn {
+namespace {
+
+// Reference modmul via full product + division.
+BigUint ref_mul(const BigUint& a, const BigUint& b, const BigUint& m) {
+  return a * b % m;
+}
+
+TEST(MontgomeryEdge, SmallestModulus) {
+  Montgomery m3{BigUint{3}};
+  for (std::uint64_t a = 0; a < 3; ++a) {
+    for (std::uint64_t b = 0; b < 3; ++b) {
+      EXPECT_EQ(m3.mul(BigUint{a}, BigUint{b}).to_u64(), (a * b) % 3);
+    }
+  }
+  EXPECT_EQ(m3.pow(BigUint{2}, BigUint{100}).to_u64(), 1u);  // 2^100 mod 3
+}
+
+TEST(MontgomeryEdge, SingleLimbExhaustiveSmallCases) {
+  for (std::uint64_t mod : {5ULL, 7ULL, 255ULL, 65535ULL, 4294967295ULL}) {
+    if (mod % 2 == 0) continue;
+    Montgomery mont{BigUint{mod}};
+    SplitMix64Random rng{mod};
+    for (int i = 0; i < 20; ++i) {
+      std::uint64_t a = rng.next_u64() % mod;
+      std::uint64_t b = rng.next_u64() % mod;
+      EXPECT_EQ(mont.mul(BigUint{a}, BigUint{b}),
+                ref_mul(BigUint{a}, BigUint{b}, BigUint{mod}))
+          << mod << ": " << a << "*" << b;
+    }
+  }
+}
+
+TEST(MontgomeryEdge, MaxSingleLimbModulus) {
+  // 2^64 - 59 is prime — the largest prime below 2^64.
+  BigUint m = (BigUint{1} << 64) - BigUint{59};
+  Montgomery mont{m};
+  SplitMix64Random rng{42};
+  for (int i = 0; i < 20; ++i) {
+    BigUint a = random_below(rng, m);
+    BigUint b = random_below(rng, m);
+    EXPECT_EQ(mont.mul(a, b), ref_mul(a, b, m));
+  }
+  // Fermat at full width.
+  BigUint a = random_below(rng, m - BigUint{1}) + BigUint{1};
+  EXPECT_EQ(mont.pow(a, m - BigUint{1}).to_u64(), 1u);
+}
+
+TEST(MontgomeryEdge, OperandsAtModulusMinusOne) {
+  SplitMix64Random rng{7};
+  for (std::size_t bits : {64u, 128u, 1024u}) {
+    BigUint m = random_bits(rng, bits);
+    m.set_bit(bits - 1);
+    m.set_bit(0);
+    Montgomery mont{m};
+    BigUint top = m - BigUint{1};
+    // (m−1)² ≡ 1 (mod m).
+    EXPECT_EQ(mont.mul(top, top).to_u64(), 1u) << bits;
+    EXPECT_EQ(mont.mul(top, BigUint{1}), top);
+    EXPECT_EQ(mont.mul(BigUint{0}, top).to_u64(), 0u);
+  }
+}
+
+TEST(MontgomeryEdge, ExponentAlignedToWindowBoundaries) {
+  // The 4-bit windowed ladder: exponents of exactly 4k bits, with leading
+  // nibble 1 and 15, and with embedded zero nibbles.
+  BigUint m = random_bits(*std::make_unique<SplitMix64Random>(9), 256);
+  m.set_bit(255);
+  m.set_bit(0);
+  Montgomery mont{m};
+  SplitMix64Random rng{10};
+  BigUint base = random_below(rng, m);
+  for (const char* hex :
+       {"1", "f", "10", "ff", "100f", "f00f00f00f", "8000000000000000",
+        "ffffffffffffffff", "10000000000000000000000000000001"}) {
+    BigUint e = BigUint::from_hex(hex);
+    // Reference: square-and-multiply via plain mul/mod.
+    BigUint expect{1};
+    for (std::size_t i = e.bit_length(); i-- > 0;) {
+      expect = ref_mul(expect, expect, m);
+      if (e.bit(i)) expect = ref_mul(expect, base, m);
+    }
+    EXPECT_EQ(mont.pow(base, e), expect) << hex;
+  }
+}
+
+TEST(MontgomeryEdge, LimbBoundaryModulusSizes) {
+  // Moduli of exactly k*64±1 bits: the CIOS carry chain's corner shapes.
+  SplitMix64Random rng{11};
+  for (std::size_t bits : {63u, 65u, 127u, 129u, 191u, 193u}) {
+    BigUint m = random_bits(rng, bits);
+    m.set_bit(bits - 1);
+    m.set_bit(0);
+    Montgomery mont{m};
+    for (int i = 0; i < 10; ++i) {
+      BigUint a = random_below(rng, m);
+      BigUint b = random_below(rng, m);
+      EXPECT_EQ(mont.mul(a, b), ref_mul(a, b, m)) << bits;
+    }
+  }
+}
+
+TEST(MontgomeryEdge, PowZeroAndOneBases) {
+  Montgomery mont{BigUint{101}};
+  EXPECT_EQ(mont.pow(BigUint{1}, BigUint::from_dec("999999999999")).to_u64(), 1u);
+  EXPECT_EQ(mont.pow(BigUint{0}, BigUint{5}).to_u64(), 0u);
+  EXPECT_EQ(mont.pow(BigUint{100}, BigUint{2}).to_u64(), 1u);  // (-1)² = 1
+}
+
+TEST(ModularEdge, EulerCriterionOnKnownPrime) {
+  // For p ≡ 3 (mod 4), x^((p+1)/4) squares to ±x — a deeper exponentiation
+  // identity exercising long exponent chains.
+  BigUint p = BigUint::from_dec("170141183460469231731687303715884105727");  // 2^127−1
+  SplitMix64Random rng{13};
+  Montgomery mont{p};
+  for (int i = 0; i < 5; ++i) {
+    BigUint x = random_below(rng, p - BigUint{2}) + BigUint{1};
+    BigUint r = mont.pow(x, (p + BigUint{1}) >> 2);
+    BigUint r2 = mont.mul(r, r);
+    EXPECT_TRUE(r2 == x || r2 == p - x) << "candidate sqrt failed both signs";
+  }
+}
+
+}  // namespace
+}  // namespace pisa::bn

@@ -1,0 +1,112 @@
+#include "bigint/prime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bigint/modular.hpp"
+#include "bigint/random_source.hpp"
+
+namespace pisa::bn {
+namespace {
+
+TEST(RandomBits, WithinRange) {
+  SplitMix64Random rng{1};
+  for (std::size_t bits : {1u, 7u, 8u, 9u, 63u, 64u, 65u, 1000u}) {
+    for (int i = 0; i < 20; ++i) {
+      BigUint v = random_bits(rng, bits);
+      EXPECT_LE(v.bit_length(), bits);
+    }
+  }
+  EXPECT_TRUE(random_bits(rng, 0).is_zero());
+}
+
+TEST(RandomBits, HitsFullWidth) {
+  // Over enough draws the top bit should come up for small widths.
+  SplitMix64Random rng{2};
+  bool saw_top = false;
+  for (int i = 0; i < 200; ++i) {
+    if (random_bits(rng, 9).bit(8)) saw_top = true;
+  }
+  EXPECT_TRUE(saw_top);
+}
+
+TEST(RandomBelow, AlwaysBelowBound) {
+  SplitMix64Random rng{3};
+  BigUint bound = BigUint::from_dec("1000000000000000000000000");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(random_below(rng, bound), bound);
+  }
+  // Tight bound of 1: only 0 possible.
+  EXPECT_TRUE(random_below(rng, BigUint{1}).is_zero());
+  EXPECT_THROW(random_below(rng, BigUint{}), std::invalid_argument);
+}
+
+TEST(RandomCoprime, IsCoprimeAndNonZero) {
+  SplitMix64Random rng{4};
+  BigUint n{2 * 3 * 5 * 7 * 11 * 13};
+  for (int i = 0; i < 50; ++i) {
+    BigUint v = random_coprime(rng, n);
+    EXPECT_FALSE(v.is_zero());
+    EXPECT_LT(v, n);
+    EXPECT_EQ(gcd(v, n).to_u64(), 1u);
+  }
+}
+
+TEST(IsProbablePrime, SmallPrimesAndComposites) {
+  SplitMix64Random rng{5};
+  std::uint64_t primes[] = {2, 3, 5, 7, 11, 13, 97, 251, 257, 65537, 2147483647};
+  for (auto p : primes) EXPECT_TRUE(is_probable_prime(BigUint{p}, rng)) << p;
+  std::uint64_t composites[] = {0, 1, 4, 6, 9, 15, 91, 255, 1001, 65535, 4294967297ULL};
+  for (auto c : composites) EXPECT_FALSE(is_probable_prime(BigUint{c}, rng)) << c;
+}
+
+TEST(IsProbablePrime, CarmichaelNumbersRejected) {
+  // Carmichael numbers fool Fermat tests but not Miller-Rabin.
+  SplitMix64Random rng{6};
+  std::uint64_t carmichael[] = {561, 1105, 1729, 2465, 2821, 6601, 8911,
+                                10585, 15841, 29341, 41041, 825265};
+  for (auto c : carmichael) EXPECT_FALSE(is_probable_prime(BigUint{c}, rng)) << c;
+}
+
+TEST(IsProbablePrime, LargeKnownPrime) {
+  SplitMix64Random rng{8};
+  // Mersenne prime 2^127 - 1.
+  BigUint m127 = (BigUint{1} << 127) - BigUint{1};
+  EXPECT_TRUE(is_probable_prime(m127, rng));
+  // 2^128 + 51 is prime (smallest k with 2^128 + k prime is 51).
+  BigUint p128 = (BigUint{1} << 128) + BigUint{51};
+  EXPECT_TRUE(is_probable_prime(p128, rng));
+  // A large semiprime must be rejected.
+  EXPECT_FALSE(is_probable_prime(m127 * p128, rng, 16));
+}
+
+class PrimeGenSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrimeGenSweep, GeneratedPrimesHaveExactWidthAndTopBits) {
+  SplitMix64Random rng{GetParam()};
+  std::size_t bits = GetParam();
+  BigUint p = random_prime(rng, bits, 16);
+  EXPECT_EQ(p.bit_length(), bits);
+  EXPECT_TRUE(p.bit(bits - 1));
+  EXPECT_TRUE(p.bit(bits - 2));
+  EXPECT_TRUE(p.is_odd());
+  EXPECT_TRUE(is_probable_prime(p, rng, 16));
+}
+
+TEST_P(PrimeGenSweep, ProductOfTwoPrimesHasDoubleWidth) {
+  SplitMix64Random rng{GetParam() + 1000};
+  std::size_t bits = GetParam();
+  BigUint p = random_prime(rng, bits, 12);
+  BigUint q = random_prime(rng, bits, 12);
+  EXPECT_EQ((p * q).bit_length(), 2 * bits)
+      << "top-two-bits-set guarantee makes pq exactly 2k bits";
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, PrimeGenSweep, ::testing::Values(16, 32, 64, 128, 256));
+
+TEST(PrimeGen, RejectsTinyWidth) {
+  SplitMix64Random rng{9};
+  EXPECT_THROW(random_prime(rng, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pisa::bn

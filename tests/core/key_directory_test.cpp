@@ -1,0 +1,136 @@
+// The STP key directory over the wire (paper §III-C): SU key upload,
+// SDC lookup-on-demand, and the async buffering path where a conversion
+// response reaches the SDC before the SU's public key does.
+#include <gtest/gtest.h>
+
+#include "core/protocol.hpp"
+#include "crypto/chacha_rng.hpp"
+#include "crypto/key_codec.hpp"
+#include "radio/pathloss.hpp"
+
+namespace pisa::core {
+namespace {
+
+using radio::BlockId;
+using radio::ChannelId;
+
+PisaConfig dir_config() {
+  PisaConfig cfg;
+  cfg.watch.grid_rows = 1;
+  cfg.watch.grid_cols = 3;
+  cfg.watch.channels = 2;
+  cfg.paillier_bits = 512;
+  cfg.rsa_bits = 384;
+  cfg.blind_bits = 48;
+  cfg.mr_rounds = 8;
+  return cfg;
+}
+
+TEST(KeyDirectory, MessagesRoundTrip) {
+  crypto::ChaChaRng rng{std::uint64_t{1}};
+  auto kp = crypto::paillier_generate(256, rng, 8);
+
+  KeyRegisterMsg reg{42, crypto::serialize(kp.pk)};
+  auto reg2 = KeyRegisterMsg::decode(reg.encode());
+  EXPECT_EQ(reg2.su_id, 42u);
+  EXPECT_EQ(crypto::parse_paillier_public_key(reg2.public_key), kp.pk);
+
+  KeyLookupMsg lookup{42};
+  EXPECT_EQ(KeyLookupMsg::decode(lookup.encode()).su_id, 42u);
+
+  KeyLookupResponseMsg found{42, true, crypto::serialize(kp.pk)};
+  auto found2 = KeyLookupResponseMsg::decode(found.encode());
+  EXPECT_TRUE(found2.found);
+  EXPECT_EQ(crypto::parse_paillier_public_key(found2.public_key), kp.pk);
+
+  KeyLookupResponseMsg missing{42, false, {}};
+  EXPECT_FALSE(KeyLookupResponseMsg::decode(missing.encode()).found);
+
+  // Inconsistent flag/key combinations must not decode.
+  KeyLookupResponseMsg bad{42, true, {}};
+  EXPECT_THROW(KeyLookupResponseMsg::decode(bad.encode()), net::DecodeError);
+}
+
+TEST(KeyDirectory, StpServesRegisteredKeysOverTheWire) {
+  PisaConfig cfg = dir_config();
+  crypto::ChaChaRng rng{std::uint64_t{2}};
+  net::SimulatedNetwork net;
+  StpServer stp{cfg, rng};
+  stp.attach(net, "stp");
+
+  SuClient su{7, cfg, stp.group_key(), rng};
+  std::vector<KeyLookupResponseMsg> answers;
+  net.register_endpoint("asker", [&](const net::Message& msg) {
+    answers.push_back(KeyLookupResponseMsg::decode(msg.payload));
+  });
+
+  // Lookup before registration: not found.
+  net.send({"asker", "stp", kMsgKeyLookup, KeyLookupMsg{7}.encode()});
+  net.run();
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_FALSE(answers[0].found);
+
+  // Register over the wire, then look up again. (Two separate rounds: the
+  // larger register message would otherwise arrive *after* the tiny lookup
+  // under the size-proportional latency model.)
+  KeyRegisterMsg reg{7, crypto::serialize(su.public_key())};
+  net.send({"su_7", "stp", kMsgKeyRegister, reg.encode()});
+  net.run();
+  net.send({"asker", "stp", kMsgKeyLookup, KeyLookupMsg{7}.encode()});
+  net.run();
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_TRUE(answers[1].found);
+  EXPECT_EQ(crypto::parse_paillier_public_key(answers[1].public_key),
+            su.public_key());
+}
+
+TEST(KeyDirectory, SdcFetchesUnknownKeysDuringFirstRequest) {
+  // Full end-to-end: PisaSystem no longer primes the SDC with SU keys; the
+  // first request triggers a lookup that races the conversion round, and
+  // the request must still complete with the right decision.
+  PisaConfig cfg = dir_config();
+  crypto::ChaChaRng rng{std::uint64_t{3}};
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  PisaSystem system{cfg, {{0, BlockId{0}}}, model, rng};
+  system.add_su(7);
+
+  system.pu_update(0, watch::PuTuning{ChannelId{0}, 1e-6});
+  watch::SuRequest req{7, BlockId{1}, {100.0, 100.0}};
+  auto out = system.su_request(req);
+  EXPECT_FALSE(out.granted) << "loud SU one block from the PU";
+
+  // Exactly one lookup happened; later requests reuse the cached key.
+  auto lookups_after_first = system.network().stats("sdc", "stp").messages;
+  (void)system.su_request(req);
+  auto convs_only = system.network().stats("sdc", "stp").messages;
+  EXPECT_EQ(convs_only, lookups_after_first + 1)
+      << "second request adds one conversion, no new lookup";
+}
+
+TEST(KeyDirectory, UnregisteredSuFailsLoudly) {
+  // An SU that never uploaded its key cannot be served: the SDC must raise,
+  // not silently mis-encrypt.
+  PisaConfig cfg = dir_config();
+  crypto::ChaChaRng rng{std::uint64_t{4}};
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+
+  net::SimulatedNetwork net;
+  StpServer stp{cfg, rng};
+  SdcServer sdc{cfg, stp.group_key(), watch::make_e_matrix(cfg.watch), rng};
+  stp.attach(net, "stp");
+  sdc.attach(net, "sdc", "stp");
+  net.register_endpoint("su_9", [](const net::Message&) {});
+
+  SuClient ghost{9, cfg, stp.group_key(), rng};  // never registered
+  watch::QMatrix f{cfg.watch.channels, 3, 0};
+  auto msg = ghost.prepare_request(f, 1);
+  net.send({"su_9", "sdc", kMsgSuRequest,
+            msg.encode(stp.group_key().ciphertext_bytes())});
+  // Either the STP rejects the conversion for the unknown key
+  // (std::out_of_range) or the SDC's lookup comes back empty
+  // (std::runtime_error) — both are loud failures.
+  EXPECT_ANY_THROW(net.run());
+}
+
+}  // namespace
+}  // namespace pisa::core

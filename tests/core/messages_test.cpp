@@ -1,0 +1,132 @@
+#include "core/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha_rng.hpp"
+
+namespace pisa::core {
+namespace {
+
+struct MessagesFixture : ::testing::Test {
+  crypto::ChaChaRng rng{std::uint64_t{11}};
+  crypto::PaillierKeyPair kp = crypto::paillier_generate(256, rng, 8);
+  std::size_t width = kp.pk.ciphertext_bytes();
+
+  crypto::PaillierCiphertext ct(std::uint64_t m) {
+    return kp.pk.encrypt(bn::BigUint{m}, rng);
+  }
+};
+
+TEST_F(MessagesFixture, PuUpdateRoundTrip) {
+  PuUpdateMsg m;
+  m.pu_id = 42;
+  m.block = 17;
+  for (int i = 0; i < 5; ++i) m.w_column.push_back(ct(static_cast<std::uint64_t>(i)));
+  auto bytes = m.encode(width);
+  auto back = PuUpdateMsg::decode(bytes);
+  EXPECT_EQ(back.pu_id, 42u);
+  EXPECT_EQ(back.block, 17u);
+  ASSERT_EQ(back.w_column.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(back.w_column[i], m.w_column[i]);
+}
+
+TEST_F(MessagesFixture, PuUpdateSizeIsFixedWidth) {
+  // C ciphertexts at |n²| each plus a small header: the Figure 6 PU-update
+  // size is channel-count-proportional and block-count-independent.
+  PuUpdateMsg m;
+  for (int i = 0; i < 8; ++i) m.w_column.push_back(ct(1));
+  auto bytes = m.encode(width);
+  EXPECT_EQ(bytes.size(), 8 * width + /*header*/ 4 + 4 + 4 + 4);
+}
+
+TEST_F(MessagesFixture, SuRequestRoundTrip) {
+  SuRequestMsg m;
+  m.su_id = 7;
+  m.request_id = 1234567890123ULL;
+  m.block_lo = 3;
+  m.block_hi = 9;
+  for (int i = 0; i < 12; ++i) m.f.push_back(ct(static_cast<std::uint64_t>(100 + i)));
+  auto back = SuRequestMsg::decode(m.encode(width));
+  EXPECT_EQ(back.su_id, 7u);
+  EXPECT_EQ(back.request_id, 1234567890123ULL);
+  EXPECT_EQ(back.block_lo, 3u);
+  EXPECT_EQ(back.block_hi, 9u);
+  EXPECT_EQ(back.range(), 6u);
+  EXPECT_EQ(back.f, m.f);
+}
+
+TEST_F(MessagesFixture, SuRequestRejectsEmptyRange) {
+  SuRequestMsg m;
+  m.block_lo = 5;
+  m.block_hi = 5;
+  auto bytes = m.encode(width);
+  EXPECT_THROW(SuRequestMsg::decode(bytes), net::DecodeError);
+}
+
+TEST_F(MessagesFixture, ConvertMessagesRoundTrip) {
+  ConvertRequestMsg req;
+  req.request_id = 99;
+  req.su_id = 3;
+  req.v.push_back(ct(5));
+  req.v.push_back(ct(6));
+  auto req2 = ConvertRequestMsg::decode(req.encode(width));
+  EXPECT_EQ(req2.request_id, 99u);
+  EXPECT_EQ(req2.su_id, 3u);
+  EXPECT_EQ(req2.v, req.v);
+
+  ConvertResponseMsg resp;
+  resp.request_id = 99;
+  resp.x.push_back(ct(1));
+  auto resp2 = ConvertResponseMsg::decode(resp.encode(width));
+  EXPECT_EQ(resp2.request_id, 99u);
+  EXPECT_EQ(resp2.x, resp.x);
+}
+
+TEST_F(MessagesFixture, LicenseBodySigningBytesAreCanonical) {
+  LicenseBody a{7, "sdc", 12, {}};
+  LicenseBody b{7, "sdc", 12, {}};
+  EXPECT_EQ(a.signing_bytes(), b.signing_bytes());
+  b.serial = 13;
+  EXPECT_NE(a.signing_bytes(), b.signing_bytes());
+  b = a;
+  b.request_digest[0] = 0xFF;
+  EXPECT_NE(a.signing_bytes(), b.signing_bytes());
+  b = a;
+  b.issuer = "evil";
+  EXPECT_NE(a.signing_bytes(), b.signing_bytes());
+}
+
+TEST_F(MessagesFixture, SuResponseRoundTrip) {
+  SuResponseMsg m;
+  m.request_id = 555;
+  m.license = LicenseBody{9, "sdc", 2, {}};
+  m.license.request_digest.fill(0xAB);
+  m.g = ct(424242);
+  auto back = SuResponseMsg::decode(m.encode(width));
+  EXPECT_EQ(back.request_id, 555u);
+  EXPECT_EQ(back.license, m.license);
+  EXPECT_EQ(back.g, m.g);
+  // Figure 6: the response is essentially one ciphertext (~4.1 kb at
+  // n = 2048); at this key size, width + small header.
+  EXPECT_LT(m.encode(width).size(), width + 128);
+}
+
+TEST_F(MessagesFixture, TruncationDetected) {
+  PuUpdateMsg m;
+  m.w_column.push_back(ct(1));
+  auto bytes = m.encode(width);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(PuUpdateMsg::decode(bytes), net::DecodeError);
+}
+
+TEST_F(MessagesFixture, ImplausibleWidthRejected) {
+  net::Encoder enc;
+  enc.put_u32(1);            // count
+  enc.put_u32(2u << 20);     // absurd width
+  auto bytes = enc.take();
+  net::Decoder dec{bytes};
+  EXPECT_THROW(get_ciphertexts(dec), net::DecodeError);
+}
+
+}  // namespace
+}  // namespace pisa::core

@@ -1,0 +1,210 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha_rng.hpp"
+#include "radio/pathloss.hpp"
+
+namespace pisa::core {
+namespace {
+
+using radio::BlockId;
+using radio::ChannelId;
+
+PisaConfig scenario_config() {
+  PisaConfig cfg;
+  cfg.watch.grid_rows = 2;
+  cfg.watch.grid_cols = 3;
+  cfg.watch.block_size_m = 500.0;
+  cfg.watch.channels = 2;
+  cfg.paillier_bits = 768;
+  cfg.rsa_bits = 384;
+  cfg.blind_bits = 48;
+  cfg.mr_rounds = 8;
+  return cfg;
+}
+
+struct ScenarioFixture : ::testing::Test {
+  PisaConfig cfg = scenario_config();
+  crypto::ChaChaRng rng{std::uint64_t{0x5CE4}};
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  std::vector<watch::PuSite> sites{{0, BlockId{0}}};
+  PisaSystem system{cfg, sites, model, rng};
+  watch::PlainWatch oracle{cfg.watch, sites, model};
+  ScenarioRunner runner{system, oracle};
+
+  ScenarioFixture() { system.add_su(1000); }
+
+  ScenarioEvent tune(double t, std::optional<ChannelId> ch, double mw = 1e-6) {
+    watch::PuTuning tuning;
+    if (ch) tuning = watch::PuTuning{*ch, mw};
+    return {t, PuTuneEvent{0, tuning}};
+  }
+
+  ScenarioEvent ask(double t, std::uint32_t block, double mw) {
+    return {t, SuRequestEvent{watch::SuRequest{
+                                  1000, BlockId{block},
+                                  std::vector<double>(cfg.watch.channels, mw)},
+                              PrepMode::kFresh}};
+  }
+};
+
+TEST_F(ScenarioFixture, EventsExecuteInTimestampOrder) {
+  // Out-of-order vector: the tune at t=1 must happen before the ask at t=2
+  // even though it is listed last.
+  auto stats = runner.run({ask(2.0, 1, 100.0), tune(1.0, ChannelId{0})});
+  EXPECT_EQ(stats.pu_updates, 1u);
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.denials, 1u) << "PU tuned before the loud nearby request";
+  EXPECT_EQ(stats.oracle_mismatches, 0u);
+  EXPECT_NEAR(stats.horizon_seconds, 2.0, 1e-12);
+}
+
+TEST_F(ScenarioFixture, GrantDenySequenceTracksPuLifecycle) {
+  auto stats = runner.run({
+      ask(0.0, 1, 100.0),                     // no PU yet: grant
+      tune(1.0, ChannelId{1}),                // PU on
+      ask(2.0, 1, 100.0),                     // deny
+      tune(3.0, std::nullopt),                // PU off
+      ask(4.0, 1, 100.0),                     // grant again
+  });
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.grants, 2u);
+  EXPECT_EQ(stats.denials, 1u);
+  EXPECT_EQ(stats.oracle_mismatches, 0u);
+  ASSERT_EQ(runner.decisions().size(), 3u);
+  EXPECT_TRUE(runner.decisions()[0]);
+  EXPECT_FALSE(runner.decisions()[1]);
+  EXPECT_TRUE(runner.decisions()[2]);
+  EXPECT_NEAR(stats.grant_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST_F(ScenarioFixture, BytesOnWireAccumulate) {
+  auto stats = runner.run({ask(0.0, 5, 0.001)});
+  std::size_t ct = system.stp().group_key().ciphertext_bytes();
+  EXPECT_GT(stats.bytes_on_wire, cfg.watch.channels * 6 * ct)
+      << "at least the request matrix crossed the wire";
+}
+
+TEST_F(ScenarioFixture, PooledModeEventsUseTheOfflinePool) {
+  auto& su = system.su(1000);
+  std::size_t entries = cfg.watch.channels * 6;
+  su.precompute_randomizers(2 * entries);
+  std::vector<ScenarioEvent> events;
+  for (int i = 0; i < 2; ++i) {
+    events.push_back(
+        {static_cast<double>(i),
+         SuRequestEvent{watch::SuRequest{1000, BlockId{1},
+                                         std::vector<double>(cfg.watch.channels, 0.001)},
+                        PrepMode::kPooled}});
+  }
+  auto stats = runner.run(std::move(events));
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.oracle_mismatches, 0u);
+  EXPECT_EQ(su.randomizers_available(), 0u) << "both requests drained the pool";
+}
+
+TEST_F(ScenarioFixture, EmptyScheduleIsANoOp) {
+  auto stats = runner.run({});
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.pu_updates, 0u);
+  EXPECT_EQ(stats.bytes_on_wire, 0u);
+  EXPECT_EQ(stats.grant_rate(), 0.0);
+}
+
+TEST_F(ScenarioFixture, MismatchedOracleRejected) {
+  watch::WatchConfig other = cfg.watch;
+  other.channels = 7;
+  watch::PlainWatch wrong{other, sites, model};
+  EXPECT_THROW(ScenarioRunner(system, wrong), std::invalid_argument);
+}
+
+TEST(ViewingWorkload, GeneratorShapesAreSane) {
+  PisaConfig cfg = scenario_config();
+  auto events = make_viewing_workload(cfg, /*viewers=*/3, /*requesters=*/2,
+                                      /*hours=*/2.0, /*switches_per_hour=*/2.5,
+                                      /*request_period_s=*/1800.0, 7);
+  std::size_t tunes = 0, asks = 0;
+  double max_t = 0;
+  for (const auto& e : events) {
+    max_t = std::max(max_t, e.at_seconds);
+    if (std::holds_alternative<PuTuneEvent>(e.action))
+      ++tunes;
+    else
+      ++asks;
+  }
+  // 3 viewers × 2.5 switches/h × 2 h = 15 expected tunes; Poisson noise.
+  EXPECT_GT(tunes, 5u);
+  EXPECT_LT(tunes, 40u);
+  // 2 requesters × (7200 s / 1800 s) = 8 requests.
+  EXPECT_EQ(asks, 8u);
+  EXPECT_LT(max_t, 7200.0);
+
+  // Determinism for a fixed seed.
+  auto again = make_viewing_workload(cfg, 3, 2, 2.0, 2.5, 1800.0, 7);
+  ASSERT_EQ(again.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_DOUBLE_EQ(again[i].at_seconds, events[i].at_seconds);
+
+  auto different = make_viewing_workload(cfg, 3, 2, 2.0, 2.5, 1800.0, 8);
+  bool same = different.size() == events.size();
+  if (same) {
+    same = std::equal(events.begin(), events.end(), different.begin(),
+                      [](const ScenarioEvent& a, const ScenarioEvent& b) {
+                        return a.at_seconds == b.at_seconds;
+                      });
+  }
+  EXPECT_FALSE(same) << "different seeds give different schedules";
+}
+
+TEST(ViewingWorkload, ThresholdModeWholeScheduleAgreesWithOracle) {
+  // The §VII threshold-STP extension under a generated workload: every
+  // decision over a multi-event schedule must still match the plaintext
+  // oracle (partial decryptions per entry, async key directory, the lot).
+  PisaConfig cfg = scenario_config();
+  cfg.threshold_stp = true;
+  crypto::ChaChaRng rng{std::uint64_t{0x7512}};
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  std::vector<watch::PuSite> sites{{0, BlockId{0}}};
+  PisaSystem system{cfg, sites, model, rng};
+  system.add_su(1000);
+  watch::PlainWatch oracle{cfg.watch, sites, model};
+  ScenarioRunner runner{system, oracle};
+
+  auto events = make_viewing_workload(cfg, 1, 1, 0.4, 5.0, 500.0, 99);
+  auto stats = runner.run(std::move(events));
+  EXPECT_GT(stats.requests, 0u);
+  EXPECT_EQ(stats.oracle_mismatches, 0u);
+}
+
+TEST(ViewingWorkload, RejectsBadRates) {
+  PisaConfig cfg = scenario_config();
+  EXPECT_THROW(make_viewing_workload(cfg, 1, 1, 0.0, 2.5, 60.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(make_viewing_workload(cfg, 1, 1, 1.0, -1.0, 60.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(make_viewing_workload(cfg, 1, 1, 1.0, 2.5, 0.0, 1),
+               std::invalid_argument);
+}
+
+TEST(ViewingWorkload, EndToEndMiniDay) {
+  // A small end-to-end run of the generated workload through real crypto:
+  // every decision must match the oracle.
+  PisaConfig cfg = scenario_config();
+  crypto::ChaChaRng rng{std::uint64_t{0xDA4}};
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  std::vector<watch::PuSite> sites{{0, BlockId{0}}, {1, BlockId{5}}};
+  PisaSystem system{cfg, sites, model, rng};
+  system.add_su(1000);
+  system.add_su(1001);
+  watch::PlainWatch oracle{cfg.watch, sites, model};
+  ScenarioRunner runner{system, oracle};
+
+  auto events = make_viewing_workload(cfg, 2, 2, 0.5, 2.5, 600.0, 42);
+  auto stats = runner.run(std::move(events));
+  EXPECT_GT(stats.requests, 0u);
+  EXPECT_EQ(stats.oracle_mismatches, 0u);
+}
+
+}  // namespace
+}  // namespace pisa::core

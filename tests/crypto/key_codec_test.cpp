@@ -1,0 +1,97 @@
+#include "crypto/key_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha_rng.hpp"
+
+namespace pisa::crypto {
+namespace {
+
+struct KeyCodecFixture : ::testing::Test {
+  ChaChaRng rng{std::uint64_t{321}};
+  PaillierKeyPair paillier = paillier_generate(512, rng, 10);
+  RsaKeyPair rsa = rsa_generate(512, rng, 10);
+};
+
+TEST_F(KeyCodecFixture, PaillierPublicRoundTrip) {
+  auto bytes = serialize(paillier.pk);
+  auto back = parse_paillier_public_key(bytes);
+  EXPECT_EQ(back, paillier.pk);
+  EXPECT_EQ(back.n_squared(), paillier.pk.n_squared());
+}
+
+TEST_F(KeyCodecFixture, PaillierPrivateRoundTripStillDecrypts) {
+  auto bytes = serialize(paillier.sk);
+  auto back = parse_paillier_private_key(bytes);
+  auto ct = paillier.pk.encrypt(bn::BigUint{123456}, rng);
+  EXPECT_EQ(back.decrypt(ct).to_u64(), 123456u);
+  EXPECT_EQ(back.public_key(), paillier.pk);
+}
+
+TEST_F(KeyCodecFixture, RsaPublicRoundTripStillVerifies) {
+  std::vector<std::uint8_t> msg{'h', 'i'};
+  auto sig = rsa.sk.sign(msg);
+  auto back = parse_rsa_public_key(serialize(rsa.pk));
+  EXPECT_TRUE(back.verify(msg, sig));
+  EXPECT_EQ(back.n(), rsa.pk.n());
+  EXPECT_EQ(back.e(), rsa.pk.e());
+}
+
+TEST_F(KeyCodecFixture, WrongMagicRejected) {
+  auto paillier_bytes = serialize(paillier.pk);
+  EXPECT_THROW(parse_rsa_public_key(paillier_bytes), std::invalid_argument);
+  auto rsa_bytes = serialize(rsa.pk);
+  EXPECT_THROW(parse_paillier_public_key(rsa_bytes), std::invalid_argument);
+  EXPECT_THROW(parse_paillier_private_key(paillier_bytes), std::invalid_argument);
+}
+
+TEST_F(KeyCodecFixture, TruncationRejectedEverywhere) {
+  auto bytes = serialize(paillier.pk);
+  for (std::size_t len : {std::size_t{0}, std::size_t{3}, std::size_t{4}, std::size_t{5}, std::size_t{8}, bytes.size() - 1}) {
+    std::vector<std::uint8_t> cut(bytes.begin(),
+                                  bytes.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(parse_paillier_public_key(cut), std::invalid_argument) << len;
+  }
+}
+
+TEST_F(KeyCodecFixture, TrailingBytesRejected) {
+  auto bytes = serialize(paillier.pk);
+  bytes.push_back(0x00);
+  EXPECT_THROW(parse_paillier_public_key(bytes), std::invalid_argument);
+}
+
+TEST_F(KeyCodecFixture, CorruptedModulusRejectedByValidation) {
+  auto bytes = serialize(paillier.pk);
+  bytes.back() ^= 0x01;  // flip lowest bit of n → even modulus
+  EXPECT_THROW(parse_paillier_public_key(bytes), std::invalid_argument);
+}
+
+TEST_F(KeyCodecFixture, CorruptedFactorsRejected) {
+  auto bytes = serialize(paillier.sk);
+  bytes.back() ^= 0x01;  // q becomes even
+  EXPECT_THROW(parse_paillier_private_key(bytes), std::invalid_argument);
+}
+
+TEST_F(KeyCodecFixture, UnknownVersionRejected) {
+  auto bytes = serialize(paillier.pk);
+  bytes[4] = 99;  // version byte
+  EXPECT_THROW(parse_paillier_public_key(bytes), std::invalid_argument);
+}
+
+TEST_F(KeyCodecFixture, FingerprintsAreStableAndDistinct) {
+  EXPECT_EQ(key_fingerprint(paillier.pk), key_fingerprint(paillier.pk));
+  ChaChaRng rng2{std::uint64_t{654}};
+  auto other = paillier_generate(512, rng2, 10);
+  EXPECT_NE(key_fingerprint(paillier.pk), key_fingerprint(other.pk));
+  EXPECT_NE(key_fingerprint(rsa.pk), key_fingerprint(paillier.pk))
+      << "different key types fingerprint differently (magic in the bytes)";
+}
+
+TEST_F(KeyCodecFixture, BogusLengthPrefixRejected) {
+  std::vector<std::uint8_t> bytes = {0x31, 0x50, 0x49, 0x50, 1,  // magic+ver
+                                     0xFF, 0xFF, 0xFF, 0x7F};     // huge len
+  EXPECT_THROW(parse_paillier_public_key(bytes), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pisa::crypto

@@ -1,0 +1,136 @@
+// Property-style sweeps of the Paillier layer across key sizes: the
+// homomorphic algebra must mirror plaintext integer algebra exactly, since
+// PISA's correctness proof (our equivalence tests) leans on it entry by
+// entry.
+#include <gtest/gtest.h>
+
+#include "bigint/prime.hpp"
+#include "crypto/chacha_rng.hpp"
+#include "crypto/paillier.hpp"
+
+namespace pisa::crypto {
+namespace {
+
+using bn::BigInt;
+using bn::BigUint;
+
+class PaillierLaws : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  ChaChaRng rng{GetParam() * 31 + 7};
+  PaillierKeyPair kp = paillier_generate(GetParam(), rng, 10);
+
+  PaillierCiphertext enc(std::int64_t v) {
+    return kp.pk.encrypt_signed(BigInt{v}, rng);
+  }
+
+  std::int64_t dec(const PaillierCiphertext& c) {
+    return kp.sk.decrypt_signed(c).to_i64();
+  }
+};
+
+TEST_P(PaillierLaws, LinearCombinationMatchesPlaintext) {
+  // D(Σ kᵢ ⊗ E(mᵢ)) == Σ kᵢ·mᵢ for random signed kᵢ, mᵢ.
+  for (int round = 0; round < 5; ++round) {
+    std::int64_t expected = 0;
+    auto acc = kp.pk.encrypt_deterministic(BigUint{0});
+    for (int i = 0; i < 6; ++i) {
+      auto m = static_cast<std::int64_t>(rng.next_u64() % 100000) - 50000;
+      auto k = static_cast<std::int64_t>(rng.next_u64() % 1000) - 500;
+      acc = kp.pk.add(acc, kp.pk.scalar_mul_signed(BigInt{k}, enc(m)));
+      expected += k * m;
+    }
+    EXPECT_EQ(dec(acc), expected) << "round " << round;
+  }
+}
+
+TEST_P(PaillierLaws, AdditionIsCommutativeAndAssociative) {
+  auto a = enc(1234), b = enc(-777), c = enc(31337);
+  EXPECT_EQ(dec(kp.pk.add(a, b)), dec(kp.pk.add(b, a)));
+  EXPECT_EQ(dec(kp.pk.add(kp.pk.add(a, b), c)),
+            dec(kp.pk.add(a, kp.pk.add(b, c))));
+}
+
+TEST_P(PaillierLaws, NegateIsInvolutionAndSubIsAddNegate) {
+  auto a = enc(-4242);
+  EXPECT_EQ(dec(kp.pk.negate(kp.pk.negate(a))), -4242);
+  auto b = enc(17);
+  EXPECT_EQ(dec(kp.pk.sub(a, b)), dec(kp.pk.add(a, kp.pk.negate(b))));
+}
+
+TEST_P(PaillierLaws, ScalarIdentities) {
+  auto a = enc(987654);
+  EXPECT_EQ(dec(kp.pk.scalar_mul(BigUint{1}, a)), 987654);
+  EXPECT_EQ(dec(kp.pk.scalar_mul(BigUint{0}, a)), 0);
+  // k ⊗ (a ⊕ b) == (k ⊗ a) ⊕ (k ⊗ b)
+  auto b = enc(-111);
+  BigUint k{37};
+  EXPECT_EQ(dec(kp.pk.scalar_mul(k, kp.pk.add(a, b))),
+            dec(kp.pk.add(kp.pk.scalar_mul(k, a), kp.pk.scalar_mul(k, b))));
+}
+
+TEST_P(PaillierLaws, CenteredLiftBoundary) {
+  // Values decode as negative strictly above n/2.
+  const BigUint& n = kp.pk.n();
+  BigUint half = n >> 1;  // floor(n/2); n odd ⇒ half < n/2 < half+1
+  auto at_half = kp.pk.encrypt(half, rng);
+  EXPECT_FALSE(kp.sk.decrypt_signed(at_half).is_negative());
+  auto above = kp.pk.encrypt(half + BigUint{1}, rng);
+  EXPECT_TRUE(kp.sk.decrypt_signed(above).is_negative());
+  EXPECT_EQ(kp.sk.decrypt_signed(above).magnitude(), n - (half + BigUint{1}));
+}
+
+TEST_P(PaillierLaws, WraparoundIsModularNotSaturating) {
+  // (n−1) + 2 ≡ 1 (mod n): the algebra is Z_n, and the protocol's headroom
+  // validation (PisaConfig) is what keeps real values away from the wrap.
+  const BigUint& n = kp.pk.n();
+  auto big = kp.pk.encrypt(n - BigUint{1}, rng);
+  auto two = kp.pk.encrypt(BigUint{2}, rng);
+  EXPECT_EQ(kp.sk.decrypt(kp.pk.add(big, two)).to_u64(), 1u);
+}
+
+TEST_P(PaillierLaws, RerandomizationChainsPreservePlaintext) {
+  auto ct = enc(55555);
+  for (int i = 0; i < 4; ++i) {
+    auto next = kp.pk.rerandomize(ct, rng);
+    EXPECT_NE(next, ct);
+    ct = next;
+  }
+  EXPECT_EQ(dec(ct), 55555);
+}
+
+TEST_P(PaillierLaws, DeterministicTimesPoolEqualsFresh) {
+  // The pooled path (enc_det · r^n) and the fresh path produce different
+  // ciphertexts of the same plaintext, indistinguishable to the decryptor.
+  BigUint m{424242};
+  auto fresh = kp.pk.encrypt(m, rng);
+  auto pooled = kp.pk.rerandomize_with(kp.pk.encrypt_deterministic(m),
+                                       kp.pk.make_randomizer(rng));
+  EXPECT_NE(fresh, pooled);
+  EXPECT_EQ(kp.sk.decrypt(fresh), kp.sk.decrypt(pooled));
+}
+
+TEST_P(PaillierLaws, BlindingCompositionIsExact) {
+  // The exact eq. (14)→(16) composition at this key size: for random I, the
+  // recovered Q is 0 iff I > 0 and −2 otherwise.
+  for (int i = 0; i < 10; ++i) {
+    std::int64_t I = static_cast<std::int64_t>(rng.next_u64() % 200001) - 100000;
+    BigUint alpha = bn::random_bits(rng, 32);
+    alpha.set_bit(31);
+    BigUint beta = bn::random_below(rng, alpha - BigUint{1}) + BigUint{1};
+    int eps = (rng.next_u64() & 1) ? -1 : 1;
+
+    auto v = kp.pk.scalar_mul_signed(
+        BigInt{eps}, kp.pk.sub(kp.pk.scalar_mul(alpha, enc(I)),
+                               kp.pk.encrypt_deterministic(beta)));
+    // STP side: X = sign(V).
+    int x = kp.sk.decrypt_signed(v).sign() > 0 ? 1 : -1;
+    // SDC side: Q = ε·X − 1.
+    int q = eps * x - 1;
+    EXPECT_EQ(q, I > 0 ? 0 : -2) << "I=" << I << " eps=" << eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KeyBits, PaillierLaws, ::testing::Values(128, 256, 512));
+
+}  // namespace
+}  // namespace pisa::crypto

@@ -1,0 +1,100 @@
+#include "crypto/rsa_signature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bigint/prime.hpp"
+#include "crypto/chacha_rng.hpp"
+
+namespace pisa::crypto {
+namespace {
+
+using bn::BigUint;
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+struct RsaFixture : ::testing::Test {
+  ChaChaRng rng{std::uint64_t{777}};
+  RsaKeyPair kp = rsa_generate(1024, rng, 16);
+};
+
+TEST_F(RsaFixture, SignVerifyRoundTrip) {
+  auto msg = bytes("license: SU 7 may transmit on channel 42");
+  BigUint sig = kp.sk.sign(msg);
+  EXPECT_TRUE(kp.pk.verify(msg, sig));
+}
+
+TEST_F(RsaFixture, TamperedMessageFails) {
+  auto msg = bytes("license for SU 7");
+  BigUint sig = kp.sk.sign(msg);
+  auto tampered = bytes("license for SU 8");
+  EXPECT_FALSE(kp.pk.verify(tampered, sig));
+}
+
+TEST_F(RsaFixture, TamperedSignatureFails) {
+  auto msg = bytes("hello");
+  BigUint sig = kp.sk.sign(msg);
+  EXPECT_FALSE(kp.pk.verify(msg, sig + BigUint{1}));
+  EXPECT_FALSE(kp.pk.verify(msg, BigUint{0}));
+  EXPECT_FALSE(kp.pk.verify(msg, kp.pk.n()));  // out of range
+}
+
+TEST_F(RsaFixture, BlindedSignatureFails) {
+  // The exact failure mode eq. (17) relies on: SG + η (for random η != 0)
+  // must not verify.
+  auto msg = bytes("transmission license");
+  BigUint sig = kp.sk.sign(msg);
+  ChaChaRng r{std::uint64_t{1}};
+  for (int i = 0; i < 10; ++i) {
+    BigUint eta = bn::random_bits(r, 128) + BigUint{1};
+    BigUint forged = (sig + eta) % kp.pk.n();
+    EXPECT_FALSE(kp.pk.verify(msg, forged));
+  }
+}
+
+TEST_F(RsaFixture, SignatureIsDeterministic) {
+  auto msg = bytes("same message");
+  EXPECT_EQ(kp.sk.sign(msg), kp.sk.sign(msg));
+}
+
+TEST_F(RsaFixture, SignatureBelowModulus) {
+  for (const char* m : {"a", "b", "c", "d"}) {
+    EXPECT_LT(kp.sk.sign(bytes(m)), kp.pk.n());
+  }
+}
+
+TEST_F(RsaFixture, EmptyMessageSigns) {
+  std::vector<std::uint8_t> empty;
+  BigUint sig = kp.sk.sign(empty);
+  EXPECT_TRUE(kp.pk.verify(empty, sig));
+  EXPECT_FALSE(kp.pk.verify(bytes("x"), sig));
+}
+
+TEST(RsaKeygen, RejectsBadParameters) {
+  ChaChaRng rng{std::uint64_t{3}};
+  EXPECT_THROW(rsa_generate(128, rng), std::invalid_argument);
+  EXPECT_THROW(rsa_generate(382, rng), std::invalid_argument);
+  EXPECT_THROW(rsa_generate(1023, rng), std::invalid_argument);
+}
+
+TEST(RsaKeygen, KeysFromDifferentSeedsDiffer) {
+  ChaChaRng r1{std::uint64_t{5}}, r2{std::uint64_t{6}};
+  auto k1 = rsa_generate(512, r1, 12);
+  auto k2 = rsa_generate(512, r2, 12);
+  EXPECT_NE(k1.pk.n(), k2.pk.n());
+}
+
+TEST(RsaKeygen, CrossKeyVerificationFails) {
+  ChaChaRng r1{std::uint64_t{8}}, r2{std::uint64_t{9}};
+  auto k1 = rsa_generate(512, r1, 12);
+  auto k2 = rsa_generate(512, r2, 12);
+  auto msg = bytes("msg");
+  EXPECT_FALSE(k2.pk.verify(msg, k1.sk.sign(msg)));
+}
+
+}  // namespace
+}  // namespace pisa::crypto

@@ -1,0 +1,105 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pisa::crypto {
+namespace {
+
+std::string hex(const Sha256::Digest& d) {
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  for (auto b : d) {
+    s.push_back(digits[b >> 4]);
+    s.push_back(digits[b & 0xF]);
+  }
+  return s;
+}
+
+// NIST FIPS 180-4 / SHA test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex(Sha256::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::string msg = "The quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(std::string_view{msg}.substr(0, split));
+    h.update(std::string_view{msg}.substr(split));
+    EXPECT_EQ(h.finalize(), Sha256::hash(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // Lengths straddling the 64-byte block and the 56-byte padding threshold.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(len, 'x');
+    Sha256 h1;
+    h1.update(msg);
+    auto once = h1.finalize();
+    Sha256 h2;
+    for (char c : msg) h2.update(std::string_view{&c, 1});
+    EXPECT_EQ(h2.finalize(), once) << len;
+  }
+}
+
+TEST(Sha256, ResetReusesObject) {
+  Sha256 h;
+  h.update("garbage");
+  (void)h.finalize();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(hex(h.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, NistCavpByteVectors) {
+  // NIST CAVP SHA256ShortMsg samples (byte-oriented).
+  EXPECT_EQ(hex(Sha256::hash(std::span<const std::uint8_t>(
+                std::array<std::uint8_t, 1>{0xd3}.data(), 1))),
+            "28969cdfa74a12c82f3bad960b0b000aca2ac329deea5c2328ebc6f2ba9802c1");
+  std::array<std::uint8_t, 4> m4 = {0x74, 0xba, 0x25, 0x21};
+  EXPECT_EQ(hex(Sha256::hash(std::span<const std::uint8_t>(m4.data(), m4.size()))),
+            "b16aa56be3880d18cd41e68384cf1ec8c17680c45a02b1575dc1518923ae8b0e");
+}
+
+TEST(Sha256, FiveHundredTwelveBitMessage) {
+  // Exactly one full block of input (64 bytes) forces the padding into a
+  // second block.
+  std::string msg(64, 'a');
+  Sha256 h;
+  h.update(msg);
+  auto d1 = h.finalize();
+  EXPECT_EQ(d1, Sha256::hash(msg));
+  EXPECT_NE(d1, Sha256::hash(std::string(63, 'a')));
+}
+
+TEST(Sha256, DifferentInputsDiffer) {
+  EXPECT_NE(Sha256::hash("abc"), Sha256::hash("abd"));
+  EXPECT_NE(Sha256::hash(""), Sha256::hash(std::string(1, '\0')));
+}
+
+}  // namespace
+}  // namespace pisa::crypto

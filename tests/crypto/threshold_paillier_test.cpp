@@ -1,0 +1,117 @@
+#include "crypto/threshold_paillier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bigint/prime.hpp"
+#include "crypto/chacha_rng.hpp"
+
+namespace pisa::crypto {
+namespace {
+
+using bn::BigInt;
+using bn::BigUint;
+
+struct ThresholdFixture : ::testing::Test {
+  ChaChaRng rng{std::uint64_t{808}};
+  ThresholdDeal deal = threshold_paillier_deal(512, rng, 10);
+};
+
+TEST_F(ThresholdFixture, TwoPartyDecryptionRoundTrip) {
+  for (std::uint64_t m : {0ULL, 1ULL, 424242ULL, (1ULL << 59)}) {
+    auto ct = deal.pk.encrypt(BigUint{m}, rng);
+    auto p1 = threshold_partial_decrypt(deal.pk, deal.share1, ct);
+    auto p2 = threshold_partial_decrypt(deal.pk, deal.share2, ct);
+    EXPECT_EQ(threshold_combine(deal.pk, p1, p2).to_u64(), m);
+  }
+}
+
+TEST_F(ThresholdFixture, CombineIsOrderIndependent) {
+  auto ct = deal.pk.encrypt(BigUint{777}, rng);
+  auto p1 = threshold_partial_decrypt(deal.pk, deal.share1, ct);
+  auto p2 = threshold_partial_decrypt(deal.pk, deal.share2, ct);
+  EXPECT_EQ(threshold_combine(deal.pk, p1, p2),
+            threshold_combine(deal.pk, p2, p1));
+}
+
+TEST_F(ThresholdFixture, SignedCombineUsesCenteredLift) {
+  auto ct = deal.pk.encrypt_signed(BigInt{-12345}, rng);
+  auto p1 = threshold_partial_decrypt(deal.pk, deal.share1, ct);
+  auto p2 = threshold_partial_decrypt(deal.pk, deal.share2, ct);
+  EXPECT_EQ(threshold_combine_signed(deal.pk, p1, p2).to_i64(), -12345);
+}
+
+TEST_F(ThresholdFixture, WorksThroughHomomorphicOps) {
+  // Threshold opening must compose with the protocol's algebra: open
+  // ε·(α·I − β) style derived ciphertexts, not just fresh encryptions.
+  auto a = deal.pk.encrypt_signed(BigInt{100}, rng);
+  auto b = deal.pk.encrypt_signed(BigInt{42}, rng);
+  auto derived = deal.pk.scalar_mul(BigUint{3}, deal.pk.sub(a, b));  // 174
+  auto p1 = threshold_partial_decrypt(deal.pk, deal.share1, derived);
+  auto p2 = threshold_partial_decrypt(deal.pk, deal.share2, derived);
+  EXPECT_EQ(threshold_combine_signed(deal.pk, p1, p2).to_i64(), 174);
+}
+
+TEST_F(ThresholdFixture, SinglePartialIsUseless) {
+  // One share alone must not reveal the plaintext: combining a partial with
+  // the identity (as if the other party contributed nothing) must fail the
+  // consistency check, not leak m.
+  auto ct = deal.pk.encrypt(BigUint{31337}, rng);
+  auto p1 = threshold_partial_decrypt(deal.pk, deal.share1, ct);
+  EXPECT_THROW(threshold_combine(deal.pk, p1, BigUint{1}),
+               std::invalid_argument);
+  // And the L-extraction of a lone partial is not the plaintext.
+  if (p1 % deal.pk.n() == BigUint{1}) {
+    BigUint extracted = (p1 - BigUint{1}) / deal.pk.n() % deal.pk.n();
+    EXPECT_NE(extracted.to_u64(), 31337u);
+  }
+}
+
+TEST_F(ThresholdFixture, SharesSumToWorkingExponent) {
+  // share1 + share2 = d with d ≡ 1 (mod n): verify indirectly — the second
+  // share is negative (share1 oversized by design) and the scheme works.
+  EXPECT_FALSE(deal.share1.exponent.is_negative());
+  EXPECT_TRUE(deal.share2.exponent.is_negative())
+      << "statistical hiding makes share1 larger than d";
+}
+
+TEST_F(ThresholdFixture, MismatchedSharePairsRejected) {
+  ChaChaRng rng2{std::uint64_t{909}};
+  auto other = threshold_paillier_deal(512, rng2, 10);
+  auto ct = deal.pk.encrypt(BigUint{5}, rng);
+  auto p1 = threshold_partial_decrypt(deal.pk, deal.share1, ct);
+  // Partial from a share of a *different* dealing (but same modulus domain
+  // check bypassed by using our pk): combination must be inconsistent.
+  auto bogus = threshold_partial_decrypt(deal.pk, other.share2, ct);
+  EXPECT_THROW(threshold_combine(deal.pk, p1, bogus), std::invalid_argument);
+}
+
+TEST_F(ThresholdFixture, FreshSplitOfExistingKeyMatches) {
+  auto kp = paillier_generate(512, rng, 10);
+  auto redeal = threshold_split(kp.sk, rng);
+  auto ct = kp.pk.encrypt(BigUint{2026}, rng);
+  auto p1 = threshold_partial_decrypt(redeal.pk, redeal.share1, ct);
+  auto p2 = threshold_partial_decrypt(redeal.pk, redeal.share2, ct);
+  EXPECT_EQ(threshold_combine(redeal.pk, p1, p2).to_u64(), 2026u);
+  // The ordinary private key still decrypts the same ciphertext.
+  EXPECT_EQ(kp.sk.decrypt(ct).to_u64(), 2026u);
+}
+
+TEST_F(ThresholdFixture, DistinctDealsProduceDistinctShares) {
+  auto kp = paillier_generate(512, rng, 10);
+  auto d1 = threshold_split(kp.sk, rng);
+  auto d2 = threshold_split(kp.sk, rng);
+  EXPECT_NE(d1.share1.exponent, d2.share1.exponent)
+      << "dealing must be randomized";
+}
+
+TEST_F(ThresholdFixture, PartialRejectsMalformedCiphertext) {
+  EXPECT_THROW(
+      threshold_partial_decrypt(deal.pk, deal.share1, {BigUint{}}),
+      std::out_of_range);
+  EXPECT_THROW(
+      threshold_partial_decrypt(deal.pk, deal.share1, {deal.pk.n_squared()}),
+      std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pisa::crypto

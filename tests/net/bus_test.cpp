@@ -1,0 +1,138 @@
+#include "net/bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace pisa::net {
+namespace {
+
+Message msg(std::string from, std::string to, std::string type,
+            std::size_t payload_bytes = 0) {
+  return Message{std::move(from), std::move(to), std::move(type),
+                 std::vector<std::uint8_t>(payload_bytes, 0xAA)};
+}
+
+TEST(SimulatedNetwork, DeliversToRegisteredHandler) {
+  SimulatedNetwork net;
+  std::vector<std::string> seen;
+  net.register_endpoint("sdc", [&](const Message& m) { seen.push_back(m.type); });
+  net.send(msg("pu1", "sdc", "pu_update"));
+  EXPECT_EQ(net.run(), 1u);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "pu_update");
+}
+
+TEST(SimulatedNetwork, UnknownRecipientThrows) {
+  SimulatedNetwork net;
+  EXPECT_THROW(net.send(msg("a", "nobody", "x")), std::out_of_range);
+}
+
+TEST(SimulatedNetwork, DuplicateEndpointThrows) {
+  SimulatedNetwork net;
+  net.register_endpoint("sdc", [](const Message&) {});
+  EXPECT_THROW(net.register_endpoint("sdc", [](const Message&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(net.register_endpoint("x", nullptr), std::invalid_argument);
+}
+
+TEST(SimulatedNetwork, FifoOrderForEqualSizes) {
+  SimulatedNetwork net;
+  std::vector<std::string> order;
+  net.register_endpoint("sdc", [&](const Message& m) { order.push_back(m.from); });
+  net.send(msg("a", "sdc", "t"));
+  net.send(msg("b", "sdc", "t"));
+  net.send(msg("c", "sdc", "t"));
+  net.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SimulatedNetwork, LargerMessagesArriveLater) {
+  // Same send instant: a 1 MB message must arrive after a 1 KB message.
+  SimulatedNetwork net{100.0, 125.0};
+  std::vector<std::string> order;
+  net.register_endpoint("sdc", [&](const Message& m) { order.push_back(m.from); });
+  net.send(msg("big", "sdc", "t", 1'000'000));
+  net.send(msg("small", "sdc", "t", 1'000));
+  net.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"small", "big"}));
+}
+
+TEST(SimulatedNetwork, VirtualClockAdvances) {
+  SimulatedNetwork net{500.0, 125.0};
+  net.register_endpoint("sdc", [](const Message&) {});
+  net.send(msg("su", "sdc", "request", 12'500));  // 500 + 100 µs
+  EXPECT_EQ(net.now_us(), 0.0);
+  net.run();
+  EXPECT_NEAR(net.now_us(), 600.0, 1e-9);
+}
+
+TEST(SimulatedNetwork, HandlersCanSendReplies) {
+  SimulatedNetwork net;
+  std::vector<std::string> su_seen;
+  net.register_endpoint("sdc", [&](const Message& m) {
+    if (m.type == "request") net.send(msg("sdc", "su", "response", 64));
+  });
+  net.register_endpoint("su", [&](const Message& m) { su_seen.push_back(m.type); });
+  net.send(msg("su", "sdc", "request", 128));
+  EXPECT_EQ(net.run(), 2u);
+  ASSERT_EQ(su_seen.size(), 1u);
+  EXPECT_EQ(su_seen[0], "response");
+}
+
+TEST(SimulatedNetwork, TrafficAccounting) {
+  SimulatedNetwork net;
+  net.register_endpoint("sdc", [](const Message&) {});
+  net.register_endpoint("stp", [](const Message&) {});
+  net.send(msg("su", "sdc", "request", 1000));
+  net.send(msg("su", "sdc", "request", 500));
+  net.send(msg("sdc", "stp", "convert", 200));
+  net.run();
+  auto su_sdc = net.stats("su", "sdc");
+  EXPECT_EQ(su_sdc.messages, 2u);
+  EXPECT_EQ(su_sdc.bytes, 1500u);
+  auto sdc_stp = net.stats("sdc", "stp");
+  EXPECT_EQ(sdc_stp.messages, 1u);
+  EXPECT_EQ(sdc_stp.bytes, 200u);
+  EXPECT_EQ(net.stats("nobody", "sdc").messages, 0u);
+  auto total = net.total_stats();
+  EXPECT_EQ(total.messages, 3u);
+  EXPECT_EQ(total.bytes, 1700u);
+}
+
+TEST(SimulatedNetwork, AuditLogRecordsTypesAndSizes) {
+  SimulatedNetwork net;
+  net.register_endpoint("stp", [](const Message&) {});
+  net.send(msg("sdc", "stp", "key_convert_request", 4096));
+  net.run();
+  const auto& log = net.audit_log("stp");
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].from, "sdc");
+  EXPECT_EQ(log[0].type, "key_convert_request");
+  EXPECT_EQ(log[0].bytes, 4096u);
+  EXPECT_GT(log[0].arrival_us, 0.0);
+  EXPECT_THROW(net.audit_log("ghost"), std::out_of_range);
+}
+
+TEST(SimulatedNetwork, RejectsBadLinkParameters) {
+  EXPECT_THROW(SimulatedNetwork(-1.0, 125.0), std::invalid_argument);
+  EXPECT_THROW(SimulatedNetwork(0.0, 0.0), std::invalid_argument);
+}
+
+TEST(SimulatedNetwork, DeliverOneSteppedExecution) {
+  SimulatedNetwork net;
+  int count = 0;
+  net.register_endpoint("sdc", [&](const Message&) { ++count; });
+  net.send(msg("a", "sdc", "x"));
+  net.send(msg("b", "sdc", "x"));
+  EXPECT_EQ(net.pending(), 2u);
+  EXPECT_TRUE(net.deliver_one());
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(net.pending(), 1u);
+  EXPECT_TRUE(net.deliver_one());
+  EXPECT_FALSE(net.deliver_one());
+}
+
+}  // namespace
+}  // namespace pisa::net

@@ -1,0 +1,100 @@
+#include "radio/channel_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radio/pathloss.hpp"
+
+namespace pisa::radio {
+namespace {
+
+// WiFi channel 6 (paper §VI-B: 2.437 GHz, the USRP experiment channel).
+constexpr double kCh6Mhz = 2437.0;
+
+struct ChannelSimFixture : ::testing::Test {
+  FreeSpaceModel model{kCh6Mhz};
+  ChannelSimulator sim{model, /*rx at*/ 0.0, 0.0};
+};
+
+TEST_F(ChannelSimFixture, IdleChannelShowsNoiseFloorOnly) {
+  auto trace = sim.capture(1000.0, 20e6);  // paper's 20 MHz sample rate
+  ASSERT_FALSE(trace.empty());
+  auto stats = sim.analyze(trace);
+  EXPECT_EQ(stats.packets_observed, 0);
+  double idle = std::sqrt(dbm_to_mw(-95.0));
+  EXPECT_NEAR(stats.peak_amplitude, idle, idle * 0.01);
+}
+
+TEST_F(ChannelSimFixture, CloserTransmitterHasLargerAmplitude) {
+  // Figure 8: two SUs at different distances produce visibly different
+  // waveform amplitudes at the PU monitor.
+  auto su1 = sim.add_transmitter(
+      {"SU1", 10.0, 0.0, 15.0, true, 100.0, 400.0, 0.0});
+  auto su2 = sim.add_transmitter(
+      {"SU2", 40.0, 0.0, 15.0, true, 100.0, 400.0, 200.0});
+  EXPECT_GT(sim.rx_power_mw(su1), sim.rx_power_mw(su2));
+  // Amplitude ratio equals distance ratio under free space (1/d power law
+  // on amplitude): d2/d1 = 4.
+  double a1 = std::sqrt(sim.rx_power_mw(su1));
+  double a2 = std::sqrt(sim.rx_power_mw(su2));
+  EXPECT_NEAR(a1 / a2, 4.0, 0.05);
+}
+
+TEST_F(ChannelSimFixture, PacketCountMatchesSchedule) {
+  // 11 packets in 20 ms (Figure 9's scenario-4 observation for SU2):
+  // bursts at 0, 1900, ..., 19000 µs.
+  sim.add_transmitter({"SU2", 20.0, 0.0, 15.0, true, 200.0, 1900.0, 0.0});
+  auto trace = sim.capture(20'000.0, 2e6);
+  auto stats = sim.analyze(trace);
+  EXPECT_EQ(stats.packets_observed, 11);
+}
+
+TEST_F(ChannelSimFixture, InactiveTransmitterIsSilent) {
+  sim.add_transmitter({"SU1", 10.0, 0.0, 15.0, /*active=*/false, 100.0, 400.0, 0.0});
+  auto stats = sim.analyze(sim.capture(2000.0, 5e6));
+  EXPECT_EQ(stats.packets_observed, 0);
+}
+
+TEST_F(ChannelSimFixture, TwoPacketsInShortWindow) {
+  // Figure 8: "two packets were sent from SU1 and SU2 within about 0.35 ms".
+  sim.add_transmitter({"SU1", 10.0, 0.0, 15.0, true, 60.0, 350.0, 0.0});
+  sim.add_transmitter({"SU2", 40.0, 0.0, 15.0, true, 60.0, 350.0, 150.0});
+  auto trace = sim.capture(350.0, 20e6);
+  auto stats = sim.analyze(trace);
+  EXPECT_EQ(stats.packets_observed, 2);
+}
+
+TEST_F(ChannelSimFixture, OverlappingBurstsSuperpose) {
+  auto su1 = sim.add_transmitter({"SU1", 10.0, 0.0, 15.0, true, 400.0, 400.0, 0.0});
+  auto su2 = sim.add_transmitter({"SU2", 10.0, 0.0, 15.0, true, 400.0, 400.0, 0.0});
+  auto trace = sim.capture(300.0, 1e6);
+  double expected = std::sqrt(dbm_to_mw(-95.0) + sim.rx_power_mw(su1) + sim.rx_power_mw(su2));
+  EXPECT_NEAR(trace.front().amplitude, expected, expected * 1e-9);
+}
+
+TEST_F(ChannelSimFixture, TogglingActivityChangesTrace) {
+  auto idx = sim.add_transmitter({"PU", 5.0, 0.0, 20.0, true, 500.0, 500.0, 0.0});
+  auto busy = sim.analyze(sim.capture(1000.0, 1e6));
+  sim.transmitter(idx).active = false;
+  auto quiet = sim.analyze(sim.capture(1000.0, 1e6));
+  EXPECT_GT(busy.peak_amplitude, quiet.peak_amplitude * 10);
+  EXPECT_EQ(quiet.packets_observed, 0);
+}
+
+TEST_F(ChannelSimFixture, RejectsBadSchedulesAndWindows) {
+  EXPECT_THROW(sim.add_transmitter({"x", 0, 0, 0, true, 0.0, 100.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(sim.add_transmitter({"x", 0, 0, 0, true, 200.0, 100.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(sim.capture(-1.0, 1e6), std::invalid_argument);
+  EXPECT_THROW(sim.capture(100.0, 0.0), std::invalid_argument);
+}
+
+TEST_F(ChannelSimFixture, MeanActiveAmplitudeBetweenFloorAndPeak) {
+  sim.add_transmitter({"SU1", 15.0, 0.0, 15.0, true, 100.0, 300.0, 0.0});
+  auto stats = sim.analyze(sim.capture(3000.0, 2e6));
+  EXPECT_GT(stats.mean_active_amplitude, std::sqrt(dbm_to_mw(-95.0)));
+  EXPECT_LE(stats.mean_active_amplitude, stats.peak_amplitude + 1e-15);
+}
+
+}  // namespace
+}  // namespace pisa::radio

@@ -1,0 +1,111 @@
+#include "radio/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pisa::radio {
+namespace {
+
+TEST(ServiceArea, DimensionsAndValidity) {
+  ServiceArea area{20, 30, 10.0, 100};
+  EXPECT_EQ(area.num_blocks(), 600u);  // the paper's Table I block count
+  EXPECT_EQ(area.num_channels(), 100u);
+  EXPECT_TRUE(area.valid(BlockId{599}));
+  EXPECT_FALSE(area.valid(BlockId{600}));
+  EXPECT_TRUE(area.valid(ChannelId{99}));
+  EXPECT_FALSE(area.valid(ChannelId{100}));
+}
+
+TEST(ServiceArea, RejectsDegenerate) {
+  EXPECT_THROW(ServiceArea(0, 5, 10, 1), std::invalid_argument);
+  EXPECT_THROW(ServiceArea(5, 0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(ServiceArea(5, 5, -1, 1), std::invalid_argument);
+  EXPECT_THROW(ServiceArea(5, 5, 10, 0), std::invalid_argument);
+}
+
+TEST(ServiceArea, BlockCenterLayout) {
+  ServiceArea area{2, 3, 10.0, 1};
+  auto p0 = area.block_center(BlockId{0});
+  EXPECT_NEAR(p0.x, 5.0, 1e-12);
+  EXPECT_NEAR(p0.y, 5.0, 1e-12);
+  auto p5 = area.block_center(BlockId{5});  // row 1, col 2
+  EXPECT_NEAR(p5.x, 25.0, 1e-12);
+  EXPECT_NEAR(p5.y, 15.0, 1e-12);
+  EXPECT_THROW(area.block_center(BlockId{6}), std::out_of_range);
+}
+
+TEST(ServiceArea, BlockAtInvertsBlockCenter) {
+  ServiceArea area{8, 13, 10.0, 4};
+  for (std::uint32_t i = 0; i < area.num_blocks(); ++i) {
+    EXPECT_EQ(area.block_at(area.block_center(BlockId{i})), BlockId{i});
+  }
+  EXPECT_THROW(area.block_at(Point{-1, 5}), std::out_of_range);
+  EXPECT_THROW(area.block_at(Point{5, 81}), std::out_of_range);
+  EXPECT_THROW(area.block_at(Point{131, 5}), std::out_of_range);
+}
+
+TEST(ServiceArea, DistanceIsMetric) {
+  ServiceArea area{10, 10, 10.0, 1};
+  BlockId a{0}, b{9}, c{99};
+  EXPECT_NEAR(area.block_distance_m(a, a), 0.0, 1e-12);
+  EXPECT_NEAR(area.block_distance_m(a, b), area.block_distance_m(b, a), 1e-12);
+  EXPECT_LE(area.block_distance_m(a, c),
+            area.block_distance_m(a, b) + area.block_distance_m(b, c));
+  // Adjacent blocks in a row are exactly one block size apart.
+  EXPECT_NEAR(area.block_distance_m(BlockId{0}, BlockId{1}), 10.0, 1e-12);
+}
+
+TEST(ServiceArea, BlocksWithinRadius) {
+  ServiceArea area{5, 5, 10.0, 1};
+  BlockId center{12};  // middle of the grid
+  auto near = area.blocks_within(center, 10.0);
+  // Center plus 4 orthogonal neighbours at exactly 10 m.
+  EXPECT_EQ(near.size(), 5u);
+  auto all = area.blocks_within(center, 1000.0);
+  EXPECT_EQ(all.size(), 25u);
+  auto self_only = area.blocks_within(center, 1.0);
+  EXPECT_EQ(self_only.size(), 1u);
+  EXPECT_EQ(self_only[0], center);
+}
+
+TEST(ServiceArea, FlatIndexIsBijective) {
+  ServiceArea area{3, 4, 10.0, 5};
+  std::vector<bool> seen(area.num_blocks() * area.num_channels(), false);
+  for (std::uint32_t c = 0; c < area.num_channels(); ++c) {
+    for (std::uint32_t b = 0; b < area.num_blocks(); ++b) {
+      auto idx = area.flat_index(ChannelId{c}, BlockId{b});
+      ASSERT_LT(idx, seen.size());
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+    }
+  }
+  EXPECT_THROW(area.flat_index(ChannelId{5}, BlockId{0}), std::out_of_range);
+}
+
+TEST(CbMatrix, BasicAccess) {
+  CbMatrix<std::int64_t> m{3, 4, -1};
+  EXPECT_EQ(m.channels(), 3u);
+  EXPECT_EQ(m.blocks(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_EQ(m.at(ChannelId{2}, BlockId{3}), -1);
+  m.at(ChannelId{1}, BlockId{2}) = 42;
+  EXPECT_EQ(m.at(ChannelId{1}, BlockId{2}), 42);
+  EXPECT_EQ(m[1 * 4 + 2], 42);
+  EXPECT_THROW(m.at(ChannelId{3}, BlockId{0}), std::out_of_range);
+  EXPECT_THROW(m.at(ChannelId{0}, BlockId{4}), std::out_of_range);
+}
+
+TEST(CbMatrix, EqualityAndIteration) {
+  CbMatrix<int> a{2, 2, 7};
+  CbMatrix<int> b{2, 2, 7};
+  EXPECT_EQ(a, b);
+  b.at(ChannelId{0}, BlockId{1}) = 8;
+  EXPECT_NE(a, b);
+  int sum = 0;
+  for (int v : a) sum += v;
+  EXPECT_EQ(sum, 28);
+}
+
+}  // namespace
+}  // namespace pisa::radio

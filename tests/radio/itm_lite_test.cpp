@@ -1,0 +1,170 @@
+#include "radio/itm_lite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "radio/units.hpp"
+
+namespace pisa::radio {
+namespace {
+
+// A terrain that is essentially flat: tiny peak height.
+std::shared_ptr<Terrain> flat_terrain() {
+  return std::make_shared<Terrain>(6u, 100.0, 0.5, 0.5, std::uint64_t{1});
+}
+
+// Rugged terrain with real hills.
+std::shared_ptr<Terrain> hilly_terrain() {
+  return std::make_shared<Terrain>(6u, 100.0, 400.0, 0.8, std::uint64_t{99});
+}
+
+TEST(KnifeEdgeLoss, MatchesItuShape) {
+  // J(ν) anchors from ITU-R P.526: J(0) ≈ 6.0 dB, J(1) ≈ 13.5 dB,
+  // J(2.4) ≈ 20.7 dB; 0 below the −0.78 clearance threshold.
+  EXPECT_DOUBLE_EQ(ItmLiteModel::knife_edge_loss_db(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ItmLiteModel::knife_edge_loss_db(-0.78), 0.0);
+  EXPECT_NEAR(ItmLiteModel::knife_edge_loss_db(0.0), 6.0, 0.3);
+  EXPECT_NEAR(ItmLiteModel::knife_edge_loss_db(1.0), 13.5, 0.5);
+  EXPECT_NEAR(ItmLiteModel::knife_edge_loss_db(2.4), 20.7, 0.8);
+  // Monotone increasing in ν.
+  double prev = -1;
+  for (double nu = -0.7; nu < 5.0; nu += 0.3) {
+    double j = ItmLiteModel::knife_edge_loss_db(nu);
+    EXPECT_GT(j, prev);
+    prev = j;
+  }
+}
+
+TEST(ItmLite, FlatGroundReducesToFreeSpace) {
+  auto terrain = flat_terrain();
+  double ext = terrain->extent_m();
+  // Tall masts over essentially flat ground, short path: pure free space.
+  ItmLiteModel itm{terrain, 600.0, 100.0, 100.0, 50.0, ext / 4, 100.0, 30.0};
+  ASSERT_TRUE(itm.line_of_sight());
+  FreeSpaceModel fs{600.0};
+  double d = ext / 4 - 100.0;
+  EXPECT_NEAR(itm.site_loss_db(), fs.path_loss_db(d), 0.01);
+}
+
+TEST(ItmLite, HillsAddDiffractionLoss) {
+  auto terrain = hilly_terrain();
+  double ext = terrain->extent_m();
+  // Low antennas across the full rugged extent: expect obstruction.
+  ItmLiteModel low{terrain, 600.0, 100.0, 100.0, 5.0, ext - 100.0, ext - 100.0, 5.0};
+  FreeSpaceModel fs{600.0};
+  double d = std::hypot(ext - 200.0, ext - 200.0);
+  EXPECT_FALSE(low.line_of_sight());
+  EXPECT_GT(low.site_loss_db(), fs.path_loss_db(d))
+      << "diffraction must add loss over free space";
+  EXPECT_FALSE(low.edges().empty());
+  for (const auto& e : low.edges()) {
+    EXPECT_GT(e.loss_db, 0.0);
+    EXPECT_GT(e.nu, -0.78);
+    EXPECT_GT(e.distance_m, 0.0);
+    EXPECT_LT(e.distance_m, d + 1.0);
+  }
+}
+
+TEST(ItmLite, TallerMastsReduceLoss) {
+  auto terrain = hilly_terrain();
+  double ext = terrain->extent_m();
+  ItmLiteModel low{terrain, 600.0, 100.0, 100.0, 5.0, ext - 100.0, ext - 100.0, 5.0};
+  ItmLiteModel high{terrain, 600.0, 100.0, 100.0, 500.0, ext - 100.0, ext - 100.0, 500.0};
+  EXPECT_LE(high.site_loss_db(), low.site_loss_db());
+  EXPECT_LE(high.edges().size(), low.edges().size());
+}
+
+TEST(ItmLite, ProfileIsWellFormed) {
+  auto terrain = hilly_terrain();
+  ItmLiteModel itm{terrain, 600.0, 0.0, 0.0, 10.0, 3000.0, 4000.0, 10.0, 64};
+  const auto& profile = itm.profile();
+  ASSERT_EQ(profile.size(), 64u);
+  EXPECT_DOUBLE_EQ(profile.front().distance_m, 0.0);
+  EXPECT_NEAR(profile.back().distance_m, 5000.0, 1e-9);
+  for (std::size_t i = 1; i < profile.size(); ++i) {
+    EXPECT_GT(profile[i].distance_m, profile[i - 1].distance_m);
+    EXPECT_GE(profile[i].elevation_m, 0.0);
+  }
+}
+
+TEST(ItmLite, EdgesAreSortedAlongThePath) {
+  auto terrain = hilly_terrain();
+  double ext = terrain->extent_m();
+  ItmLiteModel itm{terrain, 600.0, 100.0, 100.0, 3.0, ext - 100.0, 200.0, 3.0};
+  for (std::size_t i = 1; i < itm.edges().size(); ++i) {
+    EXPECT_LT(itm.edges()[i - 1].distance_m, itm.edges()[i].distance_m);
+  }
+}
+
+TEST(ItmLite, PathGainContractIsMonotone) {
+  auto terrain = hilly_terrain();
+  double ext = terrain->extent_m();
+  ItmLiteModel itm{terrain, 600.0, 100.0, 100.0, 10.0, ext - 100.0, ext - 100.0, 10.0};
+  double prev = 2.0;
+  for (double d : {100.0, 500.0, 2000.0, 5000.0}) {
+    double g = itm.path_gain(d);
+    EXPECT_LT(g, prev);
+    EXPECT_LE(g, 1.0);
+    prev = g;
+  }
+  // distance_for_gain (eq. (1) machinery) must work on it.
+  double g = itm.path_gain(1500.0);
+  if (g < 1.0) {
+    EXPECT_NEAR(itm.distance_for_gain(g), 1500.0, 1.5);
+  }
+}
+
+TEST(ItmLite, TwoRayKicksInForLongSmoothLowPaths) {
+  auto terrain = flat_terrain();
+  // 1 m antennas: crossover 4π·1·1/λ ≈ 25 m at 600 MHz — everything beyond
+  // is two-ray, which exceeds Friis.
+  ItmLiteModel itm{terrain, 600.0, 100.0, 100.0, 1.0, 5000.0, 100.0, 1.0};
+  if (itm.line_of_sight()) {
+    FreeSpaceModel fs{600.0};
+    EXPECT_GT(itm.site_loss_db(), fs.path_loss_db(4900.0))
+        << "ground reflection steepens decay past the crossover";
+  }
+}
+
+TEST(ItmLite, RejectsBadInputs) {
+  auto terrain = flat_terrain();
+  EXPECT_THROW(ItmLiteModel(nullptr, 600.0, 0, 0, 10, 100, 0, 10),
+               std::invalid_argument);
+  EXPECT_THROW(ItmLiteModel(terrain, -5.0, 0, 0, 10, 100, 0, 10),
+               std::invalid_argument);
+  EXPECT_THROW(ItmLiteModel(terrain, 600.0, 0, 0, 0.0, 100, 0, 10),
+               std::invalid_argument);
+  EXPECT_THROW(ItmLiteModel(terrain, 600.0, 0, 0, 10, 100, 0, 10, 2),
+               std::invalid_argument);
+}
+
+TEST(ItmLite, DiffractionLossIncreasesExclusionSafety) {
+  // Shadowed paths attenuate more, so an exclusion radius computed from an
+  // obstructed ITM profile is never larger than the free-space one for the
+  // same target gain — terrain can only shrink how far interference
+  // travels.
+  auto terrain = hilly_terrain();
+  double ext = terrain->extent_m();
+  ItmLiteModel itm{terrain, 600.0, 100.0, 100.0, 5.0, ext - 100.0, ext - 100.0, 5.0};
+  FreeSpaceModel fs{600.0};
+  for (double target : {1e-10, 1e-12, 1e-14}) {
+    EXPECT_LE(itm.distance_for_gain(target), fs.distance_for_gain(target))
+        << target;
+  }
+}
+
+TEST(ItmLite, UsableAsWatchSecondaryModel) {
+  // The whole point: ItmLite is a PathLossModel, so the WATCH/PISA pipeline
+  // can consume it wherever Extended Hata was used.
+  auto terrain = hilly_terrain();
+  double ext = terrain->extent_m();
+  ItmLiteModel itm{terrain, 600.0, 100.0, 100.0, 10.0, ext - 100.0, ext - 100.0, 10.0};
+  const PathLossModel& as_interface = itm;
+  EXPECT_GT(as_interface.path_gain(1000.0), 0.0);
+  EXPECT_LE(as_interface.path_gain(1000.0), 1.0);
+}
+
+}  // namespace
+}  // namespace pisa::radio

@@ -1,0 +1,105 @@
+#include "radio/terrain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace pisa::radio {
+namespace {
+
+TEST(Terrain, DeterministicForSeed) {
+  Terrain a{5, 100.0, 300.0, 0.6, 42};
+  Terrain b{5, 100.0, 300.0, 0.6, 42};
+  for (double x : {0.0, 500.0, 1500.0, 3000.0}) {
+    for (double y : {0.0, 700.0, 3200.0}) {
+      EXPECT_DOUBLE_EQ(a.elevation_m(x, y), b.elevation_m(x, y));
+    }
+  }
+  Terrain c{5, 100.0, 300.0, 0.6, 43};
+  bool differs = false;
+  for (double x : {100.0, 900.0, 2100.0}) {
+    if (a.elevation_m(x, x) != c.elevation_m(x, x)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Terrain, ShapeAndExtent) {
+  Terrain t{4, 50.0, 200.0, 0.5, 7};
+  EXPECT_EQ(t.samples_per_side(), 17u);
+  EXPECT_NEAR(t.extent_m(), 800.0, 1e-9);
+}
+
+TEST(Terrain, ElevationNonNegativeAndBounded) {
+  Terrain t{6, 100.0, 400.0, 0.7, 11};
+  double max_seen = 0;
+  for (double x = 0; x <= t.extent_m(); x += 217.0) {
+    for (double y = 0; y <= t.extent_m(); y += 193.0) {
+      double e = t.elevation_m(x, y);
+      EXPECT_GE(e, 0.0);
+      max_seen = std::max(max_seen, e);
+    }
+  }
+  EXPECT_GT(max_seen, 0.0) << "terrain should not be flat";
+  EXPECT_LT(max_seen, 5000.0) << "amplitudes decay, heights stay plausible";
+}
+
+TEST(Terrain, InterpolationIsContinuous) {
+  Terrain t{4, 100.0, 300.0, 0.6, 3};
+  // Small moves cause small elevation changes.
+  double e0 = t.elevation_m(432.0, 611.0);
+  double e1 = t.elevation_m(433.0, 611.0);
+  EXPECT_LT(std::abs(e1 - e0), 50.0);
+}
+
+TEST(Terrain, ClampsOutsideExtent) {
+  Terrain t{3, 100.0, 300.0, 0.6, 5};
+  EXPECT_DOUBLE_EQ(t.elevation_m(-50.0, 100.0), t.elevation_m(0.0, 100.0));
+  EXPECT_DOUBLE_EQ(t.elevation_m(1e9, 100.0), t.elevation_m(t.extent_m(), 100.0));
+}
+
+TEST(Terrain, RejectsBadParameters) {
+  EXPECT_THROW(Terrain(0, 100, 300, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(Terrain(13, 100, 300, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(Terrain(4, -1, 300, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(Terrain(4, 100, 300, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(Terrain(4, 100, 300, 1.5, 1), std::invalid_argument);
+}
+
+TEST(Terrain, TallAntennasClearObstructions) {
+  Terrain t{6, 100.0, 500.0, 0.8, 17};
+  double x1 = 100, y1 = 100, x2 = t.extent_m() - 100, y2 = t.extent_m() - 100;
+  int low = t.obstructions(x1, y1, 2.0, x2, y2, 2.0);
+  int high = t.obstructions(x1, y1, 3000.0, x2, y2, 3000.0);
+  EXPECT_EQ(high, 0) << "3 km masts see over everything";
+  EXPECT_GE(low, high);
+}
+
+TEST(Terrain, ZeroDistanceHasNoObstructions) {
+  Terrain t{4, 100.0, 300.0, 0.6, 9};
+  EXPECT_EQ(t.obstructions(500, 500, 1, 500, 500, 1), 0);
+  EXPECT_EQ(t.obstructions(500, 500, 1, 520, 500, 1), 0) << "sub-cell distance";
+}
+
+TEST(TerrainAwareModel, PenaltyOnlyReducesGain) {
+  auto terrain = std::make_shared<Terrain>(6, 100.0, 500.0, 0.8, 23);
+  auto base = std::shared_ptr<PathLossModel>(make_free_space(600.0).release());
+  double ext = terrain->extent_m();
+  TerrainAwareModel obstructed{terrain, base, 100, 100, 2.0, ext - 100, ext - 100, 2.0};
+  TerrainAwareModel clear{terrain, base, 100, 100, 2000.0, ext - 100, ext - 100, 2000.0};
+  double d = std::hypot(ext - 200, ext - 200);
+  EXPECT_LE(obstructed.path_gain(d), clear.path_gain(d));
+  EXPECT_NEAR(clear.path_gain(d), base->path_gain(d), 1e-15)
+      << "no obstructions ⇒ base model";
+  EXPECT_NEAR(clear.site_gain(), clear.path_gain(d), 1e-15);
+}
+
+TEST(TerrainAwareModel, RejectsNull) {
+  auto terrain = std::make_shared<Terrain>(4, 100.0, 300.0, 0.6, 1);
+  EXPECT_THROW(
+      TerrainAwareModel(nullptr, nullptr, 0, 0, 1, 1, 1, 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pisa::radio

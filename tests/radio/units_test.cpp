@@ -1,0 +1,59 @@
+#include "radio/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pisa::radio {
+namespace {
+
+TEST(Units, DbmMwRoundTrip) {
+  for (double dbm : {-100.0, -30.0, 0.0, 10.0, 36.0}) {
+    EXPECT_NEAR(mw_to_dbm(dbm_to_mw(dbm)), dbm, 1e-9);
+  }
+  EXPECT_NEAR(dbm_to_mw(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(dbm_to_mw(30.0), 1000.0, 1e-9);
+  EXPECT_NEAR(dbm_to_mw(-30.0), 0.001, 1e-12);
+}
+
+TEST(Units, MwToDbmRejectsNonPositive) {
+  EXPECT_THROW(mw_to_dbm(0.0), std::domain_error);
+  EXPECT_THROW(mw_to_dbm(-1.0), std::domain_error);
+}
+
+TEST(Units, DbRatioRoundTrip) {
+  EXPECT_NEAR(db_to_ratio(3.0103), 2.0, 1e-3);
+  EXPECT_NEAR(ratio_to_db(100.0), 20.0, 1e-12);
+  EXPECT_NEAR(ratio_to_db(db_to_ratio(-17.5)), -17.5, 1e-9);
+  EXPECT_THROW(ratio_to_db(0.0), std::domain_error);
+}
+
+TEST(Units, EirpFormula) {
+  // Paper §III-D: EIRP = PT + GA − LS.
+  EXPECT_NEAR(eirp_dbm(20.0, 6.0, 2.0), 24.0, 1e-12);
+  EXPECT_NEAR(eirp_dbm(30.0, 0.0, 0.0), 30.0, 1e-12);
+}
+
+TEST(PowerQuantizer, RoundTripWithinResolution) {
+  PowerQuantizer q;
+  for (double mw : {0.0, 1e-6, 0.001, 1.0, 123.456, 1e6}) {
+    auto v = q.quantize_mw(mw);
+    EXPECT_NEAR(q.dequantize_mw(v), mw, 1.0 / q.scale + 1e-12) << mw;
+    EXPECT_GE(v, 0);
+  }
+}
+
+TEST(PowerQuantizer, SixtyBitWidthEnforced) {
+  PowerQuantizer q;  // paper's 60-bit representation
+  EXPECT_THROW(q.quantize_mw(1e13), std::overflow_error)
+      << "1e13 mW * 1e6 scale = 1e19 > 2^60";
+  EXPECT_NO_THROW(q.quantize_mw(1e9));
+  EXPECT_THROW(q.quantize_mw(-0.5), std::domain_error);
+}
+
+TEST(PowerQuantizer, MonotoneInPower) {
+  PowerQuantizer q;
+  EXPECT_LT(q.quantize_mw(1.0), q.quantize_mw(2.0));
+  EXPECT_LE(q.quantize_mw(1.0), q.quantize_mw(1.0 + 1e-12));
+}
+
+}  // namespace
+}  // namespace pisa::radio

@@ -1,0 +1,189 @@
+#include "watch/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bigint/random_source.hpp"
+#include "radio/pathloss.hpp"
+#include "radio/units.hpp"
+
+namespace pisa::watch {
+namespace {
+
+using radio::BlockId;
+using radio::ChannelId;
+
+WatchConfig cfg_2km() {
+  WatchConfig cfg;
+  cfg.grid_rows = 20;
+  cfg.grid_cols = 30;
+  cfg.block_size_m = 100.0;
+  cfg.channels = 3;
+  return cfg;
+}
+
+struct AggregateFixture : ::testing::Test {
+  WatchConfig cfg = cfg_2km();
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  std::vector<PuSite> sites{{0, BlockId{0}}};
+  std::vector<PuTuning> tunings{{ChannelId{0}, 1e-6}};
+};
+
+TEST_F(AggregateFixture, NoSusMeansInfiniteSinr) {
+  auto exposures = compute_exposures(cfg, sites, tunings, {}, model,
+                                     cfg.delta_tv_sinr_db);
+  ASSERT_EQ(exposures.size(), 1u);
+  EXPECT_TRUE(std::isinf(exposures[0].sinr_db));
+  EXPECT_TRUE(exposures[0].protected_ok);
+}
+
+TEST_F(AggregateFixture, OffReceiversAreSkipped) {
+  tunings[0] = PuTuning{};  // off
+  auto exposures = compute_exposures(cfg, sites, tunings, {}, model, 23.0);
+  EXPECT_TRUE(exposures.empty());
+}
+
+TEST_F(AggregateFixture, SingleSuSinrMatchesHandComputation) {
+  std::vector<ActiveSu> sus{{BlockId{5}, ChannelId{0}, 100.0}};
+  auto exposures = compute_exposures(cfg, sites, tunings, sus, model, 23.0);
+  ASSERT_EQ(exposures.size(), 1u);
+  double d = cfg.make_area().block_distance_m(BlockId{0}, BlockId{5});
+  double expected_i = 100.0 * model.path_gain(d);
+  EXPECT_NEAR(exposures[0].interference_mw, expected_i, expected_i * 1e-12);
+  EXPECT_NEAR(exposures[0].sinr_db, radio::ratio_to_db(1e-6 / expected_i), 1e-9);
+}
+
+TEST_F(AggregateFixture, CrossChannelSusDoNotInterfere) {
+  std::vector<ActiveSu> sus{{BlockId{5}, ChannelId{1}, 100.0},
+                            {BlockId{6}, ChannelId{2}, 100.0}};
+  auto exposures = compute_exposures(cfg, sites, tunings, sus, model, 23.0);
+  EXPECT_EQ(exposures[0].interference_mw, 0.0);
+}
+
+TEST_F(AggregateFixture, InterferenceIsAdditive) {
+  std::vector<ActiveSu> one{{BlockId{5}, ChannelId{0}, 100.0}};
+  std::vector<ActiveSu> two{{BlockId{5}, ChannelId{0}, 100.0},
+                            {BlockId{9}, ChannelId{0}, 50.0}};
+  auto e1 = compute_exposures(cfg, sites, tunings, one, model, 23.0);
+  auto e2 = compute_exposures(cfg, sites, tunings, two, model, 23.0);
+  EXPECT_GT(e2[0].interference_mw, e1[0].interference_mw);
+  EXPECT_LT(e2[0].sinr_db, e1[0].sinr_db);
+}
+
+TEST_F(AggregateFixture, MismatchedInputsThrow) {
+  std::vector<PuTuning> short_tunings;
+  EXPECT_THROW(compute_exposures(cfg, sites, short_tunings, {}, model, 23.0),
+               std::invalid_argument);
+}
+
+TEST(AggregateProtection, GrantedSusNeverBreakPuProtection) {
+  // The paper's central safety claim: every SU admitted by the WATCH budget
+  // (which includes the Δ_redn margin) leaves each PU's realized SINR above
+  // the pure ATSC requirement — even with several SUs on air at once.
+  WatchConfig cfg = cfg_2km();
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  std::vector<PuSite> sites{{0, BlockId{0}}, {1, BlockId{17 * 30 + 20}}};
+  PlainWatch watch{cfg, sites, model};
+  watch.pu_update(0, PuTuning{ChannelId{0}, 1e-6});
+  watch.pu_update(1, PuTuning{ChannelId{1}, 2e-6});
+
+  // 30 candidate SUs spread over the grid, low-to-medium EIRPs.
+  std::vector<SuRequest> candidates;
+  bn::SplitMix64Random rng{3};
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    std::vector<double> eirp(cfg.channels, 0.0);
+    // 1 µW .. ~100 mW: weak SUs get admitted everywhere, strong SUs only
+    // far from the PUs.
+    eirp[rng.next_u64() % cfg.channels] =
+        1e-3 * std::pow(10.0, static_cast<double>(rng.next_u64() % 6) * 5.0 / 6.0);
+    candidates.push_back({100 + i,
+                          BlockId{static_cast<std::uint32_t>(
+                              rng.next_u64() % (cfg.grid_rows * cfg.grid_cols))},
+                          eirp});
+  }
+
+  auto admission = admit_sequentially(watch, candidates);
+  EXPECT_GT(admission.admitted.size(), 0u) << "scenario must admit someone";
+  EXPECT_GT(admission.denied, 0u) << "scenario must deny someone";
+
+  std::vector<PuTuning> tunings{{ChannelId{0}, 1e-6}, {ChannelId{1}, 2e-6}};
+  auto exposures = compute_exposures(cfg, sites, tunings, admission.admitted,
+                                     model, cfg.delta_tv_sinr_db);
+  for (const auto& e : exposures) {
+    EXPECT_TRUE(e.protected_ok)
+        << "PU " << e.pu_id << " realized SINR " << e.sinr_db << " dB";
+  }
+}
+
+TEST(AggregateProtection, MarginShrinksWithMoreAdmittedSus) {
+  WatchConfig cfg = cfg_2km();
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  std::vector<PuSite> sites{{0, BlockId{0}}};
+  PlainWatch watch{cfg, sites, model};
+  watch.pu_update(0, PuTuning{ChannelId{0}, 1e-6});
+  std::vector<PuTuning> tunings{{ChannelId{0}, 1e-6}};
+
+  std::vector<ActiveSu> sus;
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::uint32_t b = 300; b < 600; b += 60) {
+    sus.push_back({BlockId{b}, ChannelId{0}, 0.01});
+    auto exposures = compute_exposures(cfg, sites, tunings, sus, model, 23.0);
+    double margin = worst_margin_db(exposures, cfg.delta_tv_sinr_db);
+    EXPECT_LT(margin, prev);
+    prev = margin;
+  }
+}
+
+TEST(AggregateProtection, ZeroRednMarginCanBeViolatedByAggregate) {
+  // Ablation backing Δ_redn's existence: with Δ_redn = 0 the per-SU budget
+  // admits SUs right up to the SINR line, so K co-channel SUs each at the
+  // individual limit push the PU below the ATSC requirement.
+  WatchConfig cfg = cfg_2km();
+  cfg.delta_redn_db = 0.0;
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  std::vector<PuSite> sites{{0, BlockId{0}}};
+  PlainWatch watch{cfg, sites, model};
+  watch.pu_update(0, PuTuning{ChannelId{0}, 1e-6});
+
+  // Find an EIRP that is individually just-admissible at ~2 km, then admit
+  // several copies from nearby blocks.
+  std::vector<SuRequest> candidates;
+  for (std::uint32_t b : {19u * 30 + 25, 19u * 30 + 26, 19u * 30 + 27,
+                          19u * 30 + 28, 19u * 30 + 29}) {
+    std::vector<double> eirp(cfg.channels, 0.0);
+    // Binary-search the largest admissible power for this block.
+    double lo = 0, hi = 4000;
+    for (int iter = 0; iter < 40; ++iter) {
+      double mid = 0.5 * (lo + hi);
+      eirp[0] = mid;
+      if (watch.process_request({900, BlockId{b}, eirp}).granted)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    eirp[0] = lo;
+    if (lo > 0) candidates.push_back({900 + b, BlockId{b}, eirp});
+  }
+  ASSERT_GE(candidates.size(), 3u);
+
+  auto admission = admit_sequentially(watch, candidates);
+  ASSERT_EQ(admission.denied, 0u) << "each is individually admissible";
+  std::vector<PuTuning> tunings{{ChannelId{0}, 1e-6}};
+  auto exposures = compute_exposures(cfg, sites, tunings, admission.admitted,
+                                     model, cfg.delta_tv_sinr_db);
+  EXPECT_FALSE(exposures[0].protected_ok)
+      << "without Δ_redn, aggregate interference breaks protection "
+      << "(realized SINR " << exposures[0].sinr_db << " dB)";
+}
+
+TEST(AggregateProtection, WorstMarginHelper) {
+  std::vector<PuExposure> exposures;
+  EXPECT_TRUE(std::isinf(worst_margin_db(exposures, 23.0)));
+  exposures.push_back({0, 1e-6, 1e-9, 30.0, true});
+  exposures.push_back({1, 1e-6, 1e-8, 20.0, false});
+  EXPECT_NEAR(worst_margin_db(exposures, 23.0), -3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pisa::watch

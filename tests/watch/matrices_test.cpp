@@ -1,0 +1,141 @@
+#include "watch/matrices.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radio/pathloss.hpp"
+
+namespace pisa::watch {
+namespace {
+
+WatchConfig small_config() {
+  WatchConfig cfg;
+  cfg.grid_rows = 4;
+  cfg.grid_cols = 5;
+  cfg.block_size_m = 100.0;
+  cfg.channels = 3;
+  return cfg;
+}
+
+TEST(ExclusionRadius, GrowsWithLouderSu) {
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  WatchConfig quiet = small_config();
+  quiet.su_max_eirp_dbm = 10.0;
+  WatchConfig loud = small_config();
+  loud.su_max_eirp_dbm = 36.0;
+  EXPECT_GT(exclusion_radius_m(loud, model), exclusion_radius_m(quiet, model));
+}
+
+TEST(ExclusionRadius, ShrinksWithSmallerProtectionRatio) {
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  WatchConfig strict = small_config();
+  strict.delta_tv_sinr_db = 23.0;
+  WatchConfig lax = small_config();
+  lax.delta_tv_sinr_db = 10.0;
+  EXPECT_GT(exclusion_radius_m(strict, model), exclusion_radius_m(lax, model));
+}
+
+TEST(ProtectionScalar, MatchesLinearSum) {
+  WatchConfig cfg = small_config();
+  cfg.delta_tv_sinr_db = 23.0;
+  cfg.delta_redn_db = 3.0;
+  // 10^2.3 + 10^0.3 = 199.53 + 2.00 = 201.52 → 202 after rounding.
+  EXPECT_EQ(cfg.protection_scalar(), 202);
+}
+
+TEST(EMatrix, UniformMaxEirp) {
+  WatchConfig cfg = small_config();
+  auto e = make_e_matrix(cfg);
+  EXPECT_EQ(e.channels(), 3u);
+  EXPECT_EQ(e.blocks(), 20u);
+  std::int64_t expected = cfg.quantizer.quantize_mw(cfg.su_max_eirp_mw());
+  for (auto v : e) EXPECT_EQ(v, expected);
+  EXPECT_GT(expected, 0);
+}
+
+TEST(PuWMatrix, SingleActiveEntry) {
+  WatchConfig cfg = small_config();
+  auto e = make_e_matrix(cfg);
+  PuSite site{7, radio::BlockId{11}};
+  PuTuning tuning{radio::ChannelId{2}, 1e-6 /* −60 dBm */};
+  auto w = build_pu_w_matrix(cfg, e, site, tuning);
+  EXPECT_EQ(nonzero_entries(w), 1u);
+  std::int64_t t = cfg.quantizer.quantize_mw(1e-6);
+  EXPECT_EQ(w.at(radio::ChannelId{2}, radio::BlockId{11}),
+            t - e.at(radio::ChannelId{2}, radio::BlockId{11}));
+  EXPECT_LT(w.at(radio::ChannelId{2}, radio::BlockId{11}), 0)
+      << "TV signal strength is far below the SU EIRP budget";
+}
+
+TEST(PuWMatrix, ReceiverOffIsAllZero) {
+  WatchConfig cfg = small_config();
+  auto e = make_e_matrix(cfg);
+  auto w = build_pu_w_matrix(cfg, e, PuSite{1, radio::BlockId{0}}, PuTuning{});
+  EXPECT_EQ(nonzero_entries(w), 0u);
+}
+
+TEST(PuWMatrix, RejectsBadInput) {
+  WatchConfig cfg = small_config();
+  auto e = make_e_matrix(cfg);
+  PuSite site{1, radio::BlockId{0}};
+  EXPECT_THROW(
+      build_pu_w_matrix(cfg, e, site, PuTuning{radio::ChannelId{3}, 1e-6}),
+      std::out_of_range);
+  EXPECT_THROW(
+      build_pu_w_matrix(cfg, e, site, PuTuning{radio::ChannelId{0}, 0.0}),
+      std::domain_error);
+}
+
+struct FMatrixFixture : ::testing::Test {
+  WatchConfig cfg = small_config();
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  std::vector<PuSite> sites{{0, radio::BlockId{0}},
+                            {1, radio::BlockId{9}},
+                            {2, radio::BlockId{19}}};
+  std::vector<double> eirp = std::vector<double>(3, 100.0);  // 100 mW on all channels
+};
+
+TEST_F(FMatrixFixture, EntriesOnlyAtPuSitesWithinRadius) {
+  auto f = build_su_f_matrix(cfg, sites, radio::BlockId{10}, eirp, model, 1e9);
+  // One entry per (site, channel): 3 sites × 3 channels.
+  EXPECT_EQ(nonzero_entries(f), 9u);
+  // Restricting the radius to zero keeps only co-located sites (none here).
+  auto f0 = build_su_f_matrix(cfg, sites, radio::BlockId{10}, eirp, model, 1.0);
+  EXPECT_EQ(nonzero_entries(f0), 0u);
+}
+
+TEST_F(FMatrixFixture, InterferenceDecaysWithDistance) {
+  auto f = build_su_f_matrix(cfg, sites, radio::BlockId{0}, eirp, model, 1e9);
+  auto near = f.at(radio::ChannelId{0}, radio::BlockId{0});   // same block
+  auto far = f.at(radio::ChannelId{0}, radio::BlockId{19});   // opposite corner
+  EXPECT_GT(near, far);
+  EXPECT_GT(far, 0);
+}
+
+TEST_F(FMatrixFixture, ZeroEirpChannelsOmitted) {
+  eirp[1] = 0.0;
+  auto f = build_su_f_matrix(cfg, sites, radio::BlockId{10}, eirp, model, 1e9);
+  EXPECT_EQ(nonzero_entries(f), 6u);
+  for (std::uint32_t b = 0; b < 20; ++b)
+    EXPECT_EQ(f.at(radio::ChannelId{1}, radio::BlockId{b}), 0);
+}
+
+TEST_F(FMatrixFixture, MatchesManualEquationFive) {
+  // F(c,i) = S^SU · h(d) — recompute one entry by hand.
+  auto area = cfg.make_area();
+  auto f = build_su_f_matrix(cfg, sites, radio::BlockId{10}, eirp, model, 1e9);
+  double d = area.block_distance_m(radio::BlockId{10}, radio::BlockId{9});
+  std::int64_t expected = cfg.quantizer.quantize_mw(100.0 * model.path_gain(d));
+  EXPECT_EQ(f.at(radio::ChannelId{2}, radio::BlockId{9}), expected);
+}
+
+TEST_F(FMatrixFixture, RejectsBadInput) {
+  EXPECT_THROW(build_su_f_matrix(cfg, sites, radio::BlockId{99}, eirp, model, 1e9),
+               std::out_of_range);
+  std::vector<double> short_eirp(2, 1.0);
+  EXPECT_THROW(
+      build_su_f_matrix(cfg, sites, radio::BlockId{0}, short_eirp, model, 1e9),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pisa::watch

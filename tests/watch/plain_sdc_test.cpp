@@ -1,0 +1,158 @@
+#include "watch/plain_sdc.hpp"
+
+#include <gtest/gtest.h>
+#include <limits>
+
+
+#include "bigint/random_source.hpp"
+#include "radio/pathloss.hpp"
+
+namespace pisa::watch {
+namespace {
+
+using radio::BlockId;
+using radio::ChannelId;
+
+WatchConfig tiny_config() {
+  WatchConfig cfg;
+  cfg.grid_rows = 2;
+  cfg.grid_cols = 3;
+  cfg.block_size_m = 100.0;
+  cfg.channels = 2;
+  return cfg;
+}
+
+struct PlainSdcFixture : ::testing::Test {
+  WatchConfig cfg = tiny_config();
+  PlainSdc sdc{cfg, make_e_matrix(cfg)};
+  std::int64_t e_val = cfg.quantizer.quantize_mw(cfg.su_max_eirp_mw());
+
+  QMatrix w_for(ChannelId c, BlockId b, double signal_mw) {
+    return build_pu_w_matrix(cfg, sdc.e_matrix(), PuSite{0, b},
+                             PuTuning{c, signal_mw});
+  }
+};
+
+TEST_F(PlainSdcFixture, BudgetStartsAtEMatrix) {
+  for (auto v : sdc.budget()) EXPECT_EQ(v, e_val);
+}
+
+TEST_F(PlainSdcFixture, PuUpdateRealizesEquationFour) {
+  // Eq. (4): N(c,b) = T'(c,b) where a PU listens, E_S(c,b) elsewhere —
+  // realized without comparisons via N = Σ(T−E) + E (eq. (9)/(10)).
+  auto w = w_for(ChannelId{1}, BlockId{4}, 1e-6);
+  sdc.pu_update(0, w);
+  std::int64_t t = cfg.quantizer.quantize_mw(1e-6);
+  EXPECT_EQ(sdc.budget().at(ChannelId{1}, BlockId{4}), t);
+  // Every other entry untouched.
+  for (std::uint32_t c = 0; c < 2; ++c) {
+    for (std::uint32_t b = 0; b < 6; ++b) {
+      if (c == 1 && b == 4) continue;
+      EXPECT_EQ(sdc.budget().at(ChannelId{c}, BlockId{b}), e_val);
+    }
+  }
+}
+
+TEST_F(PlainSdcFixture, SwitchingChannelsMovesTheBudgetEntry) {
+  sdc.pu_update(0, w_for(ChannelId{0}, BlockId{2}, 1e-6));
+  sdc.pu_update(0, w_for(ChannelId{1}, BlockId{2}, 2e-6));
+  EXPECT_EQ(sdc.budget().at(ChannelId{0}, BlockId{2}), e_val)
+      << "old channel restored to the E budget";
+  EXPECT_EQ(sdc.budget().at(ChannelId{1}, BlockId{2}),
+            cfg.quantizer.quantize_mw(2e-6));
+}
+
+TEST_F(PlainSdcFixture, TurningOffRestoresBudget) {
+  sdc.pu_update(0, w_for(ChannelId{0}, BlockId{0}, 1e-6));
+  sdc.pu_update(0, QMatrix{cfg.channels, 6, 0});  // receiver off
+  for (auto v : sdc.budget()) EXPECT_EQ(v, e_val);
+}
+
+TEST_F(PlainSdcFixture, MultiplePusAggregate) {
+  // Two PUs in the same block on the same channel: T' sums their signals
+  // (paper §IV-A2: one T entry per PU, aggregated).
+  auto w0 = w_for(ChannelId{0}, BlockId{1}, 1e-6);
+  auto w1 = w_for(ChannelId{0}, BlockId{1}, 3e-6);
+  sdc.pu_update(0, w0);
+  sdc.pu_update(1, w1);
+  std::int64_t t0 = cfg.quantizer.quantize_mw(1e-6);
+  std::int64_t t1 = cfg.quantizer.quantize_mw(3e-6);
+  EXPECT_EQ(sdc.budget().at(ChannelId{0}, BlockId{1}), t0 + t1 - e_val);
+  EXPECT_EQ(sdc.num_pus_tracked(), 2u);
+}
+
+TEST_F(PlainSdcFixture, IncrementalMatchesRebuild) {
+  PlainSdc inc{cfg, make_e_matrix(cfg)};
+  bn::SplitMix64Random rng{5};
+  for (int round = 0; round < 20; ++round) {
+    auto pu = static_cast<std::uint32_t>(rng.next_u64() % 4);
+    auto c = ChannelId{static_cast<std::uint32_t>(rng.next_u64() % 2)};
+    auto b = BlockId{static_cast<std::uint32_t>(rng.next_u64() % 6)};
+    double sig = 1e-7 * static_cast<double>(rng.next_u64() % 100 + 1);
+    auto w = build_pu_w_matrix(cfg, sdc.e_matrix(), PuSite{pu, b}, PuTuning{c, sig});
+    sdc.pu_update(pu, w);
+    inc.pu_update_incremental(pu, w);
+    EXPECT_EQ(sdc.budget(), inc.budget()) << "round " << round;
+  }
+}
+
+TEST_F(PlainSdcFixture, GrantWhenNoInterference) {
+  sdc.pu_update(0, w_for(ChannelId{0}, BlockId{0}, 1e-6));
+  QMatrix f{cfg.channels, 6, 0};  // SU causes zero interference
+  auto d = sdc.evaluate(f);
+  EXPECT_TRUE(d.granted);
+  EXPECT_EQ(d.violations, 0u);
+  EXPECT_GT(d.worst_margin, 0);
+}
+
+TEST_F(PlainSdcFixture, DenyWhenInterferenceExceedsBudget) {
+  sdc.pu_update(0, w_for(ChannelId{0}, BlockId{0}, 1e-6));
+  QMatrix f{cfg.channels, 6, 0};
+  // Interference equal to the TV signal itself: X·F ≫ T ⇒ deny.
+  f.at(ChannelId{0}, BlockId{0}) = cfg.quantizer.quantize_mw(1e-6);
+  auto d = sdc.evaluate(f);
+  EXPECT_FALSE(d.granted);
+  EXPECT_EQ(d.violations, 1u);
+  EXPECT_LE(d.worst_margin, 0);
+}
+
+TEST_F(PlainSdcFixture, SinrThresholdIsExact) {
+  // Margin flips sign exactly where T = X·F — the SINR protection boundary.
+  sdc.pu_update(0, w_for(ChannelId{0}, BlockId{0}, 1e-6));
+  std::int64_t t = cfg.quantizer.quantize_mw(1e-6);
+  std::int64_t x = cfg.protection_scalar();
+  QMatrix f{cfg.channels, 6, 0};
+  f.at(ChannelId{0}, BlockId{0}) = t / x;  // just below threshold
+  EXPECT_TRUE(sdc.evaluate(f).granted);
+  f.at(ChannelId{0}, BlockId{0}) = t / x + 1;  // just above
+  EXPECT_FALSE(sdc.evaluate(f).granted);
+}
+
+TEST_F(PlainSdcFixture, ViolationCountsAllOffendingEntries) {
+  sdc.pu_update(0, w_for(ChannelId{0}, BlockId{0}, 1e-6));
+  sdc.pu_update(1, build_pu_w_matrix(cfg, sdc.e_matrix(), PuSite{1, BlockId{5}},
+                                     PuTuning{ChannelId{1}, 1e-6}));
+  QMatrix f{cfg.channels, 6, 0};
+  std::int64_t huge = cfg.quantizer.quantize_mw(1e-3);
+  f.at(ChannelId{0}, BlockId{0}) = huge;
+  f.at(ChannelId{1}, BlockId{5}) = huge;
+  auto d = sdc.evaluate(f);
+  EXPECT_EQ(d.violations, 2u);
+}
+
+TEST_F(PlainSdcFixture, OverflowingInterferenceFailsLoudly) {
+  QMatrix f{cfg.channels, 6, 0};
+  f.at(ChannelId{0}, BlockId{0}) = std::numeric_limits<std::int64_t>::max() / 2;
+  EXPECT_THROW(sdc.evaluate(f), std::overflow_error)
+      << "F*X wider than int64 must not wrap silently";
+}
+
+TEST_F(PlainSdcFixture, ShapeMismatchThrows) {
+  QMatrix bad{1, 6, 0};
+  EXPECT_THROW(sdc.pu_update(0, bad), std::invalid_argument);
+  EXPECT_THROW(sdc.evaluate(bad), std::invalid_argument);
+  EXPECT_THROW(PlainSdc(cfg, QMatrix{1, 1, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pisa::watch

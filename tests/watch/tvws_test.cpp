@@ -1,0 +1,120 @@
+#include "watch/tvws_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "radio/pathloss.hpp"
+#include "radio/units.hpp"
+
+namespace pisa::watch {
+namespace {
+
+using radio::BlockId;
+using radio::ChannelId;
+
+WatchConfig cfg_area() {
+  WatchConfig cfg;
+  cfg.grid_rows = 10;
+  cfg.grid_cols = 10;
+  cfg.block_size_m = 200.0;  // 2 km × 2 km
+  cfg.channels = 5;
+  return cfg;
+}
+
+struct TvwsFixture : ::testing::Test {
+  WatchConfig cfg = cfg_area();
+  radio::ExtendedHataModel tv_model{600.0, 200.0, 10.0};
+};
+
+TEST_F(TvwsFixture, NoTowersMeansEverythingAvailable) {
+  TvwsBaseline tvws{cfg, {}, tv_model};
+  EXPECT_EQ(tvws.available_pairs(), tvws.total_pairs());
+  EXPECT_TRUE(tvws.channel_available(ChannelId{0}, BlockId{0}));
+}
+
+TEST_F(TvwsFixture, StrongerTowerCoversMoreBlocks) {
+  auto occupied_blocks = [&](double eirp_dbm) {
+    TvwsBaseline tvws{cfg,
+                      {{radio::Point{1000.0, 1000.0}, ChannelId{2}, eirp_dbm}},
+                      tv_model};
+    return tvws.total_pairs() - tvws.available_pairs();
+  };
+  auto weak = occupied_blocks(40.0);
+  auto strong = occupied_blocks(80.0);
+  EXPECT_GE(strong, weak);
+  EXPECT_GT(strong, 0u);
+}
+
+TEST_F(TvwsFixture, ContourIsDistanceMonotone) {
+  TvwsBaseline tvws{cfg,
+                    {{radio::Point{1000.0, 1000.0}, ChannelId{1}, 65.0}},
+                    tv_model};
+  auto area = cfg.make_area();
+  auto center = area.block_at({1000.0, 1000.0});
+  // If a far block is occupied then every nearer block on the same row
+  // toward the tower must be occupied too (monotone path gain).
+  for (std::uint32_t col = 0; col + 1 < cfg.grid_cols; ++col) {
+    BlockId nearer{center.index / 10 * 10 + col};
+    BlockId farther{center.index / 10 * 10 + col + 1};
+    double d_near = area.block_distance_m(center, nearer);
+    double d_far = area.block_distance_m(center, farther);
+    if (d_near < d_far &&
+        !tvws.channel_available(ChannelId{1}, farther)) {
+      EXPECT_FALSE(tvws.channel_available(ChannelId{1}, nearer))
+          << "col " << col;
+    }
+  }
+}
+
+TEST_F(TvwsFixture, OverlappingTowersOnDifferentChannels) {
+  std::vector<TvTransmitter> towers{
+      {radio::Point{500.0, 500.0}, ChannelId{0}, 80.0},
+      {radio::Point{500.0, 500.0}, ChannelId{3}, 80.0},
+  };
+  TvwsBaseline tvws{cfg, towers, tv_model};
+  auto area = cfg.make_area();
+  auto b = area.block_at({500.0, 500.0});
+  EXPECT_FALSE(tvws.channel_available(ChannelId{0}, b));
+  EXPECT_FALSE(tvws.channel_available(ChannelId{3}, b));
+  EXPECT_TRUE(tvws.channel_available(ChannelId{1}, b));
+  EXPECT_TRUE(tvws.channel_available(ChannelId{2}, b));
+  EXPECT_TRUE(tvws.channel_available(ChannelId{4}, b));
+}
+
+TEST_F(TvwsFixture, SameChannelTowersUnionTheirContours) {
+  std::vector<TvTransmitter> one{
+      {radio::Point{200.0, 200.0}, ChannelId{2}, 60.0}};
+  std::vector<TvTransmitter> two{
+      {radio::Point{200.0, 200.0}, ChannelId{2}, 60.0},
+      {radio::Point{1800.0, 1800.0}, ChannelId{2}, 60.0}};
+  TvwsBaseline tvws_one{cfg, one, tv_model};
+  TvwsBaseline tvws_two{cfg, two, tv_model};
+  EXPECT_LE(tvws_two.available_pairs(), tvws_one.available_pairs());
+  // Every pair unavailable under one tower stays unavailable with two.
+  for (std::uint32_t b = 0; b < 100; ++b) {
+    if (!tvws_one.channel_available(ChannelId{2}, BlockId{b})) {
+      EXPECT_FALSE(tvws_two.channel_available(ChannelId{2}, BlockId{b})) << b;
+    }
+  }
+}
+
+TEST_F(TvwsFixture, OutOfRangeChannelTowerIsIgnored) {
+  std::vector<TvTransmitter> towers{
+      {radio::Point{1000.0, 1000.0}, ChannelId{99}, 80.0}};
+  TvwsBaseline tvws{cfg, towers, tv_model};
+  EXPECT_EQ(tvws.available_pairs(), tvws.total_pairs());
+}
+
+TEST_F(TvwsFixture, ProtectionThresholdControlsContour) {
+  WatchConfig strict = cfg;
+  strict.pu_min_signal_dbm = -100.0;  // protect weaker signals → bigger contour
+  WatchConfig lax = cfg;
+  lax.pu_min_signal_dbm = -60.0;
+  std::vector<TvTransmitter> towers{
+      {radio::Point{1000.0, 1000.0}, ChannelId{0}, 70.0}};
+  TvwsBaseline s{strict, towers, tv_model};
+  TvwsBaseline l{lax, towers, tv_model};
+  EXPECT_LE(s.available_pairs(), l.available_pairs());
+}
+
+}  // namespace
+}  // namespace pisa::watch
