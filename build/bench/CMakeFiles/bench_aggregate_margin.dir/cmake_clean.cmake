@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aggregate_margin.dir/bench_aggregate_margin.cpp.o"
+  "CMakeFiles/bench_aggregate_margin.dir/bench_aggregate_margin.cpp.o.d"
+  "bench_aggregate_margin"
+  "bench_aggregate_margin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aggregate_margin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

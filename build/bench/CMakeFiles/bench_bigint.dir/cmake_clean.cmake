@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bigint.dir/bench_bigint.cpp.o"
+  "CMakeFiles/bench_bigint.dir/bench_bigint.cpp.o.d"
+  "bench_bigint"
+  "bench_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_day_in_the_life.dir/bench_day_in_the_life.cpp.o"
+  "CMakeFiles/bench_day_in_the_life.dir/bench_day_in_the_life.cpp.o.d"
+  "bench_day_in_the_life"
+  "bench_day_in_the_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_day_in_the_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

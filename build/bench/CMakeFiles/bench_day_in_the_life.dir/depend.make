@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_day_in_the_life.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_privacy_tradeoff.dir/bench_privacy_tradeoff.cpp.o"
+  "CMakeFiles/bench_privacy_tradeoff.dir/bench_privacy_tradeoff.cpp.o.d"
+  "bench_privacy_tradeoff"
+  "bench_privacy_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_privacy_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_watch_vs_tvws.dir/bench_watch_vs_tvws.cpp.o"
+  "CMakeFiles/bench_watch_vs_tvws.dir/bench_watch_vs_tvws.cpp.o.d"
+  "bench_watch_vs_tvws"
+  "bench_watch_vs_tvws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_watch_vs_tvws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_aggregate_margin "/root/repo/build/bench/bench_aggregate_margin")
+set_tests_properties(bench_smoke_aggregate_margin PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;22;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_watch_vs_tvws "/root/repo/build/bench/bench_watch_vs_tvws")
+set_tests_properties(bench_smoke_watch_vs_tvws PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;23;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_threshold "/root/repo/build/bench/bench_threshold")
+set_tests_properties(bench_smoke_threshold PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;24;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_privacy_tradeoff "/root/repo/build/bench/bench_privacy_tradeoff")
+set_tests_properties(bench_smoke_privacy_tradeoff PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;25;add_test;/root/repo/bench/CMakeLists.txt;0;")

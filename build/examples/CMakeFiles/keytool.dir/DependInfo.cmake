@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/keytool.cpp" "examples/CMakeFiles/keytool.dir/keytool.cpp.o" "gcc" "examples/CMakeFiles/keytool.dir/keytool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pisa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pisa_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pisa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/watch/CMakeFiles/pisa_watch.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/pisa_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/pisa_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keytool.dir/keytool.cpp.o"
+  "CMakeFiles/keytool.dir/keytool.cpp.o.d"
+  "keytool"
+  "keytool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keytool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdr_scenarios.dir/sdr_scenarios.cpp.o"
+  "CMakeFiles/sdr_scenarios.dir/sdr_scenarios.cpp.o.d"
+  "sdr_scenarios"
+  "sdr_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdr_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_stp.dir/threshold_stp.cpp.o"
+  "CMakeFiles/threshold_stp.dir/threshold_stp.cpp.o.d"
+  "threshold_stp"
+  "threshold_stp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_stp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

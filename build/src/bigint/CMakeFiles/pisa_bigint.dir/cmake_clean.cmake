@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisa_bigint.dir/bigint.cpp.o"
+  "CMakeFiles/pisa_bigint.dir/bigint.cpp.o.d"
+  "CMakeFiles/pisa_bigint.dir/biguint.cpp.o"
+  "CMakeFiles/pisa_bigint.dir/biguint.cpp.o.d"
+  "CMakeFiles/pisa_bigint.dir/modular.cpp.o"
+  "CMakeFiles/pisa_bigint.dir/modular.cpp.o.d"
+  "CMakeFiles/pisa_bigint.dir/montgomery.cpp.o"
+  "CMakeFiles/pisa_bigint.dir/montgomery.cpp.o.d"
+  "CMakeFiles/pisa_bigint.dir/prime.cpp.o"
+  "CMakeFiles/pisa_bigint.dir/prime.cpp.o.d"
+  "CMakeFiles/pisa_bigint.dir/random_source.cpp.o"
+  "CMakeFiles/pisa_bigint.dir/random_source.cpp.o.d"
+  "libpisa_bigint.a"
+  "libpisa_bigint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisa_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

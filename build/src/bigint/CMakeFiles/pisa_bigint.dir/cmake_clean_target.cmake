@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpisa_bigint.a"
+)

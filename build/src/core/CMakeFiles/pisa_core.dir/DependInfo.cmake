@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comparison_baseline.cpp" "src/core/CMakeFiles/pisa_core.dir/comparison_baseline.cpp.o" "gcc" "src/core/CMakeFiles/pisa_core.dir/comparison_baseline.cpp.o.d"
+  "/root/repo/src/core/messages.cpp" "src/core/CMakeFiles/pisa_core.dir/messages.cpp.o" "gcc" "src/core/CMakeFiles/pisa_core.dir/messages.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/pisa_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/pisa_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/pu_client.cpp" "src/core/CMakeFiles/pisa_core.dir/pu_client.cpp.o" "gcc" "src/core/CMakeFiles/pisa_core.dir/pu_client.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/pisa_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/pisa_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/sdc_server.cpp" "src/core/CMakeFiles/pisa_core.dir/sdc_server.cpp.o" "gcc" "src/core/CMakeFiles/pisa_core.dir/sdc_server.cpp.o.d"
+  "/root/repo/src/core/stp_server.cpp" "src/core/CMakeFiles/pisa_core.dir/stp_server.cpp.o" "gcc" "src/core/CMakeFiles/pisa_core.dir/stp_server.cpp.o.d"
+  "/root/repo/src/core/su_client.cpp" "src/core/CMakeFiles/pisa_core.dir/su_client.cpp.o" "gcc" "src/core/CMakeFiles/pisa_core.dir/su_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/pisa_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pisa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/watch/CMakeFiles/pisa_watch.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/pisa_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/pisa_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

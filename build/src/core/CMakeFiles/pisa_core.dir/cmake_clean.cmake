@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisa_core.dir/comparison_baseline.cpp.o"
+  "CMakeFiles/pisa_core.dir/comparison_baseline.cpp.o.d"
+  "CMakeFiles/pisa_core.dir/messages.cpp.o"
+  "CMakeFiles/pisa_core.dir/messages.cpp.o.d"
+  "CMakeFiles/pisa_core.dir/protocol.cpp.o"
+  "CMakeFiles/pisa_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/pisa_core.dir/pu_client.cpp.o"
+  "CMakeFiles/pisa_core.dir/pu_client.cpp.o.d"
+  "CMakeFiles/pisa_core.dir/scenario.cpp.o"
+  "CMakeFiles/pisa_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/pisa_core.dir/sdc_server.cpp.o"
+  "CMakeFiles/pisa_core.dir/sdc_server.cpp.o.d"
+  "CMakeFiles/pisa_core.dir/stp_server.cpp.o"
+  "CMakeFiles/pisa_core.dir/stp_server.cpp.o.d"
+  "CMakeFiles/pisa_core.dir/su_client.cpp.o"
+  "CMakeFiles/pisa_core.dir/su_client.cpp.o.d"
+  "libpisa_core.a"
+  "libpisa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

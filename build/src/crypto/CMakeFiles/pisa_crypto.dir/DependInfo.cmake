@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/chacha_rng.cpp" "src/crypto/CMakeFiles/pisa_crypto.dir/chacha_rng.cpp.o" "gcc" "src/crypto/CMakeFiles/pisa_crypto.dir/chacha_rng.cpp.o.d"
+  "/root/repo/src/crypto/damgard_jurik.cpp" "src/crypto/CMakeFiles/pisa_crypto.dir/damgard_jurik.cpp.o" "gcc" "src/crypto/CMakeFiles/pisa_crypto.dir/damgard_jurik.cpp.o.d"
+  "/root/repo/src/crypto/key_codec.cpp" "src/crypto/CMakeFiles/pisa_crypto.dir/key_codec.cpp.o" "gcc" "src/crypto/CMakeFiles/pisa_crypto.dir/key_codec.cpp.o.d"
+  "/root/repo/src/crypto/paillier.cpp" "src/crypto/CMakeFiles/pisa_crypto.dir/paillier.cpp.o" "gcc" "src/crypto/CMakeFiles/pisa_crypto.dir/paillier.cpp.o.d"
+  "/root/repo/src/crypto/rsa_signature.cpp" "src/crypto/CMakeFiles/pisa_crypto.dir/rsa_signature.cpp.o" "gcc" "src/crypto/CMakeFiles/pisa_crypto.dir/rsa_signature.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/pisa_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/pisa_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/threshold_paillier.cpp" "src/crypto/CMakeFiles/pisa_crypto.dir/threshold_paillier.cpp.o" "gcc" "src/crypto/CMakeFiles/pisa_crypto.dir/threshold_paillier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/pisa_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

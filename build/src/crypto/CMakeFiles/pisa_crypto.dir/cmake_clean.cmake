@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisa_crypto.dir/chacha_rng.cpp.o"
+  "CMakeFiles/pisa_crypto.dir/chacha_rng.cpp.o.d"
+  "CMakeFiles/pisa_crypto.dir/damgard_jurik.cpp.o"
+  "CMakeFiles/pisa_crypto.dir/damgard_jurik.cpp.o.d"
+  "CMakeFiles/pisa_crypto.dir/key_codec.cpp.o"
+  "CMakeFiles/pisa_crypto.dir/key_codec.cpp.o.d"
+  "CMakeFiles/pisa_crypto.dir/paillier.cpp.o"
+  "CMakeFiles/pisa_crypto.dir/paillier.cpp.o.d"
+  "CMakeFiles/pisa_crypto.dir/rsa_signature.cpp.o"
+  "CMakeFiles/pisa_crypto.dir/rsa_signature.cpp.o.d"
+  "CMakeFiles/pisa_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/pisa_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/pisa_crypto.dir/threshold_paillier.cpp.o"
+  "CMakeFiles/pisa_crypto.dir/threshold_paillier.cpp.o.d"
+  "libpisa_crypto.a"
+  "libpisa_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisa_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

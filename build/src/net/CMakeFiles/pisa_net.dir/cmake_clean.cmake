@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisa_net.dir/bus.cpp.o"
+  "CMakeFiles/pisa_net.dir/bus.cpp.o.d"
+  "CMakeFiles/pisa_net.dir/codec.cpp.o"
+  "CMakeFiles/pisa_net.dir/codec.cpp.o.d"
+  "libpisa_net.a"
+  "libpisa_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisa_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/channel_sim.cpp" "src/radio/CMakeFiles/pisa_radio.dir/channel_sim.cpp.o" "gcc" "src/radio/CMakeFiles/pisa_radio.dir/channel_sim.cpp.o.d"
+  "/root/repo/src/radio/grid.cpp" "src/radio/CMakeFiles/pisa_radio.dir/grid.cpp.o" "gcc" "src/radio/CMakeFiles/pisa_radio.dir/grid.cpp.o.d"
+  "/root/repo/src/radio/itm_lite.cpp" "src/radio/CMakeFiles/pisa_radio.dir/itm_lite.cpp.o" "gcc" "src/radio/CMakeFiles/pisa_radio.dir/itm_lite.cpp.o.d"
+  "/root/repo/src/radio/pathloss.cpp" "src/radio/CMakeFiles/pisa_radio.dir/pathloss.cpp.o" "gcc" "src/radio/CMakeFiles/pisa_radio.dir/pathloss.cpp.o.d"
+  "/root/repo/src/radio/terrain.cpp" "src/radio/CMakeFiles/pisa_radio.dir/terrain.cpp.o" "gcc" "src/radio/CMakeFiles/pisa_radio.dir/terrain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/pisa_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisa_radio.dir/channel_sim.cpp.o"
+  "CMakeFiles/pisa_radio.dir/channel_sim.cpp.o.d"
+  "CMakeFiles/pisa_radio.dir/grid.cpp.o"
+  "CMakeFiles/pisa_radio.dir/grid.cpp.o.d"
+  "CMakeFiles/pisa_radio.dir/itm_lite.cpp.o"
+  "CMakeFiles/pisa_radio.dir/itm_lite.cpp.o.d"
+  "CMakeFiles/pisa_radio.dir/pathloss.cpp.o"
+  "CMakeFiles/pisa_radio.dir/pathloss.cpp.o.d"
+  "CMakeFiles/pisa_radio.dir/terrain.cpp.o"
+  "CMakeFiles/pisa_radio.dir/terrain.cpp.o.d"
+  "libpisa_radio.a"
+  "libpisa_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisa_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/watch/aggregate.cpp" "src/watch/CMakeFiles/pisa_watch.dir/aggregate.cpp.o" "gcc" "src/watch/CMakeFiles/pisa_watch.dir/aggregate.cpp.o.d"
+  "/root/repo/src/watch/matrices.cpp" "src/watch/CMakeFiles/pisa_watch.dir/matrices.cpp.o" "gcc" "src/watch/CMakeFiles/pisa_watch.dir/matrices.cpp.o.d"
+  "/root/repo/src/watch/plain_sdc.cpp" "src/watch/CMakeFiles/pisa_watch.dir/plain_sdc.cpp.o" "gcc" "src/watch/CMakeFiles/pisa_watch.dir/plain_sdc.cpp.o.d"
+  "/root/repo/src/watch/plain_watch.cpp" "src/watch/CMakeFiles/pisa_watch.dir/plain_watch.cpp.o" "gcc" "src/watch/CMakeFiles/pisa_watch.dir/plain_watch.cpp.o.d"
+  "/root/repo/src/watch/tvws_baseline.cpp" "src/watch/CMakeFiles/pisa_watch.dir/tvws_baseline.cpp.o" "gcc" "src/watch/CMakeFiles/pisa_watch.dir/tvws_baseline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/radio/CMakeFiles/pisa_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/pisa_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisa_watch.dir/aggregate.cpp.o"
+  "CMakeFiles/pisa_watch.dir/aggregate.cpp.o.d"
+  "CMakeFiles/pisa_watch.dir/matrices.cpp.o"
+  "CMakeFiles/pisa_watch.dir/matrices.cpp.o.d"
+  "CMakeFiles/pisa_watch.dir/plain_sdc.cpp.o"
+  "CMakeFiles/pisa_watch.dir/plain_sdc.cpp.o.d"
+  "CMakeFiles/pisa_watch.dir/plain_watch.cpp.o"
+  "CMakeFiles/pisa_watch.dir/plain_watch.cpp.o.d"
+  "CMakeFiles/pisa_watch.dir/tvws_baseline.cpp.o"
+  "CMakeFiles/pisa_watch.dir/tvws_baseline.cpp.o.d"
+  "libpisa_watch.a"
+  "libpisa_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisa_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bigint/bigint_test.cpp" "tests/CMakeFiles/tests_bigint.dir/bigint/bigint_test.cpp.o" "gcc" "tests/CMakeFiles/tests_bigint.dir/bigint/bigint_test.cpp.o.d"
+  "/root/repo/tests/bigint/biguint_edge_test.cpp" "tests/CMakeFiles/tests_bigint.dir/bigint/biguint_edge_test.cpp.o" "gcc" "tests/CMakeFiles/tests_bigint.dir/bigint/biguint_edge_test.cpp.o.d"
+  "/root/repo/tests/bigint/biguint_test.cpp" "tests/CMakeFiles/tests_bigint.dir/bigint/biguint_test.cpp.o" "gcc" "tests/CMakeFiles/tests_bigint.dir/bigint/biguint_test.cpp.o.d"
+  "/root/repo/tests/bigint/modular_test.cpp" "tests/CMakeFiles/tests_bigint.dir/bigint/modular_test.cpp.o" "gcc" "tests/CMakeFiles/tests_bigint.dir/bigint/modular_test.cpp.o.d"
+  "/root/repo/tests/bigint/montgomery_edge_test.cpp" "tests/CMakeFiles/tests_bigint.dir/bigint/montgomery_edge_test.cpp.o" "gcc" "tests/CMakeFiles/tests_bigint.dir/bigint/montgomery_edge_test.cpp.o.d"
+  "/root/repo/tests/bigint/prime_test.cpp" "tests/CMakeFiles/tests_bigint.dir/bigint/prime_test.cpp.o" "gcc" "tests/CMakeFiles/tests_bigint.dir/bigint/prime_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bigint/CMakeFiles/pisa_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

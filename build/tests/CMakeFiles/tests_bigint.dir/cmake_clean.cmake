@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_bigint.dir/bigint/bigint_test.cpp.o"
+  "CMakeFiles/tests_bigint.dir/bigint/bigint_test.cpp.o.d"
+  "CMakeFiles/tests_bigint.dir/bigint/biguint_edge_test.cpp.o"
+  "CMakeFiles/tests_bigint.dir/bigint/biguint_edge_test.cpp.o.d"
+  "CMakeFiles/tests_bigint.dir/bigint/biguint_test.cpp.o"
+  "CMakeFiles/tests_bigint.dir/bigint/biguint_test.cpp.o.d"
+  "CMakeFiles/tests_bigint.dir/bigint/modular_test.cpp.o"
+  "CMakeFiles/tests_bigint.dir/bigint/modular_test.cpp.o.d"
+  "CMakeFiles/tests_bigint.dir/bigint/montgomery_edge_test.cpp.o"
+  "CMakeFiles/tests_bigint.dir/bigint/montgomery_edge_test.cpp.o.d"
+  "CMakeFiles/tests_bigint.dir/bigint/prime_test.cpp.o"
+  "CMakeFiles/tests_bigint.dir/bigint/prime_test.cpp.o.d"
+  "tests_bigint"
+  "tests_bigint.pdb"
+  "tests_bigint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_bigint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

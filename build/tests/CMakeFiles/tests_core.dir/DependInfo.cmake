@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/comparison_baseline_test.cpp" "tests/CMakeFiles/tests_core.dir/core/comparison_baseline_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/comparison_baseline_test.cpp.o.d"
+  "/root/repo/tests/core/fuzz_decode_test.cpp" "tests/CMakeFiles/tests_core.dir/core/fuzz_decode_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/fuzz_decode_test.cpp.o.d"
+  "/root/repo/tests/core/key_directory_test.cpp" "tests/CMakeFiles/tests_core.dir/core/key_directory_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/key_directory_test.cpp.o.d"
+  "/root/repo/tests/core/messages_test.cpp" "tests/CMakeFiles/tests_core.dir/core/messages_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/messages_test.cpp.o.d"
+  "/root/repo/tests/core/multi_su_test.cpp" "tests/CMakeFiles/tests_core.dir/core/multi_su_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/multi_su_test.cpp.o.d"
+  "/root/repo/tests/core/privacy_test.cpp" "tests/CMakeFiles/tests_core.dir/core/privacy_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/privacy_test.cpp.o.d"
+  "/root/repo/tests/core/protocol_test.cpp" "tests/CMakeFiles/tests_core.dir/core/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/protocol_test.cpp.o.d"
+  "/root/repo/tests/core/scenario_test.cpp" "tests/CMakeFiles/tests_core.dir/core/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/scenario_test.cpp.o.d"
+  "/root/repo/tests/core/sdc_stp_test.cpp" "tests/CMakeFiles/tests_core.dir/core/sdc_stp_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/sdc_stp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pisa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pisa_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pisa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/watch/CMakeFiles/pisa_watch.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/pisa_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/pisa_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

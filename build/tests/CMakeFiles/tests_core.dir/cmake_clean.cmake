@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core/comparison_baseline_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/comparison_baseline_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/fuzz_decode_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/fuzz_decode_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/key_directory_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/key_directory_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/messages_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/messages_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/multi_su_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/multi_su_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/privacy_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/privacy_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/protocol_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/protocol_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/scenario_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/scenario_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/sdc_stp_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/sdc_stp_test.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/chacha_rng_test.cpp" "tests/CMakeFiles/tests_crypto.dir/crypto/chacha_rng_test.cpp.o" "gcc" "tests/CMakeFiles/tests_crypto.dir/crypto/chacha_rng_test.cpp.o.d"
+  "/root/repo/tests/crypto/damgard_jurik_test.cpp" "tests/CMakeFiles/tests_crypto.dir/crypto/damgard_jurik_test.cpp.o" "gcc" "tests/CMakeFiles/tests_crypto.dir/crypto/damgard_jurik_test.cpp.o.d"
+  "/root/repo/tests/crypto/key_codec_test.cpp" "tests/CMakeFiles/tests_crypto.dir/crypto/key_codec_test.cpp.o" "gcc" "tests/CMakeFiles/tests_crypto.dir/crypto/key_codec_test.cpp.o.d"
+  "/root/repo/tests/crypto/paillier_property_test.cpp" "tests/CMakeFiles/tests_crypto.dir/crypto/paillier_property_test.cpp.o" "gcc" "tests/CMakeFiles/tests_crypto.dir/crypto/paillier_property_test.cpp.o.d"
+  "/root/repo/tests/crypto/paillier_test.cpp" "tests/CMakeFiles/tests_crypto.dir/crypto/paillier_test.cpp.o" "gcc" "tests/CMakeFiles/tests_crypto.dir/crypto/paillier_test.cpp.o.d"
+  "/root/repo/tests/crypto/rsa_signature_test.cpp" "tests/CMakeFiles/tests_crypto.dir/crypto/rsa_signature_test.cpp.o" "gcc" "tests/CMakeFiles/tests_crypto.dir/crypto/rsa_signature_test.cpp.o.d"
+  "/root/repo/tests/crypto/sha256_test.cpp" "tests/CMakeFiles/tests_crypto.dir/crypto/sha256_test.cpp.o" "gcc" "tests/CMakeFiles/tests_crypto.dir/crypto/sha256_test.cpp.o.d"
+  "/root/repo/tests/crypto/threshold_paillier_test.cpp" "tests/CMakeFiles/tests_crypto.dir/crypto/threshold_paillier_test.cpp.o" "gcc" "tests/CMakeFiles/tests_crypto.dir/crypto/threshold_paillier_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/pisa_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/pisa_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_crypto.dir/crypto/chacha_rng_test.cpp.o"
+  "CMakeFiles/tests_crypto.dir/crypto/chacha_rng_test.cpp.o.d"
+  "CMakeFiles/tests_crypto.dir/crypto/damgard_jurik_test.cpp.o"
+  "CMakeFiles/tests_crypto.dir/crypto/damgard_jurik_test.cpp.o.d"
+  "CMakeFiles/tests_crypto.dir/crypto/key_codec_test.cpp.o"
+  "CMakeFiles/tests_crypto.dir/crypto/key_codec_test.cpp.o.d"
+  "CMakeFiles/tests_crypto.dir/crypto/paillier_property_test.cpp.o"
+  "CMakeFiles/tests_crypto.dir/crypto/paillier_property_test.cpp.o.d"
+  "CMakeFiles/tests_crypto.dir/crypto/paillier_test.cpp.o"
+  "CMakeFiles/tests_crypto.dir/crypto/paillier_test.cpp.o.d"
+  "CMakeFiles/tests_crypto.dir/crypto/rsa_signature_test.cpp.o"
+  "CMakeFiles/tests_crypto.dir/crypto/rsa_signature_test.cpp.o.d"
+  "CMakeFiles/tests_crypto.dir/crypto/sha256_test.cpp.o"
+  "CMakeFiles/tests_crypto.dir/crypto/sha256_test.cpp.o.d"
+  "CMakeFiles/tests_crypto.dir/crypto/threshold_paillier_test.cpp.o"
+  "CMakeFiles/tests_crypto.dir/crypto/threshold_paillier_test.cpp.o.d"
+  "tests_crypto"
+  "tests_crypto.pdb"
+  "tests_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/bus_test.cpp" "tests/CMakeFiles/tests_radio_net.dir/net/bus_test.cpp.o" "gcc" "tests/CMakeFiles/tests_radio_net.dir/net/bus_test.cpp.o.d"
+  "/root/repo/tests/net/codec_test.cpp" "tests/CMakeFiles/tests_radio_net.dir/net/codec_test.cpp.o" "gcc" "tests/CMakeFiles/tests_radio_net.dir/net/codec_test.cpp.o.d"
+  "/root/repo/tests/radio/channel_sim_test.cpp" "tests/CMakeFiles/tests_radio_net.dir/radio/channel_sim_test.cpp.o" "gcc" "tests/CMakeFiles/tests_radio_net.dir/radio/channel_sim_test.cpp.o.d"
+  "/root/repo/tests/radio/grid_test.cpp" "tests/CMakeFiles/tests_radio_net.dir/radio/grid_test.cpp.o" "gcc" "tests/CMakeFiles/tests_radio_net.dir/radio/grid_test.cpp.o.d"
+  "/root/repo/tests/radio/itm_lite_test.cpp" "tests/CMakeFiles/tests_radio_net.dir/radio/itm_lite_test.cpp.o" "gcc" "tests/CMakeFiles/tests_radio_net.dir/radio/itm_lite_test.cpp.o.d"
+  "/root/repo/tests/radio/pathloss_test.cpp" "tests/CMakeFiles/tests_radio_net.dir/radio/pathloss_test.cpp.o" "gcc" "tests/CMakeFiles/tests_radio_net.dir/radio/pathloss_test.cpp.o.d"
+  "/root/repo/tests/radio/terrain_test.cpp" "tests/CMakeFiles/tests_radio_net.dir/radio/terrain_test.cpp.o" "gcc" "tests/CMakeFiles/tests_radio_net.dir/radio/terrain_test.cpp.o.d"
+  "/root/repo/tests/radio/units_test.cpp" "tests/CMakeFiles/tests_radio_net.dir/radio/units_test.cpp.o" "gcc" "tests/CMakeFiles/tests_radio_net.dir/radio/units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/radio/CMakeFiles/pisa_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pisa_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/pisa_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_radio_net.dir/net/bus_test.cpp.o"
+  "CMakeFiles/tests_radio_net.dir/net/bus_test.cpp.o.d"
+  "CMakeFiles/tests_radio_net.dir/net/codec_test.cpp.o"
+  "CMakeFiles/tests_radio_net.dir/net/codec_test.cpp.o.d"
+  "CMakeFiles/tests_radio_net.dir/radio/channel_sim_test.cpp.o"
+  "CMakeFiles/tests_radio_net.dir/radio/channel_sim_test.cpp.o.d"
+  "CMakeFiles/tests_radio_net.dir/radio/grid_test.cpp.o"
+  "CMakeFiles/tests_radio_net.dir/radio/grid_test.cpp.o.d"
+  "CMakeFiles/tests_radio_net.dir/radio/itm_lite_test.cpp.o"
+  "CMakeFiles/tests_radio_net.dir/radio/itm_lite_test.cpp.o.d"
+  "CMakeFiles/tests_radio_net.dir/radio/pathloss_test.cpp.o"
+  "CMakeFiles/tests_radio_net.dir/radio/pathloss_test.cpp.o.d"
+  "CMakeFiles/tests_radio_net.dir/radio/terrain_test.cpp.o"
+  "CMakeFiles/tests_radio_net.dir/radio/terrain_test.cpp.o.d"
+  "CMakeFiles/tests_radio_net.dir/radio/units_test.cpp.o"
+  "CMakeFiles/tests_radio_net.dir/radio/units_test.cpp.o.d"
+  "tests_radio_net"
+  "tests_radio_net.pdb"
+  "tests_radio_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_radio_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

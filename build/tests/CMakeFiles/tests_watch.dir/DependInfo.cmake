@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/watch/aggregate_test.cpp" "tests/CMakeFiles/tests_watch.dir/watch/aggregate_test.cpp.o" "gcc" "tests/CMakeFiles/tests_watch.dir/watch/aggregate_test.cpp.o.d"
+  "/root/repo/tests/watch/matrices_test.cpp" "tests/CMakeFiles/tests_watch.dir/watch/matrices_test.cpp.o" "gcc" "tests/CMakeFiles/tests_watch.dir/watch/matrices_test.cpp.o.d"
+  "/root/repo/tests/watch/multiband_test.cpp" "tests/CMakeFiles/tests_watch.dir/watch/multiband_test.cpp.o" "gcc" "tests/CMakeFiles/tests_watch.dir/watch/multiband_test.cpp.o.d"
+  "/root/repo/tests/watch/plain_sdc_test.cpp" "tests/CMakeFiles/tests_watch.dir/watch/plain_sdc_test.cpp.o" "gcc" "tests/CMakeFiles/tests_watch.dir/watch/plain_sdc_test.cpp.o.d"
+  "/root/repo/tests/watch/plain_watch_test.cpp" "tests/CMakeFiles/tests_watch.dir/watch/plain_watch_test.cpp.o" "gcc" "tests/CMakeFiles/tests_watch.dir/watch/plain_watch_test.cpp.o.d"
+  "/root/repo/tests/watch/tvws_test.cpp" "tests/CMakeFiles/tests_watch.dir/watch/tvws_test.cpp.o" "gcc" "tests/CMakeFiles/tests_watch.dir/watch/tvws_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/watch/CMakeFiles/pisa_watch.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/pisa_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigint/CMakeFiles/pisa_bigint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_watch.dir/watch/aggregate_test.cpp.o"
+  "CMakeFiles/tests_watch.dir/watch/aggregate_test.cpp.o.d"
+  "CMakeFiles/tests_watch.dir/watch/matrices_test.cpp.o"
+  "CMakeFiles/tests_watch.dir/watch/matrices_test.cpp.o.d"
+  "CMakeFiles/tests_watch.dir/watch/multiband_test.cpp.o"
+  "CMakeFiles/tests_watch.dir/watch/multiband_test.cpp.o.d"
+  "CMakeFiles/tests_watch.dir/watch/plain_sdc_test.cpp.o"
+  "CMakeFiles/tests_watch.dir/watch/plain_sdc_test.cpp.o.d"
+  "CMakeFiles/tests_watch.dir/watch/plain_watch_test.cpp.o"
+  "CMakeFiles/tests_watch.dir/watch/plain_watch_test.cpp.o.d"
+  "CMakeFiles/tests_watch.dir/watch/tvws_test.cpp.o"
+  "CMakeFiles/tests_watch.dir/watch/tvws_test.cpp.o.d"
+  "tests_watch"
+  "tests_watch.pdb"
+  "tests_watch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
