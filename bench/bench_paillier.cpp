@@ -11,10 +11,13 @@
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <memory>
+#include <vector>
 
 #include "bigint/prime.hpp"
 #include "crypto/chacha_rng.hpp"
 #include "crypto/paillier.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace {
 
@@ -132,6 +135,85 @@ void BM_RerandomizePooled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RerandomizePooled)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+// --- Batch pipeline (src/exec): the same kernels dispatched over a
+// work-stealing pool. Arg pair = (key bits, threads). On a single-core host
+// the >1-thread rows only show the dispatch overhead; with real cores the
+// modexps scale near-linearly.
+
+exec::ThreadPool* pool_for(std::size_t threads) {
+  static std::map<std::size_t, std::unique_ptr<exec::ThreadPool>> cache;
+  if (threads <= 1) return nullptr;
+  auto it = cache.find(threads);
+  if (it == cache.end())
+    it = cache.emplace(threads, std::make_unique<exec::ThreadPool>(threads)).first;
+  return it->second.get();
+}
+
+void BM_EncryptBatch64(benchmark::State& state) {
+  const auto& kp = keys(static_cast<std::size_t>(state.range(0)));
+  auto* pool = pool_for(static_cast<std::size_t>(state.range(1)));
+  std::vector<bn::BigUint> ms(64);
+  for (auto& m : ms) m = bn::random_bits(rng(), 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.pk.encrypt_batch(ms, rng(), pool));
+  }
+  state.counters["entries"] = 64;
+}
+BENCHMARK(BM_EncryptBatch64)
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DecryptBatch64(benchmark::State& state) {
+  const auto& kp = keys(static_cast<std::size_t>(state.range(0)));
+  auto* pool = pool_for(static_cast<std::size_t>(state.range(1)));
+  std::vector<bn::BigUint> ms(64);
+  for (auto& m : ms) m = bn::random_bits(rng(), 60);
+  auto cts = kp.pk.encrypt_batch(ms, rng(), nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.sk.decrypt_batch(cts, pool));
+  }
+  state.counters["entries"] = 64;
+}
+BENCHMARK(BM_DecryptBatch64)
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScalarMulBatch64(benchmark::State& state) {
+  const auto& kp = keys(static_cast<std::size_t>(state.range(0)));
+  auto* pool = pool_for(static_cast<std::size_t>(state.range(1)));
+  std::vector<bn::BigUint> ms(64, bn::BigUint{7});
+  auto cts = kp.pk.encrypt_batch(ms, rng(), nullptr);
+  std::vector<bn::BigUint> k{bn::random_bits(rng(), 100)};  // broadcast
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.pk.scalar_mul_batch(k, cts, pool));
+  }
+  state.counters["entries"] = 64;
+}
+BENCHMARK(BM_ScalarMulBatch64)
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MakeRandomizer(benchmark::State& state) {
+  // One full |n|-bit modexp per factor — the RandomizerPool refill cost.
+  const auto& kp = keys(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.pk.make_randomizer(rng()));
+  }
+}
+BENCHMARK(BM_MakeRandomizer)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+void BM_FastRandomizerBase(benchmark::State& state) {
+  // Fixed-base ablation: h^k with a 256-bit exponent and a precomputed
+  // window table — ~64 multiplications, no squarings, vs the full modexp
+  // above. (Short-exponent trade-off; see FastRandomizerBase docs.)
+  const auto& kp = keys(static_cast<std::size_t>(state.range(0)));
+  crypto::FastRandomizerBase base{kp.pk, rng()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(base.make(rng()));
+  }
+}
+BENCHMARK(BM_FastRandomizerBase)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -11,10 +11,12 @@
 // series must be linear in the disclosed fraction.
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "core/protocol.hpp"
 #include "crypto/chacha_rng.hpp"
+#include "exec/thread_pool.hpp"
 #include "radio/pathloss.hpp"
 
 namespace {
@@ -88,5 +90,30 @@ int main() {
 
   std::printf("\nLinear if per-entry cost stays flat across rows (paper: "
               "\"asymptotically linear\").\n");
+
+  // Thread sweep: the full-privacy request re-run on 1/2/4 execution lanes.
+  // The trade-off curve itself is thread-count invariant (outputs are
+  // bit-identical — randomness is pre-sampled sequentially); only the
+  // wall-clock shifts, and only on hosts with that many cores.
+  std::printf("\nThread sweep, full disclosure [0, %u) (host has %zu hardware "
+              "threads):\n",
+              total_blocks, exec::ThreadPool::hardware_threads());
+  double base_ms = -1;
+  for (std::size_t nt : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    auto pool = nt > 1 ? std::make_shared<exec::ThreadPool>(nt) : nullptr;
+    su.set_thread_pool(pool);
+    system.sdc().set_thread_pool(pool);
+    system.stp().set_thread_pool(pool);
+
+    auto t0 = Clock::now();
+    auto msg = su.prepare_request(f, rid++, 0, total_blocks);
+    auto conv = system.sdc().begin_request(msg);
+    auto xresp = system.stp().convert(conv);
+    (void)system.sdc().finish_request(xresp);
+    double ms = ms_since(t0);
+    if (base_ms < 0) base_ms = ms;
+    std::printf("  threads=%zu   end-to-end %10.1f ms   speedup %.2fx\n", nt,
+                ms, base_ms / ms);
+  }
   return 0;
 }

@@ -115,7 +115,7 @@ int main() {
               cfg.watch.channels * cfg.watch.grid_rows * cfg.watch.grid_cols);
   const auto& stats = system.sdc().stats();
   std::printf("  last SDC phase-1 %.1f ms, phase-2 %.1f ms, PU update %.1f ms\n",
-              stats.last_phase1_ms, stats.last_phase2_ms, stats.last_update_ms);
+              stats.phase1.last_ms, stats.phase2.last_ms, stats.update.last_ms);
   std::printf("\nDone.\n");
   return 0;
 }

@@ -20,6 +20,7 @@
 
 #include "core/protocol.hpp"
 #include "crypto/chacha_rng.hpp"
+#include "exec/thread_pool.hpp"
 #include "radio/pathloss.hpp"
 
 namespace {
@@ -34,6 +35,7 @@ double ms_since(Clock::time_point t0) {
 struct Row {
   std::size_t paillier_bits;
   std::size_t channels, blocks;
+  std::size_t num_threads = 1;
   double prep_fresh_ms = 0, prep_pooled_ms = 0, prep_hybrid_ms = 0;
   std::size_t request_bytes = 0;
   double sdc_phase1_ms = 0, stp_convert_ms = 0, stp_convert_pooled_ms = 0,
@@ -49,7 +51,7 @@ struct Row {
 };
 
 Row measure(std::size_t paillier_bits, std::size_t channels, std::size_t rows,
-            std::size_t cols, std::uint64_t seed) {
+            std::size_t cols, std::uint64_t seed, std::size_t num_threads = 1) {
   core::PisaConfig cfg;
   cfg.watch.grid_rows = rows;
   cfg.watch.grid_cols = cols;
@@ -59,6 +61,7 @@ Row measure(std::size_t paillier_bits, std::size_t channels, std::size_t rows,
   cfg.rsa_bits = paillier_bits / 2;  // license key strictly below the slot width
   cfg.blind_bits = 128;
   cfg.mr_rounds = 12;
+  cfg.num_threads = num_threads;
 
   crypto::ChaChaRng rng{seed};
   radio::ExtendedHataModel model{600.0, 30.0, 10.0};
@@ -69,7 +72,7 @@ Row measure(std::size_t paillier_bits, std::size_t channels, std::size_t rows,
   // directory, so prime the SDC with the SU key explicitly.
   system.sdc().register_su_key(1, su.public_key());
 
-  Row row{paillier_bits, channels, rows * cols};
+  Row row{paillier_bits, channels, rows * cols, num_threads};
 
   // --- PU update path (Figure 4).
   auto& pu = system.pu(0);
@@ -186,6 +189,57 @@ void print_extrapolation(const Row& r) {
               (r.pu_encrypt_ms + r.pu_apply_ms) * kc / 1e3);
 }
 
+double speedup(double base_ms, double ms) { return ms > 0 ? base_ms / ms : 0; }
+
+void print_sweep_row(const Row& base, const Row& r) {
+  std::printf("  threads=%zu | prep %8.1f ms (%.2fx) pooled %7.1f ms (%.2fx) | "
+              "SDC p1 %8.1f ms (%.2fx) p2 %6.1f ms (%.2fx) | STP %8.1f ms "
+              "(%.2fx) | PU apply %6.1f ms (%.2fx)\n",
+              r.num_threads, r.prep_fresh_ms,
+              speedup(base.prep_fresh_ms, r.prep_fresh_ms), r.prep_pooled_ms,
+              speedup(base.prep_pooled_ms, r.prep_pooled_ms), r.sdc_phase1_ms,
+              speedup(base.sdc_phase1_ms, r.sdc_phase1_ms), r.sdc_phase2_ms,
+              speedup(base.sdc_phase2_ms, r.sdc_phase2_ms), r.stp_convert_ms,
+              speedup(base.stp_convert_ms, r.stp_convert_ms), r.pu_apply_ms,
+              speedup(base.pu_apply_ms, r.pu_apply_ms));
+}
+
+void write_json(const char* path, const std::vector<Row>& scaling,
+                const std::vector<Row>& sweep) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path);
+    return;
+  }
+  auto row_json = [&](const Row& r, bool last) {
+    std::fprintf(
+        f,
+        "    {\"paillier_bits\": %zu, \"channels\": %zu, \"blocks\": %zu, "
+        "\"num_threads\": %zu,\n"
+        "     \"prep_fresh_ms\": %.3f, \"prep_pooled_ms\": %.3f, "
+        "\"prep_hybrid_ms\": %.3f, \"request_bytes\": %zu,\n"
+        "     \"sdc_phase1_ms\": %.3f, \"sdc_phase2_ms\": %.3f, "
+        "\"stp_convert_ms\": %.3f, \"stp_convert_pooled_ms\": %.3f,\n"
+        "     \"pu_encrypt_ms\": %.3f, \"pu_apply_ms\": %.3f, "
+        "\"pu_recompute_ms\": %.3f, \"response_bytes\": %zu}%s\n",
+        r.paillier_bits, r.channels, r.blocks, r.num_threads, r.prep_fresh_ms,
+        r.prep_pooled_ms, r.prep_hybrid_ms, r.request_bytes, r.sdc_phase1_ms,
+        r.sdc_phase2_ms, r.stp_convert_ms, r.stp_convert_pooled_ms,
+        r.pu_encrypt_ms, r.pu_apply_ms, r.pu_recompute_ms, r.response_bytes,
+        last ? "" : ",");
+  };
+  std::fprintf(f, "{\n  \"hardware_threads\": %zu,\n",
+               exec::ThreadPool::hardware_threads());
+  std::fprintf(f, "  \"scaling\": [\n");
+  for (std::size_t i = 0; i < scaling.size(); ++i)
+    row_json(scaling[i], i + 1 == scaling.size());
+  std::fprintf(f, "  ],\n  \"thread_sweep\": [\n");
+  for (std::size_t i = 0; i < sweep.size(); ++i)
+    row_json(sweep[i], i + 1 == sweep.size());
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 
 int main() {
@@ -203,10 +257,28 @@ int main() {
               "linear if ~1)\n\n",
               per1, per2, per1 / per2);
 
+  // Thread sweep over the same workload + seed: every phase re-runs on 1,
+  // 2 and 4 lanes. Randomness is pre-sampled sequentially, so the protocol
+  // outputs are bit-identical at every setting and the sweep measures pure
+  // modexp parallelism. Speedups only materialize with that many physical
+  // cores, of course (hardware_threads below says what this host offers).
+  std::printf("Thread sweep at n=1024, 150 entries (speedup vs 1 thread; "
+              "host has %zu hardware threads):\n",
+              exec::ThreadPool::hardware_threads());
+  std::vector<Row> sweep;
+  for (std::size_t nt : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    sweep.push_back(measure(1024, 5, 3, 10, 42, nt));
+    print_sweep_row(sweep.front(), sweep.back());
+  }
+  std::printf("\n");
+
   std::printf("Production key size n=2048 (paper's configuration):\n");
   Row r3 = measure(2048, 4, 3, 8, 44);     // 96 entries
   print_row(r3);
   print_extrapolation(r3);
+
+  write_json("BENCH_system.json", {r1, r2, r3}, sweep);
+  std::printf("\nMachine-readable results written to BENCH_system.json\n");
 
   std::printf("\nDone.\n");
   return 0;

@@ -59,7 +59,7 @@ int main() {
     double total_ms =
         std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
     const auto& stats = pisa.sdc().stats();
-    double proc = stats.last_phase1_ms + stats.last_phase2_ms;
+    double proc = stats.phase1.last_ms + stats.phase2.last_ms;
     std::printf("%-14s %-38s %10.1f %10.1f %9s\n", lvl.name, lvl.sdc_learns,
                 total_ms - proc, proc, outcome.granted ? "GRANTED" : "DENIED");
   }

@@ -153,4 +153,67 @@ BigUint Montgomery::pow(const BigUint& base, const BigUint& exp) const {
   return from_raw(tmp);
 }
 
+FixedBaseTable::FixedBaseTable(const Montgomery& mont, const BigUint& base,
+                               std::size_t max_exp_bits, std::size_t window_bits)
+    : mont_(&mont), max_exp_bits_(max_exp_bits), window_bits_(window_bits) {
+  if (base >= mont.modulus())
+    throw std::invalid_argument("FixedBaseTable: base >= modulus");
+  if (max_exp_bits_ == 0 || window_bits_ == 0 || window_bits_ > 8)
+    throw std::invalid_argument("FixedBaseTable: bad exponent/window bits");
+  num_windows_ = (max_exp_bits_ + window_bits_ - 1) / window_bits_;
+  digits_ = (std::size_t{1} << window_bits_) - 1;
+
+  const std::size_t k = mont.k_;
+  table_.assign(num_windows_ * digits_ * k, 0);
+
+  // g = base in mont form; per window i the generator is base^(2^(w*i)),
+  // obtained by w squarings of the previous window's generator.
+  std::vector<u64> g(k), tmp(k);
+  {
+    std::vector<u64> raw = mont.to_raw(base);
+    mont.mont_mul(raw.data(), mont.r2_.data(), g.data());
+  }
+  for (std::size_t i = 0; i < num_windows_; ++i) {
+    u64* row0 = table_.data() + i * digits_ * k;
+    std::copy(g.begin(), g.end(), row0);  // j = 1
+    for (std::size_t j = 2; j <= digits_; ++j) {
+      const u64* prev = table_.data() + (i * digits_ + (j - 2)) * k;
+      u64* cur = table_.data() + (i * digits_ + (j - 1)) * k;
+      mont.mont_mul(prev, g.data(), cur);
+    }
+    if (i + 1 < num_windows_) {
+      for (std::size_t s = 0; s < window_bits_; ++s) {
+        mont.mont_mul(g.data(), g.data(), tmp.data());
+        g.swap(tmp);
+      }
+    }
+  }
+}
+
+BigUint FixedBaseTable::pow(const BigUint& exp) const {
+  if (exp.bit_length() > max_exp_bits_)
+    throw std::out_of_range("FixedBaseTable: exponent exceeds table width");
+  const Montgomery& m = *mont_;
+  const std::size_t k = m.k_;
+  std::vector<u64> acc = m.one_mont_;
+  std::vector<u64> tmp(k);
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t w = 0; w < num_windows_; ++w) {
+    unsigned digit = 0;
+    for (std::size_t b = 0; b < window_bits_; ++b) {
+      std::size_t idx = w * window_bits_ + b;
+      if (idx < bits && exp.bit(idx)) digit |= (1u << b);
+    }
+    if (digit != 0) {
+      const u64* row = table_.data() + (w * digits_ + (digit - 1)) * k;
+      m.mont_mul(acc.data(), row, tmp.data());
+      acc.swap(tmp);
+    }
+  }
+  std::vector<u64> one_raw(k, 0);
+  one_raw[0] = 1;
+  m.mont_mul(acc.data(), one_raw.data(), tmp.data());
+  return m.from_raw(tmp);
+}
+
 }  // namespace pisa::bn

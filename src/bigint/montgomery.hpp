@@ -12,11 +12,15 @@
 
 namespace pisa::bn {
 
+class FixedBaseTable;
+
 /// Precomputed context for arithmetic modulo a fixed odd modulus.
 /// Construction costs one big division (for R^2 mod n); each mul is a single
-/// CIOS pass.
+/// CIOS pass. All const methods are thread-safe (no mutable state).
 class Montgomery {
  public:
+  using Limb = std::uint64_t;
+
   /// Throws std::invalid_argument if `modulus` is even or < 3.
   explicit Montgomery(BigUint modulus);
 
@@ -32,7 +36,7 @@ class Montgomery {
   BigUint pow(const BigUint& base, const BigUint& exp) const;
 
  private:
-  using Limb = std::uint64_t;
+  friend class FixedBaseTable;
 
   std::vector<Limb> to_raw(const BigUint& a) const;  // zero-padded to k limbs
   BigUint from_raw(const std::vector<Limb>& raw) const;
@@ -46,6 +50,40 @@ class Montgomery {
   Limb n0inv_ = 0;              // -n^{-1} mod 2^64
   std::vector<Limb> r2_;        // R^2 mod n (mont form of R)
   std::vector<Limb> one_mont_;  // mont form of 1 (= R mod n)
+};
+
+/// Fixed-base windowed exponentiation: precomputes base^(j·2^(w·i)) mod n
+/// for every window position i and digit j, so that base^exp afterwards
+/// costs only ceil(bits/w) Montgomery multiplications and *no squarings* —
+/// the right tool when one base is raised to many different exponents
+/// (Paillier's shared r^n randomizer generator, built once per key).
+///
+/// Construction costs ~(2^w - 1)·ceil(max_exp_bits/w) multiplications and
+/// the table is immutable afterwards: pow() is const and thread-safe, so a
+/// single table can serve every lane of a thread pool.
+class FixedBaseTable {
+ public:
+  /// `mont` must outlive the table. Throws std::invalid_argument for
+  /// base >= modulus or max_exp_bits == 0.
+  FixedBaseTable(const Montgomery& mont, const BigUint& base,
+                 std::size_t max_exp_bits, std::size_t window_bits = 4);
+
+  /// base^exp mod n. Throws std::out_of_range if exp needs more bits than
+  /// the table was built for.
+  BigUint pow(const BigUint& exp) const;
+
+  std::size_t max_exp_bits() const { return max_exp_bits_; }
+  const Montgomery& mont() const { return *mont_; }
+
+ private:
+  const Montgomery* mont_;
+  std::size_t max_exp_bits_;
+  std::size_t window_bits_;
+  std::size_t num_windows_;
+  std::size_t digits_;  // 2^w - 1 table entries per window (j = 1 .. 2^w - 1)
+  // table_[i * digits_ + (j - 1)] = mont form of base^(j * 2^(w*i)),
+  // flattened into one contiguous buffer of k-limb rows.
+  std::vector<Montgomery::Limb> table_;
 };
 
 }  // namespace pisa::bn

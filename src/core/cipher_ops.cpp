@@ -1,0 +1,58 @@
+#include "core/cipher_ops.hpp"
+
+#include <stdexcept>
+
+#include "exec/thread_pool.hpp"
+
+namespace pisa::core {
+
+namespace {
+
+std::size_t check_column(const CipherMatrix& m, std::uint32_t block,
+                         std::size_t column_size) {
+  if (block >= m.blocks())
+    throw std::out_of_range("cipher_ops: block outside the matrix");
+  if (column_size != m.channels())
+    throw std::invalid_argument("cipher_ops: column must have C entries");
+  return m.channels();
+}
+
+}  // namespace
+
+void add_column(CipherMatrix& m, std::uint32_t block,
+                std::span<const crypto::PaillierCiphertext> column,
+                const crypto::PaillierPublicKey& pk, exec::ThreadPool* pool) {
+  std::size_t channels = check_column(m, block, column.size());
+  exec::parallel_for(pool, 0, channels, [&](std::size_t c) {
+    auto& cell = m.at(radio::ChannelId{static_cast<std::uint32_t>(c)},
+                      radio::BlockId{block});
+    cell = pk.add(cell, column[c]);
+  });
+}
+
+void sub_column(CipherMatrix& m, std::uint32_t block,
+                std::span<const crypto::PaillierCiphertext> column,
+                const crypto::PaillierPublicKey& pk, exec::ThreadPool* pool) {
+  std::size_t channels = check_column(m, block, column.size());
+  exec::parallel_for(pool, 0, channels, [&](std::size_t c) {
+    auto& cell = m.at(radio::ChannelId{static_cast<std::uint32_t>(c)},
+                      radio::BlockId{block});
+    cell = pk.sub(cell, column[c]);
+  });
+}
+
+CipherMatrix encrypt_matrix_deterministic(const watch::QMatrix& values,
+                                          const crypto::PaillierPublicKey& pk,
+                                          exec::ThreadPool* pool) {
+  CipherMatrix out{values.channels(), values.blocks()};
+  exec::parallel_for(pool, 0, out.size(), [&](std::size_t i) {
+    std::int64_t v = values[i];
+    if (v < 0)
+      throw std::invalid_argument(
+          "cipher_ops: deterministic encryption needs entries >= 0");
+    out[i] = pk.encrypt_deterministic(bn::BigUint{static_cast<std::uint64_t>(v)});
+  });
+  return out;
+}
+
+}  // namespace pisa::core

@@ -1,0 +1,40 @@
+// Batch homomorphic operations over C×B ciphertext matrices (the SDC's Ñ
+// budget, eq. (9)/(10)). Every entry of a column/matrix op is independent,
+// so these are the natural parallel_for kernels the SdcServer routes
+// through; a null pool degrades to the original sequential loops.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/paillier.hpp"
+#include "radio/grid.hpp"
+#include "watch/matrices.hpp"
+
+namespace pisa::exec {
+class ThreadPool;
+}
+
+namespace pisa::core {
+
+using CipherMatrix = radio::CbMatrix<crypto::PaillierCiphertext>;
+
+/// m(c, block) ⊕= column[c] for every channel c (one PU update column).
+void add_column(CipherMatrix& m, std::uint32_t block,
+                std::span<const crypto::PaillierCiphertext> column,
+                const crypto::PaillierPublicKey& pk,
+                exec::ThreadPool* pool = nullptr);
+
+/// m(c, block) ⊖= column[c] for every channel c (retracting a stale column).
+void sub_column(CipherMatrix& m, std::uint32_t block,
+                std::span<const crypto::PaillierCiphertext> column,
+                const crypto::PaillierPublicKey& pk,
+                exec::ThreadPool* pool = nullptr);
+
+/// Deterministic entry-wise encryption of a public plaintext matrix
+/// (budget initialization from E; values must be >= 0).
+CipherMatrix encrypt_matrix_deterministic(const watch::QMatrix& values,
+                                          const crypto::PaillierPublicKey& pk,
+                                          exec::ThreadPool* pool = nullptr);
+
+}  // namespace pisa::core

@@ -22,6 +22,17 @@ struct PisaConfig {
   std::size_t blind_bits = 128;      // α, β, η one-time blinding factors
   int mr_rounds = 16;                // Miller-Rabin rounds for keygen
 
+  /// Compute lanes for the batch homomorphic pipeline (src/exec). 1 =
+  /// today's sequential loops. All randomness is sampled sequentially
+  /// before the parallel modexp sections, so protocol outputs are
+  /// bit-identical at every setting — the knob trades wall-clock only.
+  std::size_t num_threads = 1;
+
+  /// Use the fixed-base r^n table (crypto::FastRandomizerBase) for
+  /// randomizer-pool refills. Off by default: the short-exponent sampling
+  /// it implies is a security trade-off (see paillier.hpp).
+  bool fast_randomizers = false;
+
   /// Threshold-STP mode (the paper's §VII future-work direction): the group
   /// decryption exponent is 2-of-2 shared between SDC and STP, so the STP
   /// alone can no longer decrypt stored PU/SU ciphertexts — it can only
@@ -45,6 +56,8 @@ struct PisaConfig {
           "PisaConfig: blind_bits + value width exceed the plaintext space");
     if (blind_bits < 8)
       throw std::invalid_argument("PisaConfig: blind_bits too small to hide values");
+    if (num_threads == 0)
+      throw std::invalid_argument("PisaConfig: num_threads must be >= 1");
   }
 };
 

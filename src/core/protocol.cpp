@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/key_codec.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace pisa::core {
 
@@ -11,10 +12,14 @@ PisaSystem::PisaSystem(const PisaConfig& cfg, std::vector<watch::PuSite> sites,
     : cfg_(cfg), sites_(std::move(sites)), model_(model), rng_(rng),
       d_c_m_(watch::exclusion_radius_m(cfg.watch, model)) {
   cfg_.validate();
+  if (cfg_.num_threads > 1)
+    exec_ = std::make_shared<exec::ThreadPool>(cfg_.num_threads);
   stp_ = std::make_unique<StpServer>(cfg_, rng_);
   sdc_ = std::make_unique<SdcServer>(cfg_, stp_->group_key(),
                                      watch::make_e_matrix(cfg_.watch), rng_);
   if (cfg_.threshold_stp) sdc_->set_threshold_share(stp_->sdc_share());
+  stp_->set_thread_pool(exec_);
+  sdc_->set_thread_pool(exec_);
   stp_->attach(net_, "stp");
   sdc_->attach(net_, "sdc", "stp");
 
@@ -26,9 +31,9 @@ PisaSystem::PisaSystem(const PisaConfig& cfg, std::vector<watch::PuSite> sites,
     auto [it, inserted] = pus_.emplace(
         site.pu_id, std::make_unique<PuClient>(site, cfg_, stp_->group_key(),
                                                std::move(e_column), rng_));
-    (void)it;
     if (!inserted)
       throw std::invalid_argument("PisaSystem: duplicate PU id");
+    it->second->set_thread_pool(exec_);
   }
 }
 
@@ -36,6 +41,7 @@ SuClient& PisaSystem::add_su(std::uint32_t su_id, std::size_t precompute) {
   if (sus_.contains(su_id))
     throw std::invalid_argument("PisaSystem: duplicate SU id");
   auto client = std::make_unique<SuClient>(su_id, cfg_, stp_->group_key(), rng_);
+  client->set_thread_pool(exec_);
   // Paper §III-C: the SU uploads pk_j to the STP; the SDC retrieves it from
   // the STP's directory on demand (asynchronously, during the first request).
   KeyRegisterMsg reg{su_id, crypto::serialize(client->public_key())};

@@ -78,6 +78,9 @@ class PisaSystem {
   SuClient& su(std::uint32_t su_id);
   PuClient& pu(std::uint32_t pu_id);
 
+  /// Shared execution pool (null when cfg.num_threads == 1).
+  const std::shared_ptr<exec::ThreadPool>& thread_pool() const { return exec_; }
+
  private:
   static std::string su_name(std::uint32_t id) { return "su_" + std::to_string(id); }
 
@@ -88,6 +91,7 @@ class PisaSystem {
   double d_c_m_;
 
   net::SimulatedNetwork net_;
+  std::shared_ptr<exec::ThreadPool> exec_;
   std::unique_ptr<StpServer> stp_;
   std::unique_ptr<SdcServer> sdc_;
   std::map<std::uint32_t, std::unique_ptr<PuClient>> pus_;

@@ -13,26 +13,27 @@ PuClient::PuClient(watch::PuSite site, const PisaConfig& cfg,
     throw std::invalid_argument("PuClient: E column must have one entry per channel");
 }
 
+void PuClient::set_thread_pool(std::shared_ptr<exec::ThreadPool> pool) {
+  exec_ = std::move(pool);
+}
+
 PuUpdateMsg PuClient::make_update(const watch::PuTuning& tuning) const {
   PuUpdateMsg msg;
   msg.pu_id = site_.pu_id;
   msg.block = site_.block.index;
-  msg.w_column.reserve(cfg_.watch.channels);
 
   std::uint32_t tuned = tuning.channel ? tuning.channel->index : UINT32_MAX;
   if (tuning.channel && tuned >= cfg_.watch.channels)
     throw std::out_of_range("PuClient: bad channel");
 
-  for (std::uint32_t c = 0; c < cfg_.watch.channels; ++c) {
-    bn::BigInt w{0};
-    if (c == tuned) {
-      std::int64_t t = cfg_.watch.quantizer.quantize_mw(tuning.signal_mw);
-      if (t <= 0)
-        throw std::domain_error("PuClient: active PU needs positive signal");
-      w = bn::BigInt{t} - bn::BigInt{e_column_[c]};
-    }
-    msg.w_column.push_back(group_pk_.encrypt_signed(w, rng_));
+  std::vector<bn::BigInt> ws(cfg_.watch.channels, bn::BigInt{0});
+  if (tuning.channel) {
+    std::int64_t t = cfg_.watch.quantizer.quantize_mw(tuning.signal_mw);
+    if (t <= 0)
+      throw std::domain_error("PuClient: active PU needs positive signal");
+    ws[tuned] = bn::BigInt{t} - bn::BigInt{e_column_[tuned]};
   }
+  msg.w_column = group_pk_.encrypt_signed_batch(ws, rng_, exec_.get());
   return msg;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "bigint/random_source.hpp"
@@ -15,6 +16,10 @@
 #include "core/messages.hpp"
 #include "crypto/paillier.hpp"
 #include "watch/config.hpp"
+
+namespace pisa::exec {
+class ThreadPool;
+}
 
 namespace pisa::core {
 
@@ -36,12 +41,16 @@ class PuClient {
   /// Serialized size of one update in bytes (Fig. 6: ≈ 0.05 MB at C = 100).
   std::size_t update_bytes() const;
 
+  /// Execution lanes for column encryption (nullptr = sequential).
+  void set_thread_pool(std::shared_ptr<exec::ThreadPool> pool);
+
  private:
   watch::PuSite site_;
   PisaConfig cfg_;
   crypto::PaillierPublicKey group_pk_;
   std::vector<std::int64_t> e_column_;
   bn::RandomSource& rng_;
+  std::shared_ptr<exec::ThreadPool> exec_;
 };
 
 }  // namespace pisa::core

@@ -5,6 +5,7 @@
 #include "bigint/prime.hpp"
 #include "crypto/key_codec.hpp"
 #include "crypto/sha256.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace pisa::core {
 
@@ -30,13 +31,15 @@ SdcServer::SdcServer(const PisaConfig& cfg, crypto::PaillierPublicKey group_pk,
   if (e_matrix_.channels() != cfg_.watch.channels || e_matrix_.blocks() != blocks)
     throw std::invalid_argument("SdcServer: E matrix shape mismatch");
   // Ñ starts as the (deterministic) encryption of the public matrix E.
-  budget_ = CipherMatrix{cfg_.watch.channels, blocks};
-  for (std::size_t i = 0; i < budget_.size(); ++i) {
-    std::int64_t e = e_matrix_[i];
-    if (e < 0) throw std::invalid_argument("SdcServer: E entries must be >= 0");
-    budget_[i] = group_pk_.encrypt_deterministic(
-        bn::BigUint{static_cast<std::uint64_t>(e)});
+  for (std::size_t i = 0; i < e_matrix_.size(); ++i) {
+    if (e_matrix_[i] < 0)
+      throw std::invalid_argument("SdcServer: E entries must be >= 0");
   }
+  budget_ = encrypt_matrix_deterministic(e_matrix_, group_pk_, nullptr);
+}
+
+void SdcServer::set_thread_pool(std::shared_ptr<exec::ThreadPool> pool) {
+  exec_ = std::move(pool);
 }
 
 void SdcServer::register_su_key(std::uint32_t su_id, crypto::PaillierPublicKey pk) {
@@ -69,30 +72,21 @@ void SdcServer::handle_pu_update(const PuUpdateMsg& update) {
   auto it = pu_columns_.find(update.pu_id);
   if (it != pu_columns_.end()) {
     const auto& old = it->second;
-    for (std::uint32_t c = 0; c < cfg_.watch.channels; ++c) {
-      budget_at(c, old.block) =
-          group_pk_.sub(budget_at(c, old.block), old.w_column[c]);
-    }
+    sub_column(budget_, old.block, old.w_column, group_pk_, exec_.get());
   }
-  for (std::uint32_t c = 0; c < cfg_.watch.channels; ++c) {
-    budget_at(c, update.block) =
-        group_pk_.add(budget_at(c, update.block), update.w_column[c]);
-  }
+  add_column(budget_, update.block, update.w_column, group_pk_, exec_.get());
   pu_columns_.insert_or_assign(update.pu_id, update);
   ++stats_.pu_updates;
-  stats_.last_update_ms = ms_since(t0);
+  stats_.update.add(ms_since(t0));
 }
 
 void SdcServer::recompute_budget() {
-  for (std::size_t i = 0; i < budget_.size(); ++i) {
-    budget_[i] = group_pk_.encrypt_deterministic(
-        bn::BigUint{static_cast<std::uint64_t>(e_matrix_[i])});
-  }
+  auto t0 = Clock::now();
+  budget_ = encrypt_matrix_deterministic(e_matrix_, group_pk_, exec_.get());
   for (const auto& [id, col] : pu_columns_) {
-    for (std::uint32_t c = 0; c < cfg_.watch.channels; ++c) {
-      budget_at(c, col.block) = group_pk_.add(budget_at(c, col.block), col.w_column[c]);
-    }
+    add_column(budget_, col.block, col.w_column, group_pk_, exec_.get());
   }
+  stats_.update.add(ms_since(t0));
 }
 
 ConvertRequestMsg SdcServer::begin_request(const SuRequestMsg& request) {
@@ -107,46 +101,62 @@ ConvertRequestMsg SdcServer::begin_request(const SuRequestMsg& request) {
 
   const bn::BigUint x_scalar{
       static_cast<std::uint64_t>(cfg_.watch.protection_scalar())};
+  const std::size_t count = request.f.size();
 
   PendingRequest pend;
   pend.request = request;
-  pend.epsilon.reserve(request.f.size());
+  pend.epsilon.resize(count);
 
   ConvertRequestMsg conv;
   conv.request_id = request.request_id;
   conv.su_id = request.su_id;
-  conv.v.reserve(request.f.size());
+  conv.v.resize(count);
+  if (threshold_share_) conv.partials.resize(count);
 
+  // The digest binds the license to the exact submitted ciphertexts; feed
+  // it sequentially in entry order before the parallel section.
   crypto::Sha256 digest;
   std::size_t ct_width = group_pk_.ciphertext_bytes();
-
-  std::size_t idx = 0;
-  for (std::uint32_t c = 0; c < cfg_.watch.channels; ++c) {
-    for (std::uint32_t b = request.block_lo; b < request.block_hi; ++b, ++idx) {
-      const auto& f_ct = request.f[idx];
-      digest.update(f_ct.value.to_bytes_be(ct_width));
-
-      // Eq. (11): R̃ = F̃ ⊗ X.
-      auto r_ct = group_pk_.scalar_mul(x_scalar, f_ct);
-      // Eq. (12): Ĩ = Ñ ⊖ R̃.
-      auto i_ct = group_pk_.sub(budget_at(c, b), r_ct);
-
-      // Eq. (14): Ṽ = ε ⊗ [(α ⊗ Ĩ) ⊖ β̃], fresh α > β > 0, ε ∈ {−1, +1}.
-      bn::BigUint alpha = bn::random_bits(rng_, cfg_.blind_bits);
-      alpha.set_bit(cfg_.blind_bits - 1);
-      bn::BigUint beta = bn::random_below(rng_, alpha - bn::BigUint{1}) + bn::BigUint{1};
-      bool flip = (rng_.next_u64() & 1) != 0;
-      pend.epsilon.push_back(flip ? -1 : 1);
-
-      auto blinded = group_pk_.sub(group_pk_.scalar_mul(alpha, i_ct),
-                                   group_pk_.encrypt_deterministic(beta));
-      conv.v.push_back(flip ? group_pk_.negate(blinded) : blinded);
-      if (threshold_share_) {
-        conv.partials.push_back({crypto::threshold_partial_decrypt(
-            group_pk_, *threshold_share_, conv.v.back())});
-      }
-    }
+  for (const auto& f_ct : request.f) {
+    digest.update(f_ct.value.to_bytes_be(ct_width));
   }
+
+  // Blinding pre-pass: all randomness is drawn sequentially here, in the
+  // same per-entry order the sequential pipeline consumed it, so protocol
+  // outputs stay bit-identical at every num_threads setting (eq. (14):
+  // fresh α > β > 0, ε ∈ {−1, +1} per entry).
+  std::vector<bn::BigUint> alphas(count);
+  std::vector<bn::BigUint> betas(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bn::BigUint alpha = bn::random_bits(rng_, cfg_.blind_bits);
+    alpha.set_bit(cfg_.blind_bits - 1);
+    betas[i] = bn::random_below(rng_, alpha - bn::BigUint{1}) + bn::BigUint{1};
+    alphas[i] = std::move(alpha);
+    pend.epsilon[i] = (rng_.next_u64() & 1) != 0 ? -1 : 1;
+  }
+
+  // Heavy modexp section: every entry is independent, writes only its own
+  // slot of conv.v / conv.partials.
+  exec::parallel_for(exec_.get(), 0, count, [&](std::size_t idx) {
+    std::uint32_t c = static_cast<std::uint32_t>(idx / range);
+    std::uint32_t b =
+        request.block_lo + static_cast<std::uint32_t>(idx % range);
+
+    // Eq. (11): R̃ = F̃ ⊗ X.
+    auto r_ct = group_pk_.scalar_mul(x_scalar, request.f[idx]);
+    // Eq. (12): Ĩ = Ñ ⊖ R̃.
+    auto i_ct = group_pk_.sub(budget_at(c, b), r_ct);
+
+    // Eq. (14): Ṽ = ε ⊗ [(α ⊗ Ĩ) ⊖ β̃].
+    auto blinded = group_pk_.sub(group_pk_.scalar_mul(alphas[idx], i_ct),
+                                 group_pk_.encrypt_deterministic(betas[idx]));
+    conv.v[idx] =
+        pend.epsilon[idx] < 0 ? group_pk_.negate(blinded) : std::move(blinded);
+    if (threshold_share_) {
+      conv.partials[idx] = {crypto::threshold_partial_decrypt(
+          group_pk_, *threshold_share_, conv.v[idx])};
+    }
+  });
 
   // License + signature (Figure 5 step 10). The digest binds the license to
   // the exact encrypted operation parameters the SU submitted.
@@ -159,7 +169,7 @@ ConvertRequestMsg SdcServer::begin_request(const SuRequestMsg& request) {
 
   pending_.emplace(request.request_id, std::move(pend));
   ++stats_.requests_started;
-  stats_.last_phase1_ms = ms_since(t0);
+  stats_.phase1.add(ms_since(t0));
   return conv;
 }
 
@@ -177,14 +187,18 @@ SuResponseMsg SdcServer::finish_request(const ConvertResponseMsg& response) {
   const auto& pk_j = su_key(pend.request.su_id);
   const auto one = pk_j.encrypt_deterministic(bn::BigUint{1});
 
-  // Eq. (16): Q̃ = (ε ⊗ X̃) ⊖ 1̃, accumulated: ⊕_{c,i} Q̃(c,i).
+  // Eq. (16): Q̃ = (ε ⊗ X̃) ⊖ 1̃, accumulated: ⊕_{c,i} Q̃(c,i). The per-entry
+  // Q̃ values are independent; only the fold is ordered (and ciphertext
+  // multiplication mod n² is commutative anyway — the sequential fold
+  // keeps the result trivially bit-identical to the original loop).
+  std::vector<crypto::PaillierCiphertext> qs(response.x.size());
+  exec::parallel_for(exec_.get(), 0, response.x.size(), [&](std::size_t i) {
+    qs[i] = pk_j.sub(pend.epsilon[i] < 0 ? pk_j.negate(response.x[i])
+                                         : response.x[i],
+                     one);
+  });
   auto acc = pk_j.encrypt_deterministic(bn::BigUint{0});
-  for (std::size_t i = 0; i < response.x.size(); ++i) {
-    auto q = pk_j.sub(pend.epsilon[i] < 0 ? pk_j.negate(response.x[i])
-                                          : response.x[i],
-                      one);
-    acc = pk_j.add(acc, q);
-  }
+  for (const auto& q : qs) acc = pk_j.add(acc, q);
 
   // Eq. (17): G̃ = S̃G ⊕ (η ⊗ ΣQ̃), fresh η >= 1.
   bn::BigUint eta = bn::random_bits(rng_, cfg_.blind_bits);
@@ -197,7 +211,7 @@ SuResponseMsg SdcServer::finish_request(const ConvertResponseMsg& response) {
   resp.license = pend.license;
   resp.g = std::move(g);
   ++stats_.requests_finished;
-  stats_.last_phase2_ms = ms_since(t0);
+  stats_.phase2.add(ms_since(t0));
   return resp;
 }
 

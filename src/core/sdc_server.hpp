@@ -17,7 +17,10 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "bigint/random_source.hpp"
+#include "core/cipher_ops.hpp"
 #include "core/config.hpp"
 #include "core/messages.hpp"
 #include "crypto/paillier.hpp"
@@ -27,9 +30,11 @@
 #include "radio/grid.hpp"
 #include "watch/matrices.hpp"
 
-namespace pisa::core {
+namespace pisa::exec {
+class ThreadPool;
+}
 
-using CipherMatrix = radio::CbMatrix<crypto::PaillierCiphertext>;
+namespace pisa::core {
 
 class SdcServer {
  public:
@@ -44,6 +49,10 @@ class SdcServer {
 
   /// SU public-key directory (retrieved from the STP out of band).
   void register_su_key(std::uint32_t su_id, crypto::PaillierPublicKey pk);
+
+  /// Execution lanes for the batch pipeline (nullptr = sequential). The
+  /// pool is shared across entities; see PisaSystem.
+  void set_thread_pool(std::shared_ptr<exec::ThreadPool> pool);
 
   /// Install this server's 2-of-2 share of the group decryption exponent
   /// (threshold-STP mode); begin_request then attaches a partial decryption
@@ -75,13 +84,31 @@ class SdcServer {
   /// decrypt it).
   const CipherMatrix& encrypted_budget() const { return budget_; }
 
+  /// Cumulative per-phase timing: every sample is folded into the running
+  /// total so benches can track the perf trajectory across whole workloads
+  /// (BENCH_system.json), not just the last request.
+  struct PhaseStat {
+    std::uint64_t count = 0;
+    double total_ms = 0;
+    double last_ms = 0;
+
+    void add(double ms) {
+      ++count;
+      total_ms += ms;
+      last_ms = ms;
+    }
+    double mean_ms() const {
+      return count == 0 ? 0.0 : total_ms / static_cast<double>(count);
+    }
+  };
+
   struct Stats {
     std::uint64_t pu_updates = 0;
     std::uint64_t requests_started = 0;
     std::uint64_t requests_finished = 0;
-    double last_update_ms = 0;
-    double last_phase1_ms = 0;  // begin_request
-    double last_phase2_ms = 0;  // finish_request
+    PhaseStat update;  // handle_pu_update
+    PhaseStat phase1;  // begin_request
+    PhaseStat phase2;  // finish_request
   };
   const Stats& stats() const { return stats_; }
 
@@ -103,6 +130,7 @@ class SdcServer {
   bn::RandomSource& rng_;
   crypto::RsaKeyPair rsa_;
   std::string issuer_;
+  std::shared_ptr<exec::ThreadPool> exec_;
 
   CipherMatrix budget_;  // Ñ
   std::optional<crypto::ThresholdKeyShare> threshold_share_;

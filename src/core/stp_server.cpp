@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "bigint/prime.hpp"
 #include "crypto/key_codec.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace pisa::core {
 
@@ -29,9 +31,22 @@ const crypto::PaillierPublicKey& StpServer::su_key(std::uint32_t su_id) const {
   return it->second;
 }
 
+void StpServer::set_thread_pool(std::shared_ptr<exec::ThreadPool> pool) {
+  exec_ = std::move(pool);
+}
+
 void StpServer::precompute_su_randomizers(std::uint32_t su_id, std::size_t count) {
-  crypto::RandomizerPool pool{su_key(su_id), count};
-  pool.refill(rng_);
+  const auto& pk_j = su_key(su_id);
+  const crypto::FastRandomizerBase* fast = nullptr;
+  if (cfg_.fast_randomizers) {
+    auto it = su_fast_bases_.find(su_id);
+    if (it == su_fast_bases_.end())
+      it = su_fast_bases_.emplace(su_id, crypto::FastRandomizerBase{pk_j, rng_})
+               .first;
+    fast = &it->second;
+  }
+  crypto::RandomizerPool pool{pk_j, count};
+  pool.refill(rng_, exec_.get(), fast);
   su_pools_.insert_or_assign(su_id, std::move(pool));
 }
 
@@ -48,10 +63,19 @@ ConvertResponseMsg StpServer::convert(const ConvertRequestMsg& request) {
     throw std::invalid_argument(
         "StpServer: threshold mode requires one SDC partial per entry");
 
+  const std::size_t count = request.v.size();
+
+  // Randomness pre-pass in entry order (pool pops or fresh r samples) —
+  // neither depends on the decrypted values, so drawing them before the
+  // parallel section reproduces the sequential loop's rng stream exactly.
+  std::vector<bn::BigUint> factors(count);
+  for (auto& f : factors)
+    f = pool ? pool->pop() : bn::random_coprime(rng_, pk_j.n());
+
   ConvertResponseMsg resp;
   resp.request_id = request.request_id;
-  resp.x.reserve(request.v.size());
-  for (std::size_t i = 0; i < request.v.size(); ++i) {
+  resp.x.resize(count);
+  exec::parallel_for(exec_.get(), 0, count, [&](std::size_t i) {
     const auto& v_ct = request.v[i];
     // Eq. (15): X = +1 if V > 0, −1 otherwise. In threshold mode the STP
     // cannot decrypt alone: it completes the SDC's partial decryption.
@@ -63,15 +87,13 @@ ConvertResponseMsg StpServer::convert(const ConvertRequestMsg& request) {
       v = group_.sk.decrypt_signed(v_ct);
     }
     bn::BigInt x = (v.sign() > 0) ? bn::BigInt{1} : bn::BigInt{-1};
-    if (pool) {
-      resp.x.push_back(pk_j.rerandomize_with(
-          pk_j.encrypt_deterministic(x.mod_euclid(pk_j.n())), pool->pop()));
-    } else {
-      resp.x.push_back(pk_j.encrypt_signed(x, rng_));
-    }
-  }
+    auto factor = pool ? factors[i]
+                       : pk_j.mont_n2().pow(factors[i], pk_j.n());
+    resp.x[i] = pk_j.rerandomize_with(
+        pk_j.encrypt_deterministic(x.mod_euclid(pk_j.n())), factor);
+  });
   ++conversions_;
-  entries_ += request.v.size();
+  entries_ += count;
   return resp;
 }
 

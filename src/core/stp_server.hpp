@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include <optional>
@@ -20,6 +21,10 @@
 #include "crypto/paillier.hpp"
 #include "crypto/threshold_paillier.hpp"
 #include "net/bus.hpp"
+
+namespace pisa::exec {
+class ThreadPool;
+}
 
 namespace pisa::core {
 
@@ -46,6 +51,9 @@ class StpServer {
   /// same trick §VI-A applies to SU request preparation.
   void precompute_su_randomizers(std::uint32_t su_id, std::size_t count);
 
+  /// Execution lanes for conversion and pool refills (nullptr = sequential).
+  void set_thread_pool(std::shared_ptr<exec::ThreadPool> pool);
+
   /// Threshold mode (PisaConfig::threshold_stp): at setup this server acts
   /// as the dealer, keeps share 2 and hands share 1 to the SDC (a deployed
   /// system would use a distributed keygen instead). Afterwards, convert()
@@ -71,8 +79,10 @@ class StpServer {
   PisaConfig cfg_;
   bn::RandomSource& rng_;
   crypto::PaillierKeyPair group_;
+  std::shared_ptr<exec::ThreadPool> exec_;
   std::map<std::uint32_t, crypto::PaillierPublicKey> su_keys_;
   std::map<std::uint32_t, crypto::RandomizerPool> su_pools_;
+  std::map<std::uint32_t, crypto::FastRandomizerBase> su_fast_bases_;
   std::optional<crypto::ThresholdDeal> deal_;  // set iff cfg.threshold_stp
   std::uint64_t conversions_ = 0;
   std::uint64_t entries_ = 0;

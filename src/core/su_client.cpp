@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "bigint/prime.hpp"
+#include "exec/thread_pool.hpp"
+
 namespace pisa::core {
 
 SuClient::SuClient(std::uint32_t su_id, const PisaConfig& cfg,
@@ -12,9 +15,15 @@ SuClient::SuClient(std::uint32_t su_id, const PisaConfig& cfg,
   cfg_.validate();
 }
 
+void SuClient::set_thread_pool(std::shared_ptr<exec::ThreadPool> pool) {
+  exec_ = std::move(pool);
+}
+
 void SuClient::precompute_randomizers(std::size_t count) {
+  if (cfg_.fast_randomizers && !fast_base_)
+    fast_base_.emplace(group_pk_, rng_);
   pool_ = crypto::RandomizerPool{group_pk_, count};
-  pool_.refill(rng_);
+  pool_.refill(rng_, exec_.get(), fast_base_ ? &*fast_base_ : nullptr);
 }
 
 SuRequestMsg SuClient::prepare_request(const watch::QMatrix& f,
@@ -43,23 +52,40 @@ SuRequestMsg SuClient::prepare_request(const watch::QMatrix& f,
   msg.request_id = request_id;
   msg.block_lo = block_lo;
   msg.block_hi = block_hi;
-  msg.f.reserve(static_cast<std::size_t>(f.channels()) * (block_hi - block_lo));
+  const std::size_t range = block_hi - block_lo;
+  const std::size_t count = static_cast<std::size_t>(f.channels()) * range;
+  msg.f.resize(count);
 
-  for (std::uint32_t c = 0; c < f.channels(); ++c) {
-    for (std::uint32_t b = block_lo; b < block_hi; ++b) {
-      std::int64_t v = f.at(radio::ChannelId{c}, radio::BlockId{b});
-      if (v < 0) throw std::domain_error("SuClient: F entries must be >= 0");
-      bn::BigUint m{static_cast<std::uint64_t>(v)};
-      bool pooled = mode == PrepMode::kPooled ||
-                    (mode == PrepMode::kHybrid && v == 0);
-      if (pooled) {
-        msg.f.push_back(group_pk_.rerandomize_with(
-            group_pk_.encrypt_deterministic(m), pool_.pop()));
-      } else {
-        msg.f.push_back(group_pk_.encrypt(m, rng_));
-      }
+  // Randomness pre-pass in entry order: pooled entries pop their r^n factor
+  // now, fresh entries sample r — exactly the interleaving the sequential
+  // loop produced, so requests are bit-identical at every thread count.
+  std::vector<bn::BigUint> ms(count);
+  std::vector<bn::BigUint> factors(count);
+  std::vector<std::uint8_t> is_fresh(count, 0);
+  for (std::size_t idx = 0; idx < count; ++idx) {
+    std::uint32_t c = static_cast<std::uint32_t>(idx / range);
+    std::uint32_t b = block_lo + static_cast<std::uint32_t>(idx % range);
+    std::int64_t v = f.at(radio::ChannelId{c}, radio::BlockId{b});
+    if (v < 0) throw std::domain_error("SuClient: F entries must be >= 0");
+    ms[idx] = bn::BigUint{static_cast<std::uint64_t>(v)};
+    bool pooled = mode == PrepMode::kPooled ||
+                  (mode == PrepMode::kHybrid && v == 0);
+    if (pooled) {
+      factors[idx] = pool_.pop();
+    } else {
+      factors[idx] = bn::random_coprime(rng_, group_pk_.n());
+      is_fresh[idx] = 1;
     }
   }
+
+  // Modexp section: fresh entries pay the r^n exponentiation, pooled ones
+  // just multiply by their precomputed factor.
+  exec::parallel_for(exec_.get(), 0, count, [&](std::size_t idx) {
+    if (is_fresh[idx])
+      factors[idx] = group_pk_.mont_n2().pow(factors[idx], group_pk_.n());
+    msg.f[idx] = group_pk_.rerandomize_with(
+        group_pk_.encrypt_deterministic(ms[idx]), factors[idx]);
+  });
   return msg;
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <utility>
 
@@ -22,6 +23,10 @@
 #include "crypto/paillier.hpp"
 #include "crypto/rsa_signature.hpp"
 #include "watch/matrices.hpp"
+
+namespace pisa::exec {
+class ThreadPool;
+}
 
 namespace pisa::core {
 
@@ -43,9 +48,14 @@ class SuClient {
     return keys_.pk;
   }
 
-  /// Precompute `count` r^n randomizer factors (the offline phase).
+  /// Precompute `count` r^n randomizer factors (the offline phase). Runs on
+  /// the thread pool when one is set; uses the fixed-base table when
+  /// cfg.fast_randomizers is on.
   void precompute_randomizers(std::size_t count);
   std::size_t randomizers_available() const { return pool_.available(); }
+
+  /// Execution lanes for request preparation (nullptr = sequential).
+  void set_thread_pool(std::shared_ptr<exec::ThreadPool> pool);
 
   /// Build a request from the plaintext F matrix, encrypting columns
   /// [block_lo, block_hi) (full matrix = full location privacy; a narrower
@@ -79,6 +89,8 @@ class SuClient {
   bn::RandomSource& rng_;
   crypto::PaillierKeyPair keys_;
   crypto::RandomizerPool pool_;
+  std::shared_ptr<exec::ThreadPool> exec_;
+  std::optional<crypto::FastRandomizerBase> fast_base_;
 };
 
 }  // namespace pisa::core

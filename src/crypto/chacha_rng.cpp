@@ -63,6 +63,13 @@ ChaChaRng::ChaChaRng(const std::array<std::uint8_t, kSeedSize>& seed) {
   state_[15] = 0;
 }
 
+ChaChaRng::ChaChaRng(const std::array<std::uint8_t, kSeedSize>& seed,
+                     std::uint64_t stream_id)
+    : ChaChaRng(seed) {
+  state_[14] = static_cast<std::uint32_t>(stream_id);
+  state_[15] = static_cast<std::uint32_t>(stream_id >> 32);
+}
+
 ChaChaRng::ChaChaRng(std::uint64_t seed)
     : ChaChaRng([&] {
         std::uint8_t bytes[8];
@@ -92,6 +99,8 @@ void ChaChaRng::refill() {
     throw std::runtime_error("ChaChaRng: keystream exhausted");
   }
 }
+
+SubStreams::SubStreams(bn::RandomSource& parent) { parent.fill(master_); }
 
 void ChaChaRng::fill(std::span<std::uint8_t> out) {
   std::size_t i = 0;

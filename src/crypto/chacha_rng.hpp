@@ -20,6 +20,15 @@ class ChaChaRng final : public bn::RandomSource {
   /// Deterministic stream from a 32-byte seed.
   explicit ChaChaRng(const std::array<std::uint8_t, kSeedSize>& seed);
 
+  /// Deterministic sub-stream: the same 32-byte key, but ChaCha20 nonce
+  /// words set to `stream_id`. Streams with distinct ids produce
+  /// independent keystreams (the cipher's standard multi-stream use), so a
+  /// batch job can hand stream i to task i and get results that do not
+  /// depend on which thread runs the task. stream_id 0 is the plain
+  /// single-stream ChaChaRng(seed).
+  ChaChaRng(const std::array<std::uint8_t, kSeedSize>& seed,
+            std::uint64_t stream_id);
+
   /// Convenience: expand a 64-bit seed through SHA-256. Deterministic.
   explicit ChaChaRng(std::uint64_t seed);
 
@@ -34,6 +43,22 @@ class ChaChaRng final : public bn::RandomSource {
   std::array<std::uint32_t, 16> state_;  // ChaCha20 input block
   std::array<std::uint8_t, 64> block_;   // current keystream block
   std::size_t block_pos_ = 64;           // consumed bytes in block_
+};
+
+/// Factory for per-task deterministic sub-streams (the exec-layer
+/// reproducibility contract): construction draws one 32-byte master seed
+/// from `parent` — sequentially, on the calling thread — after which
+/// stream(i) is pure and safe to call from any thread. Handing stream(i) to
+/// the task computing output slot i makes batch results a function of the
+/// parent seed alone, bit-identical at every thread count.
+class SubStreams {
+ public:
+  explicit SubStreams(bn::RandomSource& parent);
+
+  ChaChaRng stream(std::uint64_t index) const { return ChaChaRng{master_, index}; }
+
+ private:
+  std::array<std::uint8_t, ChaChaRng::kSeedSize> master_{};
 };
 
 }  // namespace pisa::crypto

@@ -4,6 +4,7 @@
 
 #include "bigint/modular.hpp"
 #include "bigint/prime.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace pisa::crypto {
 
@@ -75,6 +76,72 @@ PaillierCiphertext PaillierPublicKey::rerandomize(const PaillierCiphertext& c,
 PaillierCiphertext PaillierPublicKey::rerandomize_with(
     const PaillierCiphertext& c, const BigUint& rn_factor) const {
   return {mont_n2_->mul(c.value, rn_factor)};
+}
+
+std::vector<BigUint> PaillierPublicKey::make_randomizer_batch(
+    std::size_t count, bn::RandomSource& rng, exec::ThreadPool* pool) const {
+  // Sample every r sequentially in entry order (identical rng consumption
+  // to `count` make_randomizer calls), then spread the r^n modexps — the
+  // expensive part — over the pool.
+  std::vector<BigUint> out(count);
+  for (auto& r : out) r = bn::random_coprime(rng, n_);
+  exec::parallel_for(pool, 0, count, [&](std::size_t i) {
+    out[i] = mont_n2_->pow(out[i], n_);
+  });
+  return out;
+}
+
+std::vector<PaillierCiphertext> PaillierPublicKey::encrypt_batch(
+    std::span<const bn::BigUint> ms, bn::RandomSource& rng,
+    exec::ThreadPool* pool) const {
+  for (const auto& m : ms)
+    if (m >= n_) throw std::out_of_range("Paillier encrypt_batch: m >= n");
+  std::vector<BigUint> rs(ms.size());
+  for (auto& r : rs) r = bn::random_coprime(rng, n_);
+  std::vector<PaillierCiphertext> out(ms.size());
+  exec::parallel_for(pool, 0, ms.size(), [&](std::size_t i) {
+    out[i] = rerandomize_with(encrypt_deterministic(ms[i]),
+                              mont_n2_->pow(rs[i], n_));
+  });
+  return out;
+}
+
+std::vector<PaillierCiphertext> PaillierPublicKey::encrypt_signed_batch(
+    std::span<const bn::BigInt> ms, bn::RandomSource& rng,
+    exec::ThreadPool* pool) const {
+  std::vector<BigUint> lifted(ms.size());
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    if (ms[i].magnitude() > half_n_)
+      throw std::out_of_range("Paillier encrypt_signed_batch: |m| > n/2");
+    lifted[i] = ms[i].mod_euclid(n_);
+  }
+  return encrypt_batch(lifted, rng, pool);
+}
+
+std::vector<PaillierCiphertext> PaillierPublicKey::scalar_mul_batch(
+    std::span<const bn::BigUint> ks, std::span<const PaillierCiphertext> cs,
+    exec::ThreadPool* pool) const {
+  if (ks.size() != cs.size() && ks.size() != 1)
+    throw std::invalid_argument(
+        "Paillier scalar_mul_batch: need one scalar per ciphertext or one "
+        "broadcast scalar");
+  std::vector<PaillierCiphertext> out(cs.size());
+  exec::parallel_for(pool, 0, cs.size(), [&](std::size_t i) {
+    out[i] = scalar_mul(ks.size() == 1 ? ks[0] : ks[i], cs[i]);
+  });
+  return out;
+}
+
+std::vector<PaillierCiphertext> PaillierPublicKey::rerandomize_batch(
+    std::span<const PaillierCiphertext> cs, bn::RandomSource& rng,
+    exec::ThreadPool* pool) const {
+  std::vector<BigUint> rs(cs.size());
+  for (auto& r : rs) r = bn::random_coprime(rng, n_);
+  std::vector<PaillierCiphertext> out(cs.size());
+  exec::parallel_for(pool, 0, cs.size(), [&](std::size_t i) {
+    out[i] = rerandomize_with(cs[i], mont_n2_->pow(rs[i], n_));
+  });
+  return out;
 }
 
 namespace {
@@ -150,6 +217,22 @@ BigInt PaillierPrivateKey::decrypt_signed(const PaillierCiphertext& c) const {
   return BigInt{std::move(m)};
 }
 
+std::vector<BigUint> PaillierPrivateKey::decrypt_batch(
+    std::span<const PaillierCiphertext> cs, exec::ThreadPool* pool) const {
+  std::vector<BigUint> out(cs.size());
+  exec::parallel_for(pool, 0, cs.size(),
+                     [&](std::size_t i) { out[i] = decrypt(cs[i]); });
+  return out;
+}
+
+std::vector<BigInt> PaillierPrivateKey::decrypt_signed_batch(
+    std::span<const PaillierCiphertext> cs, exec::ThreadPool* pool) const {
+  std::vector<BigInt> out(cs.size());
+  exec::parallel_for(pool, 0, cs.size(),
+                     [&](std::size_t i) { out[i] = decrypt_signed(cs[i]); });
+  return out;
+}
+
 BigUint PaillierPrivateKey::decrypt_no_crt(const PaillierCiphertext& c) const {
   if (c.value >= pk_.n_squared() || c.value.is_zero())
     throw std::out_of_range("Paillier decrypt: ciphertext out of range");
@@ -171,6 +254,15 @@ PaillierKeyPair paillier_generate(std::size_t n_bits, bn::RandomSource& rng,
   }
 }
 
+FastRandomizerBase::FastRandomizerBase(const PaillierPublicKey& pk,
+                                       bn::RandomSource& rng)
+    : pk_(pk),
+      table_(pk_.mont_n2(), pk_.make_randomizer(rng), kExponentBits) {}
+
+BigUint FastRandomizerBase::make(bn::RandomSource& rng) const {
+  return table_.pow(bn::random_bits(rng, kExponentBits));
+}
+
 RandomizerPool::RandomizerPool(PaillierPublicKey pk, std::size_t capacity)
     : pk_(std::move(pk)), capacity_(capacity) {
   pool_.reserve(capacity_);
@@ -178,6 +270,25 @@ RandomizerPool::RandomizerPool(PaillierPublicKey pk, std::size_t capacity)
 
 void RandomizerPool::refill(bn::RandomSource& rng) {
   while (pool_.size() < capacity_) pool_.push_back(pk_.make_randomizer(rng));
+}
+
+void RandomizerPool::refill(bn::RandomSource& rng, exec::ThreadPool* pool,
+                            const FastRandomizerBase* fast) {
+  if (pool_.size() >= capacity_) return;
+  std::size_t base = pool_.size();
+  std::size_t need = capacity_ - base;
+  if (fast != nullptr) {
+    // Short exponents sampled sequentially, table powers in parallel.
+    std::vector<BigUint> ks(need);
+    for (auto& k : ks) k = bn::random_bits(rng, FastRandomizerBase::kExponentBits);
+    pool_.resize(capacity_);
+    exec::parallel_for(pool, 0, need, [&](std::size_t i) {
+      pool_[base + i] = fast->from_exponent(ks[i]);
+    });
+    return;
+  }
+  auto factors = pk_.make_randomizer_batch(need, rng, pool);
+  for (auto& f : factors) pool_.push_back(std::move(f));
 }
 
 BigUint RandomizerPool::pop() {

@@ -20,12 +20,17 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "bigint/bigint.hpp"
 #include "bigint/biguint.hpp"
 #include "bigint/montgomery.hpp"
 #include "bigint/random_source.hpp"
+
+namespace pisa::exec {
+class ThreadPool;
+}
 
 namespace pisa::crypto {
 
@@ -90,6 +95,39 @@ class PaillierPublicKey {
   /// rerandomize_with, or for tests.
   PaillierCiphertext encrypt_deterministic(const bn::BigUint& m) const;
 
+  // --- Batch pipeline -------------------------------------------------
+  // Span-style APIs dispatched over an exec::ThreadPool (nullptr or a
+  // single-lane pool = the plain sequential loop). Randomness is sampled
+  // sequentially from `rng` in entry order *before* the parallel modexp
+  // section, so every batch call is bit-identical to the per-entry loop it
+  // replaces and independent of the thread count.
+
+  /// out[i] = E(ms[i]). Throws std::out_of_range on any m >= n.
+  std::vector<PaillierCiphertext> encrypt_batch(
+      std::span<const bn::BigUint> ms, bn::RandomSource& rng,
+      exec::ThreadPool* pool = nullptr) const;
+
+  /// Signed batch encryption via the centered lift.
+  std::vector<PaillierCiphertext> encrypt_signed_batch(
+      std::span<const bn::BigInt> ms, bn::RandomSource& rng,
+      exec::ThreadPool* pool = nullptr) const;
+
+  /// out[i] = ks[i] ⊗ cs[i]; ks of size 1 broadcasts one scalar to every
+  /// ciphertext (eq. (11)'s F̃ ⊗ X over a whole request).
+  std::vector<PaillierCiphertext> scalar_mul_batch(
+      std::span<const bn::BigUint> ks, std::span<const PaillierCiphertext> cs,
+      exec::ThreadPool* pool = nullptr) const;
+
+  /// out[i] = cs[i] · r_i^n, fresh r_i per entry.
+  std::vector<PaillierCiphertext> rerandomize_batch(
+      std::span<const PaillierCiphertext> cs, bn::RandomSource& rng,
+      exec::ThreadPool* pool = nullptr) const;
+
+  /// `count` fresh r^n factors (the RandomizerPool refill kernel).
+  std::vector<bn::BigUint> make_randomizer_batch(
+      std::size_t count, bn::RandomSource& rng,
+      exec::ThreadPool* pool = nullptr) const;
+
   const bn::Montgomery& mont_n2() const { return *mont_n2_; }
 
   bool operator==(const PaillierPublicKey& o) const { return n_ == o.n_; }
@@ -113,6 +151,16 @@ class PaillierPrivateKey {
 
   /// Decrypt with the centered lift: result in (−n/2, n/2].
   bn::BigInt decrypt_signed(const PaillierCiphertext& c) const;
+
+  /// Batch CRT decryption over a thread pool (nullptr = sequential).
+  std::vector<bn::BigUint> decrypt_batch(
+      std::span<const PaillierCiphertext> cs,
+      exec::ThreadPool* pool = nullptr) const;
+
+  /// Batch signed decryption via the centered lift.
+  std::vector<bn::BigInt> decrypt_signed_batch(
+      std::span<const PaillierCiphertext> cs,
+      exec::ThreadPool* pool = nullptr) const;
 
   /// Textbook λ/μ decryption (no CRT); kept for the ablation benchmark and
   /// as a cross-check oracle in tests.
@@ -148,6 +196,39 @@ struct PaillierKeyPair {
 PaillierKeyPair paillier_generate(std::size_t n_bits, bn::RandomSource& rng,
                                   int mr_rounds = 32);
 
+/// Shared fixed-base acceleration for r^n mod n² generation. h = r0^n is
+/// computed once for a random r0, backed by a bn::FixedBaseTable; each
+/// randomizer afterwards is h^k for a fresh kExponentBits-bit k — roughly
+/// ceil(kExponentBits/4) multiplications instead of a full |n|-bit modexp.
+///
+/// Security note: randomizers are then sampled from the 2^kExponentBits-size
+/// subgroup generated by h instead of uniformly from all n-th residues —
+/// the standard short-exponent precomputation trade-off. Gated behind
+/// PisaConfig::fast_randomizers (off by default) for that reason.
+class FastRandomizerBase {
+ public:
+  static constexpr std::size_t kExponentBits = 256;
+
+  /// Draws r0 from `rng` and builds the window table (one full modexp plus
+  /// ~15·ceil(kExponentBits/4) multiplications, amortized over every later
+  /// make()). The table is immutable afterwards: make() with per-task rngs
+  /// is safe from any thread.
+  FastRandomizerBase(const PaillierPublicKey& pk, bn::RandomSource& rng);
+
+  /// One r^n-style factor: h^k, fresh k from `rng`.
+  bn::BigUint make(bn::RandomSource& rng) const;
+
+  /// h^k for a caller-supplied exponent (pre-sampled sequentially by batch
+  /// refills so pool contents are thread-count independent).
+  bn::BigUint from_exponent(const bn::BigUint& k) const { return table_.pow(k); }
+
+  const PaillierPublicKey& public_key() const { return pk_; }
+
+ private:
+  PaillierPublicKey pk_;
+  bn::FixedBaseTable table_;
+};
+
 /// Offline pool of precomputed r^n blinding factors (paper §VI-A: request
 /// re-preparation drops from ~221 s to ~11 s when the modexps are moved
 /// offline). pop() consumes one factor; refill() tops the pool back up.
@@ -157,6 +238,14 @@ class RandomizerPool {
 
   /// Precompute until `capacity` factors are available.
   void refill(bn::RandomSource& rng);
+
+  /// Thread-aware refill: r values are sampled from `rng` sequentially (so
+  /// the pool contents do not depend on the thread count), the modexps run
+  /// on `pool`. With `fast` set, factors come from the fixed-base table
+  /// instead of full modexps (cheap enough that the pool is mostly a FIFO
+  /// of table lookups).
+  void refill(bn::RandomSource& rng, exec::ThreadPool* pool,
+              const FastRandomizerBase* fast = nullptr);
 
   /// Take one factor. Throws std::runtime_error if the pool is empty.
   bn::BigUint pop();

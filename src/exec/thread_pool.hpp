@@ -1,0 +1,82 @@
+// Fixed-size work-stealing thread pool for the batch homomorphic pipeline.
+//
+// Every protocol phase of PISA is a map over (channel, block) entries whose
+// per-entry cost is one or more Paillier modexps (milliseconds each), so the
+// execution model here is deliberately simple: parallel_for over an index
+// range, split into chunks, distributed over per-lane deques and stolen
+// LIFO-local / FIFO-remote. The calling thread is lane 0 and participates,
+// so ThreadPool{N} uses exactly N compute lanes and ThreadPool{1} (or a null
+// pool via the free parallel_for) degenerates to today's sequential loop.
+//
+// Determinism contract: parallel_for(i) must write only to slot i of its
+// output (all call sites in crypto/ and core/ obey this), and any randomness
+// is either pre-sampled sequentially before the parallel section or drawn
+// from a per-index ChaCha sub-stream (crypto::ChaChaRng stream constructor).
+// Under that contract results are bit-identical at every thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pisa::exec {
+
+class ThreadPool {
+ public:
+  /// A pool with `num_threads` compute lanes: the constructor spawns
+  /// num_threads - 1 workers, the caller of parallel_for is the last lane.
+  /// num_threads == 0 is treated as 1 (purely sequential).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total compute lanes (workers + the participating caller).
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Invoke body(i) for every i in [begin, end), blocking until all indices
+  /// completed. The first exception thrown by any body is rethrown on the
+  /// caller after the whole range has been drained or abandoned by workers.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t hardware_threads();
+
+ private:
+  struct Job;
+  struct Task {
+    Job* job = nullptr;
+    std::size_t lo = 0, hi = 0;
+  };
+  struct Lane {
+    std::mutex m;
+    std::deque<Task> q;
+  };
+
+  void worker_loop(std::size_t lane);
+  bool try_pop_local(std::size_t lane, Task& out);
+  bool try_steal(std::size_t thief_lane, Task& out);
+  void run_task(const Task& t);
+
+  // Lane 0 belongs to the caller of parallel_for; lanes 1..N-1 to workers.
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread> workers_;
+
+  std::mutex work_m_;
+  std::condition_variable work_cv_;
+  std::size_t pending_tasks_ = 0;  // queued, not yet claimed
+  bool stop_ = false;
+};
+
+/// Sequential fallback helper: a null pool or a single-lane pool runs the
+/// plain loop on the calling thread (the PisaConfig::num_threads == 1 path).
+void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace pisa::exec

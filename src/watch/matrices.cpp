@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/thread_pool.hpp"
+
 namespace pisa::watch {
 
 double exclusion_radius_m(const WatchConfig& cfg, const radio::PathLossModel& model) {
@@ -102,6 +104,38 @@ QMatrix build_su_f_matrix_multiband(const WatchConfig& cfg,
           cfg.quantizer.quantize_mw(eirp_mw * band.model->path_gain(d));
     }
   }
+  return f;
+}
+
+QMatrix build_su_f_matrix_multiband(const WatchConfig& cfg,
+                                    const std::vector<PuSite>& sites,
+                                    radio::BlockId su_block,
+                                    const std::vector<double>& eirp_mw_per_channel,
+                                    const std::vector<ChannelBand>& bands,
+                                    exec::ThreadPool* pool) {
+  if (eirp_mw_per_channel.size() != cfg.channels || bands.size() != cfg.channels)
+    throw std::invalid_argument(
+        "build_su_f_matrix_multiband: need one EIRP and one band per channel");
+  auto area = cfg.make_area();
+  if (!area.valid(su_block))
+    throw std::out_of_range("build_su_f_matrix_multiband: bad SU block");
+
+  std::vector<double> distances(sites.size());
+  for (std::size_t s = 0; s < sites.size(); ++s)
+    distances[s] = area.block_distance_m(su_block, sites[s].block);
+
+  QMatrix f{cfg.channels, area.num_blocks(), 0};
+  exec::parallel_for(pool, 0, cfg.channels, [&](std::size_t c) {
+    const auto& band = bands[c];
+    double eirp_mw = eirp_mw_per_channel[c];
+    if (eirp_mw <= 0) return;
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      double d = distances[s];
+      if (d > band.exclusion_radius_m) continue;  // per-channel d^c
+      f.at(radio::ChannelId{static_cast<std::uint32_t>(c)}, sites[s].block) =
+          cfg.quantizer.quantize_mw(eirp_mw * band.model->path_gain(d));
+    }
+  });
   return f;
 }
 

@@ -11,6 +11,10 @@
 #include "radio/pathloss.hpp"
 #include "watch/config.hpp"
 
+namespace pisa::exec {
+class ThreadPool;
+}
+
 namespace pisa::watch {
 
 using QMatrix = radio::CbMatrix<std::int64_t>;
@@ -59,5 +63,15 @@ QMatrix build_su_f_matrix_multiband(const WatchConfig& cfg,
                                     radio::BlockId su_block,
                                     const std::vector<double>& eirp_mw_per_channel,
                                     const std::vector<ChannelBand>& bands);
+
+/// Thread-parallel multiband builder: channels are independent rows (each
+/// writes only its own (c, ·) cells), so they spread over `pool`; nullptr
+/// degrades to the sequential builder.
+QMatrix build_su_f_matrix_multiband(const WatchConfig& cfg,
+                                    const std::vector<PuSite>& sites,
+                                    radio::BlockId su_block,
+                                    const std::vector<double>& eirp_mw_per_channel,
+                                    const std::vector<ChannelBand>& bands,
+                                    exec::ThreadPool* pool);
 
 }  // namespace pisa::watch

@@ -200,7 +200,9 @@ TEST_F(SdcStpFixture, StatsAccumulate) {
   decide(f);
   EXPECT_EQ(sdc.stats().requests_started, 1u);
   EXPECT_EQ(sdc.stats().requests_finished, 1u);
-  EXPECT_GE(sdc.stats().last_phase1_ms, 0.0);
+  EXPECT_GE(sdc.stats().phase1.last_ms, 0.0);
+  EXPECT_EQ(sdc.stats().phase1.count, sdc.stats().requests_started);
+  EXPECT_GE(sdc.stats().phase1.total_ms, sdc.stats().phase1.last_ms);
 }
 
 TEST_F(SdcStpFixture, SuClientInputValidation) {

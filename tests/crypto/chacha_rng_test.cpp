@@ -86,5 +86,45 @@ TEST(ChaChaRng, OsEntropyProducesDistinctStreams) {
   EXPECT_NE(ba, bb);
 }
 
+TEST(ChaChaSubStreams, StreamsAreDeterministicAndIndependent) {
+  ChaChaRng parent_a{std::uint64_t{42}};
+  ChaChaRng parent_b{std::uint64_t{42}};
+  SubStreams subs_a{parent_a};
+  SubStreams subs_b{parent_b};
+
+  // Same parent state => the same sub-stream family, regardless of when or
+  // in what order the streams are instantiated.
+  auto s0 = subs_a.stream(0);
+  auto s7 = subs_a.stream(7);
+  auto s7_again = subs_b.stream(7);
+  auto s0_again = subs_b.stream(0);
+  std::vector<std::uint8_t> x(64), y(64);
+  s7.fill(x);
+  s7_again.fill(y);
+  EXPECT_EQ(x, y);
+  s0.fill(x);
+  s0_again.fill(y);
+  EXPECT_EQ(x, y);
+
+  // Distinct indices give distinct output.
+  auto u = subs_a.stream(1);
+  auto v = subs_a.stream(2);
+  u.fill(x);
+  v.fill(y);
+  EXPECT_NE(x, y);
+}
+
+TEST(ChaChaSubStreams, FactoryConsumesParentOnceAtConstruction) {
+  ChaChaRng parent{std::uint64_t{9}};
+  SubStreams subs{parent};
+  auto mark = parent.next_u64();
+  // Drawing streams later must not consume more parent randomness.
+  (void)subs.stream(0);
+  (void)subs.stream(1000);
+  ChaChaRng parent2{std::uint64_t{9}};
+  SubStreams subs2{parent2};
+  EXPECT_EQ(parent2.next_u64(), mark);
+}
+
 }  // namespace
 }  // namespace pisa::crypto

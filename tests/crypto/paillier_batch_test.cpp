@@ -1,0 +1,220 @@
+// Batch-API equivalence: every *_batch call must be bit-identical to the
+// per-entry loop it replaces, given the same rng state — and independent of
+// the thread count. This is the determinism contract the protocol layers
+// (SdcServer / SuClient / StpServer) rely on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bigint/prime.hpp"
+#include "crypto/chacha_rng.hpp"
+#include "crypto/paillier.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace pisa::crypto {
+namespace {
+
+class PaillierBatchTest : public ::testing::Test {
+ protected:
+  static const PaillierKeyPair& kp() {
+    static PaillierKeyPair k = [] {
+      ChaChaRng rng{std::uint64_t{0x5eed}};
+      return paillier_generate(512, rng, 16);
+    }();
+    return k;
+  }
+
+  static std::vector<bn::BigUint> plains(std::size_t count, std::uint64_t seed) {
+    ChaChaRng rng{seed};
+    std::vector<bn::BigUint> ms(count);
+    for (auto& m : ms) m = bn::random_bits(rng, 60);
+    return ms;
+  }
+};
+
+TEST_F(PaillierBatchTest, EncryptBatchMatchesPerEntryLoop) {
+  auto ms = plains(17, 1);
+  ChaChaRng rng_a{std::uint64_t{7}};
+  ChaChaRng rng_b{std::uint64_t{7}};
+
+  std::vector<PaillierCiphertext> expected;
+  for (const auto& m : ms) expected.push_back(kp().pk.encrypt(m, rng_a));
+  auto got = kp().pk.encrypt_batch(ms, rng_b, nullptr);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i], expected[i]) << "entry " << i;
+  // Both consumed the same amount of randomness.
+  EXPECT_EQ(rng_a.next_u64(), rng_b.next_u64());
+}
+
+TEST_F(PaillierBatchTest, EncryptBatchIsThreadCountInvariant) {
+  auto ms = plains(23, 2);
+  ChaChaRng rng_ref{std::uint64_t{9}};
+  auto reference = kp().pk.encrypt_batch(ms, rng_ref, nullptr);
+
+  for (std::size_t nt : {1u, 2u, 4u}) {
+    exec::ThreadPool pool{nt};
+    ChaChaRng rng{std::uint64_t{9}};
+    auto got = kp().pk.encrypt_batch(ms, rng, &pool);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_EQ(got[i], reference[i]) << "threads=" << nt << " entry " << i;
+  }
+}
+
+TEST_F(PaillierBatchTest, EncryptSignedBatchMatchesPerEntryLoop) {
+  ChaChaRng vrng{std::uint64_t{3}};
+  std::vector<bn::BigInt> ms;
+  for (int i = 0; i < 15; ++i) {
+    bn::BigInt v{bn::random_bits(vrng, 40)};
+    ms.push_back(i % 2 == 0 ? v : -v);
+  }
+  ChaChaRng rng_a{std::uint64_t{11}};
+  ChaChaRng rng_b{std::uint64_t{11}};
+
+  std::vector<PaillierCiphertext> expected;
+  for (const auto& m : ms) expected.push_back(kp().pk.encrypt_signed(m, rng_a));
+  exec::ThreadPool pool{3};
+  auto got = kp().pk.encrypt_signed_batch(ms, rng_b, &pool);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i], expected[i]) << "entry " << i;
+  // Round-trip through the batch decryptor too.
+  auto back = kp().sk.decrypt_signed_batch(got, &pool);
+  ASSERT_EQ(back.size(), ms.size());
+  for (std::size_t i = 0; i < ms.size(); ++i) EXPECT_EQ(back[i], ms[i]);
+}
+
+TEST_F(PaillierBatchTest, ScalarMulBatchMatchesPerEntryAndBroadcasts) {
+  auto ms = plains(12, 4);
+  ChaChaRng rng{std::uint64_t{13}};
+  auto cts = kp().pk.encrypt_batch(ms, rng, nullptr);
+
+  std::vector<bn::BigUint> ks(cts.size());
+  for (auto& k : ks) k = bn::random_bits(rng, 100);
+
+  exec::ThreadPool pool{4};
+  auto got = kp().pk.scalar_mul_batch(ks, cts, &pool);
+  ASSERT_EQ(got.size(), cts.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i], kp().pk.scalar_mul(ks[i], cts[i])) << "entry " << i;
+
+  // Size-1 ks broadcasts the one scalar to every ciphertext.
+  std::vector<bn::BigUint> one_k{ks[0]};
+  auto broadcast = kp().pk.scalar_mul_batch(one_k, cts, &pool);
+  ASSERT_EQ(broadcast.size(), cts.size());
+  for (std::size_t i = 0; i < broadcast.size(); ++i)
+    EXPECT_EQ(broadcast[i], kp().pk.scalar_mul(ks[0], cts[i])) << "entry " << i;
+}
+
+TEST_F(PaillierBatchTest, DecryptBatchMatchesPerEntry) {
+  auto ms = plains(19, 5);
+  ChaChaRng rng{std::uint64_t{17}};
+  auto cts = kp().pk.encrypt_batch(ms, rng, nullptr);
+
+  for (std::size_t nt : {1u, 4u}) {
+    exec::ThreadPool pool{nt};
+    auto got = kp().sk.decrypt_batch(cts, &pool);
+    ASSERT_EQ(got.size(), ms.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_EQ(got[i], ms[i]) << "threads=" << nt << " entry " << i;
+  }
+}
+
+TEST_F(PaillierBatchTest, RerandomizeBatchMatchesPerEntryLoop) {
+  auto ms = plains(9, 6);
+  ChaChaRng rng{std::uint64_t{19}};
+  auto cts = kp().pk.encrypt_batch(ms, rng, nullptr);
+
+  ChaChaRng rng_a{std::uint64_t{23}};
+  ChaChaRng rng_b{std::uint64_t{23}};
+  std::vector<PaillierCiphertext> expected;
+  for (const auto& c : cts) expected.push_back(kp().pk.rerandomize(c, rng_a));
+  exec::ThreadPool pool{2};
+  auto got = kp().pk.rerandomize_batch(cts, rng_b, &pool);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i], expected[i]) << "entry " << i;
+}
+
+TEST_F(PaillierBatchTest, MakeRandomizerBatchMatchesPerEntryLoop) {
+  ChaChaRng rng_a{std::uint64_t{29}};
+  ChaChaRng rng_b{std::uint64_t{29}};
+  std::vector<bn::BigUint> expected;
+  for (int i = 0; i < 8; ++i)
+    expected.push_back(kp().pk.make_randomizer(rng_a));
+  exec::ThreadPool pool{4};
+  auto got = kp().pk.make_randomizer_batch(8, rng_b, &pool);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i], expected[i]) << "entry " << i;
+}
+
+TEST_F(PaillierBatchTest, RandomizerPoolRefillIsThreadCountInvariant) {
+  RandomizerPool ref_pool{kp().pk, 6};
+  ChaChaRng rng_ref{std::uint64_t{31}};
+  ref_pool.refill(rng_ref);
+  std::vector<bn::BigUint> reference;
+  for (int i = 0; i < 6; ++i) reference.push_back(ref_pool.pop());
+
+  exec::ThreadPool pool{4};
+  RandomizerPool par_pool{kp().pk, 6};
+  ChaChaRng rng{std::uint64_t{31}};
+  par_pool.refill(rng, &pool);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(par_pool.pop(), reference[i]);
+}
+
+TEST(FixedBaseTableTest, PowMatchesMontgomeryPow) {
+  ChaChaRng rng{std::uint64_t{0xF1}};
+  bn::BigUint modulus = bn::random_bits(rng, 256);
+  modulus.set_bit(0);  // Montgomery needs an odd modulus
+  bn::Montgomery mont{modulus};
+  bn::BigUint base = bn::random_below(rng, modulus);
+
+  bn::FixedBaseTable table{mont, base, 128};
+  EXPECT_EQ(table.pow(bn::BigUint{0}), bn::BigUint{1});
+  EXPECT_EQ(table.pow(bn::BigUint{1}), mont.pow(base, bn::BigUint{1}));
+  for (int i = 0; i < 10; ++i) {
+    bn::BigUint e = bn::random_bits(rng, 128);
+    EXPECT_EQ(table.pow(e), mont.pow(base, e)) << "iteration " << i;
+  }
+  // Exponent wider than the table was built for must be rejected.
+  bn::BigUint wide = bn::BigUint{1} << 128;
+  EXPECT_THROW(table.pow(wide), std::out_of_range);
+}
+
+TEST_F(PaillierBatchTest, FastRandomizerBaseFactorsAreValidRandomizers) {
+  ChaChaRng rng{std::uint64_t{0xFA}};
+  FastRandomizerBase base{kp().pk, rng};
+  auto m = bn::BigUint{424242};
+  auto ct = kp().pk.encrypt_deterministic(m);
+  for (int i = 0; i < 5; ++i) {
+    auto factor = base.make(rng);
+    // A valid randomizer is an n-th residue: multiplying by it must not
+    // change the plaintext.
+    auto rr = kp().pk.rerandomize_with(ct, factor);
+    EXPECT_NE(rr, ct);
+    EXPECT_EQ(kp().sk.decrypt(rr), m);
+  }
+}
+
+TEST_F(PaillierBatchTest, RefillWithFastBaseProducesValidFactors) {
+  ChaChaRng rng{std::uint64_t{0xFB}};
+  FastRandomizerBase base{kp().pk, rng};
+  RandomizerPool pool_obj{kp().pk, 5};
+  exec::ThreadPool tp{2};
+  pool_obj.refill(rng, &tp, &base);
+  auto m = bn::BigUint{777};
+  auto ct = kp().pk.encrypt_deterministic(m);
+  for (int i = 0; i < 5; ++i) {
+    auto rr = kp().pk.rerandomize_with(ct, pool_obj.pop());
+    EXPECT_EQ(kp().sk.decrypt(rr), m);
+  }
+}
+
+}  // namespace
+}  // namespace pisa::crypto
