@@ -14,6 +14,19 @@
 
 namespace pisa::core {
 
+/// Reliable-delivery knobs for the simulated network (net::ReliableTransport).
+/// Disabled by default: the perfect-delivery bus reproduces the paper's
+/// Figure 6 byte accounting exactly; the chaos suites enable it together
+/// with a seeded net::FaultPlan to prove the protocol survives loss,
+/// duplication, reordering and corruption.
+struct ReliabilityConfig {
+  bool enabled = false;
+  std::size_t max_retries = 6;      ///< retransmissions before a typed failure
+  double timeout_us = 4'000.0;      ///< initial retransmission timeout
+  double backoff = 2.0;             ///< exponential backoff multiplier
+  std::size_t dedup_window = 4096;  ///< (sender, seq) replay memory per peer
+};
+
 struct PisaConfig {
   watch::WatchConfig watch;
 
@@ -41,6 +54,9 @@ struct PisaConfig {
   /// one extra ciphertext per entry on the SDC→STP link.
   bool threshold_stp = false;
 
+  /// Reliable transport over the simulated network (chaos/fault testing).
+  ReliabilityConfig reliability;
+
   /// Throws std::invalid_argument when parameter combinations cannot work.
   void validate() const {
     if (paillier_bits < 64 || paillier_bits % 2 != 0)
@@ -58,6 +74,14 @@ struct PisaConfig {
       throw std::invalid_argument("PisaConfig: blind_bits too small to hide values");
     if (num_threads == 0)
       throw std::invalid_argument("PisaConfig: num_threads must be >= 1");
+    if (reliability.enabled) {
+      if (reliability.timeout_us <= 0)
+        throw std::invalid_argument("PisaConfig: reliability.timeout_us must be > 0");
+      if (reliability.backoff < 1.0)
+        throw std::invalid_argument("PisaConfig: reliability.backoff must be >= 1");
+      if (reliability.dedup_window == 0)
+        throw std::invalid_argument("PisaConfig: reliability.dedup_window must be >= 1");
+    }
   }
 };
 

@@ -12,6 +12,14 @@ PisaSystem::PisaSystem(const PisaConfig& cfg, std::vector<watch::PuSite> sites,
     : cfg_(cfg), sites_(std::move(sites)), model_(model), rng_(rng),
       d_c_m_(watch::exclusion_radius_m(cfg.watch, model)) {
   cfg_.validate();
+  if (cfg_.reliability.enabled) {
+    net::ReliablePolicy policy;
+    policy.max_retries = cfg_.reliability.max_retries;
+    policy.timeout_us = cfg_.reliability.timeout_us;
+    policy.backoff = cfg_.reliability.backoff;
+    policy.dedup_window = cfg_.reliability.dedup_window;
+    reliable_ = std::make_unique<net::ReliableTransport>(net_, policy);
+  }
   if (cfg_.num_threads > 1)
     exec_ = std::make_shared<exec::ThreadPool>(cfg_.num_threads);
   stp_ = std::make_unique<StpServer>(cfg_, rng_);
@@ -20,8 +28,8 @@ PisaSystem::PisaSystem(const PisaConfig& cfg, std::vector<watch::PuSite> sites,
   if (cfg_.threshold_stp) sdc_->set_threshold_share(stp_->sdc_share());
   stp_->set_thread_pool(exec_);
   sdc_->set_thread_pool(exec_);
-  stp_->attach(net_, "stp");
-  sdc_->attach(net_, "sdc", "stp");
+  stp_->attach(transport(), "stp");
+  sdc_->attach(transport(), "sdc", "stp");
 
   auto e = watch::make_e_matrix(cfg_.watch);
   for (const auto& site : sites_) {
@@ -34,7 +42,19 @@ PisaSystem::PisaSystem(const PisaConfig& cfg, std::vector<watch::PuSite> sites,
     if (!inserted)
       throw std::invalid_argument("PisaSystem: duplicate PU id");
     it->second->set_thread_pool(exec_);
+    // PU endpoints receive nothing at the application layer, but the
+    // reliable transport needs them registered so ACKs for their updates
+    // come home.
+    transport().register_endpoint(
+        "pu_" + std::to_string(site.pu_id), [](const net::Message& msg) {
+          throw std::runtime_error("PU endpoint: unexpected message " + msg.type);
+        });
   }
+}
+
+net::Transport& PisaSystem::transport() {
+  if (reliable_) return *reliable_;
+  return net_;
 }
 
 SuClient& PisaSystem::add_su(std::uint32_t su_id, std::size_t precompute) {
@@ -42,18 +62,21 @@ SuClient& PisaSystem::add_su(std::uint32_t su_id, std::size_t precompute) {
     throw std::invalid_argument("PisaSystem: duplicate SU id");
   auto client = std::make_unique<SuClient>(su_id, cfg_, stp_->group_key(), rng_);
   client->set_thread_pool(exec_);
-  // Paper §III-C: the SU uploads pk_j to the STP; the SDC retrieves it from
-  // the STP's directory on demand (asynchronously, during the first request).
-  KeyRegisterMsg reg{su_id, crypto::serialize(client->public_key())};
-  net_.send({su_name(su_id), "stp", kMsgKeyRegister, reg.encode()});
-  net_.run();
-  if (precompute > 0) client->precompute_randomizers(precompute);
-  net_.register_endpoint(su_name(su_id), [this](const net::Message& msg) {
+  // The endpoint must exist before the key upload: under the reliable
+  // transport the STP's ACK comes back to it.
+  transport().register_endpoint(su_name(su_id), [this](const net::Message& msg) {
     if (msg.type != kMsgSuResponse)
       throw std::runtime_error("SU endpoint: unexpected message " + msg.type);
     auto resp = SuResponseMsg::decode(msg.payload);
+    response_arrival_us_.insert_or_assign(resp.request_id, net_.now_us());
     responses_.insert_or_assign(resp.request_id, std::move(resp));
   });
+  // Paper §III-C: the SU uploads pk_j to the STP; the SDC retrieves it from
+  // the STP's directory on demand (asynchronously, during the first request).
+  KeyRegisterMsg reg{su_id, crypto::serialize(client->public_key())};
+  transport().send({su_name(su_id), "stp", kMsgKeyRegister, reg.encode()});
+  net_.run();
+  if (precompute > 0) client->precompute_randomizers(precompute);
   auto& ref = *client;
   sus_.emplace(su_id, std::move(client));
   return ref;
@@ -74,8 +97,8 @@ PuClient& PisaSystem::pu(std::uint32_t pu_id) {
 void PisaSystem::pu_update(std::uint32_t pu_id, const watch::PuTuning& tuning) {
   auto& client = pu(pu_id);
   auto update = client.make_update(tuning);
-  net_.send({"pu_" + std::to_string(pu_id), "sdc", kMsgPuUpdate,
-             update.encode(stp_->group_key().ciphertext_bytes())});
+  transport().send({"pu_" + std::to_string(pu_id), "sdc", kMsgPuUpdate,
+                    update.encode(stp_->group_key().ciphertext_bytes())});
   net_.run();
 }
 
@@ -102,27 +125,51 @@ PisaSystem::RequestOutcome PisaSystem::su_request(
   auto sdc_su_before = net_.stats("sdc", su_name(request.su_id)).bytes;
   (void)before;
 
+  std::size_t failures_before = reliable_ ? reliable_->failures().size() : 0;
   double t_send = net_.now_us();
-  net_.send({su_name(request.su_id), "sdc", kMsgSuRequest,
-             msg.encode(stp_->group_key().ciphertext_bytes())});
+  transport().send({su_name(request.su_id), "sdc", kMsgSuRequest,
+                    msg.encode(stp_->group_key().ciphertext_bytes())});
   net_.run();
   double t_done = net_.now_us();
 
-  auto it = responses_.find(rid);
-  if (it == responses_.end())
-    throw std::runtime_error("PisaSystem: no response for request");
-  auto outcome = client.process_response(it->second, sdc_->license_key());
-  responses_.erase(it);
-
   RequestOutcome out;
-  out.granted = outcome.granted;
-  out.license = outcome.license;
-  out.signature = outcome.signature;
   out.request_bytes = net_.stats(su_name(request.su_id), "sdc").bytes - su_sdc_before;
   out.convert_bytes = net_.stats("sdc", "stp").bytes - sdc_stp_before;
   out.convert_reply_bytes = net_.stats("stp", "sdc").bytes - stp_sdc_before;
   out.response_bytes = net_.stats("sdc", su_name(request.su_id)).bytes - sdc_su_before;
   out.latency_us = t_done - t_send;
+
+  auto it = responses_.find(rid);
+  if (it == responses_.end()) {
+    // Graceful degradation: retries are bounded, so a quiescent network
+    // with no response means some hop exhausted its budget (or an endpoint
+    // vanished). Report a typed failure instead of hanging or throwing.
+    out.status = RequestOutcome::Status::kTransportFailed;
+    out.failure = "no response delivered";
+    if (reliable_) {
+      const auto& fails = reliable_->failures();
+      for (std::size_t i = failures_before; i < fails.size(); ++i) {
+        const auto& f = fails[i];
+        out.failure += "; gave up on " + f.type + " " + f.from + "->" + f.to +
+                       " seq " + std::to_string(f.seq) + " after " +
+                       std::to_string(f.attempts) + " attempts";
+      }
+    }
+    return out;
+  }
+  auto outcome = client.process_response(it->second, sdc_->license_key());
+  responses_.erase(it);
+  auto arrived = response_arrival_us_.find(rid);
+  if (arrived != response_arrival_us_.end()) {
+    // Measure to response arrival, not to quiescence: trailing
+    // retransmission timers would otherwise inflate the latency.
+    out.latency_us = arrived->second - t_send;
+    response_arrival_us_.erase(arrived);
+  }
+
+  out.granted = outcome.granted;
+  out.license = outcome.license;
+  out.signature = outcome.signature;
   return out;
 }
 

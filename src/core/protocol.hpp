@@ -22,6 +22,7 @@
 #include "core/stp_server.hpp"
 #include "core/su_client.hpp"
 #include "net/bus.hpp"
+#include "net/reliable_channel.hpp"
 #include "radio/pathloss.hpp"
 #include "watch/plain_watch.hpp"
 
@@ -43,9 +44,19 @@ class PisaSystem {
   void pu_update(std::uint32_t pu_id, const watch::PuTuning& tuning);
 
   struct RequestOutcome {
+    /// kCompleted covers both grant and deny (see `granted`);
+    /// kTransportFailed means the request round could not be delivered
+    /// within the reliability retry budget — `failure` says which hop gave
+    /// up. Only possible outcomes: faults never hang or throw here.
+    enum class Status { kCompleted, kTransportFailed };
+    Status status = Status::kCompleted;
+    bool completed() const { return status == Status::kCompleted; }
+
     bool granted = false;
     LicenseBody license;
     bn::BigUint signature;
+    /// Human-readable transport diagnosis when status == kTransportFailed.
+    std::string failure;
     // Communication accounting for this request (Figure 6):
     std::size_t request_bytes = 0;   // SU → SDC
     std::size_t convert_bytes = 0;   // SDC → STP
@@ -73,6 +84,9 @@ class PisaSystem {
   const std::vector<watch::PuSite>& sites() const { return sites_; }
 
   net::SimulatedNetwork& network() { return net_; }
+  /// The reliable transport layer, or nullptr when
+  /// cfg.reliability.enabled is false (raw perfect-delivery bus).
+  net::ReliableTransport* reliable_transport() { return reliable_.get(); }
   SdcServer& sdc() { return *sdc_; }
   StpServer& stp() { return *stp_; }
   SuClient& su(std::uint32_t su_id);
@@ -84,6 +98,10 @@ class PisaSystem {
  private:
   static std::string su_name(std::uint32_t id) { return "su_" + std::to_string(id); }
 
+  /// The message-passing layer the entities are attached to: the reliable
+  /// transport when cfg.reliability.enabled, the raw bus otherwise.
+  net::Transport& transport();
+
   PisaConfig cfg_;
   std::vector<watch::PuSite> sites_;
   const radio::PathLossModel& model_;
@@ -91,12 +109,14 @@ class PisaSystem {
   double d_c_m_;
 
   net::SimulatedNetwork net_;
+  std::unique_ptr<net::ReliableTransport> reliable_;
   std::shared_ptr<exec::ThreadPool> exec_;
   std::unique_ptr<StpServer> stp_;
   std::unique_ptr<SdcServer> sdc_;
   std::map<std::uint32_t, std::unique_ptr<PuClient>> pus_;
   std::map<std::uint32_t, std::unique_ptr<SuClient>> sus_;
   std::map<std::uint64_t, SuResponseMsg> responses_;  // by request id
+  std::map<std::uint64_t, double> response_arrival_us_;  // by request id
   std::uint64_t next_request_id_ = 1;
 };
 

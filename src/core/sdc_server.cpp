@@ -25,7 +25,8 @@ SdcServer::SdcServer(const PisaConfig& cfg, crypto::PaillierPublicKey group_pk,
     : cfg_(cfg), group_pk_(std::move(group_pk)), e_matrix_(std::move(e_matrix)),
       rng_(rng),
       rsa_(crypto::rsa_generate(cfg.rsa_bits, rng, cfg.mr_rounds)),
-      issuer_(std::move(issuer_name)) {
+      issuer_(std::move(issuer_name)),
+      seen_frames_(cfg.reliability.dedup_window) {
   cfg_.validate();
   std::size_t blocks = cfg_.watch.grid_rows * cfg_.watch.grid_cols;
   if (e_matrix_.channels() != cfg_.watch.channels || e_matrix_.blocks() != blocks)
@@ -215,7 +216,7 @@ SuResponseMsg SdcServer::finish_request(const ConvertResponseMsg& response) {
   return resp;
 }
 
-void SdcServer::attach(net::SimulatedNetwork& net, const std::string& name,
+void SdcServer::attach(net::Transport& net, const std::string& name,
                        const std::string& stp_name) {
   // Completing a request needs pk_j (eq. (16) operates under the SU's key).
   // Keys arrive asynchronously from the STP directory, so conversions that
@@ -229,10 +230,15 @@ void SdcServer::attach(net::SimulatedNetwork& net, const std::string& name,
 
   net.register_endpoint(name, [this, &net, name, stp_name, complete](
                                   const net::Message& msg) {
+    if (!seen_frames_.first_time(msg.from, msg.net_seq)) return;
     if (msg.type == kMsgPuUpdate) {
       handle_pu_update(PuUpdateMsg::decode(msg.payload));
     } else if (msg.type == kMsgSuRequest) {
       auto request = SuRequestMsg::decode(msg.payload);
+      // Replayed request id (retransmission past both dedup windows): the
+      // conversion round is already in flight — starting it again would
+      // double-blind and double-count, so drop the duplicate.
+      if (pending_.contains(request.request_id)) return;
       auto conv = begin_request(request);
       pending_.at(request.request_id).reply_to = msg.from;
       net.send({name, stp_name, kMsgConvertRequest,
@@ -246,7 +252,9 @@ void SdcServer::attach(net::SimulatedNetwork& net, const std::string& name,
       }
     } else if (msg.type == kMsgConvertResponse) {
       auto response = ConvertResponseMsg::decode(msg.payload);
-      auto su_id = pending_.at(response.request_id).request.su_id;
+      auto it = pending_.find(response.request_id);
+      if (it == pending_.end()) return;  // duplicate or late conversion
+      auto su_id = it->second.request.su_id;
       if (su_keys_.contains(su_id)) {
         complete(response);
       } else {

@@ -27,6 +27,7 @@
 #include "crypto/rsa_signature.hpp"
 #include "crypto/threshold_paillier.hpp"
 #include "net/bus.hpp"
+#include "net/reliable_channel.hpp"
 #include "radio/grid.hpp"
 #include "watch/matrices.hpp"
 
@@ -75,9 +76,13 @@ class SdcServer {
   /// license and blind the signature into G̃ (eq. (17)).
   SuResponseMsg finish_request(const ConvertResponseMsg& response);
 
-  /// Wire onto a simulated network: listens for PU updates and SU requests,
-  /// talks to `stp_name`, answers the requesting SU by sender name.
-  void attach(net::SimulatedNetwork& net, const std::string& name = "sdc",
+  /// Wire onto a transport (raw SimulatedNetwork or ReliableTransport):
+  /// listens for PU updates and SU requests, talks to `stp_name`, answers
+  /// the requesting SU by sender name. Handlers are idempotent under
+  /// at-least-once delivery: replays are dropped by a (sender, seq) window,
+  /// and duplicate request ids / late conversion responses are ignored
+  /// rather than thrown.
+  void attach(net::Transport& net, const std::string& name = "sdc",
               const std::string& stp_name = "stp");
 
   /// Encrypted budget access for tests/benches (the SDC itself cannot
@@ -140,6 +145,9 @@ class SdcServer {
   // Network mode: conversions that arrived before the SU's key did.
   std::map<std::uint32_t, std::vector<ConvertResponseMsg>> awaiting_key_;
   std::set<std::uint32_t> lookups_in_flight_;
+  // At-least-once delivery defence: transport-level retransmissions that
+  // slip past ReliableTransport's dedup window must not re-run handlers.
+  net::DedupWindow seen_frames_;
   std::uint64_t serial_ = 0;
   Stats stats_;
 };

@@ -10,7 +10,8 @@ namespace pisa::core {
 
 StpServer::StpServer(const PisaConfig& cfg, bn::RandomSource& rng)
     : cfg_(cfg), rng_(rng),
-      group_(crypto::paillier_generate(cfg.paillier_bits, rng, cfg.mr_rounds)) {
+      group_(crypto::paillier_generate(cfg.paillier_bits, rng, cfg.mr_rounds)),
+      seen_frames_(cfg.reliability.dedup_window) {
   cfg_.validate();
   if (cfg_.threshold_stp) deal_ = crypto::threshold_split(group_.sk, rng_);
 }
@@ -97,8 +98,9 @@ ConvertResponseMsg StpServer::convert(const ConvertRequestMsg& request) {
   return resp;
 }
 
-void StpServer::attach(net::SimulatedNetwork& net, const std::string& name) {
+void StpServer::attach(net::Transport& net, const std::string& name) {
   net.register_endpoint(name, [this, &net, name](const net::Message& msg) {
+    if (!seen_frames_.first_time(msg.from, msg.net_seq)) return;
     if (msg.type == kMsgConvertRequest) {
       auto request = ConvertRequestMsg::decode(msg.payload);
       auto response = convert(request);

@@ -21,6 +21,7 @@
 #include "crypto/paillier.hpp"
 #include "crypto/threshold_paillier.hpp"
 #include "net/bus.hpp"
+#include "net/reliable_channel.hpp"
 
 namespace pisa::exec {
 class ThreadPool;
@@ -61,9 +62,12 @@ class StpServer {
   const crypto::ThresholdKeyShare& sdc_share() const;
   bool threshold_mode() const { return deal_.has_value(); }
 
-  /// Wire onto a simulated network under `name`, replying to the sender of
-  /// each conversion request.
-  void attach(net::SimulatedNetwork& net, const std::string& name = "stp");
+  /// Wire onto a transport (raw SimulatedNetwork or ReliableTransport)
+  /// under `name`, replying to the sender of each conversion request.
+  /// Handlers are idempotent under at-least-once delivery: replayed frames
+  /// are dropped by a (sender, seq) window, and key registration is
+  /// last-writer-wins either way.
+  void attach(net::Transport& net, const std::string& name = "stp");
 
   std::uint64_t conversions_served() const { return conversions_; }
   std::uint64_t entries_converted() const { return entries_; }
@@ -84,6 +88,7 @@ class StpServer {
   std::map<std::uint32_t, crypto::RandomizerPool> su_pools_;
   std::map<std::uint32_t, crypto::FastRandomizerBase> su_fast_bases_;
   std::optional<crypto::ThresholdDeal> deal_;  // set iff cfg.threshold_stp
+  net::DedupWindow seen_frames_;  // at-least-once replay defence
   std::uint64_t conversions_ = 0;
   std::uint64_t entries_ = 0;
 };

@@ -1,6 +1,10 @@
 #include "net/bus.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "crypto/chacha_rng.hpp"
 
 namespace pisa::net {
 
@@ -11,6 +15,8 @@ SimulatedNetwork::SimulatedNetwork(double base_latency_us,
   if (base_latency_us < 0 || bandwidth_bytes_per_us <= 0)
     throw std::invalid_argument("SimulatedNetwork: bad link parameters");
 }
+
+SimulatedNetwork::~SimulatedNetwork() = default;
 
 void SimulatedNetwork::register_endpoint(const std::string& name, Handler handler) {
   if (!handler) throw std::invalid_argument("SimulatedNetwork: null handler");
@@ -25,19 +31,110 @@ bool SimulatedNetwork::has_endpoint(const std::string& name) const {
   return endpoints_.contains(name);
 }
 
-void SimulatedNetwork::send(Message m) {
-  if (!endpoints_.contains(m.to))
-    throw std::out_of_range("SimulatedNetwork: unknown endpoint " + m.to);
-  double transfer = static_cast<double>(m.payload.size()) / bandwidth_bytes_per_us_;
-  double arrival = now_us_ + base_latency_us_ + transfer;
-  queue_.push(Pending{arrival, next_seq_++, std::move(m)});
+void SimulatedNetwork::set_fault_seed(std::uint64_t seed) {
+  fault_rng_ = std::make_unique<crypto::ChaChaRng>(seed);
 }
 
-bool SimulatedNetwork::deliver_one() {
-  if (queue_.empty()) return false;
+void SimulatedNetwork::set_default_fault_plan(const FaultPlan& plan) {
+  default_plan_ = std::make_unique<FaultPlan>(plan);
+}
+
+void SimulatedNetwork::set_fault_plan(const std::string& from,
+                                      const std::string& to,
+                                      const FaultPlan& plan) {
+  link_plans_.insert_or_assign({from, to}, plan);
+}
+
+void SimulatedNetwork::clear_fault_plans() {
+  default_plan_.reset();
+  link_plans_.clear();
+}
+
+FaultStats SimulatedNetwork::link_fault_stats(const std::string& from,
+                                              const std::string& to) const {
+  auto it = link_fault_.find({from, to});
+  return it == link_fault_.end() ? FaultStats{} : it->second;
+}
+
+const FaultPlan* SimulatedNetwork::plan_for(const std::string& from,
+                                            const std::string& to) const {
+  auto it = link_plans_.find({from, to});
+  if (it != link_plans_.end()) return &it->second;
+  return default_plan_.get();
+}
+
+double SimulatedNetwork::roll() {
+  // 53-bit mantissa of a uniform double in [0, 1).
+  return static_cast<double>(roll_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t SimulatedNetwork::roll_u64() { return fault_rng_->next_u64(); }
+
+void SimulatedNetwork::send(Message m) {
+  std::size_t bytes = m.payload.size();
+  if (!endpoints_.contains(m.to)) {
+    ++fault_stats_.unknown_endpoint;
+    ++link_fault_[{m.from, m.to}].unknown_endpoint;
+    failures_.push_back({m.from, m.to, m.type, bytes, "unknown_endpoint"});
+    return;
+  }
+  double transfer = static_cast<double>(bytes) / bandwidth_bytes_per_us_;
+  double arrival = now_us_ + base_latency_us_ + transfer;
+
+  const FaultPlan* plan = plan_for(m.from, m.to);
+  if (fault_rng_ && plan && plan->any()) {
+    auto& link = link_fault_[{m.from, m.to}];
+    if (roll() < plan->drop) {
+      ++fault_stats_.dropped;
+      ++link.dropped;
+      return;
+    }
+    if (!m.payload.empty() && roll() < plan->corrupt) {
+      int flips = 1 + static_cast<int>(roll_u64() %
+                                       static_cast<std::uint64_t>(
+                                           std::max(plan->max_bit_flips, 1)));
+      for (int f = 0; f < flips; ++f) {
+        std::size_t pos = roll_u64() % m.payload.size();
+        m.payload[pos] ^= static_cast<std::uint8_t>(1u << (roll_u64() % 8));
+      }
+      ++fault_stats_.corrupted;
+      ++link.corrupted;
+    }
+    if (roll() < plan->reorder) {
+      arrival += roll() * plan->max_extra_delay_us;
+      ++fault_stats_.reordered;
+      ++link.reordered;
+    } else if (roll() < plan->delay) {
+      arrival += roll() * plan->max_extra_delay_us;
+      ++fault_stats_.delayed;
+      ++link.delayed;
+    }
+    if (roll() < plan->duplicate) {
+      double dup_arrival = arrival + roll() * (base_latency_us_ + 1.0);
+      queue_.push(Pending{dup_arrival, next_seq_++, m, {}});
+      ++fault_stats_.duplicated;
+      ++link.duplicated;
+    }
+  }
+  queue_.push(Pending{arrival, next_seq_++, std::move(m), {}});
+}
+
+void SimulatedNetwork::schedule_after(double delay_us, std::function<void()> fn) {
+  if (!fn) throw std::invalid_argument("SimulatedNetwork: null timer");
+  if (delay_us < 0) throw std::invalid_argument("SimulatedNetwork: negative delay");
+  queue_.push(Pending{now_us_ + delay_us, next_seq_++, Message{}, std::move(fn)});
+}
+
+int SimulatedNetwork::step() {
+  if (queue_.empty()) return -1;
   Pending p = queue_.top();
   queue_.pop();
   now_us_ = p.arrival_us;
+
+  if (p.timer) {
+    p.timer();
+    return 0;
+  }
 
   std::size_t bytes = p.msg.payload.size();
   auto& link = traffic_[{p.msg.from, p.msg.to}];
@@ -48,12 +145,15 @@ bool SimulatedNetwork::deliver_one() {
   audit_[p.msg.to].push_back({p.msg.from, p.msg.type, bytes, p.arrival_us});
 
   endpoints_.at(p.msg.to)(p.msg);
-  return true;
+  return 1;
 }
+
+bool SimulatedNetwork::deliver_one() { return step() >= 0; }
 
 std::size_t SimulatedNetwork::run() {
   std::size_t n = 0;
-  while (deliver_one()) ++n;
+  int s;
+  while ((s = step()) >= 0) n += static_cast<std::size_t>(s);
   return n;
 }
 

@@ -8,15 +8,28 @@
 // virtual time). The bus also keeps a per-endpoint audit trail — the
 // privacy-accounting tests use it to prove which party observed which
 // message types and sizes, matching the paper's Figure 6 byte counts.
+//
+// Faults: an optional seeded fault layer (fault.hpp) can drop, duplicate,
+// corrupt, reorder or delay messages per link. Every decision comes from a
+// ChaCha20 stream, so a chaos schedule replays exactly from its seed. The
+// bus itself stays best-effort; reliable_channel.hpp builds acknowledged
+// delivery on top.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <queue>
 #include <string>
 #include <vector>
+
+#include "net/fault.hpp"
+
+namespace pisa::crypto {
+class ChaChaRng;
+}
 
 namespace pisa::net {
 
@@ -25,6 +38,10 @@ struct Message {
   std::string to;
   std::string type;  // protocol message discriminator, e.g. "pu_update"
   std::vector<std::uint8_t> payload;
+  /// Reliable-transport sequence number; 0 for raw (unframed) delivery.
+  /// Set by ReliableTransport before the application handler runs so
+  /// handlers can key idempotency caches on (from, net_seq).
+  std::uint64_t net_seq = 0;
 };
 
 struct DeliveryRecord {
@@ -37,34 +54,90 @@ struct DeliveryRecord {
 struct TrafficStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+
+  bool operator==(const TrafficStats&) const = default;
 };
 
-class SimulatedNetwork {
+/// A send() that could not be delivered (e.g. the recipient endpoint does
+/// not exist — a crashed or never-provisioned party). Recorded instead of
+/// thrown so chaos runs can exercise endpoint loss without aborting.
+struct DeliveryFailure {
+  std::string from;
+  std::string to;
+  std::string type;
+  std::size_t bytes = 0;
+  std::string reason;
+};
+
+/// Minimal message-passing interface the protocol entities program against.
+/// Implemented by SimulatedNetwork (raw, best-effort) and ReliableTransport
+/// (sequence-numbered, acknowledged delivery with retry/backoff/dedup).
+class Transport {
  public:
   using Handler = std::function<void(const Message&)>;
 
+  virtual ~Transport() = default;
+
+  /// Register a named endpoint. Throws if the name is taken.
+  virtual void register_endpoint(const std::string& name, Handler handler) = 0;
+
+  /// Submit a message for (possibly unreliable) delivery.
+  virtual void send(Message m) = 0;
+};
+
+class SimulatedNetwork : public Transport {
+ public:
   /// `base_latency_us` per message plus payload_bytes / `bandwidth_bytes_per_us`.
   explicit SimulatedNetwork(double base_latency_us = 500.0,
                             double bandwidth_bytes_per_us = 125.0 /* 1 Gb/s */);
+  ~SimulatedNetwork() override;
 
-  /// Register a named endpoint. Throws if the name is taken.
-  void register_endpoint(const std::string& name, Handler handler);
+  void register_endpoint(const std::string& name, Handler handler) override;
 
   bool has_endpoint(const std::string& name) const;
 
-  /// Schedule a message. Throws std::out_of_range for unknown recipients.
-  void send(Message m);
+  /// Schedule a message. Sends to unknown recipients are recorded as
+  /// delivery failures (see delivery_failures()), not thrown.
+  void send(Message m) override;
 
-  /// Deliver the earliest pending message; false if none pending.
+  /// Run `fn` at virtual time now_us() + delay_us. Timer events share the
+  /// event queue with messages but do not count as deliveries.
+  void schedule_after(double delay_us, std::function<void()> fn);
+
+  /// Deliver or fire the earliest pending event; false if none pending.
   bool deliver_one();
 
-  /// Deliver until quiescent; returns the number of messages delivered.
+  /// Deliver until quiescent; returns the number of *messages* delivered
+  /// (timer events are processed but not counted).
   std::size_t run();
 
   double now_us() const { return now_us_; }
   std::size_t pending() const { return queue_.size(); }
 
-  /// Total traffic between a (from, to) pair, and globally.
+  // --- fault injection -----------------------------------------------------
+  /// (Re)key the ChaCha20 fault stream. Faults are only injected once a
+  /// seed is set and a plan with any() == true applies to the link.
+  void set_fault_seed(std::uint64_t seed);
+
+  /// Plan applied to links without a specific per-link plan.
+  void set_default_fault_plan(const FaultPlan& plan);
+
+  /// Plan for one directed (from, to) link; overrides the default.
+  void set_fault_plan(const std::string& from, const std::string& to,
+                      const FaultPlan& plan);
+
+  void clear_fault_plans();
+
+  const FaultStats& fault_stats() const { return fault_stats_; }
+  FaultStats link_fault_stats(const std::string& from,
+                              const std::string& to) const;
+  const std::vector<DeliveryFailure>& delivery_failures() const {
+    return failures_;
+  }
+
+  /// Total traffic between a (from, to) pair, and globally. Every delivered
+  /// copy counts, so retransmissions and injected duplicates are visible in
+  /// the Figure 6 byte accounting.
   TrafficStats stats(const std::string& from, const std::string& to) const;
   TrafficStats total_stats() const;
 
@@ -76,11 +149,19 @@ class SimulatedNetwork {
     double arrival_us;
     std::uint64_t seq;  // FIFO tiebreak
     Message msg;
+    std::function<void()> timer;  // non-null = timer event, msg unused
     bool operator>(const Pending& o) const {
       if (arrival_us != o.arrival_us) return arrival_us > o.arrival_us;
       return seq > o.seq;
     }
   };
+
+  /// Process one event: -1 none pending, 0 timer fired, 1 message delivered.
+  int step();
+
+  const FaultPlan* plan_for(const std::string& from, const std::string& to) const;
+  double roll();  // uniform [0, 1) from the fault stream
+  std::uint64_t roll_u64();
 
   double base_latency_us_;
   double bandwidth_bytes_per_us_;
@@ -92,6 +173,13 @@ class SimulatedNetwork {
   std::map<std::pair<std::string, std::string>, TrafficStats> traffic_;
   TrafficStats total_;
   std::map<std::string, std::vector<DeliveryRecord>> audit_;
+
+  std::unique_ptr<crypto::ChaChaRng> fault_rng_;
+  std::unique_ptr<FaultPlan> default_plan_;
+  std::map<std::pair<std::string, std::string>, FaultPlan> link_plans_;
+  FaultStats fault_stats_;
+  std::map<std::pair<std::string, std::string>, FaultStats> link_fault_;
+  std::vector<DeliveryFailure> failures_;
 };
 
 }  // namespace pisa::net

@@ -1,5 +1,6 @@
 #include "net/codec.hpp"
 
+#include <array>
 #include <cstring>
 
 namespace pisa::net {
@@ -83,6 +84,46 @@ bn::BigUint Decoder::get_biguint() {
 
 void Decoder::expect_done() const {
   if (!done()) throw DecodeError("Decoder: trailing bytes");
+}
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = [] {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) c = kCrcTable[(c ^ byte) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void seal_frame(std::vector<std::uint8_t>& frame) {
+  std::uint32_t c = crc32(frame);
+  for (int i = 0; i < 4; ++i)
+    frame.push_back(static_cast<std::uint8_t>(c >> (8 * i)));
+}
+
+bool open_frame(std::vector<std::uint8_t>& frame) {
+  if (frame.size() < 4) return false;
+  std::size_t body = frame.size() - 4;
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i)
+    stored |= static_cast<std::uint32_t>(frame[body + static_cast<std::size_t>(i)])
+              << (8 * i);
+  if (crc32(std::span<const std::uint8_t>(frame.data(), body)) != stored)
+    return false;
+  frame.resize(body);
+  return true;
 }
 
 }  // namespace pisa::net

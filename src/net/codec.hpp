@@ -75,4 +75,19 @@ class Decoder {
   std::size_t pos_ = 0;
 };
 
+// --- frame checksums --------------------------------------------------------
+// Network frames carry a CRC-32 trailer so link corruption is rejected at
+// the transport layer instead of reaching a Message handler (or worse, a
+// Paillier decryption) as well-formed-looking garbage.
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Append a little-endian CRC-32 trailer over the current contents.
+void seal_frame(std::vector<std::uint8_t>& frame);
+
+/// Verify and strip a seal_frame() trailer. Returns false — leaving `frame`
+/// untouched — when the trailer is missing or does not match.
+bool open_frame(std::vector<std::uint8_t>& frame);
+
 }  // namespace pisa::net

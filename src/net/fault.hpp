@@ -1,0 +1,45 @@
+// Seeded fault injection for the simulated network.
+//
+// A FaultPlan gives per-link probabilities for the failure modes a real
+// deployment must survive: loss, duplication, reordering, corruption and
+// extra queueing delay. Every probabilistic decision inside SimulatedNetwork
+// is drawn from a ChaCha20 stream keyed by an explicit seed
+// (SimulatedNetwork::set_fault_seed), so a failure schedule is a pure
+// function of (seed, message sequence) — any chaos run can be replayed
+// bit-for-bit from its seed.
+#pragma once
+
+#include <cstdint>
+
+namespace pisa::net {
+
+/// Per-link fault probabilities, each in [0, 1]. The checks are applied in
+/// a fixed order per send — drop, corrupt, reorder/delay, duplicate — so a
+/// plan plus a seed fully determines the schedule.
+struct FaultPlan {
+  double drop = 0.0;       ///< message vanishes entirely
+  double duplicate = 0.0;  ///< a second copy arrives (slightly later)
+  double corrupt = 0.0;    ///< 1..max_bit_flips payload bits are flipped
+  double reorder = 0.0;    ///< extra delay pushes the message past later ones
+  double delay = 0.0;      ///< extra delay without intent to reorder
+  double max_extra_delay_us = 5'000.0;  ///< cap for reorder/delay jitter
+  int max_bit_flips = 3;
+
+  bool any() const {
+    return drop > 0 || duplicate > 0 || corrupt > 0 || reorder > 0 || delay > 0;
+  }
+};
+
+/// Counts of injected faults (global or per link).
+struct FaultStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t unknown_endpoint = 0;
+
+  bool operator==(const FaultStats&) const = default;
+};
+
+}  // namespace pisa::net

@@ -1,0 +1,188 @@
+#include "net/reliable_channel.hpp"
+
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "net/codec.hpp"
+
+namespace pisa::net {
+
+bool DedupWindow::first_time(const std::string& sender, std::uint64_t seq) {
+  if (seq == 0) return true;  // raw delivery, no transport framing
+  auto [it, inserted] = seen_.emplace(sender, seq);
+  if (!inserted) return false;
+  order_.push_back(*it);
+  while (order_.size() > cap_) {
+    seen_.erase(order_.front());
+    order_.pop_front();
+  }
+  return true;
+}
+
+ReliableTransport::ReliableTransport(SimulatedNetwork& net, ReliablePolicy policy)
+    : net_(net), policy_(policy) {
+  if (policy_.timeout_us <= 0 || policy_.backoff < 1.0 ||
+      policy_.dedup_window == 0)
+    throw std::invalid_argument("ReliableTransport: bad policy");
+}
+
+void ReliableTransport::register_endpoint(const std::string& name,
+                                          Handler handler) {
+  if (!handler)
+    throw std::invalid_argument("ReliableTransport: null handler");
+  if (endpoints_.contains(name))
+    throw std::invalid_argument("ReliableTransport: duplicate endpoint " + name);
+  net_.register_endpoint(name,
+                         [this, name](const Message& raw) { on_frame(name, raw); });
+  endpoints_.emplace(name, Endpoint{std::move(handler), {}, {}});
+}
+
+void ReliableTransport::send(Message m) {
+  auto it = endpoints_.find(m.from);
+  if (it == endpoints_.end())
+    throw std::logic_error("ReliableTransport: unregistered sender " + m.from);
+  auto& ps = it->second.tx[m.to];
+  std::uint64_t seq = ps.next_seq++;
+
+  Encoder enc;
+  enc.put_u8(kData);
+  enc.put_u64(seq);
+  enc.put_bytes(m.payload);
+  auto frame = enc.take();
+  seal_frame(frame);
+
+  auto [oit, inserted] =
+      ps.outstanding.emplace(seq, Outstanding{m.type, std::move(frame), 0});
+  (void)inserted;
+  ++stats_.data_sent;
+  // The queue gets its own copy: injected corruption mutates the queued
+  // frame, and retransmissions must start from the pristine bytes.
+  net_.send({m.from, m.to, m.type, oit->second.frame, seq});
+  arm_timer(m.from, m.to, seq);
+}
+
+void ReliableTransport::arm_timer(const std::string& from, const std::string& to,
+                                  std::uint64_t seq) {
+  auto& o = endpoints_.at(from).tx.at(to).outstanding.at(seq);
+  double delay =
+      policy_.timeout_us *
+      std::pow(policy_.backoff, static_cast<double>(o.retransmits));
+  net_.schedule_after(delay, [this, from, to, seq] { on_timeout(from, to, seq); });
+}
+
+void ReliableTransport::on_timeout(const std::string& from, const std::string& to,
+                                   std::uint64_t seq) {
+  retransmit(from, to, seq, /*exhausted_gives_up=*/true);
+}
+
+void ReliableTransport::retransmit(const std::string& from, const std::string& to,
+                                   std::uint64_t seq, bool exhausted_gives_up) {
+  auto ei = endpoints_.find(from);
+  if (ei == endpoints_.end()) return;
+  auto ti = ei->second.tx.find(to);
+  if (ti == ei->second.tx.end()) return;
+  auto oi = ti->second.outstanding.find(seq);
+  if (oi == ti->second.outstanding.end()) return;  // already acknowledged
+
+  Outstanding& o = oi->second;
+  if (o.retransmits >= policy_.max_retries) {
+    if (!exhausted_gives_up) return;  // a pending timer will give up
+    GiveUp g{from, to, o.type, seq, o.retransmits + 1};
+    ti->second.outstanding.erase(oi);
+    ++stats_.gave_up;
+    failures_.push_back(g);
+    if (on_failure_) on_failure_(g);
+    return;
+  }
+  ++o.retransmits;
+  ++stats_.retransmits;
+  net_.send({from, to, o.type, o.frame, seq});
+  if (exhausted_gives_up) arm_timer(from, to, seq);
+}
+
+void ReliableTransport::send_control(Kind kind, const std::string& from,
+                                     const std::string& to, std::uint64_t seq) {
+  Encoder enc;
+  enc.put_u8(kind);
+  enc.put_u64(seq);
+  auto frame = enc.take();
+  seal_frame(frame);
+  if (kind == kAck)
+    ++stats_.acks_sent;
+  else
+    ++stats_.nacks_sent;
+  net_.send({from, to, kind == kAck ? kMsgAck : kMsgNack, std::move(frame), seq});
+}
+
+void ReliableTransport::on_frame(const std::string& self, const Message& raw) {
+  auto& ep = endpoints_.at(self);
+  auto frame = raw.payload;
+  if (!open_frame(frame)) {
+    ++stats_.corrupt_rejected;
+    // Best-effort header recovery for the NACK — the seq bytes may be
+    // corrupt themselves, in which case the sender finds nothing
+    // outstanding and ignores it; the retransmission timer still covers.
+    std::uint64_t seq = 0;
+    if (raw.payload.size() >= 9) {
+      Decoder header({raw.payload.data(), 9});
+      header.get_u8();
+      seq = header.get_u64();
+    }
+    send_control(kNack, self, raw.from, seq);
+    return;
+  }
+
+  // Parse fully before side effects so a malformed-but-CRC-valid frame
+  // (hostile input) is dropped without touching handler state.
+  std::optional<Message> deliver;
+  std::uint64_t seq = 0;
+  std::uint8_t kind = 0;
+  try {
+    Decoder dec(frame);
+    kind = dec.get_u8();
+    seq = dec.get_u64();
+    if (kind == kData) {
+      auto payload = dec.get_bytes();
+      dec.expect_done();
+      deliver = Message{raw.from, raw.to, raw.type, std::move(payload), seq};
+    } else if (kind == kAck || kind == kNack) {
+      dec.expect_done();
+    } else {
+      throw DecodeError("ReliableTransport: unknown frame kind");
+    }
+  } catch (const DecodeError&) {
+    ++stats_.corrupt_rejected;
+    return;
+  }
+
+  if (kind == kAck) {
+    auto ti = ep.tx.find(raw.from);
+    if (ti != ep.tx.end() && ti->second.outstanding.erase(seq) > 0)
+      ++stats_.acks_received;
+    return;
+  }
+  if (kind == kNack) {
+    retransmit(self, raw.from, seq, /*exhausted_gives_up=*/false);
+    return;
+  }
+
+  // DATA: always re-ACK — the previous ACK may have been lost.
+  send_control(kAck, self, raw.from, seq);
+  auto& pr = ep.rx[raw.from];
+  if (pr.seen.contains(seq)) {
+    ++stats_.duplicates_suppressed;
+    return;
+  }
+  pr.seen.insert(seq);
+  pr.order.push_back(seq);
+  while (pr.order.size() > policy_.dedup_window) {
+    pr.seen.erase(pr.order.front());
+    pr.order.pop_front();
+  }
+  ++stats_.delivered;
+  ep.app(*deliver);
+}
+
+}  // namespace pisa::net

@@ -8,6 +8,7 @@
 #include "bigint/random_source.hpp"
 #include "core/messages.hpp"
 #include "crypto/chacha_rng.hpp"
+#include "net/codec.hpp"
 
 namespace pisa::core {
 namespace {
@@ -100,6 +101,54 @@ TEST_F(FuzzFixture, SuResponseMsgSurvivesHostileBytes) {
   m.license = LicenseBody{9, "sdc", 2, {}};
   m.g = ct();
   fuzz_decode<SuResponseMsg>(m.encode(width), 150);
+}
+
+TEST_F(FuzzFixture, SealedFramesRoundTripAndRejectCorruption) {
+  // The reliability layer's last line of defence: a CRC-32 trailer sealed
+  // over every wire frame. Clean frames round-trip; any small bit-flip
+  // burst (the fault injector flips at most 3 bits) must be rejected —
+  // CRC-32 guarantees detection of <=3-bit errors at these frame sizes.
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::uint8_t> payload(fuzz.next_u64() % 400 + 1);
+    fuzz.fill(payload);
+    auto frame = payload;
+    net::seal_frame(frame);
+    ASSERT_EQ(frame.size(), payload.size() + 4);
+
+    auto clean = frame;
+    ASSERT_TRUE(net::open_frame(clean));
+    EXPECT_EQ(clean, payload) << "opening must strip exactly the trailer";
+
+    auto mutated = frame;
+    std::size_t nflips = fuzz.next_u64() % 3 + 1;
+    for (std::size_t f = 0; f < nflips; ++f) {
+      std::size_t bit = fuzz.next_u64() % (mutated.size() * 8);
+      mutated[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    auto before = mutated;
+    EXPECT_FALSE(net::open_frame(mutated));
+    EXPECT_EQ(mutated, before) << "failed open must leave the frame intact";
+  }
+}
+
+TEST_F(FuzzFixture, OpenFrameSurvivesTruncationAndGarbage) {
+  std::vector<std::uint8_t> payload(128);
+  fuzz.fill(payload);
+  auto frame = payload;
+  net::seal_frame(frame);
+  // Truncations: below 4 bytes there is no trailer at all; above, the
+  // trailing bytes are payload data masquerading as a checksum.
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    std::vector<std::uint8_t> cut(frame.begin(),
+                                  frame.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_FALSE(net::open_frame(cut)) << "truncated to " << len;
+  }
+  // Random garbage of assorted sizes never crashes.
+  for (int i = 0; i < 100; ++i) {
+    std::vector<std::uint8_t> garbage(fuzz.next_u64() % 64);
+    fuzz.fill(garbage);
+    (void)net::open_frame(garbage);
+  }
 }
 
 TEST_F(FuzzFixture, MutatedCiphertextsStillDecryptToSomething) {

@@ -24,9 +24,33 @@ TEST(SimulatedNetwork, DeliversToRegisteredHandler) {
   EXPECT_EQ(seen[0], "pu_update");
 }
 
-TEST(SimulatedNetwork, UnknownRecipientThrows) {
+TEST(SimulatedNetwork, UnknownRecipientRecordedAsFailure) {
+  // Endpoint loss mid-simulation must not abort the run: the send becomes
+  // a recorded delivery failure the chaos suites can assert on.
   SimulatedNetwork net;
-  EXPECT_THROW(net.send(msg("a", "nobody", "x")), std::out_of_range);
+  net.send(msg("a", "nobody", "x", 7));
+  EXPECT_EQ(net.pending(), 0u);
+  EXPECT_EQ(net.run(), 0u);
+  ASSERT_EQ(net.delivery_failures().size(), 1u);
+  const auto& f = net.delivery_failures()[0];
+  EXPECT_EQ(f.from, "a");
+  EXPECT_EQ(f.to, "nobody");
+  EXPECT_EQ(f.type, "x");
+  EXPECT_EQ(f.bytes, 7u);
+  EXPECT_EQ(f.reason, "unknown_endpoint");
+  EXPECT_EQ(net.fault_stats().unknown_endpoint, 1u);
+}
+
+TEST(SimulatedNetwork, TimersFireInVirtualTimeOrder) {
+  SimulatedNetwork net{100.0, 125.0};
+  std::vector<std::string> order;
+  net.register_endpoint("sdc", [&](const Message& m) { order.push_back(m.from); });
+  net.schedule_after(50.0, [&] { order.push_back("t50"); });
+  net.send(msg("a", "sdc", "x"));  // arrives at 100
+  net.schedule_after(150.0, [&] { order.push_back("t150"); });
+  EXPECT_EQ(net.run(), 1u) << "timer events are not counted as deliveries";
+  EXPECT_EQ(order, (std::vector<std::string>{"t50", "a", "t150"}));
+  EXPECT_NEAR(net.now_us(), 150.0, 1e-9);
 }
 
 TEST(SimulatedNetwork, DuplicateEndpointThrows) {
