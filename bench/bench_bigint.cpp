@@ -7,6 +7,7 @@
 // one ~2048-bit-exponent modexp over a 4096-bit modulus).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "bigint/biguint.hpp"
 #include "bigint/modular.hpp"
 #include "bigint/montgomery.hpp"
@@ -52,6 +53,18 @@ void BM_MontgomeryMul(benchmark::State& state) {
 }
 BENCHMARK(BM_MontgomeryMul)->Arg(1024)->Arg(2048)->Arg(4096);
 
+void BM_MontgomerySqr(benchmark::State& state) {
+  // Dedicated squaring kernel: ~half the limb products of mul; squarings
+  // dominate every exponentiation ladder.
+  auto bits = static_cast<std::size_t>(state.range(0));
+  BigUint m = value(bits);
+  m.set_bit(0);
+  Montgomery mont{m};
+  BigUint a = value(bits - 1);
+  for (auto _ : state) benchmark::DoNotOptimize(mont.sqr(a));
+}
+BENCHMARK(BM_MontgomerySqr)->Arg(1024)->Arg(2048)->Arg(4096);
+
 void BM_MontgomeryPow(benchmark::State& state) {
   // The Paillier encryption workhorse: |n|-bit exponent mod an |n²|-bit
   // modulus at Arg = |n²|.
@@ -65,6 +78,21 @@ void BM_MontgomeryPow(benchmark::State& state) {
   state.counters["exp_bits"] = static_cast<double>(bits / 2);
 }
 BENCHMARK(BM_MontgomeryPow)->Arg(1024)->Arg(2048)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MontgomeryPow2(benchmark::State& state) {
+  // Shamir/Straus a^x·b^y: one shared squaring ladder — compare against
+  // twice BM_MontgomeryPow plus a mul.
+  auto bits = static_cast<std::size_t>(state.range(0));
+  BigUint m = value(bits);
+  m.set_bit(0);
+  Montgomery mont{m};
+  BigUint a = value(bits - 1), b = value(bits - 2);
+  BigUint x = value(bits / 2), y = value(bits / 2);
+  for (auto _ : state) benchmark::DoNotOptimize(mont.pow2(a, x, b, y));
+  state.counters["exp_bits"] = static_cast<double>(bits / 2);
+}
+BENCHMARK(BM_MontgomeryPow2)->Arg(1024)->Arg(2048)->Arg(4096)
     ->Unit(benchmark::kMillisecond);
 
 void BM_ModInverse(benchmark::State& state) {
@@ -95,4 +123,7 @@ BENCHMARK(BM_DecimalConversion)->Arg(512)->Arg(2048);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return pisa::benchjson::run_benchmarks_to_json(argc, argv,
+                                                 "BENCH_bigint.json");
+}

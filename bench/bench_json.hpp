@@ -1,0 +1,91 @@
+// Shared JSON emitter for the google-benchmark microbench binaries
+// (bench_bigint, bench_paillier). Same hand-rolled fprintf style as
+// bench_system.cpp's BENCH_system.json writer, so the committed perf
+// snapshots all parse the same way.
+//
+// Usage: replace BENCHMARK_MAIN() with
+//   int main(int argc, char** argv) {
+//     return pisa::benchjson::run_benchmarks_to_json(argc, argv, "BENCH_x.json");
+//   }
+// The binary then accepts every --benchmark_* flag plus `--quick`, which
+// caps per-benchmark measurement time for CI perf-smoke runs.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pisa::benchjson {
+
+struct Row {
+  std::string name;
+  double ns_per_iter;
+  long long iterations;
+};
+
+// Console output stays intact; every successful run is also collected for
+// the JSON snapshot.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      rows.push_back({run.benchmark_name(),
+                      run.real_accumulated_time * 1e9 /
+                          static_cast<double>(run.iterations),
+                      static_cast<long long>(run.iterations)});
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<Row> rows;
+};
+
+inline void write_json(const char* path, bool quick,
+                       const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"quick\": %s,\n  \"results\": [\n",
+               quick ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(
+        f, "    {\"name\": \"%s\", \"ns_per_iter\": %.1f, \"iterations\": %lld}%s\n",
+        rows[i].name.c_str(), rows[i].ns_per_iter, rows[i].iterations,
+        i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+inline int run_benchmarks_to_json(int argc, char** argv,
+                                  const char* json_path) {
+  bool quick = false;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view{argv[i]} == "--quick") {
+      quick = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  // Short measurement windows in quick mode: enough for a smoke signal,
+  // cheap enough for every CI run.
+  static char min_time_flag[] = "--benchmark_min_time=0.05";
+  if (quick) args.push_back(min_time_flag);
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  write_json(json_path, quick, reporter.rows);
+  std::printf("Machine-readable results written to %s\n", json_path);
+  return 0;
+}
+
+}  // namespace pisa::benchjson

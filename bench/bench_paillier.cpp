@@ -11,6 +11,8 @@
 #include <benchmark/benchmark.h>
 
 #include <map>
+
+#include "bench_json.hpp"
 #include <memory>
 #include <vector>
 
@@ -115,6 +117,39 @@ void BM_ScalarMulFullWidth(benchmark::State& state) {
 }
 BENCHMARK(BM_ScalarMulFullWidth)->Arg(512)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
 
+void BM_BlindEntryFused(benchmark::State& state) {
+  // The SDC begin_request kernel (eqs. (11)+(14)): one Shamir/Straus double
+  // exponentiation + one inverse, vs the chain below.
+  const auto& kp = keys(static_cast<std::size_t>(state.range(0)));
+  auto budget = kp.pk.encrypt(bn::BigUint{5000}, rng());
+  auto f = kp.pk.encrypt(bn::BigUint{1}, rng());
+  bn::BigUint x{40};
+  bn::BigUint alpha = bn::random_bits(rng(), 128);
+  alpha.set_bit(127);
+  bn::BigUint beta = bn::random_below(rng(), alpha - bn::BigUint{1}) + bn::BigUint{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.pk.blind_entry(budget, f, x, alpha, beta, 1));
+  }
+}
+BENCHMARK(BM_BlindEntryFused)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+void BM_BlindEntryUnfused(benchmark::State& state) {
+  // Ablation: the original scalar_mul/sub/scalar_mul/sub composition.
+  const auto& kp = keys(static_cast<std::size_t>(state.range(0)));
+  auto budget = kp.pk.encrypt(bn::BigUint{5000}, rng());
+  auto f = kp.pk.encrypt(bn::BigUint{1}, rng());
+  bn::BigUint x{40};
+  bn::BigUint alpha = bn::random_bits(rng(), 128);
+  alpha.set_bit(127);
+  bn::BigUint beta = bn::random_below(rng(), alpha - bn::BigUint{1}) + bn::BigUint{1};
+  for (auto _ : state) {
+    auto i_ct = kp.pk.sub(budget, kp.pk.scalar_mul(x, f));
+    benchmark::DoNotOptimize(kp.pk.sub(kp.pk.scalar_mul(alpha, i_ct),
+                                       kp.pk.encrypt_deterministic(beta)));
+  }
+}
+BENCHMARK(BM_BlindEntryUnfused)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillisecond);
+
 void BM_RerandomizeFresh(benchmark::State& state) {
   const auto& kp = keys(static_cast<std::size_t>(state.range(0)));
   auto ct = kp.pk.encrypt(bn::BigUint{7}, rng());
@@ -217,4 +252,7 @@ BENCHMARK(BM_FastRandomizerBase)->Arg(1024)->Arg(2048)->Unit(benchmark::kMillise
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return pisa::benchjson::run_benchmarks_to_json(argc, argv,
+                                                 "BENCH_paillier.json");
+}

@@ -1,0 +1,92 @@
+#include "bigint/montgomery_ifma.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define PISA_IFMA_X86 1
+#include <immintrin.h>
+#else
+#define PISA_IFMA_X86 0
+#endif
+
+namespace pisa::bn::ifma {
+
+namespace {
+constexpr std::uint64_t kMask52 = (std::uint64_t{1} << 52) - 1;
+}
+
+#if PISA_IFMA_X86
+
+bool available() {
+  static const bool ok = __builtin_cpu_supports("avx512ifma") &&
+                         __builtin_cpu_supports("avx512vl");
+  return ok;
+}
+
+// One operand-scanning pass per limb of `a`: accumulate the low halves of
+// a_i·b and m·n, retire the now-zero bottom limb by shifting every lane down
+// one position (valignq across the vector seam), then accumulate the high
+// halves at their post-shift positions. Lanes hold redundant (>52-bit)
+// partial sums; with k52 <= 2^9 iterations and four < 2^52 contributions per
+// lane per iteration the 64-bit lanes cannot overflow.
+__attribute__((target("avx512f,avx512ifma,avx512vl")))
+void amm(const Ctx& ctx, const std::uint64_t* a, const std::uint64_t* b,
+         std::uint64_t* out, std::uint64_t* acc) {
+  const std::size_t k = ctx.k52;
+  const std::size_t v_count = k / 8;
+  const std::uint64_t* n = ctx.n52.data();
+  assert(k % 8 == 0 && v_count > 0);
+
+  std::memset(acc, 0, (k + 8) * sizeof(std::uint64_t));
+  for (std::size_t i = 0; i < k; ++i) {
+    const __m512i ai = _mm512_set1_epi64(static_cast<long long>(a[i]));
+    for (std::size_t v = 0; v < v_count; ++v) {
+      __m512i t = _mm512_loadu_si512(acc + 8 * v);
+      t = _mm512_madd52lo_epu64(t, ai, _mm512_loadu_si512(b + 8 * v));
+      _mm512_storeu_si512(acc + 8 * v, t);
+    }
+    const std::uint64_t m = (acc[0] * ctx.n0inv52) & kMask52;
+    const __m512i mv = _mm512_set1_epi64(static_cast<long long>(m));
+    for (std::size_t v = 0; v < v_count; ++v) {
+      __m512i t = _mm512_loadu_si512(acc + 8 * v);
+      t = _mm512_madd52lo_epu64(t, mv, _mm512_loadu_si512(n + 8 * v));
+      _mm512_storeu_si512(acc + 8 * v, t);
+    }
+    // acc[0] ≡ 0 (mod 2^52); its high part carries into position 1, which
+    // becomes position 0 after the shift.
+    const std::uint64_t c0 = acc[0] >> 52;
+    for (std::size_t v = 0; v < v_count; ++v) {
+      const __m512i lo = _mm512_loadu_si512(acc + 8 * v);
+      const __m512i hi = _mm512_loadu_si512(acc + 8 * v + 8);
+      __m512i t = _mm512_alignr_epi64(hi, lo, 1);
+      t = _mm512_madd52hi_epu64(t, ai, _mm512_loadu_si512(b + 8 * v));
+      t = _mm512_madd52hi_epu64(t, mv, _mm512_loadu_si512(n + 8 * v));
+      _mm512_storeu_si512(acc + 8 * v, t);
+    }
+    acc[0] += c0;
+  }
+
+  // Resolve the redundant lanes into clean 52-bit limbs. The value is
+  // < 2n < R52, so the final carry out of the top limb is zero.
+  std::uint64_t carry = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::uint64_t s = acc[j] + carry;
+    out[j] = s & kMask52;
+    carry = s >> 52;
+  }
+  assert(carry == 0);
+}
+
+#else  // !PISA_IFMA_X86
+
+bool available() { return false; }
+
+void amm(const Ctx&, const std::uint64_t*, const std::uint64_t*,
+         std::uint64_t*, std::uint64_t*) {
+  assert(false && "ifma::amm called on a non-x86-64 host");
+}
+
+#endif
+
+}  // namespace pisa::bn::ifma

@@ -1,0 +1,38 @@
+// Internal: AVX-512 IFMA radix-52 almost-Montgomery multiplication engine.
+//
+// Values live as vectors of k52 52-bit limbs (one per 64-bit lane) and stay
+// in "almost Montgomery" form — congruent mod n, bounded by 2n rather than
+// n — between operations; R52 = 2^(52·k52) >= 4n keeps that bound closed
+// under amm(). Montgomery (montgomery.cpp) owns the domain conversions and
+// canonicalization, so results leaving this engine are bit-identical to the
+// scalar backend.
+//
+// Only montgomery.cpp includes this header.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pisa::bn::ifma {
+
+/// True when the running CPU supports the avx512ifma + avx512vl kernels.
+bool available();
+
+/// Per-modulus constants in radix-52 form. Filled in by Montgomery's
+/// constructor (it owns the BigUint arithmetic for R^2 mod n).
+struct Ctx {
+  std::size_t k52 = 0;        // 52-bit limb count, multiple of 8
+  std::uint64_t n0inv52 = 0;  // -n^{-1} mod 2^52
+  std::vector<std::uint64_t> n52;    // modulus
+  std::vector<std::uint64_t> r2_52;  // R52^2 mod n (mont form of R52)
+  std::vector<std::uint64_t> one52;  // R52 mod n (mont form of 1)
+};
+
+/// out = a·b·R52^{-1} (mod n), with inputs < 2n and output < 2n. `acc` is
+/// caller scratch of k52 + 8 limbs; `out` may alias `a` or `b`. Must only
+/// be called when available() is true.
+void amm(const Ctx& ctx, const std::uint64_t* a, const std::uint64_t* b,
+         std::uint64_t* out, std::uint64_t* acc);
+
+}  // namespace pisa::bn::ifma

@@ -143,16 +143,12 @@ ConvertRequestMsg SdcServer::begin_request(const SuRequestMsg& request) {
     std::uint32_t b =
         request.block_lo + static_cast<std::uint32_t>(idx % range);
 
-    // Eq. (11): R̃ = F̃ ⊗ X.
-    auto r_ct = group_pk_.scalar_mul(x_scalar, request.f[idx]);
-    // Eq. (12): Ĩ = Ñ ⊖ R̃.
-    auto i_ct = group_pk_.sub(budget_at(c, b), r_ct);
-
-    // Eq. (14): Ṽ = ε ⊗ [(α ⊗ Ĩ) ⊖ β̃].
-    auto blinded = group_pk_.sub(group_pk_.scalar_mul(alphas[idx], i_ct),
-                                 group_pk_.encrypt_deterministic(betas[idx]));
-    conv.v[idx] =
-        pend.epsilon[idx] < 0 ? group_pk_.negate(blinded) : std::move(blinded);
+    // Eqs. (11)+(12)+(14) fused: Ṽ = ε ⊗ [(α ⊗ (Ñ ⊖ F̃ ⊗ X)) ⊖ β̃] as one
+    // double exponentiation Ñ^±α · F̃^∓αx · E_det(β)^∓1 (see blind_entry) —
+    // same canonical ciphertext, one inverse instead of three.
+    conv.v[idx] = group_pk_.blind_entry(budget_at(c, b), request.f[idx],
+                                        x_scalar, alphas[idx], betas[idx],
+                                        pend.epsilon[idx]);
     if (threshold_share_) {
       conv.partials[idx] = {crypto::threshold_partial_decrypt(
           group_pk_, *threshold_share_, conv.v[idx])};
@@ -186,26 +182,26 @@ SuResponseMsg SdcServer::finish_request(const ConvertResponseMsg& response) {
     throw std::invalid_argument("SdcServer: conversion size mismatch");
 
   const auto& pk_j = su_key(pend.request.su_id);
-  const auto one = pk_j.encrypt_deterministic(bn::BigUint{1});
 
-  // Eq. (16): Q̃ = (ε ⊗ X̃) ⊖ 1̃, accumulated: ⊕_{c,i} Q̃(c,i). The per-entry
-  // Q̃ values are independent; only the fold is ordered (and ciphertext
-  // multiplication mod n² is commutative anyway — the sequential fold
-  // keeps the result trivially bit-identical to the original loop).
+  // Eq. (16): Q̃ = (ε ⊗ X̃) ⊖ 1̃, accumulated: ⊕_{c,i} Q̃(c,i). ⊖ 1̃ is a
+  // single multiplication by the closed-form E_det(1)⁻¹ (no extended-gcd
+  // inverse), and the ⊕-fold runs as one Montgomery-domain product — both
+  // produce the same canonical ciphertexts as the loop they replace.
   std::vector<crypto::PaillierCiphertext> qs(response.x.size());
   exec::parallel_for(exec_.get(), 0, response.x.size(), [&](std::size_t i) {
-    qs[i] = pk_j.sub(pend.epsilon[i] < 0 ? pk_j.negate(response.x[i])
-                                         : response.x[i],
-                     one);
+    qs[i] = pk_j.sub_deterministic(pend.epsilon[i] < 0
+                                       ? pk_j.negate(response.x[i])
+                                       : response.x[i],
+                                   bn::BigUint{1});
   });
-  auto acc = pk_j.encrypt_deterministic(bn::BigUint{0});
-  for (const auto& q : qs) acc = pk_j.add(acc, q);
+  auto acc = pk_j.add_many(qs);
 
-  // Eq. (17): G̃ = S̃G ⊕ (η ⊗ ΣQ̃), fresh η >= 1.
+  // Eq. (17): G̃ = S̃G ⊕ (η ⊗ ΣQ̃), fresh η >= 1 — η ⊗ · ⊕ · fused into one
+  // ladder with the S̃G factor riding the Montgomery exit.
   bn::BigUint eta = bn::random_bits(rng_, cfg_.blind_bits);
   eta.set_bit(cfg_.blind_bits - 1);
-  auto g = pk_j.add(pk_j.encrypt(pend.signature, rng_),
-                    pk_j.scalar_mul(eta, acc));
+  auto g = crypto::PaillierCiphertext{pk_j.mont_n2().pow_mul(
+      acc.value, eta, pk_j.encrypt(pend.signature, rng_).value)};
 
   SuResponseMsg resp;
   resp.request_id = response.request_id;

@@ -20,9 +20,47 @@ PaillierPublicKey::PaillierPublicKey(BigUint n) : n_(std::move(n)) {
 
 PaillierCiphertext PaillierPublicKey::encrypt_deterministic(const BigUint& m) const {
   if (m >= n_) throw std::out_of_range("Paillier encrypt: m >= n");
-  // g^m = (1+n)^m = 1 + m·n (mod n²).
-  const BigUint& n2 = n_squared();
-  return {(BigUint{1} + m * n_) % n2};
+  // g^m = (1+n)^m = 1 + m·n (mod n²); m < n makes 1 + m·n < n², so the
+  // value is already canonical.
+  return {BigUint{1} + m * n_};
+}
+
+PaillierCiphertext PaillierPublicKey::encrypt_deterministic_inverse(
+    const BigUint& m) const {
+  if (m >= n_) throw std::out_of_range("Paillier encrypt: m >= n");
+  // (1+mn)(1+(n−m)n) = 1 + n² + (n−m)mn² ≡ 1 (mod n²), and for m > 0 the
+  // factor 1 + (n−m)n is < n², hence the canonical inverse.
+  if (m.is_zero()) return {BigUint{1}};
+  return {BigUint{1} + (n_ - m) * n_};
+}
+
+PaillierCiphertext PaillierPublicKey::sub_deterministic(
+    const PaillierCiphertext& c, const BigUint& m) const {
+  return {mont_n2_->mul(c.value, encrypt_deterministic_inverse(m).value)};
+}
+
+PaillierCiphertext PaillierPublicKey::add_many(
+    std::span<const PaillierCiphertext> cs) const {
+  if (cs.empty()) return {BigUint{1}};  // E_det(0)
+  std::vector<BigUint> vals;
+  vals.reserve(cs.size());
+  for (const auto& c : cs) vals.push_back(c.value);
+  return {mont_n2_->product(vals)};
+}
+
+PaillierCiphertext PaillierPublicKey::blind_entry(
+    const PaillierCiphertext& budget, const PaillierCiphertext& f,
+    const BigUint& x, const BigUint& alpha, const BigUint& beta,
+    int epsilon) const {
+  const BigUint ax = alpha * x;
+  if (epsilon < 0) {
+    // negate() of the blinded entry distributes across the product:
+    // budget^{-α} · f^{α·x} · E_det(β).
+    return {mont_n2_->pow2_mul(negate(budget).value, alpha, f.value, ax,
+                               encrypt_deterministic(beta).value)};
+  }
+  return {mont_n2_->pow2_mul(budget.value, alpha, negate(f).value, ax,
+                             encrypt_deterministic_inverse(beta).value)};
 }
 
 BigUint PaillierPublicKey::make_randomizer(bn::RandomSource& rng) const {

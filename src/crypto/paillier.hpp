@@ -92,8 +92,39 @@ class PaillierPublicKey {
   bn::BigUint make_randomizer(bn::RandomSource& rng) const;
 
   /// Deterministic "encryption" with r=1; only useful composed with
-  /// rerandomize_with, or for tests.
+  /// rerandomize_with, or for tests. g = n+1 makes this a closed form,
+  /// 1 + m·n, already canonical — no modexp, no division.
   PaillierCiphertext encrypt_deterministic(const bn::BigUint& m) const;
+
+  /// E_det(m)⁻¹ without a modular inverse: (1+mn)(1+(n−m)n) ≡ 1 (mod n²),
+  /// so the inverse of a deterministic encryption is itself a closed form.
+  PaillierCiphertext encrypt_deterministic_inverse(const bn::BigUint& m) const;
+
+  /// c ⊖ E_det(m) as a single Montgomery multiplication — the extended-gcd
+  /// inverse that sub() pays is replaced by the closed-form
+  /// encrypt_deterministic_inverse factor.
+  PaillierCiphertext sub_deterministic(const PaillierCiphertext& c,
+                                       const bn::BigUint& m) const;
+
+  /// ⊕-fold of many ciphertexts in one Montgomery-domain product
+  /// (bn::Montgomery::product): one reduction pass per factor plus a
+  /// logarithmic fixup instead of a domain round-trip per add().
+  PaillierCiphertext add_many(std::span<const PaillierCiphertext> cs) const;
+
+  /// Fused SDC blinding kernel for eqs. (11)+(14): computes
+  ///
+  ///   [ budget^α · f^(−α·x) · E_det(β)^(−1) ]^(sign ε)
+  ///
+  /// bit-identically to the chain scalar_mul/sub/scalar_mul/sub/negate, but
+  /// as ONE Shamir/Straus double exponentiation (shared squaring ladder over
+  /// max(|α|, |α·x|) bits, multiplication by the closed-form E_det factor
+  /// fused into the Montgomery-domain exit) plus ONE modular inverse — of f
+  /// for ε ≥ 0, of budget for ε < 0 — instead of two full modexps and
+  /// two-to-three extended-gcd inverses.
+  PaillierCiphertext blind_entry(const PaillierCiphertext& budget,
+                                 const PaillierCiphertext& f,
+                                 const bn::BigUint& x, const bn::BigUint& alpha,
+                                 const bn::BigUint& beta, int epsilon) const;
 
   // --- Batch pipeline -------------------------------------------------
   // Span-style APIs dispatched over an exec::ThreadPool (nullptr or a
