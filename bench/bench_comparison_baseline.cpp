@@ -10,6 +10,8 @@
 // The gap must widen linearly in the bit width ℓ (paper uses ℓ = 60).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "bigint/prime.hpp"
 #include "core/comparison_baseline.hpp"
 #include "crypto/chacha_rng.hpp"
@@ -111,4 +113,7 @@ BENCHMARK(BM_BitwiseStpDecrypt)->Arg(8)->Arg(16)->Arg(32)->Arg(60)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return pisa::benchjson::run_benchmarks_to_json(argc, argv,
+                                                 "BENCH_comparison_baseline.json");
+}

@@ -9,6 +9,8 @@
 // vs payload capacity across s.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include "bigint/prime.hpp"
 #include "crypto/chacha_rng.hpp"
 #include "crypto/damgard_jurik.hpp"
@@ -72,4 +74,7 @@ BENCHMARK(BM_DjEncryptPerPayloadByte)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return pisa::benchjson::run_benchmarks_to_json(argc, argv,
+                                                 "BENCH_damgard_jurik.json");
+}

@@ -1,14 +1,19 @@
-// Shared JSON emitter for the google-benchmark microbench binaries
-// (bench_bigint, bench_paillier). Same hand-rolled fprintf style as
-// bench_system.cpp's BENCH_system.json writer, so the committed perf
-// snapshots all parse the same way.
+// Shared JSON emission for every bench binary that writes a BENCH_*.json
+// perf snapshot, so the committed snapshots all parse the same way (and
+// scripts/check_perf_regression.py only needs one dialect).
 //
-// Usage: replace BENCHMARK_MAIN() with
-//   int main(int argc, char** argv) {
-//     return pisa::benchjson::run_benchmarks_to_json(argc, argv, "BENCH_x.json");
-//   }
-// The binary then accepts every --benchmark_* flag plus `--quick`, which
-// caps per-benchmark measurement time for CI perf-smoke runs.
+// Two layers:
+//   * JsonFields / write_row_array — a flat ordered field list plus an
+//     array-of-rows writer. Structured emitters (bench_system) build their
+//     rows from these instead of hand-rolling fprintf format strings.
+//   * run_benchmarks_to_json — drop-in BENCHMARK_MAIN() replacement for the
+//     google-benchmark binaries (bench_bigint, bench_paillier,
+//     bench_comparison_baseline, bench_damgard_jurik):
+//       int main(int argc, char** argv) {
+//         return pisa::benchjson::run_benchmarks_to_json(argc, argv, "BENCH_x.json");
+//       }
+//     The binary then accepts every --benchmark_* flag plus `--quick`, which
+//     caps per-benchmark measurement time for CI perf-smoke runs.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -16,9 +21,56 @@
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace pisa::benchjson {
+
+/// Ordered key → pre-formatted-value list for one flat JSON row. All the
+/// BENCH_*.json rows are flat objects of scalars, which is all this needs
+/// to support.
+class JsonFields {
+ public:
+  void add(std::string key, std::size_t v) {
+    kv_.emplace_back(std::move(key), std::to_string(v));
+  }
+  void add(std::string key, long long v) {
+    kv_.emplace_back(std::move(key), std::to_string(v));
+  }
+  void add(std::string key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    kv_.emplace_back(std::move(key), buf);
+  }
+  void add(std::string key, const std::string& v) {
+    kv_.emplace_back(std::move(key), "\"" + v + "\"");
+  }
+
+  void emit(std::FILE* f, const char* indent) const {
+    std::fprintf(f, "%s{", indent);
+    for (std::size_t i = 0; i < kv_.size(); ++i)
+      std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ", kv_[i].first.c_str(),
+                   kv_[i].second.c_str());
+    std::fprintf(f, "}");
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+/// `"name": [ {row}, {row}, ... ]` with one row per line; `last` controls
+/// the trailing comma at the enclosing-object level.
+inline void write_row_array(std::FILE* f, const char* name,
+                            const std::vector<JsonFields>& rows, bool last) {
+  std::fprintf(f, "  \"%s\": [\n", name);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i].emit(f, "    ");
+    std::fprintf(f, "%s\n", i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]%s\n", last ? "" : ",");
+}
+
+// ---- google-benchmark front end ------------------------------------------
 
 struct Row {
   std::string name;
@@ -51,18 +103,23 @@ inline void write_json(const char* path, bool quick,
     std::fprintf(stderr, "warning: cannot write %s\n", path);
     return;
   }
-  std::fprintf(f, "{\n  \"quick\": %s,\n  \"results\": [\n",
-               quick ? "true" : "false");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::fprintf(
-        f, "    {\"name\": \"%s\", \"ns_per_iter\": %.1f, \"iterations\": %lld}%s\n",
-        rows[i].name.c_str(), rows[i].ns_per_iter, rows[i].iterations,
-        i + 1 == rows.size() ? "" : ",");
+  std::fprintf(f, "{\n  \"quick\": %s,\n", quick ? "true" : "false");
+  std::vector<JsonFields> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) {
+    JsonFields j;
+    j.add("name", r.name);
+    j.add("ns_per_iter", r.ns_per_iter);
+    j.add("iterations", r.iterations);
+    out.push_back(std::move(j));
   }
-  std::fprintf(f, "  ]\n}\n");
+  write_row_array(f, "results", out, /*last=*/true);
+  std::fprintf(f, "}\n");
   std::fclose(f);
 }
 
+/// Strips `--quick` from argv (mapping it to a short measurement window),
+/// runs the registered benchmarks and writes the JSON snapshot.
 inline int run_benchmarks_to_json(int argc, char** argv,
                                   const char* json_path) {
   bool quick = false;

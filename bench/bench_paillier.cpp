@@ -18,6 +18,7 @@
 
 #include "bigint/prime.hpp"
 #include "crypto/chacha_rng.hpp"
+#include "crypto/packing.hpp"
 #include "crypto/paillier.hpp"
 #include "exec/thread_pool.hpp"
 
@@ -227,6 +228,89 @@ void BM_ScalarMulBatch64(benchmark::State& state) {
 }
 BENCHMARK(BM_ScalarMulBatch64)
     ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// --- Slot packing (crypto::SlotCodec, DESIGN.md §3.4): the same Paillier
+// kernels over packed plaintexts. Arg pair = (key bits, slots per
+// ciphertext); items/sec counts *channel entries*, so the per-entry rates
+// must rise ~k× — one modexp/decryption now carries k entries. Slot width
+// 199 = 60 (quantizer) + 9 (X envelope) + 128 (blind_bits) + 2 (guard),
+// the protocol's own layout at blind_bits = 128.
+
+constexpr std::size_t kSlotBits = 199;
+
+void BM_PackedFoldAdd(benchmark::State& state) {
+  // The handle_pu_update fold: one packed ⊕ replaces k per-channel ⊕s.
+  const auto& kp = keys(static_cast<std::size_t>(state.range(0)));
+  auto k = static_cast<std::size_t>(state.range(1));
+  crypto::SlotCodec codec{kSlotBits, k};
+  std::vector<bn::BigInt> va(k), vb(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    va[j] = bn::BigInt{bn::random_bits(rng(), 60)};
+    vb[j] = bn::BigInt{bn::random_bits(rng(), 60), true};
+  }
+  auto a = kp.pk.encrypt(codec.pack(va).mod_euclid(kp.pk.n()), rng());
+  auto b = kp.pk.encrypt(codec.pack(vb).mod_euclid(kp.pk.n()), rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kp.pk.add(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_PackedFoldAdd)
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4})
+    ->Args({2048, 1})->Args({2048, 8});
+
+void BM_PackedDecryptUnpack(benchmark::State& state) {
+  // The STP conversion kernel: one CRT decryption + digit unpack yields k
+  // sign extractions (vs k full decryptions unpacked).
+  const auto& kp = keys(static_cast<std::size_t>(state.range(0)));
+  auto k = static_cast<std::size_t>(state.range(1));
+  crypto::SlotCodec codec{kSlotBits, k};
+  std::vector<bn::BigInt> vs(k);
+  for (std::size_t j = 0; j < k; ++j)
+    vs[j] = bn::BigInt{bn::random_bits(rng(), 180), (j & 1) != 0};
+  auto ct = kp.pk.encrypt(codec.pack(vs).mod_euclid(kp.pk.n()), rng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.unpack(kp.sk.decrypt_signed(ct)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_PackedDecryptUnpack)
+    ->Args({1024, 1})->Args({1024, 2})->Args({1024, 4})
+    ->Args({2048, 1})->Args({2048, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PackedBlindEntry(benchmark::State& state) {
+  // Eq. (14) on a packed operand: the fused double-exponentiation costs
+  // the same as unpacked (α and X widths unchanged; only the cheap
+  // closed-form E(β̃) operand widens), so per entry it amortizes ~k×.
+  const auto& kp = keys(static_cast<std::size_t>(state.range(0)));
+  auto k = static_cast<std::size_t>(state.range(1));
+  crypto::SlotCodec codec{kSlotBits, k};
+  std::vector<bn::BigInt> budgets(k), fs(k), betas(k);
+  bn::BigUint alpha = bn::random_bits(rng(), 128);
+  alpha.set_bit(127);
+  for (std::size_t j = 0; j < k; ++j) {
+    budgets[j] = bn::BigInt{5000 + static_cast<std::int64_t>(j)};
+    fs[j] = bn::BigInt{1};
+    betas[j] = bn::BigInt{bn::random_below(rng(), alpha - bn::BigUint{1}) +
+                          bn::BigUint{1}};
+  }
+  auto budget = kp.pk.encrypt(codec.pack(budgets).mod_euclid(kp.pk.n()), rng());
+  auto f = kp.pk.encrypt(codec.pack(fs).mod_euclid(kp.pk.n()), rng());
+  bn::BigUint beta_pack = codec.pack(betas).magnitude();
+  bn::BigUint x{40};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kp.pk.blind_entry(budget, f, x, alpha, beta_pack, 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_PackedBlindEntry)
+    ->Args({1024, 1})->Args({1024, 4})->Args({2048, 1})->Args({2048, 8})
     ->Unit(benchmark::kMillisecond);
 
 void BM_MakeRandomizer(benchmark::State& state) {

@@ -14,10 +14,22 @@
 // stage is a per-entry loop), and report measured-per-entry × 60,000
 // extrapolations next to the paper's numbers. EXPERIMENTS.md records the
 // comparison.
+//
+// The slot-packing sweep (PisaConfig::pack_slots, DESIGN.md §3.4) reruns
+// the same workload at k ∈ {1, 2, 4} slots per ciphertext: PU-update
+// encryption/folding and the SDC↔STP conversion link must shrink ~k× in
+// both time and bytes, with identical grant decisions.
+//
+// `--quick` runs the n=1024 scaling rows and the pack sweep only (no
+// thread sweep, no n=2048 production row) — the CI perf-smoke
+// configuration that scripts/check_perf_regression.py compares against the
+// committed BENCH_system.json.
 #include <chrono>
 #include <cstdio>
+#include <string_view>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/protocol.hpp"
 #include "crypto/chacha_rng.hpp"
 #include "exec/thread_pool.hpp"
@@ -36,10 +48,13 @@ struct Row {
   std::size_t paillier_bits;
   std::size_t channels, blocks;
   std::size_t num_threads = 1;
+  std::size_t pack_slots = 1;
   double prep_fresh_ms = 0, prep_pooled_ms = 0, prep_hybrid_ms = 0;
   std::size_t request_bytes = 0;
   double sdc_phase1_ms = 0, stp_convert_ms = 0, stp_convert_pooled_ms = 0,
          sdc_phase2_ms = 0;
+  std::size_t convert_bytes = 0;        // SDC → STP Ṽ (Figure 5 step 5)
+  std::size_t convert_reply_bytes = 0;  // STP → SDC X̃ (Figure 5 step 8)
   std::size_t response_bytes = 0;
   double pu_encrypt_ms = 0, pu_apply_ms = 0, pu_recompute_ms = 0;
   std::size_t pu_update_bytes = 0;
@@ -48,10 +63,17 @@ struct Row {
   double total_processing_ms() const {
     return sdc_phase1_ms + sdc_phase2_ms;  // paper's "processing" is SDC-side
   }
+  /// End-to-end latency of one fresh request: SU prep + SDC blind + STP
+  /// convert + SDC finish (network transfer excluded — bytes are reported
+  /// separately). The perf-regression guard watches this number.
+  double su_request_total_ms() const {
+    return prep_fresh_ms + sdc_phase1_ms + stp_convert_ms + sdc_phase2_ms;
+  }
 };
 
 Row measure(std::size_t paillier_bits, std::size_t channels, std::size_t rows,
-            std::size_t cols, std::uint64_t seed, std::size_t num_threads = 1) {
+            std::size_t cols, std::uint64_t seed, std::size_t num_threads = 1,
+            std::size_t pack_slots = 1) {
   core::PisaConfig cfg;
   cfg.watch.grid_rows = rows;
   cfg.watch.grid_cols = cols;
@@ -62,6 +84,7 @@ Row measure(std::size_t paillier_bits, std::size_t channels, std::size_t rows,
   cfg.blind_bits = 128;
   cfg.mr_rounds = 12;
   cfg.num_threads = num_threads;
+  cfg.pack_slots = pack_slots;
 
   crypto::ChaChaRng rng{seed};
   radio::ExtendedHataModel model{600.0, 30.0, 10.0};
@@ -72,7 +95,7 @@ Row measure(std::size_t paillier_bits, std::size_t channels, std::size_t rows,
   // directory, so prime the SDC with the SU key explicitly.
   system.sdc().register_su_key(1, su.public_key());
 
-  Row row{paillier_bits, channels, rows * cols, num_threads};
+  Row row{paillier_bits, channels, rows * cols, num_threads, pack_slots};
 
   // --- PU update path (Figure 4).
   auto& pu = system.pu(0);
@@ -119,10 +142,14 @@ Row measure(std::size_t paillier_bits, std::size_t channels, std::size_t rows,
   t0 = Clock::now();
   auto conv = system.sdc().begin_request(msg);
   row.sdc_phase1_ms = ms_since(t0);
+  row.convert_bytes =
+      conv.encode(system.stp().group_key().ciphertext_bytes()).size();
 
   t0 = Clock::now();
   auto xresp = system.stp().convert(conv);
   row.stp_convert_ms = ms_since(t0);
+  row.convert_reply_bytes =
+      xresp.encode(su.public_key().ciphertext_bytes()).size();
 
   t0 = Clock::now();
   auto resp = system.sdc().finish_request(xresp);
@@ -204,46 +231,90 @@ void print_sweep_row(const Row& base, const Row& r) {
               speedup(base.pu_apply_ms, r.pu_apply_ms));
 }
 
-void write_json(const char* path, const std::vector<Row>& scaling,
-                const std::vector<Row>& sweep) {
+double byte_ratio(std::size_t base, std::size_t packed) {
+  return packed > 0 ? static_cast<double>(base) / static_cast<double>(packed)
+                    : 0;
+}
+
+void print_pack_row(const Row& base, const Row& r) {
+  std::printf(
+      "  k=%zu | PU enc %7.1f ms (%.2fx) fold %6.1f ms (%.2fx) recompute "
+      "%7.1f ms (%.2fx) | SDC->STP %7.2f kB (%.2fx) STP->SDC %6.2f kB "
+      "(%.2fx) | req %7.2f kB (%.2fx) STP %7.1f ms (%.2fx)\n",
+      r.pack_slots, r.pu_encrypt_ms,
+      speedup(base.pu_encrypt_ms, r.pu_encrypt_ms),
+      r.pu_encrypt_ms + r.pu_apply_ms,
+      speedup(base.pu_encrypt_ms + base.pu_apply_ms,
+              r.pu_encrypt_ms + r.pu_apply_ms),
+      r.pu_recompute_ms, speedup(base.pu_recompute_ms, r.pu_recompute_ms),
+      static_cast<double>(r.convert_bytes) / 1e3,
+      byte_ratio(base.convert_bytes, r.convert_bytes),
+      static_cast<double>(r.convert_reply_bytes) / 1e3,
+      byte_ratio(base.convert_reply_bytes, r.convert_reply_bytes),
+      static_cast<double>(r.request_bytes) / 1e3,
+      byte_ratio(base.request_bytes, r.request_bytes), r.stp_convert_ms,
+      speedup(base.stp_convert_ms, r.stp_convert_ms));
+}
+
+benchjson::JsonFields row_json(const Row& r) {
+  benchjson::JsonFields j;
+  j.add("paillier_bits", r.paillier_bits);
+  j.add("channels", r.channels);
+  j.add("blocks", r.blocks);
+  j.add("num_threads", r.num_threads);
+  j.add("pack_slots", r.pack_slots);
+  j.add("prep_fresh_ms", r.prep_fresh_ms);
+  j.add("prep_pooled_ms", r.prep_pooled_ms);
+  j.add("prep_hybrid_ms", r.prep_hybrid_ms);
+  j.add("request_bytes", r.request_bytes);
+  j.add("sdc_phase1_ms", r.sdc_phase1_ms);
+  j.add("sdc_phase2_ms", r.sdc_phase2_ms);
+  j.add("stp_convert_ms", r.stp_convert_ms);
+  j.add("stp_convert_pooled_ms", r.stp_convert_pooled_ms);
+  j.add("convert_bytes", r.convert_bytes);
+  j.add("convert_reply_bytes", r.convert_reply_bytes);
+  j.add("pu_encrypt_ms", r.pu_encrypt_ms);
+  j.add("pu_apply_ms", r.pu_apply_ms);
+  j.add("pu_recompute_ms", r.pu_recompute_ms);
+  j.add("pu_update_bytes", r.pu_update_bytes);
+  j.add("response_bytes", r.response_bytes);
+  j.add("su_request_total_ms", r.su_request_total_ms());
+  return j;
+}
+
+void write_json(const char* path, bool quick, const std::vector<Row>& scaling,
+                const std::vector<Row>& sweep,
+                const std::vector<Row>& pack_sweep) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "warning: cannot write %s\n", path);
     return;
   }
-  auto row_json = [&](const Row& r, bool last) {
-    std::fprintf(
-        f,
-        "    {\"paillier_bits\": %zu, \"channels\": %zu, \"blocks\": %zu, "
-        "\"num_threads\": %zu,\n"
-        "     \"prep_fresh_ms\": %.3f, \"prep_pooled_ms\": %.3f, "
-        "\"prep_hybrid_ms\": %.3f, \"request_bytes\": %zu,\n"
-        "     \"sdc_phase1_ms\": %.3f, \"sdc_phase2_ms\": %.3f, "
-        "\"stp_convert_ms\": %.3f, \"stp_convert_pooled_ms\": %.3f,\n"
-        "     \"pu_encrypt_ms\": %.3f, \"pu_apply_ms\": %.3f, "
-        "\"pu_recompute_ms\": %.3f, \"response_bytes\": %zu}%s\n",
-        r.paillier_bits, r.channels, r.blocks, r.num_threads, r.prep_fresh_ms,
-        r.prep_pooled_ms, r.prep_hybrid_ms, r.request_bytes, r.sdc_phase1_ms,
-        r.sdc_phase2_ms, r.stp_convert_ms, r.stp_convert_pooled_ms,
-        r.pu_encrypt_ms, r.pu_apply_ms, r.pu_recompute_ms, r.response_bytes,
-        last ? "" : ",");
+  auto rows_of = [](const std::vector<Row>& rs) {
+    std::vector<benchjson::JsonFields> out;
+    out.reserve(rs.size());
+    for (const auto& r : rs) out.push_back(row_json(r));
+    return out;
   };
-  std::fprintf(f, "{\n  \"hardware_threads\": %zu,\n",
+  std::fprintf(f, "{\n  \"quick\": %s,\n  \"hardware_threads\": %zu,\n",
+               quick ? "true" : "false",
                exec::ThreadPool::hardware_threads());
-  std::fprintf(f, "  \"scaling\": [\n");
-  for (std::size_t i = 0; i < scaling.size(); ++i)
-    row_json(scaling[i], i + 1 == scaling.size());
-  std::fprintf(f, "  ],\n  \"thread_sweep\": [\n");
-  for (std::size_t i = 0; i < sweep.size(); ++i)
-    row_json(sweep[i], i + 1 == sweep.size());
-  std::fprintf(f, "  ]\n}\n");
+  benchjson::write_row_array(f, "scaling", rows_of(scaling), false);
+  benchjson::write_row_array(f, "thread_sweep", rows_of(sweep), false);
+  benchjson::write_row_array(f, "pack_sweep", rows_of(pack_sweep), true);
+  std::fprintf(f, "}\n");
   std::fclose(f);
 }
 
 }  // namespace
 
-int main() {
-  std::printf("PISA system evaluation (Figure 6 reproduction)\n");
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view{argv[i]} == "--quick") quick = true;
+
+  std::printf("PISA system evaluation (Figure 6 reproduction)%s\n",
+              quick ? " [--quick]" : "");
   std::printf("==============================================\n\n");
 
   std::printf("Scaling check at n=1024 (per-entry costs must be flat):\n");
@@ -257,27 +328,45 @@ int main() {
               "linear if ~1)\n\n",
               per1, per2, per1 / per2);
 
-  // Thread sweep over the same workload + seed: every phase re-runs on 1,
-  // 2 and 4 lanes. Randomness is pre-sampled sequentially, so the protocol
-  // outputs are bit-identical at every setting and the sweep measures pure
-  // modexp parallelism. Speedups only materialize with that many physical
-  // cores, of course (hardware_threads below says what this host offers).
-  std::printf("Thread sweep at n=1024, 150 entries (speedup vs 1 thread; "
-              "host has %zu hardware threads):\n",
-              exec::ThreadPool::hardware_threads());
-  std::vector<Row> sweep;
-  for (std::size_t nt : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
-    sweep.push_back(measure(1024, 5, 3, 10, 42, nt));
-    print_sweep_row(sweep.front(), sweep.back());
+  // Slot-packing sweep (DESIGN.md §3.4) over an identical workload + seed:
+  // the k > 1 rows fold k channels per ciphertext, so the PU encrypt/fold
+  // path and the SDC↔STP link must shrink ~k× in time and bytes while the
+  // grant decision stays byte-identical at k = 1 and value-identical above.
+  std::printf("Slot-packing sweep at n=1024, C=8, B=10 (vs k=1):\n");
+  std::vector<Row> pack_sweep;
+  for (std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    pack_sweep.push_back(measure(1024, 8, 2, 5, 77, 1, k));
+    print_pack_row(pack_sweep.front(), pack_sweep.back());
   }
   std::printf("\n");
 
-  std::printf("Production key size n=2048 (paper's configuration):\n");
-  Row r3 = measure(2048, 4, 3, 8, 44);     // 96 entries
-  print_row(r3);
-  print_extrapolation(r3);
+  std::vector<Row> sweep;
+  if (!quick) {
+    // Thread sweep over the same workload + seed: every phase re-runs on 1,
+    // 2 and 4 lanes. Randomness is pre-sampled sequentially, so the protocol
+    // outputs are bit-identical at every setting and the sweep measures pure
+    // modexp parallelism. Speedups only materialize with that many physical
+    // cores, of course (hardware_threads below says what this host offers).
+    std::printf("Thread sweep at n=1024, 150 entries (speedup vs 1 thread; "
+                "host has %zu hardware threads):\n",
+                exec::ThreadPool::hardware_threads());
+    for (std::size_t nt : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      sweep.push_back(measure(1024, 5, 3, 10, 42, nt));
+      print_sweep_row(sweep.front(), sweep.back());
+    }
+    std::printf("\n");
+  }
 
-  write_json("BENCH_system.json", {r1, r2, r3}, sweep);
+  std::vector<Row> scaling{r1, r2};
+  if (!quick) {
+    std::printf("Production key size n=2048 (paper's configuration):\n");
+    Row r3 = measure(2048, 4, 3, 8, 44);     // 96 entries
+    print_row(r3);
+    print_extrapolation(r3);
+    scaling.push_back(r3);
+  }
+
+  write_json("BENCH_system.json", quick, scaling, sweep, pack_sweep);
   std::printf("\nMachine-readable results written to BENCH_system.json\n");
 
   std::printf("\nDone.\n");

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Perf-regression guard: fresh --quick bench JSON vs the committed snapshots.
+
+Usage (CI runs this from the repo root after building and running the
+quick benches in build/):
+
+    python3 scripts/check_perf_regression.py \
+        --baseline-dir . --current-dir build [--threshold 1.25]
+
+Guarded metrics (the protocol's hot paths):
+
+  BENCH_paillier.json   BM_Encryption/* and BM_ScalarMul* ns_per_iter —
+                        the kernels every pipeline stage is made of.
+  BENCH_system.json     su_request_total_ms per scaling / pack_sweep row
+                        (matched on paillier_bits, channels, blocks,
+                        num_threads, pack_slots) — the end-to-end Figure 5
+                        request latency, packed and unpacked.
+
+Exits 1 when any guarded metric is more than `threshold`x slower than the
+committed snapshot, 2 when a snapshot/run file is missing or unparseable.
+Quick-mode measurement windows are short, so the default threshold is a
+generous 1.25x: real regressions on these paths (an extra modexp, a lost
+CRT/fusion/packing win) are 2x-class, far above the noise floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import sys
+
+PAILLIER_PATTERNS = ("BM_Encryption/*", "BM_ScalarMul*")
+SYSTEM_SECTIONS = ("scaling", "pack_sweep")
+SYSTEM_KEY = ("paillier_bits", "channels", "blocks", "num_threads", "pack_slots")
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def paillier_checks(baseline, current):
+    base = {r["name"]: r["ns_per_iter"] for r in baseline.get("results", [])}
+    cur = {r["name"]: r["ns_per_iter"] for r in current.get("results", [])}
+    for name in sorted(base):
+        if not any(fnmatch.fnmatch(name, p) for p in PAILLIER_PATTERNS):
+            continue
+        if name in cur:
+            yield f"paillier {name}", base[name], cur[name]
+
+
+def system_checks(baseline, current):
+    for section in SYSTEM_SECTIONS:
+        base = {
+            tuple(r.get(k, 1) for k in SYSTEM_KEY): r["su_request_total_ms"]
+            for r in baseline.get(section, [])
+        }
+        cur = {
+            tuple(r.get(k, 1) for k in SYSTEM_KEY): r["su_request_total_ms"]
+            for r in current.get(section, [])
+        }
+        for key in sorted(base):
+            if key in cur:
+                label = "n={} C={} B={} t={} k={}".format(*key)
+                yield f"su_request {section} {label}", base[key], cur[key]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", default=".",
+                    help="directory holding the committed BENCH_*.json")
+    ap.add_argument("--current-dir", default="build",
+                    help="directory holding the fresh --quick BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=1.25,
+                    help="fail when current > threshold * baseline")
+    args = ap.parse_args()
+
+    checks = []
+    checks.extend(paillier_checks(
+        load(f"{args.baseline_dir}/BENCH_paillier.json"),
+        load(f"{args.current_dir}/BENCH_paillier.json")))
+    checks.extend(system_checks(
+        load(f"{args.baseline_dir}/BENCH_system.json"),
+        load(f"{args.current_dir}/BENCH_system.json")))
+
+    if not checks:
+        print("error: no overlapping guarded metrics between baseline and "
+              "current runs", file=sys.stderr)
+        sys.exit(2)
+
+    failures = 0
+    print(f"{'metric':58s} {'baseline':>12s} {'current':>12s} {'ratio':>7s}")
+    for label, base, cur in checks:
+        ratio = cur / base if base > 0 else float("inf")
+        status = "ok" if ratio <= args.threshold else "REGRESSION"
+        if status != "ok":
+            failures += 1
+        print(f"{label:58s} {base:12.1f} {cur:12.1f} {ratio:6.2f}x  {status}")
+
+    if failures:
+        print(f"\n{failures} metric(s) regressed beyond {args.threshold}x; "
+              "if intentional, regenerate the committed snapshots "
+              "(EXPERIMENTS.md microbench recipe).", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nAll {len(checks)} guarded metrics within {args.threshold}x.")
+
+
+if __name__ == "__main__":
+    main()

@@ -57,6 +57,28 @@ struct PisaConfig {
   /// Reliable transport over the simulated network (chaos/fault testing).
   ReliabilityConfig reliability;
 
+  /// Slot packing (crypto::SlotCodec, DESIGN.md §3.4): fold this many
+  /// channel entries into each Paillier plaintext. 1 reproduces the paper's
+  /// per-entry layout byte for byte; k > 1 cuts modexps, STP decryptions
+  /// and wire bytes by ~k on the PU-update, budget and SDC↔STP paths, at
+  /// the cost of one (α, ε) blinding pair covering k channels of the same
+  /// request (a privacy/performance dial like the §VI-A block range — see
+  /// DESIGN.md §3.4 for the leakage analysis).
+  std::size_t pack_slots = 1;
+
+  /// Width of one packed slot: the eq. (14) value envelope |I| < 2^(q+9)
+  /// scaled by an α of blind_bits bits, plus β, plus the balanced-digit
+  /// sign bit — the guard headroom that keeps homomorphic sums and
+  /// α-scaling from ever borrowing across slots.
+  std::size_t slot_bits() const {
+    return watch.quantizer.max_bits + 9 + blind_bits + 2;
+  }
+
+  /// Packed ciphertexts per C-entry channel column: ⌈C / pack_slots⌉.
+  std::size_t channel_groups() const {
+    return (watch.channels + pack_slots - 1) / pack_slots;
+  }
+
   /// Throws std::invalid_argument when parameter combinations cannot work.
   void validate() const {
     if (paillier_bits < 64 || paillier_bits % 2 != 0)
@@ -65,11 +87,18 @@ struct PisaConfig {
       throw std::invalid_argument(
           "PisaConfig: rsa_bits must be < paillier_bits (eq. (17) embeds the "
           "signature value in a Paillier plaintext slot)");
-    // |I| <= max(N) + X*max(F) < 2^(q+9) with q = quantizer width.
-    std::size_t value_bits = watch.quantizer.max_bits + 9;
-    if (value_bits + blind_bits + 2 > paillier_bits)
+    // |I| <= max(N) + X*max(F) < 2^(q+9) with q = quantizer width; every
+    // slot must absorb the α-scaled blind of that envelope, and the packed
+    // plaintext Σ v_j·B^j must clear the centered lift (|M| < n/2), so the
+    // whole slot vector needs paillier_bits − 2 bits of room. This is
+    // exactly the "α-scaling overflows a slot" rejection: a config passing
+    // here can never borrow across slots in eq. (14).
+    if (pack_slots == 0)
+      throw std::invalid_argument("PisaConfig: pack_slots must be >= 1");
+    if (slot_bits() * pack_slots > paillier_bits - 2)
       throw std::invalid_argument(
-          "PisaConfig: blind_bits + value width exceed the plaintext space");
+          "PisaConfig: slot_bits * pack_slots exceed the plaintext space "
+          "(blinding headroom + value width per slot do not fit)");
     if (blind_bits < 8)
       throw std::invalid_argument("PisaConfig: blind_bits too small to hide values");
     if (num_threads == 0)

@@ -8,9 +8,8 @@ void put_ciphertexts(net::Encoder& enc,
   enc.put_u32(static_cast<std::uint32_t>(cts.size()));
   enc.put_u32(static_cast<std::uint32_t>(ct_width_bytes));
   for (const auto& ct : cts) {
-    auto bytes = ct.value.to_bytes_be(ct_width_bytes);
     // Fixed width: no per-entry length prefix needed.
-    for (auto b : bytes) enc.put_u8(b);
+    enc.put_raw(ct.value.to_bytes_be(ct_width_bytes));
   }
 }
 
@@ -25,10 +24,8 @@ std::vector<crypto::PaillierCiphertext> get_ciphertexts(net::Decoder& dec) {
     throw net::DecodeError("get_ciphertexts: count exceeds remaining input");
   std::vector<crypto::PaillierCiphertext> out;
   out.reserve(count);
-  std::vector<std::uint8_t> buf(width);
   for (std::uint32_t i = 0; i < count; ++i) {
-    for (std::uint32_t j = 0; j < width; ++j) buf[j] = dec.get_u8();
-    out.push_back({bn::BigUint::from_bytes_be(buf)});
+    out.push_back({bn::BigUint::from_bytes_be(dec.get_raw(width))});
   }
   return out;
 }

@@ -4,6 +4,14 @@
 // encoded at the fixed |n²| width so on-wire sizes match the paper's
 // Figure 6 accounting (PU update ≈ 0.05 MB for C=100, SU request ≈ 29 MB
 // for C×B = 100×600, SU response ≈ one ciphertext ≈ 4.1 kb).
+//
+// Slot packing (PisaConfig::pack_slots = k > 1, DESIGN.md §3.4) shrinks
+// every per-channel ciphertext vector to one entry per channel *group* of k
+// slots — ⌈C/k⌉ instead of C — so the Figure-6 byte counts above drop ~k×
+// on the PU-update, SU-request and SDC↔STP links. The wire format itself is
+// unchanged (both endpoints derive the slot layout from the shared
+// PisaConfig), which is what keeps pack_slots = 1 byte-identical to the
+// paper's layout.
 #pragma once
 
 #include <array>
@@ -33,13 +41,13 @@ void put_ciphertexts(net::Encoder& enc,
 std::vector<crypto::PaillierCiphertext> get_ciphertexts(net::Decoder& dec);
 
 /// Figure 4: PU i announces (encrypted) channel reception. The PU's block
-/// is public (registered receiver location), so only the C-entry channel
-/// column travels: W(c, i_block) = T − E for the tuned channel, 0 elsewhere,
-/// each entry encrypted under pk_G.
+/// is public (registered receiver location), so only the channel column
+/// travels: W(c, i_block) = T − E for the tuned channel, 0 elsewhere,
+/// packed pack_slots channels per ciphertext under pk_G.
 struct PuUpdateMsg {
   std::uint32_t pu_id = 0;
   std::uint32_t block = 0;
-  std::vector<crypto::PaillierCiphertext> w_column;  // C entries
+  std::vector<crypto::PaillierCiphertext> w_column;  // ⌈C/pack_slots⌉ entries
 
   std::vector<std::uint8_t> encode(std::size_t ct_width) const;
   static PuUpdateMsg decode(const std::vector<std::uint8_t>& bytes);
@@ -49,7 +57,9 @@ struct PuUpdateMsg {
 /// implement the §VI-A location-privacy/time trade-off: the SU discloses
 /// only that it lies somewhere in [block_lo, block_hi) and ships the F̃
 /// submatrix for that range (full privacy = the whole area). Entries are
-/// channel-major: f[c * range + (b - block_lo)].
+/// channel-group-major: f[g * range + (b - block_lo)], slot j of group g
+/// packing channel g·pack_slots + j (with pack_slots = 1, plain
+/// channel-major order).
 struct SuRequestMsg {
   std::uint32_t su_id = 0;
   std::uint64_t request_id = 0;

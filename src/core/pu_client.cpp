@@ -1,6 +1,9 @@
 #include "core/pu_client.hpp"
 
+#include <span>
 #include <stdexcept>
+
+#include "crypto/packing.hpp"
 
 namespace pisa::core {
 
@@ -33,7 +36,19 @@ PuUpdateMsg PuClient::make_update(const watch::PuTuning& tuning) const {
       throw std::domain_error("PuClient: active PU needs positive signal");
     ws[tuned] = bn::BigInt{t} - bn::BigInt{e_column_[tuned]};
   }
-  msg.w_column = group_pk_.encrypt_signed_batch(ws, rng_, exec_.get());
+  // Fold the C-entry column into ⌈C/k⌉ packed plaintexts (slot j of group g
+  // holds channel g·k + j; tail slots stay 0 = "no contribution"). With
+  // pack_slots = 1 this is the identity and the update is byte-identical to
+  // the per-entry layout.
+  const crypto::SlotCodec codec{cfg_.slot_bits(), cfg_.pack_slots};
+  const std::size_t k = codec.slots();
+  std::vector<bn::BigInt> packed(cfg_.channel_groups());
+  for (std::size_t g = 0; g < packed.size(); ++g) {
+    const std::size_t lo = g * k;
+    const std::size_t n = std::min(k, ws.size() - lo);
+    packed[g] = codec.pack(std::span<const bn::BigInt>{ws}.subspan(lo, n));
+  }
+  msg.w_column = group_pk_.encrypt_signed_batch(packed, rng_, exec_.get());
   return msg;
 }
 

@@ -34,8 +34,8 @@ class PuClient {
   const watch::PuSite& site() const { return site_; }
 
   /// Build the encrypted update for a (re)tuning event. Receiver-off is the
-  /// all-zeros column (still encrypted, still C entries — indistinguishable
-  /// from any other update).
+  /// all-zeros column (still encrypted, still ⌈C/pack_slots⌉ packed
+  /// ciphertexts — indistinguishable from any other update).
   PuUpdateMsg make_update(const watch::PuTuning& tuning) const;
 
   /// Serialized size of one update in bytes (Fig. 6: ≈ 0.05 MB at C = 100).

@@ -22,7 +22,8 @@ double ms_since(Clock::time_point t0) {
 SdcServer::SdcServer(const PisaConfig& cfg, crypto::PaillierPublicKey group_pk,
                      watch::QMatrix e_matrix, bn::RandomSource& rng,
                      std::string issuer_name)
-    : cfg_(cfg), group_pk_(std::move(group_pk)), e_matrix_(std::move(e_matrix)),
+    : cfg_(cfg), codec_(cfg.slot_bits(), cfg.pack_slots),
+      group_pk_(std::move(group_pk)), e_matrix_(std::move(e_matrix)),
       rng_(rng),
       rsa_(crypto::rsa_generate(cfg.rsa_bits, rng, cfg.mr_rounds)),
       issuer_(std::move(issuer_name)),
@@ -31,12 +32,18 @@ SdcServer::SdcServer(const PisaConfig& cfg, crypto::PaillierPublicKey group_pk,
   std::size_t blocks = cfg_.watch.grid_rows * cfg_.watch.grid_cols;
   if (e_matrix_.channels() != cfg_.watch.channels || e_matrix_.blocks() != blocks)
     throw std::invalid_argument("SdcServer: E matrix shape mismatch");
-  // Ñ starts as the (deterministic) encryption of the public matrix E.
+  // Ñ starts as the (deterministic) encryption of the public matrix E,
+  // pack_slots channels per ciphertext. Tail slots of the last channel
+  // group are seeded with 1: through eqs. (11)+(14) they yield I = 1 and a
+  // strictly positive blinded value α − β, so the STP's sign check always
+  // passes there and the eq. (16) sum picks up Q = 0 — padding can never
+  // flip a real decision.
   for (std::size_t i = 0; i < e_matrix_.size(); ++i) {
     if (e_matrix_[i] < 0)
       throw std::invalid_argument("SdcServer: E entries must be >= 0");
   }
-  budget_ = encrypt_matrix_deterministic(e_matrix_, group_pk_, nullptr);
+  budget_ = encrypt_matrix_packed_deterministic(e_matrix_, group_pk_, codec_,
+                                                /*tail_fill=*/1, nullptr);
 }
 
 void SdcServer::set_thread_pool(std::shared_ptr<exec::ThreadPool> pool) {
@@ -58,14 +65,16 @@ const crypto::PaillierPublicKey& SdcServer::su_key(std::uint32_t su_id) const {
   return it->second;
 }
 
-crypto::PaillierCiphertext& SdcServer::budget_at(std::uint32_t c, std::uint32_t b) {
-  return budget_.at(radio::ChannelId{c}, radio::BlockId{b});
+crypto::PaillierCiphertext& SdcServer::budget_at(std::uint32_t group,
+                                                 std::uint32_t b) {
+  return budget_.at(radio::ChannelId{group}, radio::BlockId{b});
 }
 
 void SdcServer::handle_pu_update(const PuUpdateMsg& update) {
   auto t0 = Clock::now();
-  if (update.w_column.size() != cfg_.watch.channels)
-    throw std::invalid_argument("SdcServer: W column must have C entries");
+  if (update.w_column.size() != cfg_.channel_groups())
+    throw std::invalid_argument(
+        "SdcServer: W column must have one ciphertext per channel group");
   if (update.block >= budget_.blocks())
     throw std::out_of_range("SdcServer: PU block outside the service area");
 
@@ -83,7 +92,8 @@ void SdcServer::handle_pu_update(const PuUpdateMsg& update) {
 
 void SdcServer::recompute_budget() {
   auto t0 = Clock::now();
-  budget_ = encrypt_matrix_deterministic(e_matrix_, group_pk_, exec_.get());
+  budget_ = encrypt_matrix_packed_deterministic(e_matrix_, group_pk_, codec_,
+                                                /*tail_fill=*/1, exec_.get());
   for (const auto& [id, col] : pu_columns_) {
     add_column(budget_, col.block, col.w_column, group_pk_, exec_.get());
   }
@@ -95,7 +105,7 @@ ConvertRequestMsg SdcServer::begin_request(const SuRequestMsg& request) {
   std::size_t range = request.block_hi - request.block_lo;
   if (request.block_hi > budget_.blocks() || range == 0)
     throw std::invalid_argument("SdcServer: bad request block range");
-  if (request.f.size() != cfg_.watch.channels * range)
+  if (request.f.size() != cfg_.channel_groups() * range)
     throw std::invalid_argument("SdcServer: F matrix size mismatch");
   if (pending_.contains(request.request_id))
     throw std::invalid_argument("SdcServer: duplicate request id");
@@ -124,29 +134,44 @@ ConvertRequestMsg SdcServer::begin_request(const SuRequestMsg& request) {
 
   // Blinding pre-pass: all randomness is drawn sequentially here, in the
   // same per-entry order the sequential pipeline consumed it, so protocol
-  // outputs stay bit-identical at every num_threads setting (eq. (14):
-  // fresh α > β > 0, ε ∈ {−1, +1} per entry).
+  // outputs stay bit-identical at every num_threads setting. Per packed
+  // ciphertext: one fresh α and ε (the scalar exponents are uniform across
+  // the pack — Paillier offers no per-slot multiplicative blinding), plus
+  // one fresh β_j per slot, packed into a single additive operand
+  // Σ_j β_j·B^j. Each slot then independently carries ε·(α·I_j − β_j) with
+  // 0 < β_j < α, exactly eq. (14)'s per-entry soundness condition, and the
+  // guard bits keep the slots from borrowing into one another. At
+  // pack_slots = 1 the draw order (α, β, ε) matches the unpacked pipeline
+  // stream for stream.
+  const std::size_t k = codec_.slots();
   std::vector<bn::BigUint> alphas(count);
-  std::vector<bn::BigUint> betas(count);
+  std::vector<bn::BigUint> betas(count);  // packed: Σ_j β_j·B^j
+  std::vector<bn::BigInt> beta_slots(k);
   for (std::size_t i = 0; i < count; ++i) {
     bn::BigUint alpha = bn::random_bits(rng_, cfg_.blind_bits);
     alpha.set_bit(cfg_.blind_bits - 1);
-    betas[i] = bn::random_below(rng_, alpha - bn::BigUint{1}) + bn::BigUint{1};
+    for (std::size_t j = 0; j < k; ++j) {
+      beta_slots[j] = bn::BigInt{
+          bn::random_below(rng_, alpha - bn::BigUint{1}) + bn::BigUint{1}};
+    }
+    betas[i] = codec_.pack(beta_slots).magnitude();
     alphas[i] = std::move(alpha);
     pend.epsilon[i] = (rng_.next_u64() & 1) != 0 ? -1 : 1;
   }
 
-  // Heavy modexp section: every entry is independent, writes only its own
-  // slot of conv.v / conv.partials.
+  // Heavy modexp section: every packed entry is independent, writes only
+  // its own slot of conv.v / conv.partials.
   exec::parallel_for(exec_.get(), 0, count, [&](std::size_t idx) {
-    std::uint32_t c = static_cast<std::uint32_t>(idx / range);
+    std::uint32_t g = static_cast<std::uint32_t>(idx / range);
     std::uint32_t b =
         request.block_lo + static_cast<std::uint32_t>(idx % range);
 
     // Eqs. (11)+(12)+(14) fused: Ṽ = ε ⊗ [(α ⊗ (Ñ ⊖ F̃ ⊗ X)) ⊖ β̃] as one
     // double exponentiation Ñ^±α · F̃^∓αx · E_det(β)^∓1 (see blind_entry) —
-    // same canonical ciphertext, one inverse instead of three.
-    conv.v[idx] = group_pk_.blind_entry(budget_at(c, b), request.f[idx],
+    // same canonical ciphertext, one inverse instead of three. The packed
+    // operands make this fold k channels per ladder: Ñ and F̃ carry k slots
+    // and β̃ is the packed per-slot vector.
+    conv.v[idx] = group_pk_.blind_entry(budget_at(g, b), request.f[idx],
                                         x_scalar, alphas[idx], betas[idx],
                                         pend.epsilon[idx]);
     if (threshold_share_) {
@@ -184,15 +209,20 @@ SuResponseMsg SdcServer::finish_request(const ConvertResponseMsg& response) {
   const auto& pk_j = su_key(pend.request.su_id);
 
   // Eq. (16): Q̃ = (ε ⊗ X̃) ⊖ 1̃, accumulated: ⊕_{c,i} Q̃(c,i). ⊖ 1̃ is a
-  // single multiplication by the closed-form E_det(1)⁻¹ (no extended-gcd
+  // single multiplication by the closed-form E_det(·)⁻¹ (no extended-gcd
   // inverse), and the ⊕-fold runs as one Montgomery-domain product — both
-  // produce the same canonical ciphertexts as the loop they replace.
+  // produce the same canonical ciphertexts as the loop they replace. With
+  // packing, X̃ carries one ±1 verdict per slot, so "⊖ 1̃" subtracts the
+  // packed all-ones constant Σ_j B^j: every slot lands on 0 (grant) or −2
+  // (deny) and the ⊕-fold accumulates per slot without cross-slot borrows
+  // (|Σ q| ≤ 2·⌈C/k⌉·range ≪ B/2). The total Σ_slots Σ_packs Q is zero iff
+  // every slot passed — exactly the unpacked grant condition.
   std::vector<crypto::PaillierCiphertext> qs(response.x.size());
   exec::parallel_for(exec_.get(), 0, response.x.size(), [&](std::size_t i) {
     qs[i] = pk_j.sub_deterministic(pend.epsilon[i] < 0
                                        ? pk_j.negate(response.x[i])
                                        : response.x[i],
-                                   bn::BigUint{1});
+                                   codec_.ones());
   });
   auto acc = pk_j.add_many(qs);
 

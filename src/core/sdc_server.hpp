@@ -86,8 +86,14 @@ class SdcServer {
               const std::string& stp_name = "stp");
 
   /// Encrypted budget access for tests/benches (the SDC itself cannot
-  /// decrypt it).
+  /// decrypt it). With pack_slots = k the matrix has ⌈C/k⌉ channel-group
+  /// rows, each ciphertext packing k per-channel budget slots; tail slots
+  /// of the last group carry the constant 1.
   const CipherMatrix& encrypted_budget() const { return budget_; }
+
+  /// The slot layout the budget/blinding paths use (1 slot = the paper's
+  /// per-entry layout).
+  const crypto::SlotCodec& slot_codec() const { return codec_; }
 
   /// Cumulative per-phase timing: every sample is folded into the running
   /// total so benches can track the perf trajectory across whole workloads
@@ -120,16 +126,17 @@ class SdcServer {
  private:
   struct PendingRequest {
     SuRequestMsg request;
-    std::vector<std::int8_t> epsilon;  // ±1 per entry
+    std::vector<std::int8_t> epsilon;  // ±1 per packed ciphertext
     LicenseBody license;
     bn::BigUint signature;  // SG, plaintext — never leaves the SDC unblinded
     std::string reply_to;   // network sender, empty for direct calls
   };
 
-  crypto::PaillierCiphertext& budget_at(std::uint32_t c, std::uint32_t b);
+  crypto::PaillierCiphertext& budget_at(std::uint32_t group, std::uint32_t b);
   const crypto::PaillierPublicKey& su_key(std::uint32_t su_id) const;
 
   PisaConfig cfg_;
+  crypto::SlotCodec codec_;  // pack_slots entries per plaintext (§3.4)
   crypto::PaillierPublicKey group_pk_;
   watch::QMatrix e_matrix_;
   bn::RandomSource& rng_;

@@ -4,6 +4,7 @@
 
 #include "bigint/prime.hpp"
 #include "crypto/key_codec.hpp"
+#include "crypto/packing.hpp"
 #include "exec/thread_pool.hpp"
 
 namespace pisa::core {
@@ -76,10 +77,14 @@ ConvertResponseMsg StpServer::convert(const ConvertRequestMsg& request) {
   ConvertResponseMsg resp;
   resp.request_id = request.request_id;
   resp.x.resize(count);
+  const crypto::SlotCodec codec{cfg_.slot_bits(), cfg_.pack_slots};
   exec::parallel_for(exec_.get(), 0, count, [&](std::size_t i) {
     const auto& v_ct = request.v[i];
     // Eq. (15): X = +1 if V > 0, −1 otherwise. In threshold mode the STP
     // cannot decrypt alone: it completes the SDC's partial decryption.
+    // One CRT decryption opens all pack_slots blinded slots at once; the
+    // sign map runs per slot on the balanced digits and the verdicts are
+    // re-packed into a single ciphertext under pk_j.
     bn::BigInt v;
     if (deal_) {
       auto p2 = crypto::threshold_partial_decrypt(group_.pk, deal_->share2, v_ct);
@@ -87,14 +92,16 @@ ConvertResponseMsg StpServer::convert(const ConvertRequestMsg& request) {
     } else {
       v = group_.sk.decrypt_signed(v_ct);
     }
-    bn::BigInt x = (v.sign() > 0) ? bn::BigInt{1} : bn::BigInt{-1};
+    auto slots = codec.unpack(v);
+    for (auto& s : slots) s = (s.sign() > 0) ? bn::BigInt{1} : bn::BigInt{-1};
+    bn::BigInt x = codec.pack(slots);
     auto factor = pool ? factors[i]
                        : pk_j.mont_n2().pow(factors[i], pk_j.n());
     resp.x[i] = pk_j.rerandomize_with(
         pk_j.encrypt_deterministic(x.mod_euclid(pk_j.n())), factor);
   });
   ++conversions_;
-  entries_ += count;
+  entries_ += count * codec.slots();
   return resp;
 }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "bigint/prime.hpp"
+#include "crypto/packing.hpp"
 #include "exec/thread_pool.hpp"
 
 namespace pisa::core {
@@ -53,23 +54,42 @@ SuRequestMsg SuClient::prepare_request(const watch::QMatrix& f,
   msg.block_lo = block_lo;
   msg.block_hi = block_hi;
   const std::size_t range = block_hi - block_lo;
-  const std::size_t count = static_cast<std::size_t>(f.channels()) * range;
+  // Packed layout (crypto::SlotCodec): slot j of channel group g carries
+  // channel g·k + j, packs are group-major — f[g·range + (b − block_lo)].
+  // Tail slots of the last group pack 0 (no requested interference there).
+  const crypto::SlotCodec codec{cfg_.slot_bits(), cfg_.pack_slots};
+  const std::size_t k = codec.slots();
+  const std::size_t groups = cfg_.channel_groups();
+  const std::size_t count = groups * range;
   msg.f.resize(count);
 
   // Randomness pre-pass in entry order: pooled entries pop their r^n factor
   // now, fresh entries sample r — exactly the interleaving the sequential
-  // loop produced, so requests are bit-identical at every thread count.
+  // loop produced, so requests are bit-identical at every thread count. In
+  // hybrid mode a pack is "zero" (pool-eligible) only when all of its slots
+  // are zero — with pack_slots = 1 that degenerates to the per-entry rule.
   std::vector<bn::BigUint> ms(count);
   std::vector<bn::BigUint> factors(count);
   std::vector<std::uint8_t> is_fresh(count, 0);
+  std::vector<std::int64_t> slot_vals(k, 0);
   for (std::size_t idx = 0; idx < count; ++idx) {
-    std::uint32_t c = static_cast<std::uint32_t>(idx / range);
+    std::size_t g = idx / range;
     std::uint32_t b = block_lo + static_cast<std::uint32_t>(idx % range);
-    std::int64_t v = f.at(radio::ChannelId{c}, radio::BlockId{b});
-    if (v < 0) throw std::domain_error("SuClient: F entries must be >= 0");
-    ms[idx] = bn::BigUint{static_cast<std::uint64_t>(v)};
+    bool all_zero = true;
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::size_t c = g * k + j;
+      std::int64_t v =
+          c < f.channels()
+              ? f.at(radio::ChannelId{static_cast<std::uint32_t>(c)},
+                     radio::BlockId{b})
+              : 0;
+      if (v < 0) throw std::domain_error("SuClient: F entries must be >= 0");
+      if (v != 0) all_zero = false;
+      slot_vals[j] = v;
+    }
+    ms[idx] = codec.pack_i64(slot_vals).magnitude();
     bool pooled = mode == PrepMode::kPooled ||
-                  (mode == PrepMode::kHybrid && v == 0);
+                  (mode == PrepMode::kHybrid && all_zero);
     if (pooled) {
       factors[idx] = pool_.pop();
     } else {

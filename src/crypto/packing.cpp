@@ -1,0 +1,55 @@
+#include "crypto/packing.hpp"
+
+#include <stdexcept>
+
+namespace pisa::crypto {
+
+SlotCodec::SlotCodec(std::size_t slot_bits, std::size_t slots)
+    : slot_bits_(slot_bits), slots_(slots) {
+  if (slot_bits_ == 0 || slots_ == 0)
+    throw std::invalid_argument("SlotCodec: slot_bits and slots must be >= 1");
+  base_ = bn::BigUint{1} << slot_bits_;
+  half_ = bn::BigUint{1} << (slot_bits_ - 1);
+  max_mag_ = half_ - bn::BigUint{1};
+  for (std::size_t j = 0; j < slots_; ++j) {
+    bn::BigUint term = bn::BigUint{1} << (j * slot_bits_);
+    ones_ = ones_ + term;
+  }
+}
+
+bn::BigInt SlotCodec::pack(std::span<const bn::BigInt> values) const {
+  if (values.size() > slots_)
+    throw std::invalid_argument("SlotCodec: more values than slots");
+  bn::BigInt acc;
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    if (values[j].magnitude() > max_mag_)
+      throw std::out_of_range(
+          "SlotCodec: slot value exceeds the per-slot magnitude bound");
+    acc += bn::BigInt{values[j].magnitude() << (j * slot_bits_),
+                      values[j].is_negative()};
+  }
+  return acc;
+}
+
+bn::BigInt SlotCodec::pack_i64(std::span<const std::int64_t> values) const {
+  std::vector<bn::BigInt> vs(values.size());
+  for (std::size_t j = 0; j < values.size(); ++j) vs[j] = bn::BigInt{values[j]};
+  return pack(vs);
+}
+
+std::vector<bn::BigInt> SlotCodec::unpack(const bn::BigInt& packed) const {
+  std::vector<bn::BigInt> out(slots_);
+  const bn::BigInt base{base_};
+  bn::BigInt m = packed;
+  for (std::size_t j = 0; j < slots_; ++j) {
+    // Balanced digit in (−B/2, B/2): the Euclidean residue, re-centered.
+    bn::BigUint d = m.mod_euclid(base_);
+    out[j] = d >= half_ ? bn::BigInt{base_ - d, true} : bn::BigInt{d};
+    m = (m - out[j]) / base;  // exact: m − d ≡ 0 (mod B)
+  }
+  if (!m.is_zero())
+    throw std::out_of_range("SlotCodec: packed value outside the slot range");
+  return out;
+}
+
+}  // namespace pisa::crypto

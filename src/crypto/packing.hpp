@@ -1,0 +1,76 @@
+// Slot packing: Paillier-SIMD batching of many small signed values into one
+// plaintext (DESIGN.md §3.4).
+//
+// A packed plaintext is the balanced base-B integer  M = Σ_j v_j · B^j  with
+// B = 2^slot_bits. Because Paillier is additively homomorphic over Z_n, the
+// ciphertext operations ⊕ / ⊖ / k ⊗ act on M exactly as integer addition,
+// subtraction and scalar multiplication — which act *slot-wise* on the v_j
+// as long as every slot value stays below the per-slot magnitude bound
+// 2^(slot_bits−1), so no carry or borrow ever crosses a slot boundary. One
+// homomorphic operation then processes `slots` protocol entries at once, and
+// one CRT decryption (plus the centered lift) recovers all of them.
+//
+// Slot width budget (PisaConfig::slot_bits): the protocol's largest slot
+// value is the α-scaled eq. (14) blind  |ε·(α·I − β)| < 2^blind · 2^(q+9) +
+// 2^blind ≤ 2^(q+9+blind+1), so  slot_bits = (q+9) + blind_bits + 2  leaves
+// the sign bit of the balanced digit as guard headroom. Values are *signed*:
+// unpacking reduces M into balanced digits in (−B/2, B/2), so a negative
+// slot borrows from the digit above it and the borrow is undone during
+// decoding — never during arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bigint/bigint.hpp"
+#include "bigint/biguint.hpp"
+
+namespace pisa::crypto {
+
+class SlotCodec {
+ public:
+  /// `slot_bits` is the width of one slot (sign + value + guard headroom),
+  /// `slots` the number of values folded per plaintext. Throws
+  /// std::invalid_argument on a zero dimension.
+  SlotCodec(std::size_t slot_bits, std::size_t slots);
+
+  std::size_t slot_bits() const { return slot_bits_; }
+  std::size_t slots() const { return slots_; }
+
+  /// Largest |v| a slot can hold without slot-crossing carries:
+  /// 2^(slot_bits−1) − 1.
+  const bn::BigUint& max_slot_magnitude() const { return max_mag_; }
+
+  /// Σ_j v_j · B^j for up to slots() signed values (missing trailing values
+  /// pack as 0). Throws std::out_of_range when any |v_j| exceeds
+  /// max_slot_magnitude() — an overflowing slot would corrupt its neighbor.
+  bn::BigInt pack(std::span<const bn::BigInt> values) const;
+
+  /// Convenience overload for quantized protocol entries.
+  bn::BigInt pack_i64(std::span<const std::int64_t> values) const;
+
+  /// Inverse of pack(): balanced base-B digit decomposition, always exactly
+  /// slots() values. Throws std::out_of_range when `packed` does not lie in
+  /// the codec's range (|M| < B^slots / 2) — e.g. a slot overflowed upstream.
+  std::vector<bn::BigInt> unpack(const bn::BigInt& packed) const;
+
+  /// The packed all-ones constant Σ_j B^j — the "1̃ in every slot" operand of
+  /// eq. (16)'s Q̃ = (ε ⊗ X̃) ⊖ 1̃.
+  const bn::BigUint& ones() const { return ones_; }
+
+ private:
+  std::size_t slot_bits_;
+  std::size_t slots_;
+  bn::BigUint base_;      // B = 2^slot_bits
+  bn::BigUint half_;      // B / 2
+  bn::BigUint max_mag_;   // B/2 − 1
+  bn::BigUint ones_;      // Σ_j B^j
+};
+
+/// Packed vectors per `entries`-long column: ⌈entries / slots⌉.
+inline std::size_t packed_count(std::size_t entries, std::size_t slots) {
+  return (entries + slots - 1) / slots;
+}
+
+}  // namespace pisa::crypto

@@ -25,6 +25,10 @@ void Encoder::put_bytes(std::span<const std::uint8_t> bytes) {
   buf_.insert(buf_.end(), bytes.begin(), bytes.end());
 }
 
+void Encoder::put_raw(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
 void Encoder::put_string(std::string_view s) {
   put_bytes(std::span<const std::uint8_t>(
       reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
@@ -70,6 +74,8 @@ std::vector<std::uint8_t> Decoder::get_bytes() {
   auto b = need(len);
   return {b.begin(), b.end()};
 }
+
+std::span<const std::uint8_t> Decoder::get_raw(std::size_t n) { return need(n); }
 
 std::string Decoder::get_string() {
   std::uint32_t len = get_u32();

@@ -29,6 +29,11 @@ class Encoder {
   /// Length-prefixed (u32) raw bytes.
   void put_bytes(std::span<const std::uint8_t> bytes);
 
+  /// Unprefixed raw bytes — for fixed-width records whose framing the
+  /// caller already encoded (put_ciphertexts' |n²|-wide entries). One
+  /// memcpy instead of a per-byte loop; matters at Figure-6 message sizes.
+  void put_raw(std::span<const std::uint8_t> bytes);
+
   /// Length-prefixed UTF-8 string.
   void put_string(std::string_view s);
 
@@ -59,6 +64,11 @@ class Decoder {
   std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
   double get_f64();
   std::vector<std::uint8_t> get_bytes();
+
+  /// Unprefixed fixed-width read, mirroring Encoder::put_raw. The returned
+  /// span aliases the decoder's input buffer; consume it before the buffer
+  /// goes away.
+  std::span<const std::uint8_t> get_raw(std::size_t n);
   std::string get_string();
   bn::BigUint get_biguint();
 

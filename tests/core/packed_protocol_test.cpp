@@ -1,0 +1,203 @@
+// Slot-packed protocol tests (PisaConfig::pack_slots > 1): the encrypted
+// pipeline against the plaintext WATCH oracle at several slot counts,
+// slot-level budget arithmetic including the tail-fill padding, per-slot
+// sign conversion at the STP, the Figure-6 byte reduction, and the
+// validate() slot-headroom regression.
+#include <gtest/gtest.h>
+
+#include "core/protocol.hpp"
+#include "crypto/chacha_rng.hpp"
+#include "crypto/packing.hpp"
+#include "radio/pathloss.hpp"
+#include "watch/plain_watch.hpp"
+
+namespace pisa::core {
+namespace {
+
+using radio::BlockId;
+using radio::ChannelId;
+
+// Three channels so k = 2 exercises multiple groups plus a tail slot and
+// k = 4 packs the whole column into one ciphertext with padding.
+PisaConfig packed_config(std::size_t pack_slots) {
+  PisaConfig cfg;
+  cfg.watch.grid_rows = 2;
+  cfg.watch.grid_cols = 3;
+  cfg.watch.block_size_m = 500.0;
+  cfg.watch.channels = 3;
+  cfg.paillier_bits = 768;
+  cfg.rsa_bits = 384;
+  cfg.blind_bits = 48;
+  cfg.mr_rounds = 8;
+  cfg.pack_slots = pack_slots;
+  return cfg;
+}
+
+std::vector<watch::PuSite> test_sites() {
+  return {{0, BlockId{0}}, {1, BlockId{5}}};
+}
+
+class PackedProtocol : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PackedProtocol, RandomScenarioSweepMatchesPlainWatchOracle) {
+  const std::size_t k = GetParam();
+  PisaConfig cfg = packed_config(k);
+  crypto::ChaChaRng rng{std::uint64_t{2024}};
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  PisaSystem system{cfg, test_sites(), model, rng};
+  watch::PlainWatch oracle{cfg.watch, test_sites(), model};
+  system.add_su(100);
+
+  crypto::ChaChaRng scenario_rng{std::uint64_t{k}};
+  int grants = 0, denies = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (std::uint32_t pu = 0; pu < 2; ++pu) {
+      watch::PuTuning tuning;
+      if (scenario_rng.next_u64() % 3 != 0) {
+        tuning.channel = ChannelId{static_cast<std::uint32_t>(
+            scenario_rng.next_u64() % cfg.watch.channels)};
+        tuning.signal_mw =
+            1e-7 * static_cast<double>(scenario_rng.next_u64() % 50 + 1);
+      }
+      system.pu_update(pu, tuning);
+      oracle.pu_update(pu, tuning);
+    }
+    auto block = static_cast<std::uint32_t>(scenario_rng.next_u64() % 6);
+    double mw = (scenario_rng.next_u64() % 2) ? 100.0 : 1e-4;
+    watch::SuRequest req{100, BlockId{block},
+                         std::vector<double>(cfg.watch.channels, mw)};
+    bool expected = oracle.process_request(req).granted;
+    auto out = system.su_request(req);
+    ASSERT_TRUE(out.completed());
+    EXPECT_EQ(out.granted, expected)
+        << "k=" << k << " round " << round << " block " << block;
+    (expected ? grants : denies)++;
+  }
+  EXPECT_GT(grants, 0) << "sweep must exercise the grant path";
+  EXPECT_GT(denies, 0) << "sweep must exercise the deny path";
+}
+
+INSTANTIATE_TEST_SUITE_P(SlotCounts, PackedProtocol,
+                         ::testing::Values(std::size_t{2}, std::size_t{3},
+                                           std::size_t{4}));
+
+TEST(PackedBudget, SlotsCarryPerChannelBudgetsAndTailFill) {
+  // Direct SDC/STP wiring at k = 2 over C = 3: group 0 = channels {0, 1},
+  // group 1 = channel 2 plus one tail slot that must read the constant 1.
+  PisaConfig cfg = packed_config(2);
+  cfg.watch.grid_rows = 1;
+  cfg.watch.grid_cols = 4;
+  crypto::ChaChaRng rng{std::uint64_t{5}};
+  StpServer stp{cfg, rng};
+
+  watch::QMatrix e{cfg.watch.channels, 4};
+  for (std::size_t i = 0; i < e.size(); ++i)
+    e[i] = static_cast<std::int64_t>(100 + 10 * i);
+  SdcServer sdc{cfg, stp.group_key(), e, rng};
+
+  // One real PU update through the packed client path.
+  std::vector<std::int64_t> e_column(cfg.watch.channels);
+  for (std::uint32_t c = 0; c < cfg.watch.channels; ++c)
+    e_column[c] = e.at(ChannelId{c}, BlockId{2});
+  PuClient pu{{7, BlockId{2}}, cfg, stp.group_key(), e_column, rng};
+  watch::PuTuning tuning{ChannelId{1}, 2e-4};
+  sdc.handle_pu_update(pu.make_update(tuning));
+  std::int64_t t = cfg.watch.quantizer.quantize_mw(tuning.signal_mw);
+
+  const auto& codec = sdc.slot_codec();
+  const auto& budget = sdc.encrypted_budget();
+  ASSERT_EQ(budget.channels(), cfg.channel_groups());
+  for (std::uint32_t g = 0; g < budget.channels(); ++g) {
+    for (std::uint32_t b = 0; b < budget.blocks(); ++b) {
+      auto slots =
+          codec.unpack(stp.peek_decrypt_signed(budget.at(ChannelId{g}, BlockId{b})));
+      for (std::size_t j = 0; j < codec.slots(); ++j) {
+        std::size_t c = g * codec.slots() + j;
+        if (c >= cfg.watch.channels) {
+          EXPECT_EQ(slots[j], bn::BigInt{1}) << "tail slot must carry 1";
+          continue;
+        }
+        std::int64_t expected =
+            e.at(ChannelId{static_cast<std::uint32_t>(c)}, BlockId{b});
+        if (c == 1 && b == 2) expected += t - e_column[1];  // W = T − E
+        EXPECT_EQ(slots[j], bn::BigInt{expected}) << "g=" << g << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(PackedConversion, StpMapsEverySlotSignIndependently) {
+  PisaConfig cfg = packed_config(4);
+  crypto::ChaChaRng rng{std::uint64_t{17}};
+  StpServer stp{cfg, rng};
+  auto su_kp = crypto::paillier_generate(cfg.paillier_bits, rng, cfg.mr_rounds);
+  stp.register_su_key(100, su_kp.pk);
+
+  crypto::SlotCodec codec{cfg.slot_bits(), cfg.pack_slots};
+  std::vector<bn::BigInt> vs = {bn::BigInt{5}, bn::BigInt{-3}, bn::BigInt{0},
+                                bn::BigInt{123456}};
+  ConvertRequestMsg conv;
+  conv.request_id = 1;
+  conv.su_id = 100;
+  conv.v.push_back(stp.group_key().encrypt_signed(codec.pack(vs), rng));
+
+  auto resp = stp.convert(conv);
+  ASSERT_EQ(resp.x.size(), 1u);
+  EXPECT_EQ(stp.entries_converted(), 4u);
+  auto verdicts = codec.unpack(su_kp.sk.decrypt_signed(resp.x[0]));
+  EXPECT_EQ(verdicts[0], bn::BigInt{1});   // V > 0
+  EXPECT_EQ(verdicts[1], bn::BigInt{-1});  // V < 0
+  EXPECT_EQ(verdicts[2], bn::BigInt{-1});  // eq. (15): X = −1 unless V > 0
+  EXPECT_EQ(verdicts[3], bn::BigInt{1});
+}
+
+TEST(PackedCommunication, ByteCountsShrinkByTheSlotCount) {
+  // Figure 6 accounting: at k = 4 over C = 3 channels every per-channel
+  // vector collapses to one ciphertext, so SU→SDC and SDC↔STP bytes must
+  // drop by at least 2× versus the unpacked layout (here exactly ~3×).
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  auto run = [&](std::size_t k) {
+    PisaConfig cfg = packed_config(k);
+    crypto::ChaChaRng rng{std::uint64_t{2024}};
+    PisaSystem system{cfg, test_sites(), model, rng};
+    system.add_su(100);
+    watch::SuRequest req{100, BlockId{1},
+                         std::vector<double>(cfg.watch.channels, 1e-4)};
+    return system.su_request(req);
+  };
+  auto unpacked = run(1);
+  auto packed = run(4);
+  EXPECT_EQ(unpacked.granted, packed.granted);
+  EXPECT_GE(static_cast<double>(unpacked.request_bytes),
+            2.0 * static_cast<double>(packed.request_bytes));
+  EXPECT_GE(static_cast<double>(unpacked.convert_bytes),
+            2.0 * static_cast<double>(packed.convert_bytes));
+  EXPECT_GE(static_cast<double>(unpacked.convert_reply_bytes),
+            2.0 * static_cast<double>(packed.convert_reply_bytes));
+  // The response is a single ciphertext either way.
+  EXPECT_EQ(unpacked.response_bytes, packed.response_bytes);
+}
+
+TEST(PackedConfigValidation, RejectsSlotOverflow) {
+  // Regression for the validate() slot-headroom check: slot_bits ·
+  // pack_slots must stay under paillier_bits − 2 or α-scaling could
+  // overflow a slot / the packed plaintext could wrap the centered lift.
+  PisaConfig cfg = packed_config(1);
+  ASSERT_EQ(cfg.slot_bits(), 60u + 9u + 48u + 2u);
+
+  cfg.pack_slots = 6;  // 6 · 119 = 714 <= 766: fits
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.pack_slots = 7;  // 7 · 119 = 833 > 766: α-scaled slots would overflow
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.pack_slots = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  PisaConfig full;  // paper-scale 2048-bit parameters: slot width 199
+  full.pack_slots = 10;  // 1990 <= 2046
+  EXPECT_NO_THROW(full.validate());
+  full.pack_slots = 11;  // 2189 > 2046
+  EXPECT_THROW(full.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pisa::core
