@@ -20,12 +20,21 @@
 // encryption/folding and the SDC↔STP conversion link must shrink ~k× in
 // both time and bytes, with identical grant decisions.
 //
-// `--quick` runs the n=1024 scaling rows and the pack sweep only (no
-// thread sweep, no n=2048 production row) — the CI perf-smoke
-// configuration that scripts/check_perf_regression.py compares against the
-// committed BENCH_system.json.
+// The multi-SU throughput sweep (DESIGN.md §3.5) serves an identical burst
+// of concurrent requests three ways — sequential baseline, concurrent but
+// unbatched, and through the cross-request batching engine — and reports
+// virtual-time requests/sec, latency percentiles, conversion round-trips
+// and bytes per request.
+//
+// `--quick` runs the n=1024 scaling rows, the pack sweep, a two-point
+// thread sweep and the {2, 8}-SU throughput sweep (no 4-lane row, no 16-SU
+// fleet, no n=2048 production row) — the CI perf-smoke configuration that
+// scripts/check_perf_regression.py compares against the committed
+// BENCH_system.json.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -231,6 +240,143 @@ void print_sweep_row(const Row& base, const Row& r) {
               speedup(base.pu_apply_ms, r.pu_apply_ms));
 }
 
+// ---- Multi-SU throughput (DESIGN.md §3.5) --------------------------------
+//
+// The same burst of concurrent SU requests served three ways:
+//   sequential            one request fully drains before the next starts —
+//                         the paper's one-at-a-time baseline
+//   concurrent_unbatched  all requests in flight at once, but one
+//                         ConvertRequestMsg round-trip per SU
+//   batched               the cross-request engine: blinded Ṽ entries
+//                         coalesced into one ConvertBatchMsg, always-warm
+//                         per-SU STP pools, request-phase pipelining
+// requests/sec comes from the virtual-time makespan, so the comparison
+// isolates protocol round-trips from host load and stays deterministic for
+// the CI perf guard.
+
+enum class ThroughputMode { kSequential, kConcurrentUnbatched, kBatched };
+
+const char* mode_name(ThroughputMode m) {
+  switch (m) {
+    case ThroughputMode::kSequential: return "sequential";
+    case ThroughputMode::kConcurrentUnbatched: return "concurrent_unbatched";
+    case ThroughputMode::kBatched: return "batched";
+  }
+  return "?";
+}
+
+struct ThroughputRow {
+  std::string mode;
+  std::size_t concurrency = 0;
+  std::size_t entries_per_request = 0;
+  double makespan_us = 0;        // virtual time, first send → last response
+  double requests_per_sec = 0;   // concurrency / makespan
+  double p50_latency_us = 0;
+  double p95_latency_us = 0;
+  std::size_t convert_round_trips = 0;  // SDC→STP conversion messages
+  double bytes_per_request = 0;         // Σ all four links / concurrency
+  double serve_wall_ms = 0;             // host wall clock of the drain
+};
+
+ThroughputRow measure_throughput(ThroughputMode mode, std::size_t concurrency,
+                                 std::uint64_t seed) {
+  core::PisaConfig cfg;
+  cfg.watch.grid_rows = 2;
+  cfg.watch.grid_cols = 3;
+  cfg.watch.block_size_m = 100.0;
+  cfg.watch.channels = 4;
+  cfg.paillier_bits = 1024;
+  cfg.rsa_bits = 512;
+  cfg.blind_bits = 128;
+  cfg.mr_rounds = 12;
+  const std::size_t blocks = cfg.watch.grid_rows * cfg.watch.grid_cols;
+  const std::size_t entries = cfg.watch.channels * blocks;
+  if (mode == ThroughputMode::kBatched) {
+    cfg.convert_batch_max = 4096;       // coalesce the whole burst
+    cfg.convert_batch_linger_us = 200.0;
+    cfg.stp_pool_target = entries;      // always-warm: one full request deep
+  }
+
+  crypto::ChaChaRng rng{seed};
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  std::vector<watch::PuSite> sites{{0, radio::BlockId{0}}};
+  core::PisaSystem system{cfg, sites, model, rng};
+  for (std::size_t i = 0; i < concurrency; ++i) {
+    auto id = static_cast<std::uint32_t>(i + 1);
+    auto& su = system.add_su(id);
+    // Key distribution is an offline registration step; keep it off the
+    // timed request path.
+    system.sdc().register_su_key(id, su.public_key());
+  }
+  system.pu_update(0, watch::PuTuning{radio::ChannelId{0}, 1e-6});
+
+  std::vector<watch::SuRequest> requests;
+  requests.reserve(concurrency);
+  for (std::size_t i = 0; i < concurrency; ++i)
+    requests.push_back(
+        {static_cast<std::uint32_t>(i + 1),
+         radio::BlockId{static_cast<std::uint32_t>(i % blocks)},
+         std::vector<double>(cfg.watch.channels, 100.0)});
+
+  ThroughputRow row;
+  row.mode = mode_name(mode);
+  row.concurrency = concurrency;
+  row.entries_per_request = entries;
+
+  std::vector<double> latencies;
+  latencies.reserve(concurrency);
+  std::size_t total_bytes = 0;
+  if (mode == ThroughputMode::kSequential) {
+    auto t0 = Clock::now();
+    for (const auto& req : requests) {
+      auto out = system.su_request(req);
+      if (!out.completed())
+        std::fprintf(stderr, "warning: sequential request failed: %s\n",
+                     out.failure.c_str());
+      latencies.push_back(out.latency_us);
+      row.makespan_us += out.latency_us;  // strictly serial occupancy
+      total_bytes += out.request_bytes + out.convert_bytes +
+                     out.convert_reply_bytes + out.response_bytes;
+    }
+    row.serve_wall_ms = ms_since(t0);
+    row.convert_round_trips = concurrency;  // one ConvertRequestMsg each
+  } else {
+    core::PisaSystem::MultiRequestStats stats;
+    auto outcomes =
+        system.su_request_many(requests, core::PrepMode::kFresh, &stats);
+    for (const auto& out : outcomes) {
+      if (!out.completed())
+        std::fprintf(stderr, "warning: concurrent request failed: %s\n",
+                     out.failure.c_str());
+      latencies.push_back(out.latency_us);
+    }
+    row.makespan_us = stats.makespan_us;
+    row.serve_wall_ms = stats.serve_wall_ms;
+    row.convert_round_trips = stats.convert_msgs;
+    total_bytes = stats.request_bytes + stats.convert_bytes +
+                  stats.convert_reply_bytes + stats.response_bytes;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  row.p50_latency_us = latencies[(latencies.size() - 1) / 2];
+  row.p95_latency_us = latencies[(latencies.size() * 95 + 99) / 100 - 1];
+  row.requests_per_sec = row.makespan_us > 0
+                             ? static_cast<double>(concurrency) /
+                                   row.makespan_us * 1e6
+                             : 0;
+  row.bytes_per_request =
+      static_cast<double>(total_bytes) / static_cast<double>(concurrency);
+  return row;
+}
+
+void print_throughput_row(const ThroughputRow& r) {
+  std::printf("  %-22s x%-2zu | %8.1f req/s | p50 %8.0f us p95 %8.0f us | "
+              "%2zu round-trip%s | %7.1f kB/req | wall %7.1f ms\n",
+              r.mode.c_str(), r.concurrency, r.requests_per_sec,
+              r.p50_latency_us, r.p95_latency_us, r.convert_round_trips,
+              r.convert_round_trips == 1 ? " " : "s", r.bytes_per_request / 1e3,
+              r.serve_wall_ms);
+}
+
 double byte_ratio(std::size_t base, std::size_t packed) {
   return packed > 0 ? static_cast<double>(base) / static_cast<double>(packed)
                     : 0;
@@ -271,6 +417,8 @@ benchjson::JsonFields row_json(const Row& r) {
   j.add("sdc_phase2_ms", r.sdc_phase2_ms);
   j.add("stp_convert_ms", r.stp_convert_ms);
   j.add("stp_convert_pooled_ms", r.stp_convert_pooled_ms);
+  j.add("stp_convert_ms_per_entry",
+        r.stp_convert_ms / static_cast<double>(r.entries()));
   j.add("convert_bytes", r.convert_bytes);
   j.add("convert_reply_bytes", r.convert_reply_bytes);
   j.add("pu_encrypt_ms", r.pu_encrypt_ms);
@@ -282,9 +430,25 @@ benchjson::JsonFields row_json(const Row& r) {
   return j;
 }
 
+benchjson::JsonFields throughput_json(const ThroughputRow& r) {
+  benchjson::JsonFields j;
+  j.add("mode", r.mode);
+  j.add("concurrency", r.concurrency);
+  j.add("entries_per_request", r.entries_per_request);
+  j.add("makespan_us", r.makespan_us);
+  j.add("requests_per_sec", r.requests_per_sec);
+  j.add("p50_latency_us", r.p50_latency_us);
+  j.add("p95_latency_us", r.p95_latency_us);
+  j.add("convert_round_trips", r.convert_round_trips);
+  j.add("bytes_per_request", r.bytes_per_request);
+  j.add("serve_wall_ms", r.serve_wall_ms);
+  return j;
+}
+
 void write_json(const char* path, bool quick, const std::vector<Row>& scaling,
                 const std::vector<Row>& sweep,
-                const std::vector<Row>& pack_sweep) {
+                const std::vector<Row>& pack_sweep,
+                const std::vector<ThroughputRow>& throughput) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "warning: cannot write %s\n", path);
@@ -296,12 +460,16 @@ void write_json(const char* path, bool quick, const std::vector<Row>& scaling,
     for (const auto& r : rs) out.push_back(row_json(r));
     return out;
   };
+  std::vector<benchjson::JsonFields> tput;
+  tput.reserve(throughput.size());
+  for (const auto& r : throughput) tput.push_back(throughput_json(r));
   std::fprintf(f, "{\n  \"quick\": %s,\n  \"hardware_threads\": %zu,\n",
                quick ? "true" : "false",
                exec::ThreadPool::hardware_threads());
   benchjson::write_row_array(f, "scaling", rows_of(scaling), false);
   benchjson::write_row_array(f, "thread_sweep", rows_of(sweep), false);
-  benchjson::write_row_array(f, "pack_sweep", rows_of(pack_sweep), true);
+  benchjson::write_row_array(f, "pack_sweep", rows_of(pack_sweep), false);
+  benchjson::write_row_array(f, "throughput", tput, true);
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
@@ -355,7 +523,37 @@ int main(int argc, char** argv) {
       print_sweep_row(sweep.front(), sweep.back());
     }
     std::printf("\n");
+  } else {
+    // --quick still emits a two-point thread sweep — r1 already measured
+    // this workload on one lane, so only the two-lane row costs anything —
+    // keeping thread_sweep non-empty for BENCH_system.json consumers and
+    // the perf guard.
+    sweep.push_back(r1);
+    sweep.push_back(measure(1024, 5, 3, 10, 42, 2));
   }
+
+  // Cross-request throughput engine (DESIGN.md §3.5): sequential baseline
+  // vs concurrent-unbatched vs the batched path, per fleet size.
+  std::printf("Multi-SU throughput at n=1024, C=4, B=6 (24 entries/request; "
+              "virtual-time req/s):\n");
+  std::vector<ThroughputRow> throughput;
+  std::vector<std::size_t> fleet{2, 8};
+  if (!quick) fleet.push_back(16);
+  for (std::size_t c : fleet) {
+    for (auto mode :
+         {ThroughputMode::kSequential, ThroughputMode::kConcurrentUnbatched,
+          ThroughputMode::kBatched}) {
+      throughput.push_back(measure_throughput(mode, c, 0xBEEF00 + c));
+      print_throughput_row(throughput.back());
+    }
+    const auto& seq = throughput[throughput.size() - 3];
+    const auto& bat = throughput.back();
+    std::printf("    -> batched vs sequential at %zu SUs: %.2fx requests/sec, "
+                "%zu -> %zu convert round-trips\n",
+                c, bat.requests_per_sec / seq.requests_per_sec,
+                seq.convert_round_trips, bat.convert_round_trips);
+  }
+  std::printf("\n");
 
   std::vector<Row> scaling{r1, r2};
   if (!quick) {
@@ -366,7 +564,8 @@ int main(int argc, char** argv) {
     scaling.push_back(r3);
   }
 
-  write_json("BENCH_system.json", quick, scaling, sweep, pack_sweep);
+  write_json("BENCH_system.json", quick, scaling, sweep, pack_sweep,
+             throughput);
   std::printf("\nMachine-readable results written to BENCH_system.json\n");
 
   std::printf("\nDone.\n");

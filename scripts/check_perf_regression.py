@@ -11,16 +11,25 @@ Guarded metrics (the protocol's hot paths):
 
   BENCH_paillier.json   BM_Encryption/* and BM_ScalarMul* ns_per_iter —
                         the kernels every pipeline stage is made of.
-  BENCH_system.json     su_request_total_ms per scaling / pack_sweep row
-                        (matched on paillier_bits, channels, blocks,
-                        num_threads, pack_slots) — the end-to-end Figure 5
-                        request latency, packed and unpacked.
+  BENCH_system.json     su_request_total_ms and stp_convert_ms_per_entry
+                        per scaling / pack_sweep row (matched on
+                        paillier_bits, channels, blocks, num_threads,
+                        pack_slots) — the end-to-end Figure 5 request
+                        latency and the STP conversion hot loop; plus
+                        requests_per_sec per throughput row (matched on
+                        mode, concurrency) — the DESIGN.md §3.5 multi-SU
+                        engine. requests_per_sec is higher-is-better, so
+                        its guard direction is inverted: the check fails
+                        when current < baseline / threshold. It is derived
+                        from deterministic virtual time, so any drop is a
+                        protocol change (extra round-trips, lost batching),
+                        not host noise.
 
-Exits 1 when any guarded metric is more than `threshold`x slower than the
+Exits 1 when any guarded metric is more than `threshold`x worse than the
 committed snapshot, 2 when a snapshot/run file is missing or unparseable.
 Quick-mode measurement windows are short, so the default threshold is a
 generous 1.25x: real regressions on these paths (an extra modexp, a lost
-CRT/fusion/packing win) are 2x-class, far above the noise floor.
+CRT/fusion/packing/batching win) are 2x-class, far above the noise floor.
 """
 
 from __future__ import annotations
@@ -33,6 +42,10 @@ import sys
 PAILLIER_PATTERNS = ("BM_Encryption/*", "BM_ScalarMul*")
 SYSTEM_SECTIONS = ("scaling", "pack_sweep")
 SYSTEM_KEY = ("paillier_bits", "channels", "blocks", "num_threads", "pack_slots")
+# Lower-is-better per-row metrics; rows from older snapshots may lack the
+# per-entry field, so each metric is guarded only where both sides have it.
+SYSTEM_METRICS = ("su_request_total_ms", "stp_convert_ms_per_entry")
+THROUGHPUT_KEY = ("mode", "concurrency")
 
 
 def load(path):
@@ -44,6 +57,9 @@ def load(path):
         sys.exit(2)
 
 
+# Each check is (label, baseline, current, higher_is_better).
+
+
 def paillier_checks(baseline, current):
     base = {r["name"]: r["ns_per_iter"] for r in baseline.get("results", [])}
     cur = {r["name"]: r["ns_per_iter"] for r in current.get("results", [])}
@@ -51,23 +67,42 @@ def paillier_checks(baseline, current):
         if not any(fnmatch.fnmatch(name, p) for p in PAILLIER_PATTERNS):
             continue
         if name in cur:
-            yield f"paillier {name}", base[name], cur[name]
+            yield f"paillier {name}", base[name], cur[name], False
 
 
 def system_checks(baseline, current):
     for section in SYSTEM_SECTIONS:
         base = {
-            tuple(r.get(k, 1) for k in SYSTEM_KEY): r["su_request_total_ms"]
+            tuple(r.get(k, 1) for k in SYSTEM_KEY): r
             for r in baseline.get(section, [])
         }
         cur = {
-            tuple(r.get(k, 1) for k in SYSTEM_KEY): r["su_request_total_ms"]
+            tuple(r.get(k, 1) for k in SYSTEM_KEY): r
             for r in current.get(section, [])
         }
         for key in sorted(base):
-            if key in cur:
-                label = "n={} C={} B={} t={} k={}".format(*key)
-                yield f"su_request {section} {label}", base[key], cur[key]
+            if key not in cur:
+                continue
+            label = "n={} C={} B={} t={} k={}".format(*key)
+            for metric in SYSTEM_METRICS:
+                if metric in base[key] and metric in cur[key]:
+                    yield (f"{metric} {section} {label}", base[key][metric],
+                           cur[key][metric], False)
+
+
+def throughput_checks(baseline, current):
+    base = {
+        tuple(r[k] for k in THROUGHPUT_KEY): r["requests_per_sec"]
+        for r in baseline.get("throughput", [])
+    }
+    cur = {
+        tuple(r[k] for k in THROUGHPUT_KEY): r["requests_per_sec"]
+        for r in current.get("throughput", [])
+    }
+    for key in sorted(base):
+        if key in cur:
+            label = "{} x{}".format(*key)
+            yield f"requests_per_sec {label}", base[key], cur[key], True
 
 
 def main():
@@ -84,9 +119,10 @@ def main():
     checks.extend(paillier_checks(
         load(f"{args.baseline_dir}/BENCH_paillier.json"),
         load(f"{args.current_dir}/BENCH_paillier.json")))
-    checks.extend(system_checks(
-        load(f"{args.baseline_dir}/BENCH_system.json"),
-        load(f"{args.current_dir}/BENCH_system.json")))
+    system_baseline = load(f"{args.baseline_dir}/BENCH_system.json")
+    system_current = load(f"{args.current_dir}/BENCH_system.json")
+    checks.extend(system_checks(system_baseline, system_current))
+    checks.extend(throughput_checks(system_baseline, system_current))
 
     if not checks:
         print("error: no overlapping guarded metrics between baseline and "
@@ -94,13 +130,17 @@ def main():
         sys.exit(2)
 
     failures = 0
-    print(f"{'metric':58s} {'baseline':>12s} {'current':>12s} {'ratio':>7s}")
-    for label, base, cur in checks:
-        ratio = cur / base if base > 0 else float("inf")
+    print(f"{'metric':62s} {'baseline':>12s} {'current':>12s} {'ratio':>7s}")
+    for label, base, cur, higher_is_better in checks:
+        # Normalize so ratio > 1 always means "current is worse".
+        if higher_is_better:
+            ratio = base / cur if cur > 0 else float("inf")
+        else:
+            ratio = cur / base if base > 0 else float("inf")
         status = "ok" if ratio <= args.threshold else "REGRESSION"
         if status != "ok":
             failures += 1
-        print(f"{label:58s} {base:12.1f} {cur:12.1f} {ratio:6.2f}x  {status}")
+        print(f"{label:62s} {base:12.1f} {cur:12.1f} {ratio:6.2f}x  {status}")
 
     if failures:
         print(f"\n{failures} metric(s) regressed beyond {args.threshold}x; "

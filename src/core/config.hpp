@@ -57,6 +57,33 @@ struct PisaConfig {
   /// Reliable transport over the simulated network (chaos/fault testing).
   ReliabilityConfig reliability;
 
+  /// Cross-request throughput engine (DESIGN.md §3.5). With
+  /// convert_batch_max > 0 the SDC stops sending one ConvertRequestMsg per
+  /// SU request: blinded Ṽ entries of concurrent requests are staged and
+  /// coalesced into a single ConvertBatchMsg of at most convert_batch_max
+  /// entries, so one SDC↔STP round-trip (and one parallel_for at the STP)
+  /// serves many SUs. 0 = the paper's per-request round-trips, wire
+  /// behaviour unchanged.
+  std::size_t convert_batch_max = 0;
+
+  /// Virtual-time linger before a non-full batch is flushed: the first
+  /// staged request arms a timer and later arrivals ride along. 0 still
+  /// coalesces requests delivered at the same virtual instant.
+  double convert_batch_linger_us = 0.0;
+
+  /// Virtual-time watchdog per in-flight batch: if the STP's reply never
+  /// arrives (transport gave up), the batcher unblocks and flushes the next
+  /// staged batch instead of wedging. 0 = derive from the reliability retry
+  /// budget (or a 1 s default on the perfect bus).
+  double convert_batch_watchdog_us = 0.0;
+
+  /// Always-warm STP randomizer pools: keep this many precomputed r^n
+  /// factors per registered SU, refilled in the background (per-SU ChaCha
+  /// sub-stream + the shared thread pool) so the conversion hot path pays
+  /// one modular multiplication per entry without any manual
+  /// precompute_su_randomizers call. 0 = manual pools only (paper path).
+  std::size_t stp_pool_target = 0;
+
   /// Slot packing (crypto::SlotCodec, DESIGN.md §3.4): fold this many
   /// channel entries into each Paillier plaintext. 1 reproduces the paper's
   /// per-entry layout byte for byte; k > 1 cuts modexps, STP decryptions
@@ -103,6 +130,12 @@ struct PisaConfig {
       throw std::invalid_argument("PisaConfig: blind_bits too small to hide values");
     if (num_threads == 0)
       throw std::invalid_argument("PisaConfig: num_threads must be >= 1");
+    if (convert_batch_linger_us < 0)
+      throw std::invalid_argument(
+          "PisaConfig: convert_batch_linger_us must be >= 0");
+    if (convert_batch_watchdog_us < 0)
+      throw std::invalid_argument(
+          "PisaConfig: convert_batch_watchdog_us must be >= 0");
     if (reliability.enabled) {
       if (reliability.timeout_us <= 0)
         throw std::invalid_argument("PisaConfig: reliability.timeout_us must be > 0");

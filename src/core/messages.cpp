@@ -1,5 +1,7 @@
 #include "core/messages.hpp"
 
+#include <stdexcept>
+
 namespace pisa::core {
 
 void put_ciphertexts(net::Encoder& enc,
@@ -106,6 +108,81 @@ ConvertResponseMsg ConvertResponseMsg::decode(const std::vector<std::uint8_t>& b
   ConvertResponseMsg m;
   m.request_id = dec.get_u64();
   m.x = get_ciphertexts(dec);
+  dec.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> ConvertBatchMsg::encode(std::size_t ct_width) const {
+  net::Encoder enc;
+  enc.put_u64(batch_id);
+  enc.put_u32(static_cast<std::uint32_t>(items.size()));
+  for (const auto& it : items) {
+    enc.put_u64(it.request_id);
+    enc.put_u32(it.su_id);
+    put_ciphertexts(enc, it.v, ct_width);
+    put_ciphertexts(enc, it.partials, ct_width);
+  }
+  return enc.take();
+}
+
+ConvertBatchMsg ConvertBatchMsg::decode(const std::vector<std::uint8_t>& bytes) {
+  net::Decoder dec{bytes};
+  ConvertBatchMsg m;
+  m.batch_id = dec.get_u64();
+  std::uint32_t count = dec.get_u32();
+  // Every item carries at least its 12-byte header, so a mutated count
+  // cannot grow past the actual input.
+  if (static_cast<std::uint64_t>(count) * 12 > dec.remaining())
+    throw net::DecodeError("ConvertBatchMsg: item count exceeds input");
+  m.items.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Item it;
+    it.request_id = dec.get_u64();
+    it.su_id = dec.get_u32();
+    it.v = get_ciphertexts(dec);
+    it.partials = get_ciphertexts(dec);
+    if (it.v.empty())
+      throw net::DecodeError("ConvertBatchMsg: empty item");
+    if (!it.partials.empty() && it.partials.size() != it.v.size())
+      throw net::DecodeError("ConvertBatchMsg: partials/v size mismatch");
+    m.items.push_back(std::move(it));
+  }
+  dec.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> ConvertBatchResponseMsg::encode(
+    const std::vector<std::size_t>& ct_widths) const {
+  if (ct_widths.size() != items.size())
+    throw std::invalid_argument(
+        "ConvertBatchResponseMsg: one ciphertext width per item required");
+  net::Encoder enc;
+  enc.put_u64(batch_id);
+  enc.put_u32(static_cast<std::uint32_t>(items.size()));
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    enc.put_u64(items[i].request_id);
+    put_ciphertexts(enc, items[i].x, ct_widths[i]);
+  }
+  return enc.take();
+}
+
+ConvertBatchResponseMsg ConvertBatchResponseMsg::decode(
+    const std::vector<std::uint8_t>& bytes) {
+  net::Decoder dec{bytes};
+  ConvertBatchResponseMsg m;
+  m.batch_id = dec.get_u64();
+  std::uint32_t count = dec.get_u32();
+  if (static_cast<std::uint64_t>(count) * 8 > dec.remaining())
+    throw net::DecodeError("ConvertBatchResponseMsg: item count exceeds input");
+  m.items.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Item it;
+    it.request_id = dec.get_u64();
+    it.x = get_ciphertexts(dec);
+    if (it.x.empty())
+      throw net::DecodeError("ConvertBatchResponseMsg: empty item");
+    m.items.push_back(std::move(it));
+  }
   dec.expect_done();
   return m;
 }

@@ -29,6 +29,9 @@ inline constexpr const char* kMsgPuUpdate = "pu_update";
 inline constexpr const char* kMsgSuRequest = "su_request";
 inline constexpr const char* kMsgConvertRequest = "stp_convert_request";
 inline constexpr const char* kMsgConvertResponse = "stp_convert_response";
+inline constexpr const char* kMsgConvertBatch = "stp_convert_batch";
+inline constexpr const char* kMsgConvertBatchResponse =
+    "stp_convert_batch_response";
 inline constexpr const char* kMsgSuResponse = "su_response";
 inline constexpr const char* kMsgKeyRegister = "stp_key_register";
 inline constexpr const char* kMsgKeyLookup = "stp_key_lookup";
@@ -94,6 +97,49 @@ struct ConvertResponseMsg {
 
   std::vector<std::uint8_t> encode(std::size_t ct_width) const;
   static ConvertResponseMsg decode(const std::vector<std::uint8_t>& bytes);
+};
+
+/// Batched conversion (DESIGN.md §3.5): the SDC coalesces the blinded Ṽ
+/// entries of several concurrent SU requests into one message so a single
+/// SDC↔STP round-trip — and one parallel_for at the STP — serves them all.
+/// Items keep their own (request_id, su_id) so the STP re-encrypts each
+/// request under the right pk_j; every v/partial entry is under pk_G, so
+/// one ciphertext width covers the whole batch.
+struct ConvertBatchMsg {
+  struct Item {
+    std::uint64_t request_id = 0;
+    std::uint32_t su_id = 0;
+    std::vector<crypto::PaillierCiphertext> v;
+    std::vector<crypto::PaillierCiphertext> partials;  // empty = classic mode
+  };
+
+  std::uint64_t batch_id = 0;
+  std::vector<Item> items;
+
+  std::size_t total_entries() const {
+    std::size_t n = 0;
+    for (const auto& it : items) n += it.v.size();
+    return n;
+  }
+
+  std::vector<std::uint8_t> encode(std::size_t ct_width) const;
+  static ConvertBatchMsg decode(const std::vector<std::uint8_t>& bytes);
+};
+
+/// Batched conversion reply: X̃ vectors per request, each under its own SU
+/// key pk_j — widths differ per item, so encode takes one width per item
+/// (put_ciphertexts embeds the width with each vector).
+struct ConvertBatchResponseMsg {
+  struct Item {
+    std::uint64_t request_id = 0;
+    std::vector<crypto::PaillierCiphertext> x;
+  };
+
+  std::uint64_t batch_id = 0;
+  std::vector<Item> items;
+
+  std::vector<std::uint8_t> encode(const std::vector<std::size_t>& ct_widths) const;
+  static ConvertBatchResponseMsg decode(const std::vector<std::uint8_t>& bytes);
 };
 
 /// The cleartext license body whose RSA signature is delivered (blinded)

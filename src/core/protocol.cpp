@@ -1,11 +1,23 @@
 #include "core/protocol.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "crypto/key_codec.hpp"
 #include "exec/thread_pool.hpp"
 
 namespace pisa::core {
+
+namespace {
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 PisaSystem::PisaSystem(const PisaConfig& cfg, std::vector<watch::PuSite> sites,
                        const radio::PathLossModel& model, bn::RandomSource& rng)
@@ -131,6 +143,9 @@ PisaSystem::RequestOutcome PisaSystem::su_request(
                     msg.encode(stp_->group_key().ciphertext_bytes())});
   net_.run();
   double t_done = net_.now_us();
+  // Off-path pool maintenance: top the STP's always-warm pools back up
+  // between requests so the next conversion hits precomputed factors.
+  stp_->maintain_pools();
 
   RequestOutcome out;
   out.request_bytes = net_.stats(su_name(request.su_id), "sdc").bytes - su_sdc_before;
@@ -171,6 +186,114 @@ PisaSystem::RequestOutcome PisaSystem::su_request(
   out.license = outcome.license;
   out.signature = outcome.signature;
   return out;
+}
+
+std::vector<PisaSystem::RequestOutcome> PisaSystem::su_request_many(
+    const std::vector<watch::SuRequest>& requests, PrepMode mode,
+    MultiRequestStats* stats) {
+  struct Prepared {
+    std::uint64_t rid = 0;
+    std::uint32_t su_id = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  // Phase A (SU side, independent parties): every request is built and
+  // encrypted before anything is sent — the burst then lands on the SDC at
+  // one virtual instant, in submission order (equal sizes, FIFO tiebreak).
+  auto t_prep = std::chrono::steady_clock::now();
+  std::vector<Prepared> prepared;
+  prepared.reserve(requests.size());
+  for (const auto& r : requests) {
+    auto& client = su(r.su_id);
+    auto f = build_f(r);
+    Prepared p;
+    p.rid = next_request_id_++;
+    p.su_id = r.su_id;
+    auto msg = client.prepare_request(
+        f, p.rid, 0, static_cast<std::uint32_t>(f.blocks()), mode);
+    p.bytes = msg.encode(stp_->group_key().ciphertext_bytes());
+    prepared.push_back(std::move(p));
+  }
+  double prep_ms = wall_ms_since(t_prep);
+
+  const auto& stp_log = net_.audit_log("stp");
+  std::size_t stp_log_before = stp_log.size();
+  auto sdc_stp_before = net_.stats("sdc", "stp").bytes;
+  auto stp_sdc_before = net_.stats("stp", "sdc").bytes;
+  std::size_t req_bytes_before = 0, resp_bytes_before = 0;
+  for (const auto& p : prepared) {
+    req_bytes_before += net_.stats(su_name(p.su_id), "sdc").bytes;
+    resp_bytes_before += net_.stats("sdc", su_name(p.su_id)).bytes;
+  }
+  std::size_t failures_before = reliable_ ? reliable_->failures().size() : 0;
+
+  double t_send = net_.now_us();
+  for (auto& p : prepared)
+    transport().send(
+        {su_name(p.su_id), "sdc", kMsgSuRequest, std::move(p.bytes)});
+  auto t_serve = std::chrono::steady_clock::now();
+  net_.run();
+  double serve_ms = wall_ms_since(t_serve);
+  stp_->maintain_pools();
+
+  std::vector<RequestOutcome> outs;
+  outs.reserve(prepared.size());
+  double last_arrival = t_send;
+  for (const auto& p : prepared) {
+    RequestOutcome out;
+    auto it = responses_.find(p.rid);
+    if (it == responses_.end()) {
+      out.status = RequestOutcome::Status::kTransportFailed;
+      out.failure = "no response delivered";
+      if (reliable_) {
+        const auto& fails = reliable_->failures();
+        for (std::size_t i = failures_before; i < fails.size(); ++i) {
+          const auto& f = fails[i];
+          out.failure += "; gave up on " + f.type + " " + f.from + "->" +
+                         f.to + " seq " + std::to_string(f.seq) + " after " +
+                         std::to_string(f.attempts) + " attempts";
+        }
+      }
+      outs.push_back(std::move(out));
+      continue;
+    }
+    auto outcome = su(p.su_id).process_response(it->second, sdc_->license_key());
+    responses_.erase(it);
+    auto arrived = response_arrival_us_.find(p.rid);
+    if (arrived != response_arrival_us_.end()) {
+      out.latency_us = arrived->second - t_send;
+      last_arrival = std::max(last_arrival, arrived->second);
+      response_arrival_us_.erase(arrived);
+    }
+    out.granted = outcome.granted;
+    out.license = outcome.license;
+    out.signature = outcome.signature;
+    outs.push_back(std::move(out));
+  }
+
+  if (stats != nullptr) {
+    stats->prep_wall_ms = prep_ms;
+    stats->serve_wall_ms = serve_ms;
+    // Response arrivals, not now_us(): trailing watchdog/retransmission
+    // timers fire long after the last response and must not count.
+    stats->makespan_us = last_arrival - t_send;
+    stats->convert_msgs = 0;
+    for (std::size_t i = stp_log_before; i < stp_log.size(); ++i) {
+      const auto& rec = stp_log[i];
+      if (rec.type == kMsgConvertRequest || rec.type == kMsgConvertBatch)
+        ++stats->convert_msgs;
+    }
+    stats->convert_bytes = net_.stats("sdc", "stp").bytes - sdc_stp_before;
+    stats->convert_reply_bytes = net_.stats("stp", "sdc").bytes - stp_sdc_before;
+    std::size_t req_bytes_after = 0, resp_bytes_after = 0;
+    for (const auto& p : prepared) {
+      req_bytes_after += net_.stats(su_name(p.su_id), "sdc").bytes;
+      resp_bytes_after += net_.stats("sdc", su_name(p.su_id)).bytes;
+    }
+    stats->request_bytes = req_bytes_after - req_bytes_before;
+    stats->response_bytes = resp_bytes_after - resp_bytes_before;
+  }
+  return outs;
 }
 
 }  // namespace pisa::core

@@ -76,6 +76,30 @@ class PisaSystem {
       std::optional<std::pair<std::uint32_t, std::uint32_t>> range = std::nullopt,
       PrepMode mode = PrepMode::kFresh);
 
+  /// Aggregate accounting for one concurrent burst (su_request_many).
+  struct MultiRequestStats {
+    double prep_wall_ms = 0;   ///< building + encrypting every request (SU side)
+    double serve_wall_ms = 0;  ///< wall clock of the network drain (SDC + STP)
+    double makespan_us = 0;    ///< virtual time, burst send → last response
+    std::size_t convert_msgs = 0;  ///< SDC→STP conversion messages (round-trips)
+    std::size_t request_bytes = 0;        ///< Σ SU → SDC
+    std::size_t convert_bytes = 0;        ///< Σ SDC → STP
+    std::size_t convert_reply_bytes = 0;  ///< Σ STP → SDC
+    std::size_t response_bytes = 0;       ///< Σ SDC → SU
+  };
+
+  /// Concurrent burst (DESIGN.md §3.5): prepare every request first, inject
+  /// them all at one virtual instant, then drain the network once — so the
+  /// SDC sees genuinely overlapping requests and (with convert_batch_max
+  /// set) coalesces their conversion rounds. Outcomes are returned in
+  /// submission order; per-outcome byte fields stay zero (the per-link
+  /// totals land in `stats` instead, since concurrent transfers share the
+  /// links). Byte-identical to issuing the same burst without batching: see
+  /// the §3.5 determinism argument.
+  std::vector<RequestOutcome> su_request_many(
+      const std::vector<watch::SuRequest>& requests,
+      PrepMode mode = PrepMode::kFresh, MultiRequestStats* stats = nullptr);
+
   /// The F matrix the request encrypts — shared with PlainWatch's pipeline.
   watch::QMatrix build_f(const watch::SuRequest& request) const;
 

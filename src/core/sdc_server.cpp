@@ -24,10 +24,10 @@ SdcServer::SdcServer(const PisaConfig& cfg, crypto::PaillierPublicKey group_pk,
                      std::string issuer_name)
     : cfg_(cfg), codec_(cfg.slot_bits(), cfg.pack_slots),
       group_pk_(std::move(group_pk)), e_matrix_(std::move(e_matrix)),
-      rng_(rng),
       rsa_(crypto::rsa_generate(cfg.rsa_bits, rng, cfg.mr_rounds)),
       issuer_(std::move(issuer_name)),
-      seen_frames_(cfg.reliability.dedup_window) {
+      seen_frames_(cfg.reliability.dedup_window),
+      stream_(rng.next_u64()) {
   cfg_.validate();
   std::size_t blocks = cfg_.watch.grid_rows * cfg_.watch.grid_cols;
   if (e_matrix_.channels() != cfg_.watch.channels || e_matrix_.blocks() != blocks)
@@ -148,15 +148,15 @@ ConvertRequestMsg SdcServer::begin_request(const SuRequestMsg& request) {
   std::vector<bn::BigUint> betas(count);  // packed: Σ_j β_j·B^j
   std::vector<bn::BigInt> beta_slots(k);
   for (std::size_t i = 0; i < count; ++i) {
-    bn::BigUint alpha = bn::random_bits(rng_, cfg_.blind_bits);
+    bn::BigUint alpha = bn::random_bits(stream_, cfg_.blind_bits);
     alpha.set_bit(cfg_.blind_bits - 1);
     for (std::size_t j = 0; j < k; ++j) {
       beta_slots[j] = bn::BigInt{
-          bn::random_below(rng_, alpha - bn::BigUint{1}) + bn::BigUint{1}};
+          bn::random_below(stream_, alpha - bn::BigUint{1}) + bn::BigUint{1}};
     }
     betas[i] = codec_.pack(beta_slots).magnitude();
     alphas[i] = std::move(alpha);
-    pend.epsilon[i] = (rng_.next_u64() & 1) != 0 ? -1 : 1;
+    pend.epsilon[i] = (stream_.next_u64() & 1) != 0 ? -1 : 1;
   }
 
   // Heavy modexp section: every packed entry is independent, writes only
@@ -228,10 +228,10 @@ SuResponseMsg SdcServer::finish_request(const ConvertResponseMsg& response) {
 
   // Eq. (17): G̃ = S̃G ⊕ (η ⊗ ΣQ̃), fresh η >= 1 — η ⊗ · ⊕ · fused into one
   // ladder with the S̃G factor riding the Montgomery exit.
-  bn::BigUint eta = bn::random_bits(rng_, cfg_.blind_bits);
+  bn::BigUint eta = bn::random_bits(stream_, cfg_.blind_bits);
   eta.set_bit(cfg_.blind_bits - 1);
   auto g = crypto::PaillierCiphertext{pk_j.mont_n2().pow_mul(
-      acc.value, eta, pk_j.encrypt(pend.signature, rng_).value)};
+      acc.value, eta, pk_j.encrypt(pend.signature, stream_).value)};
 
   SuResponseMsg resp;
   resp.request_id = response.request_id;
@@ -242,8 +242,82 @@ SuResponseMsg SdcServer::finish_request(const ConvertResponseMsg& response) {
   return resp;
 }
 
+void SdcServer::stage_conversion(ConvertRequestMsg conv) {
+  staged_entries_ += conv.v.size();
+  staged_.push_back(ConvertBatchMsg::Item{conv.request_id, conv.su_id,
+                                          std::move(conv.v),
+                                          std::move(conv.partials)});
+  if (inflight_batch_) return;  // pipelined: rides the next flush
+  if (staged_entries_ >= cfg_.convert_batch_max) {
+    flush_batch();
+    return;
+  }
+  if (!linger_armed_) {
+    // First staged request arms the linger; later arrivals ride along. With
+    // linger 0 the timer still fires after every message already delivered
+    // at this virtual instant (FIFO tiebreak), so a burst landing together
+    // coalesces into one batch.
+    linger_armed_ = true;
+    net_->schedule_after(cfg_.convert_batch_linger_us, [this] {
+      linger_armed_ = false;
+      if (!inflight_batch_ && !staged_.empty()) flush_batch();
+    });
+  }
+}
+
+void SdcServer::flush_batch() {
+  // Take a prefix of at most convert_batch_max entries — but always at
+  // least one item, so a single oversized request still goes through.
+  std::size_t take = 0, entries = 0;
+  while (take < staged_.size()) {
+    std::size_t sz = staged_[take].v.size();
+    if (take > 0 && entries + sz > cfg_.convert_batch_max) break;
+    entries += sz;
+    ++take;
+  }
+  ConvertBatchMsg batch;
+  batch.batch_id = next_batch_id_++;
+  batch.items.assign(std::make_move_iterator(staged_.begin()),
+                     std::make_move_iterator(staged_.begin() + take));
+  staged_.erase(staged_.begin(), staged_.begin() + take);
+  staged_entries_ -= entries;
+  inflight_batch_ = batch.batch_id;
+  ++stats_.batches_sent;
+  net_->send({self_name_, stp_name_, kMsgConvertBatch,
+              batch.encode(group_pk_.ciphertext_bytes())});
+  // Loss watchdog: if the reply never arrives (transport gave up after its
+  // retries), unblock the batcher and flush the waiting buffer instead of
+  // wedging every later request behind a dead batch.
+  const std::uint64_t id = batch.batch_id;
+  net_->schedule_after(watchdog_delay_us(), [this, id] {
+    if (inflight_batch_ && *inflight_batch_ == id) {
+      inflight_batch_.reset();
+      ++stats_.batches_timed_out;
+      if (!staged_.empty()) flush_batch();
+    }
+  });
+}
+
+double SdcServer::watchdog_delay_us() const {
+  if (cfg_.convert_batch_watchdog_us > 0) return cfg_.convert_batch_watchdog_us;
+  if (cfg_.reliability.enabled) {
+    // Outlive the transport's whole retry schedule (Σ timeout·backoff^k over
+    // every transmission) with 50% headroom, plus our own linger.
+    double budget = 0.0, t = cfg_.reliability.timeout_us;
+    for (std::size_t k = 0; k <= cfg_.reliability.max_retries; ++k) {
+      budget += t;
+      t *= cfg_.reliability.backoff;
+    }
+    return 1.5 * budget + cfg_.convert_batch_linger_us;
+  }
+  return 1e6;  // 1 s of virtual time on the perfect bus
+}
+
 void SdcServer::attach(net::Transport& net, const std::string& name,
                        const std::string& stp_name) {
+  net_ = &net;
+  self_name_ = name;
+  stp_name_ = stp_name;
   // Completing a request needs pk_j (eq. (16) operates under the SU's key).
   // Keys arrive asynchronously from the STP directory, so conversions that
   // beat their key are parked in awaiting_key_ and drained on arrival.
@@ -267,8 +341,12 @@ void SdcServer::attach(net::Transport& net, const std::string& name,
       if (pending_.contains(request.request_id)) return;
       auto conv = begin_request(request);
       pending_.at(request.request_id).reply_to = msg.from;
-      net.send({name, stp_name, kMsgConvertRequest,
-                conv.encode(group_pk_.ciphertext_bytes())});
+      if (cfg_.convert_batch_max > 0) {
+        stage_conversion(std::move(conv));
+      } else {
+        net.send({name, stp_name, kMsgConvertRequest,
+                  conv.encode(group_pk_.ciphertext_bytes())});
+      }
       // Prefetch the SU's key in parallel with the conversion round.
       if (!su_keys_.contains(request.su_id) &&
           !lookups_in_flight_.contains(request.su_id)) {
@@ -286,6 +364,34 @@ void SdcServer::attach(net::Transport& net, const std::string& name,
       } else {
         awaiting_key_[su_id].push_back(std::move(response));
       }
+    } else if (msg.type == kMsgConvertBatchResponse) {
+      auto batch = ConvertBatchResponseMsg::decode(msg.payload);
+      // A reply that arrives after its watchdog fired still completes its
+      // requests below (each item is validated against pending_, so
+      // duplicates and already-finished requests fall out); the batch_id
+      // check only governs the in-flight slot.
+      if (inflight_batch_ && *inflight_batch_ == batch.batch_id)
+        inflight_batch_.reset();
+      // Items complete in batch order — the same order their per-request
+      // ConvertResponseMsgs would have arrived in, which keeps the η draw
+      // order (and so every response byte) identical to unbatched mode.
+      for (auto& item : batch.items) {
+        ConvertResponseMsg response;
+        response.request_id = item.request_id;
+        response.x = std::move(item.x);
+        auto it = pending_.find(response.request_id);
+        if (it == pending_.end()) continue;  // duplicate or late
+        auto su_id = it->second.request.su_id;
+        if (su_keys_.contains(su_id)) {
+          complete(response);
+        } else {
+          awaiting_key_[su_id].push_back(std::move(response));
+        }
+      }
+      // Pipelining: requests that arrived while this batch was at the STP
+      // are already blinded and staged — flush them without waiting for a
+      // new linger window.
+      if (!inflight_batch_ && !staged_.empty()) flush_batch();
     } else if (msg.type == kMsgKeyLookupResponse) {
       auto resp = KeyLookupResponseMsg::decode(msg.payload);
       lookups_in_flight_.erase(resp.su_id);

@@ -21,6 +21,7 @@
 
 #include "bigint/random_source.hpp"
 #include "core/cipher_ops.hpp"
+#include "crypto/chacha_rng.hpp"
 #include "core/config.hpp"
 #include "core/messages.hpp"
 #include "crypto/paillier.hpp"
@@ -117,6 +118,8 @@ class SdcServer {
     std::uint64_t pu_updates = 0;
     std::uint64_t requests_started = 0;
     std::uint64_t requests_finished = 0;
+    std::uint64_t batches_sent = 0;     // ConvertBatchMsgs (batching mode)
+    std::uint64_t batches_timed_out = 0;  // watchdog-abandoned batches
     PhaseStat update;  // handle_pu_update
     PhaseStat phase1;  // begin_request
     PhaseStat phase2;  // finish_request
@@ -135,11 +138,23 @@ class SdcServer {
   crypto::PaillierCiphertext& budget_at(std::uint32_t group, std::uint32_t b);
   const crypto::PaillierPublicKey& su_key(std::uint32_t su_id) const;
 
+  // --- conversion batcher (cfg_.convert_batch_max > 0, DESIGN.md §3.5) ---
+  /// Stage one begun request's blinded Ṽ for the next batch; flushes when
+  /// the batch is full, otherwise arms the linger timer. While a batch is
+  /// in flight new arrivals only stage (their begin_request blinding already
+  /// ran — that is the phase pipelining) and ride the next flush.
+  void stage_conversion(ConvertRequestMsg conv);
+  /// Send staged items (up to convert_batch_max entries, always >= 1 item)
+  /// as one ConvertBatchMsg and arm its loss watchdog.
+  void flush_batch();
+  /// Watchdog deadline: explicit knob, else 1.5× the transport's full retry
+  /// schedule (reliable mode), else 1 s of virtual time on the perfect bus.
+  double watchdog_delay_us() const;
+
   PisaConfig cfg_;
   crypto::SlotCodec codec_;  // pack_slots entries per plaintext (§3.4)
   crypto::PaillierPublicKey group_pk_;
   watch::QMatrix e_matrix_;
-  bn::RandomSource& rng_;
   crypto::RsaKeyPair rsa_;
   std::string issuer_;
   std::shared_ptr<exec::ThreadPool> exec_;
@@ -157,6 +172,26 @@ class SdcServer {
   net::DedupWindow seen_frames_;
   std::uint64_t serial_ = 0;
   Stats stats_;
+
+  // Conversion batcher state (network mode only; see attach()). staged_ is
+  // the waiting buffer of the double-buffered queue, inflight_batch_ marks
+  // the batch currently at the STP.
+  std::vector<ConvertBatchMsg::Item> staged_;
+  std::size_t staged_entries_ = 0;
+  std::optional<std::uint64_t> inflight_batch_;
+  std::uint64_t next_batch_id_ = 1;
+  bool linger_armed_ = false;
+  net::Transport* net_ = nullptr;  // set by attach()
+  std::string self_name_;
+  std::string stp_name_;
+
+  /// Private runtime stream for blinding draws (α, β, ε, η, signature
+  /// nonces), seeded once from the construction rng. Keeping request-path
+  /// randomness off the shared simulation rng makes every output byte a
+  /// function of this entity's own draw order alone — so batching, batch
+  /// composition and message interleaving cannot change results
+  /// (DESIGN.md §3.5). Declared last: its seed draw follows the RSA keygen.
+  crypto::ChaChaRng stream_;
 };
 
 }  // namespace pisa::core

@@ -18,6 +18,7 @@
 #include "bigint/random_source.hpp"
 #include "core/config.hpp"
 #include "core/messages.hpp"
+#include "crypto/chacha_rng.hpp"
 #include "crypto/paillier.hpp"
 #include "crypto/threshold_paillier.hpp"
 #include "net/bus.hpp"
@@ -45,12 +46,29 @@ class StpServer {
   /// the network handler.
   ConvertResponseMsg convert(const ConvertRequestMsg& request);
 
+  /// Batched conversion (DESIGN.md §3.5): one parallel_for over the flat
+  /// entry list of every item, randomness staged sequentially in (item,
+  /// entry) order — per-item outputs are byte-identical to item-by-item
+  /// convert() calls issued in the same order.
+  ConvertBatchResponseMsg convert_batch(const ConvertBatchMsg& batch);
+
   /// Offline optimization: precompute `count` r^n factors for SU `su_id`'s
   /// key so the conversion re-encryption costs one modular multiplication
   /// per entry instead of a full encryption. The STP knows every pk_j in
   /// advance, so this moves its dominant cost off the request path — the
   /// same trick §VI-A applies to SU request preparation.
   void precompute_su_randomizers(std::uint32_t su_id, std::size_t count);
+
+  /// Background pool maintenance for the always-warm mode
+  /// (PisaConfig::stp_pool_target > 0): top every auto-managed pool back up
+  /// to its target from the SU's private refill stream, modexps on the
+  /// shared thread pool. Called off the request path (PisaSystem invokes it
+  /// after each network drain); pool contents depend only on registration
+  /// order and pop counts, never on when refills run.
+  void maintain_pools();
+
+  /// Available precomputed factors for one SU (0 if no pool).
+  std::size_t pool_available(std::uint32_t su_id) const;
 
   /// Execution lanes for conversion and pool refills (nullptr = sequential).
   void set_thread_pool(std::shared_ptr<exec::ThreadPool> pool);
@@ -71,6 +89,7 @@ class StpServer {
 
   std::uint64_t conversions_served() const { return conversions_; }
   std::uint64_t entries_converted() const { return entries_; }
+  std::uint64_t batches_served() const { return batches_; }
 
   /// TEST/AUDIT ONLY: decrypt a group-key ciphertext. Models what a curious
   /// STP could compute; the privacy tests use it to show blinded values
@@ -80,6 +99,22 @@ class StpServer {
   }
 
  private:
+  /// One Ṽ entry of a (possibly batched) conversion, flattened: where its
+  /// ciphertext lives, which SU key re-encrypts it, and the pre-staged
+  /// randomness (pooled factor, fast-base exponent, or fresh r, by mode).
+  struct ConvertEntry;
+
+  /// Sequential randomness pre-pass for `count` entries of one SU, written
+  /// into entries[base..base+count): drain the SU's pool while it lasts,
+  /// then fall back to the cached fast base (short exponents) or fresh
+  /// random_coprime draws from rng_ for the remainder.
+  void stage_randomness(std::uint32_t su_id, std::size_t count,
+                        std::vector<ConvertEntry>& entries, std::size_t base);
+
+  /// The conversion kernel: decrypt (threshold or direct), per-slot sign
+  /// map, re-encrypt under pk_j — one parallel_for over all flat entries.
+  void convert_entries(std::vector<ConvertEntry>& entries);
+
   PisaConfig cfg_;
   bn::RandomSource& rng_;
   crypto::PaillierKeyPair group_;
@@ -87,10 +122,23 @@ class StpServer {
   std::map<std::uint32_t, crypto::PaillierPublicKey> su_keys_;
   std::map<std::uint32_t, crypto::RandomizerPool> su_pools_;
   std::map<std::uint32_t, crypto::FastRandomizerBase> su_fast_bases_;
+  /// Private refill stream per auto-managed (always-warm) pool, seeded at
+  /// registration — keeps pool contents independent of refill timing.
+  std::map<std::uint32_t, crypto::ChaChaRng> su_streams_;
   std::optional<crypto::ThresholdDeal> deal_;  // set iff cfg.threshold_stp
   net::DedupWindow seen_frames_;  // at-least-once replay defence
   std::uint64_t conversions_ = 0;
   std::uint64_t entries_ = 0;
+  std::uint64_t batches_ = 0;
+
+  /// Private runtime stream for conversion randomness (fast-base setup,
+  /// refill-stream seeds, fresh factors), seeded once from the construction
+  /// rng. Conversion outputs then depend only on this entity's own draw
+  /// order — never on how its work interleaves with other parties on a
+  /// shared simulation rng — which is what makes batched and per-request
+  /// conversion byte-identical for every batch composition (DESIGN.md
+  /// §3.5). Declared last: its seed draw follows key generation.
+  crypto::ChaChaRng stream_;
 };
 
 }  // namespace pisa::core

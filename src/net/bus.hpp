@@ -83,6 +83,10 @@ class Transport {
 
   /// Submit a message for (possibly unreliable) delivery.
   virtual void send(Message m) = 0;
+
+  /// Run `fn` at virtual time now + delay_us (application timers — the SDC's
+  /// conversion batcher uses this for its linger/watchdog deadlines).
+  virtual void schedule_after(double delay_us, std::function<void()> fn) = 0;
 };
 
 class SimulatedNetwork : public Transport {
@@ -102,7 +106,7 @@ class SimulatedNetwork : public Transport {
 
   /// Run `fn` at virtual time now_us() + delay_us. Timer events share the
   /// event queue with messages but do not count as deliveries.
-  void schedule_after(double delay_us, std::function<void()> fn);
+  void schedule_after(double delay_us, std::function<void()> fn) override;
 
   /// Deliver or fire the earliest pending event; false if none pending.
   bool deliver_one();

@@ -63,6 +63,11 @@ void ReliableTransport::send(Message m) {
   arm_timer(m.from, m.to, seq);
 }
 
+void ReliableTransport::schedule_after(double delay_us,
+                                       std::function<void()> fn) {
+  net_.schedule_after(delay_us, std::move(fn));
+}
+
 void ReliableTransport::arm_timer(const std::string& from, const std::string& to,
                                   std::uint64_t seq) {
   auto& o = endpoints_.at(from).tx.at(to).outstanding.at(seq);

@@ -74,6 +74,10 @@ class ReliableTransport final : public Transport {
   /// acknowledged or the retry budget is exhausted.
   void send(Message m) override;
 
+  /// Application timers pass straight through to the underlying network's
+  /// virtual clock (the transport adds no framing to time).
+  void schedule_after(double delay_us, std::function<void()> fn) override;
+
   /// A message the transport gave up on after exhausting its retries.
   struct GiveUp {
     std::string from;

@@ -95,6 +95,27 @@ TEST_F(FuzzFixture, ConvertMessagesSurviveHostileBytes) {
   fuzz_decode<ConvertResponseMsg>(resp.encode(width), 150);
 }
 
+TEST_F(FuzzFixture, ConvertBatchMessagesSurviveHostileBytes) {
+  ConvertBatchMsg batch;
+  batch.batch_id = 4;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    ConvertBatchMsg::Item item;
+    item.request_id = 50 + i;
+    item.su_id = i + 1;
+    item.v = {ct(), ct()};
+    item.partials = {ct(), ct()};
+    batch.items.push_back(std::move(item));
+  }
+  fuzz_decode<ConvertBatchMsg>(batch.encode(width), 150);
+
+  ConvertBatchResponseMsg resp;
+  resp.batch_id = 4;
+  resp.items.resize(2);
+  resp.items[0] = {50, {ct()}};
+  resp.items[1] = {51, {ct(), ct()}};
+  fuzz_decode<ConvertBatchResponseMsg>(resp.encode({width, width}), 150);
+}
+
 TEST_F(FuzzFixture, SuResponseMsgSurvivesHostileBytes) {
   SuResponseMsg m;
   m.request_id = 5;

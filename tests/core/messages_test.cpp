@@ -82,6 +82,79 @@ TEST_F(MessagesFixture, ConvertMessagesRoundTrip) {
   EXPECT_EQ(resp2.x, resp.x);
 }
 
+TEST_F(MessagesFixture, ConvertBatchRoundTrip) {
+  ConvertBatchMsg m;
+  m.batch_id = 31337;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ConvertBatchMsg::Item it;
+    it.request_id = 1000 + i;
+    it.su_id = i + 1;
+    for (std::uint32_t j = 0; j <= i; ++j) it.v.push_back(ct(10 * i + j));
+    m.items.push_back(std::move(it));
+  }
+  EXPECT_EQ(m.total_entries(), 6u);
+  auto back = ConvertBatchMsg::decode(m.encode(width));
+  EXPECT_EQ(back.batch_id, 31337u);
+  ASSERT_EQ(back.items.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back.items[i].request_id, m.items[i].request_id);
+    EXPECT_EQ(back.items[i].su_id, m.items[i].su_id);
+    EXPECT_EQ(back.items[i].v, m.items[i].v);
+    EXPECT_TRUE(back.items[i].partials.empty());
+  }
+}
+
+TEST_F(MessagesFixture, ConvertBatchCarriesThresholdPartials) {
+  ConvertBatchMsg m;
+  m.batch_id = 1;
+  ConvertBatchMsg::Item it;
+  it.request_id = 5;
+  it.su_id = 2;
+  it.v = {ct(1), ct(2)};
+  it.partials = {ct(3), ct(4)};
+  m.items.push_back(it);
+  auto back = ConvertBatchMsg::decode(m.encode(width));
+  EXPECT_EQ(back.items[0].partials, it.partials);
+
+  it.partials.pop_back();  // mismatched partials must not decode
+  ConvertBatchMsg bad;
+  bad.items.push_back(std::move(it));
+  EXPECT_THROW(ConvertBatchMsg::decode(bad.encode(width)), net::DecodeError);
+}
+
+TEST_F(MessagesFixture, ConvertBatchResponseUsesPerItemWidths) {
+  // Each item's X̃ is under its own SU's key, so every item gets its own
+  // ciphertext width on the wire.
+  crypto::ChaChaRng other_rng{std::uint64_t{12}};
+  auto other = crypto::paillier_generate(320, other_rng, 8);
+
+  ConvertBatchResponseMsg m;
+  m.batch_id = 8;
+  m.items.resize(2);
+  m.items[0].request_id = 100;
+  m.items[0].x = {ct(7)};
+  m.items[1].request_id = 101;
+  m.items[1].x = {other.pk.encrypt(bn::BigUint{9}, other_rng)};
+  auto bytes = m.encode({width, other.pk.ciphertext_bytes()});
+  auto back = ConvertBatchResponseMsg::decode(bytes);
+  EXPECT_EQ(back.batch_id, 8u);
+  ASSERT_EQ(back.items.size(), 2u);
+  EXPECT_EQ(back.items[0].x, m.items[0].x);
+  EXPECT_EQ(back.items[1].x, m.items[1].x);
+
+  EXPECT_THROW(m.encode({width}), std::invalid_argument)
+      << "one width per item is mandatory";
+}
+
+TEST_F(MessagesFixture, ConvertBatchRejectsImplausibleCounts) {
+  net::Encoder enc;
+  enc.put_u64(1);           // batch_id
+  enc.put_u32(0xFFFFFF);    // item count far beyond the input size
+  auto bytes = enc.take();
+  EXPECT_THROW(ConvertBatchMsg::decode(bytes), net::DecodeError);
+  EXPECT_THROW(ConvertBatchResponseMsg::decode(bytes), net::DecodeError);
+}
+
 TEST_F(MessagesFixture, LicenseBodySigningBytesAreCanonical) {
   LicenseBody a{7, "sdc", 12, {}};
   LicenseBody b{7, "sdc", 12, {}};

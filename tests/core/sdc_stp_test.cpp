@@ -266,5 +266,93 @@ TEST_F(SdcStpFixture, StpPooledConversionMatchesFresh) {
   EXPECT_EQ(again, fresh);
 }
 
+TEST_F(SdcStpFixture, StpDrainsPartialPoolAndFreshSamplesRemainder) {
+  // A pool holding fewer factors than the request needs is not skipped
+  // wholesale: the 3 available factors serve the first 3 entries and the
+  // remaining 5 get fresh randomness, with no correctness difference.
+  both_update(0, BlockId{0}, ChannelId{0}, 1e-6);
+  watch::QMatrix f{cfg.watch.channels, 4, 0};
+  f.at(ChannelId{0}, BlockId{0}) = cfg.watch.quantizer.quantize_mw(1e-3);
+
+  stp.precompute_su_randomizers(1, 3);  // request needs channels*blocks = 8
+  EXPECT_EQ(stp.pool_available(1), 3u);
+  EXPECT_FALSE(decide(f)) << "deny scenario survives the mixed-mode round";
+  EXPECT_EQ(stp.pool_available(1), 0u)
+      << "partial pool drained, not bypassed";
+
+  watch::QMatrix quiet{cfg.watch.channels, 4, 0};
+  EXPECT_TRUE(decide(quiet)) << "fully fresh follow-up stays correct";
+}
+
+TEST(SdcStpFastBase, CachedFastBaseServesPoolOverflow) {
+  // With fast_randomizers on, entries past the pool's end use the cached
+  // FastRandomizerBase (one short-exponent table power each) instead of a
+  // full-width fresh modexp — and the decision algebra is unaffected.
+  PisaConfig cfg;
+  cfg.watch.grid_rows = 1;
+  cfg.watch.grid_cols = 4;
+  cfg.watch.channels = 2;
+  cfg.paillier_bits = 768;
+  cfg.rsa_bits = 384;
+  cfg.blind_bits = 48;
+  cfg.mr_rounds = 8;
+  cfg.fast_randomizers = true;
+
+  crypto::ChaChaRng rng{std::uint64_t{4242}};
+  StpServer stp{cfg, rng};
+  SdcServer sdc{cfg, stp.group_key(), watch::make_e_matrix(cfg.watch), rng};
+  SuClient su{1, cfg, stp.group_key(), rng};
+  stp.register_su_key(1, su.public_key());
+  sdc.register_su_key(1, su.public_key());
+
+  stp.precompute_su_randomizers(1, 1);  // 1 pooled, 7 fast-base entries
+  EXPECT_EQ(stp.pool_available(1), 1u);
+
+  watch::QMatrix f{cfg.watch.channels, 4, 0};
+  auto req = su.prepare_request(f, 1);
+  auto resp = sdc.finish_request(stp.convert(sdc.begin_request(req)));
+  EXPECT_TRUE(su.process_response(resp, sdc.license_key()).granted)
+      << "zero interference is always a grant";
+  EXPECT_EQ(stp.pool_available(1), 0u);
+  EXPECT_EQ(stp.entries_converted(), 8u);
+}
+
+TEST(SdcStpWarmPools, RegistrationProvisionsAndMaintainRefills) {
+  // Always-warm mode (stp_pool_target > 0): registering a key provisions a
+  // full pool with no precompute call; conversions drain it; and
+  // maintain_pools() — the off-request-path hook — tops it back up.
+  PisaConfig cfg;
+  cfg.watch.grid_rows = 1;
+  cfg.watch.grid_cols = 4;
+  cfg.watch.channels = 2;
+  cfg.paillier_bits = 768;
+  cfg.rsa_bits = 384;
+  cfg.blind_bits = 48;
+  cfg.mr_rounds = 8;
+  cfg.stp_pool_target = 5;
+
+  crypto::ChaChaRng rng{std::uint64_t{77}};
+  StpServer stp{cfg, rng};
+  auto su_keys = crypto::paillier_generate(cfg.paillier_bits, rng, cfg.mr_rounds);
+  stp.register_su_key(1, su_keys.pk);
+  EXPECT_EQ(stp.pool_available(1), 5u) << "warm from the moment of registration";
+
+  ConvertRequestMsg req;
+  req.request_id = 1;
+  req.su_id = 1;
+  for (int v : {3, -2, 1})
+    req.v.push_back(stp.group_key().encrypt_signed(bn::BigInt{v}, rng));
+  auto resp = stp.convert(req);
+  ASSERT_EQ(resp.x.size(), 3u);
+  EXPECT_EQ(stp.pool_available(1), 2u);
+
+  stp.maintain_pools();
+  EXPECT_EQ(stp.pool_available(1), 5u) << "background refill restores the target";
+
+  // Re-registration (key rotation) rebuilds the pool for the new modulus.
+  stp.register_su_key(1, su_keys.pk);
+  EXPECT_EQ(stp.pool_available(1), 5u);
+}
+
 }  // namespace
 }  // namespace pisa::core
