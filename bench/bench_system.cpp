@@ -26,14 +26,25 @@
 // virtual-time requests/sec, latency percentiles, conversion round-trips
 // and bytes per request.
 //
+// The shard × durability sweep (DESIGN.md §3.6) reruns an identical
+// PU-fold burst + request serve at num_shards ∈ {1, 2, 4, 8}, durability
+// off and on: per-shard fold throughput, wall-clock requests/sec (the
+// WAL-overhead guard input — scripts/check_perf_regression.py fails the
+// run when WAL-on costs more than 15% of WAL-off requests/sec) and the
+// crash-recovery rebuild time measured by the engine itself.
+//
 // `--quick` runs the n=1024 scaling rows, the pack sweep, a two-point
-// thread sweep and the {2, 8}-SU throughput sweep (no 4-lane row, no 16-SU
+// thread sweep, the {2, 8}-SU throughput sweep and the full shard ×
+// durability grid with a shortened per-row burst (no 4-lane row, no 16-SU
 // fleet, no n=2048 production row) — the CI perf-smoke configuration that
 // scripts/check_perf_regression.py compares against the committed
 // BENCH_system.json.
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -377,6 +388,142 @@ void print_throughput_row(const ThroughputRow& r) {
               r.serve_wall_ms);
 }
 
+// ---- Shard × durability sweep (DESIGN.md §3.6) ---------------------------
+//
+// The same seeded workload — a PU-fold burst followed by sequential SU
+// requests — at every shard count, durability off and on. The fold burst is
+// the path the WAL sits on (journal → retract → add per shard), so
+// pu_fold_ms carries the journaling cost; requests_per_sec is wall-clock
+// (not virtual time) so the durability overhead on the serve path is a real
+// measurement, and the regression guard compares the on/off pair from the
+// same run — host speed cancels out. recovery_ms is the engine's own timing
+// of the snapshot-load + WAL-replay rebuild after a crash.
+
+struct ShardRow {
+  std::size_t num_shards = 1;
+  bool durability = false;
+  std::size_t channels = 0, blocks = 0;
+  std::size_t pu_updates = 0;
+  double pu_fold_ms = 0;                    // mean fold per update
+  double pu_fold_rows_per_sec_per_shard = 0;  // group-rows folded /s /shard
+  double requests_per_sec = 0;              // wall-clock sequential serve
+  double serve_wall_ms = 0;
+  double recovery_ms = 0;                   // 0 when durability is off
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t snapshots_written = 0;
+};
+
+ShardRow measure_shard(std::size_t num_shards, bool durable, bool quick,
+                       std::uint64_t seed) {
+  namespace fs = std::filesystem;
+  core::PisaConfig cfg;
+  cfg.watch.grid_rows = 2;
+  cfg.watch.grid_cols = 3;
+  cfg.watch.block_size_m = 100.0;
+  cfg.watch.channels = 8;  // 8 channel groups at pack_slots = 1: every shard
+                           // count in the sweep partitions them evenly
+  cfg.paillier_bits = 768;
+  cfg.rsa_bits = 384;
+  cfg.blind_bits = 128;
+  cfg.mr_rounds = 12;
+  cfg.num_shards = num_shards;
+  cfg.num_threads = num_shards;  // one fold lane per shard
+  fs::path dir;
+  if (durable) {
+    dir = fs::temp_directory_path() /
+          ("pisa_bench_shard_" + std::to_string(::getpid()) + "_" +
+           std::to_string(num_shards));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    cfg.durability.enabled = true;
+    cfg.durability.dir = dir.string();
+    cfg.durability.snapshot_every = 4;  // compaction triggers mid-burst
+    cfg.durability.serial_reserve = 16;
+  }
+
+  crypto::ChaChaRng rng{seed};
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  std::vector<watch::PuSite> sites{{0, radio::BlockId{0}},
+                                   {1, radio::BlockId{4}}};
+  core::PisaSystem system{cfg, sites, model, rng};
+  auto& su = system.add_su(1);
+  system.sdc().register_su_key(1, su.public_key());
+
+  ShardRow row;
+  row.num_shards = num_shards;
+  row.durability = durable;
+  row.channels = cfg.watch.channels;
+  row.blocks = cfg.watch.grid_rows * cfg.watch.grid_cols;
+  row.pu_updates = quick ? 6 : 12;
+
+  // PU encryption happens client-side and off the clock; the timed section
+  // is exactly the sharded fold.
+  std::vector<core::PuUpdateMsg> updates;
+  updates.reserve(row.pu_updates);
+  for (std::size_t i = 0; i < row.pu_updates; ++i) {
+    watch::PuTuning tuning{
+        radio::ChannelId{static_cast<std::uint32_t>(i % cfg.watch.channels)},
+        1e-6 * static_cast<double>(i % 5 + 1)};
+    updates.push_back(system.pu(i % sites.size()).make_update(tuning));
+  }
+  auto t0 = Clock::now();
+  for (const auto& u : updates) system.sdc().handle_pu_update(u);
+  double fold_ms = ms_since(t0);
+  row.pu_fold_ms = fold_ms / static_cast<double>(row.pu_updates);
+  row.pu_fold_rows_per_sec_per_shard =
+      fold_ms > 0 ? static_cast<double>(row.pu_updates * row.channels) * 1e3 /
+                        fold_ms / static_cast<double>(num_shards)
+                  : 0;
+
+  const std::size_t n_req = quick ? 2 : 4;
+  watch::SuRequest req{1, radio::BlockId{2},
+                       std::vector<double>(cfg.watch.channels, 100.0)};
+  // One untimed warm-up request first: lazy pools, page faults and first-use
+  // allocations land outside the measurement window, keeping the on/off
+  // requests/sec pair (the 15% guard input) clear of cold-start noise.
+  (void)system.su_request(req);
+  t0 = Clock::now();
+  for (std::size_t i = 0; i < n_req; ++i) {
+    auto out = system.su_request(req);
+    if (!out.completed())
+      std::fprintf(stderr, "warning: shard-sweep request failed: %s\n",
+                   out.failure.c_str());
+  }
+  row.serve_wall_ms = ms_since(t0);
+  row.requests_per_sec =
+      row.serve_wall_ms > 0
+          ? static_cast<double>(n_req) * 1e3 / row.serve_wall_ms
+          : 0;
+
+  row.wal_records = system.sdc().state().wal_records();
+  row.wal_bytes = system.sdc().state().wal_bytes();
+  row.snapshots_written = system.sdc().state().snapshots_written();
+
+  // Crash and restart: recovery_ms is the engine's own measurement of the
+  // snapshot-load + WAL-replay rebuild (zero with durability off — the
+  // restarted SDC has nothing to recover from).
+  system.crash_sdc();
+  auto& sdc = system.restart_sdc();
+  row.recovery_ms = sdc.state().recovery_stats().recover_ms;
+
+  if (durable) fs::remove_all(dir);
+  return row;
+}
+
+void print_shard_row(const ShardRow& r) {
+  std::printf(
+      "  shards=%zu %-3s | fold %6.1f ms/update (%6.0f rows/s/shard) | "
+      "%5.2f req/s | recover %6.1f ms | wal %3llu rec %6.1f kB, %llu "
+      "snapshot%s\n",
+      r.num_shards, r.durability ? "wal" : "off", r.pu_fold_ms,
+      r.pu_fold_rows_per_sec_per_shard, r.requests_per_sec, r.recovery_ms,
+      static_cast<unsigned long long>(r.wal_records),
+      static_cast<double>(r.wal_bytes) / 1e3,
+      static_cast<unsigned long long>(r.snapshots_written),
+      r.snapshots_written == 1 ? "" : "s");
+}
+
 double byte_ratio(std::size_t base, std::size_t packed) {
   return packed > 0 ? static_cast<double>(base) / static_cast<double>(packed)
                     : 0;
@@ -445,10 +592,29 @@ benchjson::JsonFields throughput_json(const ThroughputRow& r) {
   return j;
 }
 
+benchjson::JsonFields shard_json(const ShardRow& r) {
+  benchjson::JsonFields j;
+  j.add("num_shards", r.num_shards);
+  j.add("durability", std::size_t{r.durability ? 1u : 0u});
+  j.add("channels", r.channels);
+  j.add("blocks", r.blocks);
+  j.add("pu_updates", r.pu_updates);
+  j.add("pu_fold_ms", r.pu_fold_ms);
+  j.add("pu_fold_rows_per_sec_per_shard", r.pu_fold_rows_per_sec_per_shard);
+  j.add("requests_per_sec", r.requests_per_sec);
+  j.add("serve_wall_ms", r.serve_wall_ms);
+  j.add("recovery_ms", r.recovery_ms);
+  j.add("wal_records", static_cast<std::size_t>(r.wal_records));
+  j.add("wal_bytes", static_cast<std::size_t>(r.wal_bytes));
+  j.add("snapshots_written", static_cast<std::size_t>(r.snapshots_written));
+  return j;
+}
+
 void write_json(const char* path, bool quick, const std::vector<Row>& scaling,
                 const std::vector<Row>& sweep,
                 const std::vector<Row>& pack_sweep,
-                const std::vector<ThroughputRow>& throughput) {
+                const std::vector<ThroughputRow>& throughput,
+                const std::vector<ShardRow>& shard_sweep) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "warning: cannot write %s\n", path);
@@ -463,13 +629,17 @@ void write_json(const char* path, bool quick, const std::vector<Row>& scaling,
   std::vector<benchjson::JsonFields> tput;
   tput.reserve(throughput.size());
   for (const auto& r : throughput) tput.push_back(throughput_json(r));
+  std::vector<benchjson::JsonFields> shards;
+  shards.reserve(shard_sweep.size());
+  for (const auto& r : shard_sweep) shards.push_back(shard_json(r));
   std::fprintf(f, "{\n  \"quick\": %s,\n  \"hardware_threads\": %zu,\n",
                quick ? "true" : "false",
                exec::ThreadPool::hardware_threads());
   benchjson::write_row_array(f, "scaling", rows_of(scaling), false);
   benchjson::write_row_array(f, "thread_sweep", rows_of(sweep), false);
   benchjson::write_row_array(f, "pack_sweep", rows_of(pack_sweep), false);
-  benchjson::write_row_array(f, "throughput", tput, true);
+  benchjson::write_row_array(f, "throughput", tput, false);
+  benchjson::write_row_array(f, "shard_sweep", shards, true);
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
@@ -555,6 +725,32 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  // Shard × durability sweep (DESIGN.md §3.6): identical workload per shard
+  // count, WAL off vs on. The on/off requests/sec pair feeds the 15%
+  // durability-overhead guard in scripts/check_perf_regression.py.
+  std::printf("Shard x durability sweep at n=768, C=8, B=6 (wall-clock "
+              "req/s; recovery = crash + rebuild):\n");
+  // All four shard counts run in --quick too (the per-row burst shrinks
+  // instead): the committed BENCH_system.json carries the full N column
+  // and CI always has the on/off pair for the overhead guard.
+  std::vector<ShardRow> shard_sweep;
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                        std::size_t{8}}) {
+    ShardRow off = measure_shard(n, false, quick, 0xD0C5EED);
+    print_shard_row(off);
+    ShardRow on = measure_shard(n, true, quick, 0xD0C5EED);
+    print_shard_row(on);
+    if (on.requests_per_sec > 0)
+      std::printf("    -> durability overhead at %zu shard%s: %+.1f%% req/s "
+                  "(guard: <= 15%%), recovery %.1f ms\n",
+                  n, n == 1 ? "" : "s",
+                  (off.requests_per_sec / on.requests_per_sec - 1.0) * 100.0,
+                  on.recovery_ms);
+    shard_sweep.push_back(off);
+    shard_sweep.push_back(on);
+  }
+  std::printf("\n");
+
   std::vector<Row> scaling{r1, r2};
   if (!quick) {
     std::printf("Production key size n=2048 (paper's configuration):\n");
@@ -565,7 +761,7 @@ int main(int argc, char** argv) {
   }
 
   write_json("BENCH_system.json", quick, scaling, sweep, pack_sweep,
-             throughput);
+             throughput, shard_sweep);
   std::printf("\nMachine-readable results written to BENCH_system.json\n");
 
   std::printf("\nDone.\n");

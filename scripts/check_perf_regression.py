@@ -25,6 +25,13 @@ Guarded metrics (the protocol's hot paths):
                         protocol change (extra round-trips, lost batching),
                         not host noise.
 
+One guard runs within the *current* run only (no baseline): the shard_sweep
+rows pair durability off/on at each shard count, and WAL-on requests_per_sec
+must stay within `--wal-threshold` (default 1.15, i.e. <= 15% overhead) of
+the WAL-off row measured moments earlier on the same host — write-ahead
+durability is journal-on-the-fold, and must never tax the serve path. Host
+speed cancels out of the pair, so this one is safe to gate on wall clock.
+
 Exits 1 when any guarded metric is more than `threshold`x worse than the
 committed snapshot, 2 when a snapshot/run file is missing or unparseable.
 Quick-mode measurement windows are short, so the default threshold is a
@@ -105,6 +112,23 @@ def throughput_checks(baseline, current):
             yield f"requests_per_sec {label}", base[key], cur[key], True
 
 
+def durability_checks(current):
+    """WAL-on vs WAL-off requests_per_sec, paired per shard count.
+
+    Compares within the current run only: the two rows ran back to back on
+    the same host under the same load, so the ratio is the durability cost
+    itself, not machine drift. The WAL-off row plays the 'baseline' column.
+    """
+    rows = current.get("shard_sweep", [])
+    off = {r["num_shards"]: r["requests_per_sec"]
+           for r in rows if not r["durability"]}
+    on = {r["num_shards"]: r["requests_per_sec"]
+          for r in rows if r["durability"]}
+    for n in sorted(off):
+        if n in on:
+            yield f"wal_overhead requests_per_sec shards={n}", off[n], on[n], True
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline-dir", default=".",
@@ -113,16 +137,25 @@ def main():
                     help="directory holding the fresh --quick BENCH_*.json")
     ap.add_argument("--threshold", type=float, default=1.25,
                     help="fail when current > threshold * baseline")
+    ap.add_argument("--wal-threshold", type=float, default=1.15,
+                    help="fail when WAL-on requests_per_sec < WAL-off / this "
+                         "(durability overhead cap, within the current run)")
     args = ap.parse_args()
 
+    # Each check is (label, baseline, current, higher_is_better, threshold);
+    # the WAL-overhead pairs carry their own tighter threshold.
     checks = []
-    checks.extend(paillier_checks(
+    checks.extend((*c, args.threshold) for c in paillier_checks(
         load(f"{args.baseline_dir}/BENCH_paillier.json"),
         load(f"{args.current_dir}/BENCH_paillier.json")))
     system_baseline = load(f"{args.baseline_dir}/BENCH_system.json")
     system_current = load(f"{args.current_dir}/BENCH_system.json")
-    checks.extend(system_checks(system_baseline, system_current))
-    checks.extend(throughput_checks(system_baseline, system_current))
+    checks.extend((*c, args.threshold)
+                  for c in system_checks(system_baseline, system_current))
+    checks.extend((*c, args.threshold)
+                  for c in throughput_checks(system_baseline, system_current))
+    checks.extend((*c, args.wal_threshold)
+                  for c in durability_checks(system_current))
 
     if not checks:
         print("error: no overlapping guarded metrics between baseline and "
@@ -131,23 +164,23 @@ def main():
 
     failures = 0
     print(f"{'metric':62s} {'baseline':>12s} {'current':>12s} {'ratio':>7s}")
-    for label, base, cur, higher_is_better in checks:
+    for label, base, cur, higher_is_better, threshold in checks:
         # Normalize so ratio > 1 always means "current is worse".
         if higher_is_better:
             ratio = base / cur if cur > 0 else float("inf")
         else:
             ratio = cur / base if base > 0 else float("inf")
-        status = "ok" if ratio <= args.threshold else "REGRESSION"
+        status = "ok" if ratio <= threshold else "REGRESSION"
         if status != "ok":
             failures += 1
         print(f"{label:62s} {base:12.1f} {cur:12.1f} {ratio:6.2f}x  {status}")
 
     if failures:
-        print(f"\n{failures} metric(s) regressed beyond {args.threshold}x; "
+        print(f"\n{failures} metric(s) regressed beyond their threshold; "
               "if intentional, regenerate the committed snapshots "
               "(EXPERIMENTS.md microbench recipe).", file=sys.stderr)
         sys.exit(1)
-    print(f"\nAll {len(checks)} guarded metrics within {args.threshold}x.")
+    print(f"\nAll {len(checks)} guarded metrics passed.")
 
 
 if __name__ == "__main__":

@@ -38,6 +38,22 @@ void sub_column(CipherMatrix& m, std::uint32_t block,
                 const crypto::PaillierPublicKey& pk,
                 exec::ThreadPool* pool = nullptr);
 
+/// Shard-slice variants (DESIGN.md §3.6): fold `column` — the slice a shard
+/// owns, indexed relative to g_begin — into rows [g_begin, g_end) only.
+/// Sequential on purpose: in the sharded engine each shard is already one
+/// lane of an outer parallel_for, so the inner loop must not re-enter the
+/// pool. Entry-for-entry these perform the same pk.add/pk.sub calls as the
+/// full-column kernels, so a column folded slice-by-slice across shards is
+/// byte-identical to one add_column over the whole matrix.
+void add_column_range(CipherMatrix& m, std::uint32_t block,
+                      std::span<const crypto::PaillierCiphertext> column,
+                      const crypto::PaillierPublicKey& pk, std::size_t g_begin,
+                      std::size_t g_end);
+void sub_column_range(CipherMatrix& m, std::uint32_t block,
+                      std::span<const crypto::PaillierCiphertext> column,
+                      const crypto::PaillierPublicKey& pk, std::size_t g_begin,
+                      std::size_t g_end);
+
 /// Deterministic entry-wise encryption of a public plaintext matrix
 /// (budget initialization from E; values must be >= 0).
 CipherMatrix encrypt_matrix_deterministic(const watch::QMatrix& values,

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <stdexcept>
+#include <string>
 
 #include "watch/config.hpp"
 
@@ -25,6 +26,28 @@ struct ReliabilityConfig {
   double timeout_us = 4'000.0;      ///< initial retransmission timeout
   double backoff = 2.0;             ///< exponential backoff multiplier
   std::size_t dedup_window = 4096;  ///< (sender, seq) replay memory per peer
+};
+
+/// Write-ahead durability for the SDC state engine (DESIGN.md §3.6).
+/// Disabled by default: the in-memory engine then behaves exactly like the
+/// pre-durability SdcServer, byte for byte. Enabled, every state mutation is
+/// journaled to a per-shard WAL before it is applied, shards periodically
+/// compact their log into a sealed snapshot, and a restarted SDC recovers
+/// byte-identical Ñ/W̃ state from the store directory.
+struct DurabilityConfig {
+  bool enabled = false;
+  std::string dir;  ///< store directory; required when enabled
+
+  /// Auto-compact a shard after this many WAL records (0 = only explicit
+  /// checkpoint() calls compact).
+  std::size_t snapshot_every = 256;
+
+  /// License serials are reserved from the WAL in chunks of this size, so
+  /// the request hot path journals one tiny record every `serial_reserve`
+  /// licenses instead of one per license. A crash skips at most the
+  /// unissued remainder of a chunk — serials stay strictly monotonic across
+  /// restarts, which is what makes replayed licenses detectable.
+  std::size_t serial_reserve = 64;
 };
 
 struct PisaConfig {
@@ -56,6 +79,17 @@ struct PisaConfig {
 
   /// Reliable transport over the simulated network (chaos/fault testing).
   ReliabilityConfig reliability;
+
+  /// SDC state-engine shards (DESIGN.md §3.6): the ⌈C/pack_slots⌉
+  /// channel-group rows of Ñ are split into this many contiguous balanced
+  /// slices, each with its own PU-column map, WAL and snapshot, folded in
+  /// parallel on the shared thread pool. 1 = today's single-lane engine,
+  /// byte-identical to the pre-sharding SdcServer. Values above the row
+  /// count are clamped.
+  std::size_t num_shards = 1;
+
+  /// Write-ahead durability + crash recovery for the SDC state engine.
+  DurabilityConfig durability;
 
   /// Cross-request throughput engine (DESIGN.md §3.5). With
   /// convert_batch_max > 0 the SDC stops sending one ConvertRequestMsg per
@@ -130,6 +164,14 @@ struct PisaConfig {
       throw std::invalid_argument("PisaConfig: blind_bits too small to hide values");
     if (num_threads == 0)
       throw std::invalid_argument("PisaConfig: num_threads must be >= 1");
+    if (num_shards == 0)
+      throw std::invalid_argument("PisaConfig: num_shards must be >= 1");
+    if (durability.enabled && durability.dir.empty())
+      throw std::invalid_argument(
+          "PisaConfig: durability.dir is required when durability is enabled");
+    if (durability.enabled && durability.serial_reserve == 0)
+      throw std::invalid_argument(
+          "PisaConfig: durability.serial_reserve must be >= 1");
     if (convert_batch_linger_us < 0)
       throw std::invalid_argument(
           "PisaConfig: convert_batch_linger_us must be >= 0");

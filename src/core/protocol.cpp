@@ -69,6 +69,24 @@ net::Transport& PisaSystem::transport() {
   return net_;
 }
 
+void PisaSystem::crash_sdc() {
+  if (!sdc_) return;
+  // Endpoint first, then the object: in-flight messages to "sdc" must fail
+  // delivery, and destroying the server drops all of its in-memory state.
+  transport().remove_endpoint("sdc");
+  sdc_.reset();
+}
+
+SdcServer& PisaSystem::restart_sdc() {
+  if (sdc_) return *sdc_;
+  sdc_ = std::make_unique<SdcServer>(cfg_, stp_->group_key(),
+                                     watch::make_e_matrix(cfg_.watch), rng_);
+  if (cfg_.threshold_stp) sdc_->set_threshold_share(stp_->sdc_share());
+  sdc_->set_thread_pool(exec_);
+  sdc_->attach(transport(), "sdc", "stp");
+  return *sdc_;
+}
+
 SuClient& PisaSystem::add_su(std::uint32_t su_id, std::size_t precompute) {
   if (sus_.contains(su_id))
     throw std::invalid_argument("PisaSystem: duplicate SU id");

@@ -111,6 +111,28 @@ class PisaSystem {
   /// The reliable transport layer, or nullptr when
   /// cfg.reliability.enabled is false (raw perfect-delivery bus).
   net::ReliableTransport* reliable_transport() { return reliable_.get(); }
+
+  // --- crash/restart chaos harness (DESIGN.md §3.6) -------------------------
+  /// Kill the SDC process: the entity object is destroyed — every byte of
+  /// in-memory state (Ñ, stored W̃ columns, pending requests, the
+  /// conversion batcher) is gone — and its endpoint leaves the network, so
+  /// messages already in flight to it are recorded as delivery failures
+  /// rather than delivered. What survives is exactly what durability wrote
+  /// to cfg.durability.dir. Idempotent; no-op when already crashed.
+  void crash_sdc();
+
+  /// Boot a fresh SDC process: a new SdcServer is constructed (with
+  /// durability on it recovers Ñ/W̃/serial state from cfg.durability.dir
+  /// and reloads its persisted RSA identity), gets its threshold share and
+  /// thread pool back, and re-attaches to the network under the same name.
+  /// SU keys are NOT restored — the SDC re-fetches them from the STP
+  /// directory on demand, the normal asynchronous key-lookup path. Requests
+  /// that were in flight at crash time stay lost (their SUs see a typed
+  /// transport failure); new requests proceed normally.
+  SdcServer& restart_sdc();
+
+  bool sdc_running() const { return sdc_ != nullptr; }
+
   SdcServer& sdc() { return *sdc_; }
   StpServer& stp() { return *stp_; }
   SuClient& su(std::uint32_t su_id);

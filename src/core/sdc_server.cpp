@@ -1,11 +1,13 @@
 #include "core/sdc_server.hpp"
 
+#include <filesystem>
 #include <stdexcept>
 
 #include "bigint/prime.hpp"
 #include "crypto/key_codec.hpp"
 #include "crypto/sha256.hpp"
 #include "exec/thread_pool.hpp"
+#include "store/snapshot.hpp"
 
 namespace pisa::core {
 
@@ -17,6 +19,28 @@ double ms_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
 }
 
+/// The SDC's license-signing identity. Ephemeral without durability
+/// (today's behaviour: fresh keypair per construction). With durability on,
+/// the keypair persists as a sealed file in the store directory, so a
+/// recovered SDC signs with the key SUs already hold — licenses issued
+/// after a restart verify against the published license_key().
+crypto::RsaKeyPair load_or_generate_identity(const PisaConfig& cfg,
+                                             bn::RandomSource& rng) {
+  if (!cfg.durability.enabled)
+    return crypto::rsa_generate(cfg.rsa_bits, rng, cfg.mr_rounds);
+  cfg.validate();
+  auto file = std::filesystem::path(cfg.durability.dir) / "sdc_identity.key";
+  if (auto sealed = store::read_sealed_file(file)) {
+    auto sk = crypto::parse_rsa_private_key(sealed->payload);
+    auto pk = sk.public_key();
+    return crypto::RsaKeyPair{std::move(pk), std::move(sk)};
+  }
+  auto kp = crypto::rsa_generate(cfg.rsa_bits, rng, cfg.mr_rounds);
+  std::filesystem::create_directories(cfg.durability.dir);
+  store::write_sealed_file(file, /*epoch=*/0, crypto::serialize(kp.sk));
+  return kp;
+}
+
 }  // namespace
 
 SdcServer::SdcServer(const PisaConfig& cfg, crypto::PaillierPublicKey group_pk,
@@ -24,30 +48,18 @@ SdcServer::SdcServer(const PisaConfig& cfg, crypto::PaillierPublicKey group_pk,
                      std::string issuer_name)
     : cfg_(cfg), codec_(cfg.slot_bits(), cfg.pack_slots),
       group_pk_(std::move(group_pk)), e_matrix_(std::move(e_matrix)),
-      rsa_(crypto::rsa_generate(cfg.rsa_bits, rng, cfg.mr_rounds)),
+      rsa_(load_or_generate_identity(cfg, rng)),
       issuer_(std::move(issuer_name)),
+      // The engine validates cfg, checks the E shape/sign invariants,
+      // initializes Ñ from E (tail slots seeded with 1 — see sdc_state.hpp)
+      // and, with durability on, recovers the previous run's state here.
+      state_(cfg_, group_pk_, e_matrix_),
       seen_frames_(cfg.reliability.dedup_window),
-      stream_(rng.next_u64()) {
-  cfg_.validate();
-  std::size_t blocks = cfg_.watch.grid_rows * cfg_.watch.grid_cols;
-  if (e_matrix_.channels() != cfg_.watch.channels || e_matrix_.blocks() != blocks)
-    throw std::invalid_argument("SdcServer: E matrix shape mismatch");
-  // Ñ starts as the (deterministic) encryption of the public matrix E,
-  // pack_slots channels per ciphertext. Tail slots of the last channel
-  // group are seeded with 1: through eqs. (11)+(14) they yield I = 1 and a
-  // strictly positive blinded value α − β, so the STP's sign check always
-  // passes there and the eq. (16) sum picks up Q = 0 — padding can never
-  // flip a real decision.
-  for (std::size_t i = 0; i < e_matrix_.size(); ++i) {
-    if (e_matrix_[i] < 0)
-      throw std::invalid_argument("SdcServer: E entries must be >= 0");
-  }
-  budget_ = encrypt_matrix_packed_deterministic(e_matrix_, group_pk_, codec_,
-                                                /*tail_fill=*/1, nullptr);
-}
+      stream_(rng.next_u64()) {}
 
 void SdcServer::set_thread_pool(std::shared_ptr<exec::ThreadPool> pool) {
   exec_ = std::move(pool);
+  state_.set_thread_pool(exec_);
 }
 
 void SdcServer::register_su_key(std::uint32_t su_id, crypto::PaillierPublicKey pk) {
@@ -67,43 +79,29 @@ const crypto::PaillierPublicKey& SdcServer::su_key(std::uint32_t su_id) const {
 
 crypto::PaillierCiphertext& SdcServer::budget_at(std::uint32_t group,
                                                  std::uint32_t b) {
-  return budget_.at(radio::ChannelId{group}, radio::BlockId{b});
+  return state_.budget_at(group, b);
 }
 
 void SdcServer::handle_pu_update(const PuUpdateMsg& update) {
   auto t0 = Clock::now();
-  if (update.w_column.size() != cfg_.channel_groups())
-    throw std::invalid_argument(
-        "SdcServer: W column must have one ciphertext per channel group");
-  if (update.block >= budget_.blocks())
-    throw std::out_of_range("SdcServer: PU block outside the service area");
-
-  // Retract this PU's previous contribution, if any.
-  auto it = pu_columns_.find(update.pu_id);
-  if (it != pu_columns_.end()) {
-    const auto& old = it->second;
-    sub_column(budget_, old.block, old.w_column, group_pk_, exec_.get());
-  }
-  add_column(budget_, update.block, update.w_column, group_pk_, exec_.get());
-  pu_columns_.insert_or_assign(update.pu_id, update);
+  // The engine validates the column shape, retracts this PU's previous
+  // contribution (if any), folds the new column — per-shard lanes with
+  // num_shards > 1 — and journals the slices first when durability is on.
+  state_.apply_pu_update(update);
   ++stats_.pu_updates;
   stats_.update.add(ms_since(t0));
 }
 
 void SdcServer::recompute_budget() {
   auto t0 = Clock::now();
-  budget_ = encrypt_matrix_packed_deterministic(e_matrix_, group_pk_, codec_,
-                                                /*tail_fill=*/1, exec_.get());
-  for (const auto& [id, col] : pu_columns_) {
-    add_column(budget_, col.block, col.w_column, group_pk_, exec_.get());
-  }
+  state_.recompute();
   stats_.update.add(ms_since(t0));
 }
 
 ConvertRequestMsg SdcServer::begin_request(const SuRequestMsg& request) {
   auto t0 = Clock::now();
   std::size_t range = request.block_hi - request.block_lo;
-  if (request.block_hi > budget_.blocks() || range == 0)
+  if (request.block_hi > state_.budget().blocks() || range == 0)
     throw std::invalid_argument("SdcServer: bad request block range");
   if (request.f.size() != cfg_.channel_groups() * range)
     throw std::invalid_argument("SdcServer: F matrix size mismatch");
@@ -184,7 +182,7 @@ ConvertRequestMsg SdcServer::begin_request(const SuRequestMsg& request) {
   // the exact encrypted operation parameters the SU submitted.
   pend.license.su_id = request.su_id;
   pend.license.issuer = issuer_;
-  pend.license.serial = ++serial_;
+  pend.license.serial = state_.next_serial();
   auto d = digest.finalize();
   std::copy(d.begin(), d.end(), pend.license.request_digest.begin());
   pend.signature = rsa_.sk.sign(pend.license.signing_bytes());

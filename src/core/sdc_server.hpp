@@ -24,6 +24,7 @@
 #include "crypto/chacha_rng.hpp"
 #include "core/config.hpp"
 #include "core/messages.hpp"
+#include "core/sdc_state.hpp"
 #include "crypto/paillier.hpp"
 #include "crypto/rsa_signature.hpp"
 #include "crypto/threshold_paillier.hpp"
@@ -90,7 +91,17 @@ class SdcServer {
   /// decrypt it). With pack_slots = k the matrix has ⌈C/k⌉ channel-group
   /// rows, each ciphertext packing k per-channel budget slots; tail slots
   /// of the last group carry the constant 1.
-  const CipherMatrix& encrypted_budget() const { return budget_; }
+  const CipherMatrix& encrypted_budget() const { return state_.budget(); }
+
+  /// The sharded durable state engine behind this server (DESIGN.md §3.6):
+  /// Ñ, the stored W̃ columns and the serial counter live there, sliced
+  /// across cfg.num_shards lanes and — with durability on — journaled to
+  /// per-shard WALs in cfg.durability.dir.
+  const SdcStateEngine& state() const { return state_; }
+
+  /// Force a compaction of every shard now (sealed snapshot + fresh WAL).
+  /// No-op when durability is off.
+  void checkpoint() { state_.checkpoint(); }
 
   /// The slot layout the budget/blinding paths use (1 slot = the paper's
   /// per-entry layout).
@@ -159,9 +170,11 @@ class SdcServer {
   std::string issuer_;
   std::shared_ptr<exec::ThreadPool> exec_;
 
-  CipherMatrix budget_;  // Ñ
+  /// Ñ, W̃ columns and the serial counter — sharded, optionally durable.
+  /// Declared after group_pk_/e_matrix_: its constructor consumes both, and
+  /// with durability on it recovers the whole state from disk right here.
+  SdcStateEngine state_;
   std::optional<crypto::ThresholdKeyShare> threshold_share_;
-  std::map<std::uint32_t, PuUpdateMsg> pu_columns_;   // latest W̃ per PU
   std::map<std::uint32_t, crypto::PaillierPublicKey> su_keys_;
   std::map<std::uint64_t, PendingRequest> pending_;
   // Network mode: conversions that arrived before the SU's key did.
@@ -170,7 +183,6 @@ class SdcServer {
   // At-least-once delivery defence: transport-level retransmissions that
   // slip past ReliableTransport's dedup window must not re-run handlers.
   net::DedupWindow seen_frames_;
-  std::uint64_t serial_ = 0;
   Stats stats_;
 
   // Conversion batcher state (network mode only; see attach()). staged_ is

@@ -1,0 +1,293 @@
+#include "core/sdc_state.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "crypto/key_codec.hpp"
+#include "exec/thread_pool.hpp"
+#include "net/codec.hpp"
+
+namespace pisa::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+SdcStateEngine::SdcStateEngine(const PisaConfig& cfg,
+                               crypto::PaillierPublicKey group_pk,
+                               watch::QMatrix e_matrix)
+    : cfg_(cfg), codec_(cfg.slot_bits(), cfg.pack_slots),
+      pk_(std::move(group_pk)), e_matrix_(std::move(e_matrix)),
+      map_(cfg.channel_groups(), cfg.num_shards),
+      ct_width_(pk_.ciphertext_bytes()) {
+  cfg_.validate();
+  std::size_t blocks = cfg_.watch.grid_rows * cfg_.watch.grid_cols;
+  if (e_matrix_.channels() != cfg_.watch.channels || e_matrix_.blocks() != blocks)
+    throw std::invalid_argument("SdcStateEngine: E matrix shape mismatch");
+  for (std::size_t i = 0; i < e_matrix_.size(); ++i) {
+    if (e_matrix_[i] < 0)
+      throw std::invalid_argument("SdcStateEngine: E entries must be >= 0");
+  }
+  budget_ = encrypt_matrix_packed_deterministic(e_matrix_, pk_, codec_,
+                                                /*tail_fill=*/1, nullptr);
+  shards_.resize(map_.shards());
+  if (cfg_.durability.enabled) recover();
+}
+
+void SdcStateEngine::set_thread_pool(std::shared_ptr<exec::ThreadPool> pool) {
+  exec_ = std::move(pool);
+}
+
+crypto::PaillierCiphertext& SdcStateEngine::budget_at(std::uint32_t group,
+                                                      std::uint32_t block) {
+  return budget_.at(radio::ChannelId{group}, radio::BlockId{block});
+}
+
+void SdcStateEngine::apply_pu_update(const PuUpdateMsg& update) {
+  if (update.w_column.size() != map_.groups())
+    throw std::invalid_argument(
+        "SdcStateEngine: W column must have one ciphertext per channel group");
+  if (update.block >= budget_.blocks())
+    throw std::out_of_range("SdcStateEngine: PU block outside the service area");
+
+  if (map_.shards() == 1) {
+    // Single-lane fast path: the inner column kernels take the pool, which
+    // is exactly the pre-sharding SdcServer call sequence.
+    apply_slice(0, update, pool());
+  } else {
+    // One lane per shard; each writes only its own contiguous row range of
+    // budget_ and its own WAL, so lanes share nothing.
+    exec::parallel_for(pool(), 0, map_.shards(),
+                       [&](std::size_t s) { apply_slice(s, update, nullptr); });
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) maybe_compact(s);
+}
+
+void SdcStateEngine::apply_slice(std::size_t s, const PuUpdateMsg& update,
+                                 exec::ThreadPool* inner) {
+  auto& sh = shards_[s];
+  const std::size_t g0 = map_.begin(s), n = map_.size(s);
+
+  PuUpdateMsg slice;
+  slice.pu_id = update.pu_id;
+  slice.block = update.block;
+  slice.w_column.assign(update.w_column.begin() + static_cast<std::ptrdiff_t>(g0),
+                        update.w_column.begin() + static_cast<std::ptrdiff_t>(g0 + n));
+
+  // Journal before apply: once the record is on disk the update counts as
+  // applied — recovery replays it, and a crash between this append and the
+  // fold below cannot lose or double-count the column.
+  if (sh.store) sh.store->append(kRecPuColumn, slice.encode(ct_width_));
+
+  auto it = sh.columns.find(update.pu_id);
+  if (inner) {
+    // n == groups here (single shard): full-column kernels, pool-parallel.
+    if (it != sh.columns.end())
+      sub_column(budget_, it->second.block, it->second.w_column, pk_, inner);
+    add_column(budget_, slice.block, slice.w_column, pk_, inner);
+  } else {
+    if (it != sh.columns.end())
+      sub_column_range(budget_, it->second.block, it->second.w_column, pk_, g0,
+                       g0 + n);
+    add_column_range(budget_, slice.block, slice.w_column, pk_, g0, g0 + n);
+  }
+  sh.columns.insert_or_assign(update.pu_id, std::move(slice));
+}
+
+void SdcStateEngine::recompute() {
+  budget_ = encrypt_matrix_packed_deterministic(e_matrix_, pk_, codec_,
+                                                /*tail_fill=*/1, pool());
+  if (map_.shards() == 1) {
+    for (const auto& [id, col] : shards_[0].columns)
+      add_column(budget_, col.block, col.w_column, pk_, pool());
+  } else {
+    // Per-shard lanes again; Paillier addition is commutative over
+    // canonical residues, so per-shard column order cannot change bytes.
+    exec::parallel_for(pool(), 0, map_.shards(), [&](std::size_t s) {
+      const std::size_t g0 = map_.begin(s), n = map_.size(s);
+      for (const auto& [id, col] : shards_[s].columns)
+        add_column_range(budget_, col.block, col.w_column, pk_, g0, g0 + n);
+    });
+  }
+}
+
+std::uint64_t SdcStateEngine::next_serial() {
+  ++serial_;
+  if (durable() && serial_ > reserved_floor_) {
+    do {
+      reserved_floor_ += cfg_.durability.serial_reserve;
+    } while (reserved_floor_ < serial_);
+    net::Encoder enc;
+    enc.put_u64(reserved_floor_);
+    // Shard 0 is the serial authority; a recovered engine resumes at the
+    // floor, skipping at most the unissued tail of the last chunk.
+    shards_[0].store->append(kRecSerial, enc.take());
+  }
+  return serial_;
+}
+
+void SdcStateEngine::checkpoint() {
+  if (!durable()) return;
+  exec::parallel_for(pool(), 0, shards_.size(),
+                     [&](std::size_t s) { compact_shard(s); });
+}
+
+void SdcStateEngine::maybe_compact(std::size_t s) {
+  const auto every = cfg_.durability.snapshot_every;
+  if (every == 0 || !shards_[s].store) return;
+  if (shards_[s].store->wal_records() >= every) compact_shard(s);
+}
+
+void SdcStateEngine::compact_shard(std::size_t s) {
+  shards_[s].store->compact(snapshot_payload(s));
+}
+
+std::vector<std::uint8_t> SdcStateEngine::snapshot_payload(std::size_t s) const {
+  const auto& sh = shards_[s];
+  const std::size_t g0 = map_.begin(s), n = map_.size(s);
+  const std::size_t blocks = budget_.blocks();
+
+  net::Encoder enc;
+  // Configuration fingerprint: durable state is only valid under the exact
+  // shape/packing/sharding/key it was written with.
+  enc.put_u32(static_cast<std::uint32_t>(s));
+  enc.put_u32(static_cast<std::uint32_t>(map_.shards()));
+  enc.put_u32(static_cast<std::uint32_t>(map_.groups()));
+  enc.put_u32(static_cast<std::uint32_t>(blocks));
+  enc.put_u32(static_cast<std::uint32_t>(codec_.slots()));
+  enc.put_u32(static_cast<std::uint32_t>(codec_.slot_bits()));
+  enc.put_u32(static_cast<std::uint32_t>(ct_width_));
+  enc.put_u64(crypto::key_fingerprint(pk_));
+  enc.put_u64(reserved_floor_);
+
+  std::vector<crypto::PaillierCiphertext> rows;
+  rows.reserve(n * blocks);
+  for (std::size_t g = g0; g < g0 + n; ++g)
+    for (std::size_t b = 0; b < blocks; ++b)
+      rows.push_back(budget_[g * blocks + b]);
+  put_ciphertexts(enc, rows, ct_width_);
+
+  enc.put_u32(static_cast<std::uint32_t>(sh.columns.size()));
+  for (const auto& [id, col] : sh.columns) {
+    enc.put_u32(id);
+    enc.put_u32(col.block);
+    put_ciphertexts(enc, col.w_column, ct_width_);
+  }
+  return enc.take();
+}
+
+void SdcStateEngine::restore_snapshot(std::size_t s,
+                                      const std::vector<std::uint8_t>& payload) {
+  auto& sh = shards_[s];
+  const std::size_t g0 = map_.begin(s), n = map_.size(s);
+  const std::size_t blocks = budget_.blocks();
+
+  net::Decoder dec{payload};
+  bool ok = dec.get_u32() == s && dec.get_u32() == map_.shards() &&
+            dec.get_u32() == map_.groups() && dec.get_u32() == blocks &&
+            dec.get_u32() == codec_.slots() &&
+            dec.get_u32() == codec_.slot_bits() && dec.get_u32() == ct_width_ &&
+            dec.get_u64() == crypto::key_fingerprint(pk_);
+  if (!ok)
+    throw std::runtime_error(
+        "SdcStateEngine: durable state was written under a different "
+        "configuration (shape, packing, shard count or group key)");
+  std::uint64_t floor = dec.get_u64();
+  if (floor > serial_) serial_ = floor;
+  if (floor > reserved_floor_) reserved_floor_ = floor;
+
+  auto rows = get_ciphertexts(dec);
+  if (rows.size() != n * blocks)
+    throw std::runtime_error("SdcStateEngine: snapshot row count mismatch");
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    budget_[(g0 + i / blocks) * blocks + (i % blocks)] = std::move(rows[i]);
+
+  std::uint32_t count = dec.get_u32();
+  sh.columns.clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    PuUpdateMsg col;
+    col.pu_id = dec.get_u32();
+    col.block = dec.get_u32();
+    col.w_column = get_ciphertexts(dec);
+    if (col.w_column.size() != n)
+      throw std::runtime_error("SdcStateEngine: snapshot column size mismatch");
+    sh.columns.insert_or_assign(col.pu_id, std::move(col));
+  }
+  dec.expect_done();
+}
+
+void SdcStateEngine::replay_record(std::size_t s, const store::WalRecord& rec) {
+  const std::size_t g0 = map_.begin(s), n = map_.size(s);
+  if (rec.type == kRecPuColumn) {
+    auto slice = PuUpdateMsg::decode(rec.payload);
+    if (slice.w_column.size() != n || slice.block >= budget_.blocks())
+      throw std::runtime_error("SdcStateEngine: WAL column shape mismatch");
+    auto& sh = shards_[s];
+    auto it = sh.columns.find(slice.pu_id);
+    if (it != sh.columns.end())
+      sub_column_range(budget_, it->second.block, it->second.w_column, pk_, g0,
+                       g0 + n);
+    add_column_range(budget_, slice.block, slice.w_column, pk_, g0, g0 + n);
+    sh.columns.insert_or_assign(slice.pu_id, std::move(slice));
+  } else if (rec.type == kRecSerial) {
+    net::Decoder dec{rec.payload};
+    std::uint64_t floor = dec.get_u64();
+    dec.expect_done();
+    if (floor > serial_) serial_ = floor;
+    if (floor > reserved_floor_) reserved_floor_ = floor;
+  } else {
+    throw std::runtime_error("SdcStateEngine: unknown WAL record type " +
+                             std::to_string(rec.type));
+  }
+}
+
+void SdcStateEngine::recover() {
+  auto t0 = Clock::now();
+  recovery_.ran = true;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    auto& sh = shards_[s];
+    sh.store = std::make_unique<store::ShardStore>(
+        std::filesystem::path(cfg_.durability.dir), s);
+    auto rec = sh.store->open();
+    if (rec.snapshot) {
+      recovery_.from_snapshot = true;
+      restore_snapshot(s, *rec.snapshot);
+    }
+    for (const auto& r : rec.wal) replay_record(s, r);
+    recovery_.wal_records_replayed += rec.wal.size();
+    recovery_.torn_tails_dropped += rec.torn_tail_dropped ? 1 : 0;
+    recovery_.stale_logs_removed += rec.stale_logs_removed;
+  }
+  recovery_.recover_ms = ms_since(t0);
+}
+
+std::uint64_t SdcStateEngine::wal_records() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_)
+    if (sh.store) total += sh.store->wal_records();
+  return total;
+}
+
+std::uint64_t SdcStateEngine::wal_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_)
+    if (sh.store) total += sh.store->wal_bytes();
+  return total;
+}
+
+std::uint64_t SdcStateEngine::snapshots_written() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_)
+    if (sh.store) total += sh.store->snapshots_written();
+  return total;
+}
+
+}  // namespace pisa::core

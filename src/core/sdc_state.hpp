@@ -1,0 +1,143 @@
+// Sharded SDC state engine with write-ahead durability (DESIGN.md §3.6).
+//
+// Owns everything the SDC must not lose across a crash: the encrypted
+// interference budget Ñ (eq. (10)), the latest W̃ column per PU (needed to
+// retract a stale column on the next update) and the license serial
+// counter. The ⌈C/pack_slots⌉ channel-group rows are partitioned into
+// num_shards contiguous slices (core/shard_map): every PU update folds into
+// all shards, but each shard touches only its own row range, so the fold
+// runs one parallel lane per shard with no locks — and each shard journals
+// to its own WAL and compacts into its own snapshot (store/), so recovery
+// is an embarrassingly parallel per-shard replay.
+//
+// Contracts the tests pin down:
+//   * num_shards = 1, durability off ⇒ byte-identical to the pre-engine
+//     SdcServer: same kernels, same call order, same ciphertext bytes.
+//   * Any shard count yields the same Ñ bytes as shard count 1 — column
+//     folds are entry-independent and Paillier addition lands on canonical
+//     residues, so slicing changes nothing.
+//   * recover() (run by the constructor when durability is on) rebuilds
+//     byte-identical state from snapshot + WAL replay: journaling happens
+//     before the in-memory apply, a record present in the log is by
+//     definition applied, and re-delivery of an already-applied update
+//     retracts and re-adds the identical column — a modular no-op. That is
+//     what turns at-least-once delivery into exactly-once application.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/cipher_ops.hpp"
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "core/shard_map.hpp"
+#include "crypto/packing.hpp"
+#include "crypto/paillier.hpp"
+#include "store/shard_store.hpp"
+#include "watch/matrices.hpp"
+
+namespace pisa::exec {
+class ThreadPool;
+}
+
+namespace pisa::core {
+
+class SdcStateEngine {
+ public:
+  /// WAL record types (store/wal payload tags).
+  static constexpr std::uint8_t kRecPuColumn = 1;  ///< one shard's column slice
+  static constexpr std::uint8_t kRecSerial = 2;    ///< serial floor reservation
+
+  /// Initializes Ñ from the public matrix E (deterministic encryption, tail
+  /// slots seeded with 1 — see SdcServer) and, when durability is enabled,
+  /// immediately recovers from cfg.durability.dir: per shard, load the
+  /// sealed snapshot (if any), replay its epoch's WAL over it, drop any
+  /// torn tail and stale-epoch logs. Throws std::runtime_error when the
+  /// durable state was written under a different configuration (shape,
+  /// packing, shard count or group key).
+  SdcStateEngine(const PisaConfig& cfg, crypto::PaillierPublicKey group_pk,
+                 watch::QMatrix e_matrix);
+
+  /// Shard lanes (nullptr = sequential). With one shard the inner column
+  /// kernels use the pool exactly like the unsharded server did; with more,
+  /// the pool runs one lane per shard and the inner kernels go sequential.
+  void set_thread_pool(std::shared_ptr<exec::ThreadPool> pool);
+
+  const CipherMatrix& budget() const { return budget_; }
+  crypto::PaillierCiphertext& budget_at(std::uint32_t group, std::uint32_t block);
+  const ShardMap& shard_map() const { return map_; }
+
+  /// Fold one PU column: journal the per-shard slices, retract the PU's
+  /// previous column, add the new one. Idempotent under re-delivery.
+  void apply_pu_update(const PuUpdateMsg& update);
+
+  /// Rebuild Ñ from Ẽ and every stored column (the paper's literal
+  /// eq. (9)/(10) aggregation). Derivable state — nothing is journaled.
+  void recompute();
+
+  /// Next license serial. Durable mode reserves serials from the WAL in
+  /// chunks (DurabilityConfig::serial_reserve) so serials stay strictly
+  /// monotonic across crash/recovery at one tiny record per chunk.
+  std::uint64_t next_serial();
+  std::uint64_t serial() const { return serial_; }
+
+  /// Compact every shard now: sealed snapshot of its current slice, fresh
+  /// WAL, old log removed. No-op when durability is off.
+  void checkpoint();
+
+  std::size_t pu_count() const { return shards_.front().columns.size(); }
+
+  bool durable() const { return !shards_.front().store ? false : true; }
+
+  struct RecoveryStats {
+    bool ran = false;            ///< durability was on and recover executed
+    bool from_snapshot = false;  ///< at least one shard loaded a snapshot
+    std::uint64_t wal_records_replayed = 0;
+    std::uint64_t torn_tails_dropped = 0;
+    std::uint64_t stale_logs_removed = 0;
+    double recover_ms = 0;
+  };
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+
+  /// Live WAL records across all shards (since their last compaction).
+  std::uint64_t wal_records() const;
+  std::uint64_t wal_bytes() const;
+  std::uint64_t snapshots_written() const;
+
+ private:
+  struct Shard {
+    /// Latest W̃ slice per PU, restricted to this shard's group rows.
+    std::map<std::uint32_t, PuUpdateMsg> columns;
+    std::unique_ptr<store::ShardStore> store;  ///< null when durability is off
+  };
+
+  exec::ThreadPool* pool() const { return exec_.get(); }
+  /// Slice `update` to shard `s`'s rows, journal it, fold it. `pool` is the
+  /// inner-kernel pool — non-null only in the single-shard fast path.
+  void apply_slice(std::size_t s, const PuUpdateMsg& update,
+                   exec::ThreadPool* inner);
+  void maybe_compact(std::size_t s);
+  void compact_shard(std::size_t s);
+  std::vector<std::uint8_t> snapshot_payload(std::size_t s) const;
+  void restore_snapshot(std::size_t s, const std::vector<std::uint8_t>& payload);
+  void replay_record(std::size_t s, const store::WalRecord& rec);
+  void recover();
+
+  PisaConfig cfg_;
+  crypto::SlotCodec codec_;
+  crypto::PaillierPublicKey pk_;
+  watch::QMatrix e_matrix_;
+  ShardMap map_;
+  std::size_t ct_width_;
+  std::shared_ptr<exec::ThreadPool> exec_;
+
+  CipherMatrix budget_;  // Ñ — shards write disjoint row ranges
+  std::vector<Shard> shards_;
+  std::uint64_t serial_ = 0;
+  std::uint64_t reserved_floor_ = 0;  // serials journaled as issued-or-skipped
+  RecoveryStats recovery_;
+};
+
+}  // namespace pisa::core

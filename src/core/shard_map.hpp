@@ -1,0 +1,64 @@
+// Partitioning of the SDC's channel-group rows across state shards
+// (DESIGN.md §3.6).
+//
+// Shard s owns a contiguous balanced range of the ⌈C/k⌉ channel-group rows
+// of Ñ. Rows are contiguous in CipherMatrix memory (channel-major layout),
+// so shards write disjoint cache-line ranges and the engine can fold one
+// PU-update column across all shards with no locks: each shard touches only
+// its own row slice. Contiguity also gives each shard a self-contained
+// snapshot/WAL slice — recovery never reads another shard's files.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace pisa::core {
+
+class ShardMap {
+ public:
+  /// Balanced contiguous partition of `groups` rows into `shards` ranges.
+  /// The shard count is clamped to the row count — beyond that extra shards
+  /// would own empty ranges and write empty snapshots for no benefit.
+  ShardMap(std::size_t groups, std::size_t shards)
+      : groups_(groups),
+        shards_(shards == 0 ? 1 : (shards > groups && groups > 0 ? groups : shards)) {}
+
+  std::size_t groups() const { return groups_; }
+  std::size_t shards() const { return shards_; }
+
+  /// First channel-group row owned by `shard`. The first groups % shards
+  /// shards take one extra row, so sizes differ by at most one.
+  std::size_t begin(std::size_t shard) const {
+    check(shard);
+    std::size_t base = groups_ / shards_, rem = groups_ % shards_;
+    return shard * base + (shard < rem ? shard : rem);
+  }
+
+  /// One past the last row owned by `shard`.
+  std::size_t end(std::size_t shard) const { return begin(shard) + size(shard); }
+
+  std::size_t size(std::size_t shard) const {
+    check(shard);
+    std::size_t base = groups_ / shards_, rem = groups_ % shards_;
+    return base + (shard < rem ? 1 : 0);
+  }
+
+  /// Which shard owns channel-group row `group`.
+  std::size_t shard_of(std::size_t group) const {
+    if (group >= groups_) throw std::out_of_range("ShardMap: group out of range");
+    std::size_t base = groups_ / shards_, rem = groups_ % shards_;
+    std::size_t fat = rem * (base + 1);  // rows covered by the base+1 shards
+    if (group < fat) return group / (base + 1);
+    return rem + (group - fat) / base;
+  }
+
+ private:
+  void check(std::size_t shard) const {
+    if (shard >= shards_) throw std::out_of_range("ShardMap: shard out of range");
+  }
+
+  std::size_t groups_;
+  std::size_t shards_;
+};
+
+}  // namespace pisa::core

@@ -12,6 +12,7 @@ namespace {
 constexpr std::uint32_t kMagicPaillierPub = 0x50495031;   // "PIP1"
 constexpr std::uint32_t kMagicPaillierPriv = 0x50495331;  // "PIS1"
 constexpr std::uint32_t kMagicRsaPub = 0x50495232;        // "PIR2"
+constexpr std::uint32_t kMagicRsaPriv = 0x50495233;       // "PIR3"
 constexpr std::uint8_t kVersion = 1;
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
@@ -123,6 +124,24 @@ RsaPublicKey parse_rsa_public_key(std::span<const std::uint8_t> bytes) {
   bn::BigUint e = r.big();
   r.expect_done();
   return RsaPublicKey{std::move(n), std::move(e)};
+}
+
+std::vector<std::uint8_t> serialize(const RsaPrivateKey& sk) {
+  std::vector<std::uint8_t> out;
+  header(out, kMagicRsaPriv);
+  put_big(out, sk.p());
+  put_big(out, sk.q());
+  put_big(out, sk.public_key().e());
+  return out;
+}
+
+RsaPrivateKey parse_rsa_private_key(std::span<const std::uint8_t> bytes) {
+  Reader r = open(bytes, kMagicRsaPriv);
+  bn::BigUint p = r.big();
+  bn::BigUint q = r.big();
+  bn::BigUint e = r.big();
+  r.expect_done();
+  return RsaPrivateKey{p, q, std::move(e)};  // constructor re-derives CRT state
 }
 
 namespace {

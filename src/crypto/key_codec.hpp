@@ -32,6 +32,13 @@ PaillierPrivateKey parse_paillier_private_key(std::span<const std::uint8_t> byte
 std::vector<std::uint8_t> serialize(const RsaPublicKey& pk);
 RsaPublicKey parse_rsa_public_key(std::span<const std::uint8_t> bytes);
 
+/// Like the Paillier private key, the RSA key serializes as its
+/// factorization (p, q, e); the CRT exponents are re-derived on parse. Used
+/// by the SDC's durable identity file so a restarted SDC signs licenses
+/// with the key SUs already verified against.
+std::vector<std::uint8_t> serialize(const RsaPrivateKey& sk);
+RsaPrivateKey parse_rsa_private_key(std::span<const std::uint8_t> bytes);
+
 /// A stable short identifier for key directories / audit logs: the first 8
 /// bytes of SHA-256 over the serialized public key.
 std::uint64_t key_fingerprint(const PaillierPublicKey& pk);

@@ -47,6 +47,11 @@ class RsaPrivateKey {
 
   const RsaPublicKey& public_key() const { return pk_; }
 
+  /// Prime factors, exposed for key_codec persistence (the SDC's durable
+  /// identity file); treat the bytes like the key itself.
+  const bn::BigUint& p() const { return p_; }
+  const bn::BigUint& q() const { return q_; }
+
   /// Sign a message (hash-then-sign, CRT exponentiation). The returned
   /// integer is < n and doubles as the license token PISA encrypts.
   bn::BigUint sign(std::span<const std::uint8_t> message) const;

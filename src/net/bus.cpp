@@ -27,6 +27,10 @@ void SimulatedNetwork::register_endpoint(const std::string& name, Handler handle
   audit_.emplace(name, std::vector<DeliveryRecord>{});
 }
 
+void SimulatedNetwork::remove_endpoint(const std::string& name) {
+  endpoints_.erase(name);
+}
+
 bool SimulatedNetwork::has_endpoint(const std::string& name) const {
   return endpoints_.contains(name);
 }
@@ -136,6 +140,18 @@ int SimulatedNetwork::step() {
     return 0;
   }
 
+  // The recipient may have been removed (crashed) after this message was
+  // queued: record the failure like a send to an unknown endpoint instead
+  // of throwing — the in-flight message is simply lost with the process.
+  auto it = endpoints_.find(p.msg.to);
+  if (it == endpoints_.end()) {
+    ++fault_stats_.unknown_endpoint;
+    ++link_fault_[{p.msg.from, p.msg.to}].unknown_endpoint;
+    failures_.push_back({p.msg.from, p.msg.to, p.msg.type,
+                         p.msg.payload.size(), "endpoint_gone"});
+    return 0;
+  }
+
   std::size_t bytes = p.msg.payload.size();
   auto& link = traffic_[{p.msg.from, p.msg.to}];
   link.messages += 1;
@@ -144,7 +160,7 @@ int SimulatedNetwork::step() {
   total_.bytes += bytes;
   audit_[p.msg.to].push_back({p.msg.from, p.msg.type, bytes, p.arrival_us});
 
-  endpoints_.at(p.msg.to)(p.msg);
+  it->second(p.msg);
   return 1;
 }
 

@@ -81,6 +81,12 @@ class Transport {
   /// Register a named endpoint. Throws if the name is taken.
   virtual void register_endpoint(const std::string& name, Handler handler) = 0;
 
+  /// Remove a named endpoint (a crashed party). Idempotent: removing an
+  /// unknown name is a no-op. Messages already in flight to the name are
+  /// recorded as delivery failures when they arrive, and the name can be
+  /// re-registered afterwards (the restarted party).
+  virtual void remove_endpoint(const std::string& name) = 0;
+
   /// Submit a message for (possibly unreliable) delivery.
   virtual void send(Message m) = 0;
 
@@ -97,6 +103,10 @@ class SimulatedNetwork : public Transport {
   ~SimulatedNetwork() override;
 
   void register_endpoint(const std::string& name, Handler handler) override;
+
+  /// Drop the endpoint; its audit log is kept (the crashed party's receive
+  /// history is evidence the privacy tests still want to inspect).
+  void remove_endpoint(const std::string& name) override;
 
   bool has_endpoint(const std::string& name) const;
 

@@ -39,12 +39,28 @@ void ReliableTransport::register_endpoint(const std::string& name,
   endpoints_.emplace(name, Endpoint{std::move(handler), {}, {}});
 }
 
+void ReliableTransport::remove_endpoint(const std::string& name) {
+  net_.remove_endpoint(name);
+  endpoints_.erase(name);
+  // A crashed process takes its connections with it: every peer drops its
+  // outstanding frames to the name (armed retransmission timers then find
+  // nothing and fall silent) and forgets its sequence history — otherwise a
+  // restarted incarnation, numbering again from seq 1, would be suppressed
+  // as a replay of its predecessor. Stale frames of the old incarnation
+  // that surface after a restart fall through to the application-level
+  // DedupWindow, the second line of defence.
+  for (auto& [peer, ep] : endpoints_) {
+    ep.tx.erase(name);
+    ep.rx.erase(name);
+  }
+}
+
 void ReliableTransport::send(Message m) {
   auto it = endpoints_.find(m.from);
   if (it == endpoints_.end())
     throw std::logic_error("ReliableTransport: unregistered sender " + m.from);
   auto& ps = it->second.tx[m.to];
-  std::uint64_t seq = ps.next_seq++;
+  std::uint64_t seq = next_seq_++;
 
   Encoder enc;
   enc.put_u8(kData);

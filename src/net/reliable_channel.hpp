@@ -69,6 +69,14 @@ class ReliableTransport final : public Transport {
   /// consistently.
   void register_endpoint(const std::string& name, Handler handler) override;
 
+  /// Remove the endpoint here and on the underlying network (a crashed
+  /// party). Its unacknowledged outgoing frames are dropped with it, and
+  /// every peer's connection state to the name — outstanding frames and the
+  /// receive-sequence history — is torn down too, so armed retransmission
+  /// timers fall silent and a restarted incarnation (numbering again from
+  /// seq 1) is not mistaken for a replay of the old one.
+  void remove_endpoint(const std::string& name) override;
+
   /// Reliable send: m.from must be a registered endpoint (it receives the
   /// ACKs). The payload is framed, checksummed and retransmitted until
   /// acknowledged or the retry budget is exhausted.
@@ -118,7 +126,6 @@ class ReliableTransport final : public Transport {
     std::size_t retransmits = 0;
   };
   struct PeerSend {
-    std::uint64_t next_seq = 1;
     std::map<std::uint64_t, Outstanding> outstanding;
   };
   struct PeerRecv {
@@ -146,6 +153,13 @@ class ReliableTransport final : public Transport {
   SimulatedNetwork& net_;
   ReliablePolicy policy_;
   std::map<std::string, Endpoint> endpoints_;
+  /// Transport-global DATA sequence counter. Sharing one numbering across
+  /// all connections makes every (sender, seq) pair unique for the lifetime
+  /// of the transport — in particular, an endpoint that crashes and
+  /// re-registers never reuses its predecessor's numbers, so peers'
+  /// application-level idempotency windows keyed on (sender, seq) stay
+  /// correct across incarnations.
+  std::uint64_t next_seq_ = 1;
   Stats stats_;
   std::vector<GiveUp> failures_;
   FailureHandler on_failure_;

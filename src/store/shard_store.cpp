@@ -1,0 +1,91 @@
+#include "store/shard_store.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "store/snapshot.hpp"
+
+namespace pisa::store {
+
+ShardStore::ShardStore(std::filesystem::path dir, std::size_t shard_index)
+    : dir_(std::move(dir)), index_(shard_index) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::filesystem::path ShardStore::snapshot_path() const {
+  return dir_ / ("shard_" + std::to_string(index_) + ".snap");
+}
+
+std::filesystem::path ShardStore::wal_path(std::uint64_t epoch) const {
+  return dir_ /
+         ("shard_" + std::to_string(index_) + "." + std::to_string(epoch) + ".wal");
+}
+
+ShardStore::Recovered ShardStore::open() {
+  Recovered out;
+
+  // Throws on a sealed-but-corrupt snapshot: that state is unrecoverable and
+  // silently starting empty would violate the byte-identity contract.
+  if (auto snap = read_sealed_file(snapshot_path())) {
+    epoch_ = snap->epoch;
+    out.snapshot = std::move(snap->payload);
+  } else {
+    epoch_ = 0;
+  }
+  out.epoch = epoch_;
+
+  auto log = read_wal(wal_path(epoch_));
+  std::uint64_t keep = 0;
+  if (log.header_valid && log.epoch == epoch_) {
+    out.wal = std::move(log.records);
+    out.torn_tail_dropped = log.torn_tail;
+    keep = log.valid_bytes;
+  } else if (log.header_valid || log.torn_tail) {
+    // Wrong-epoch or unreadable log under the current epoch's name: discard
+    // it entirely rather than replay mutations from another generation.
+    out.torn_tail_dropped = true;
+  }
+  wal_ = std::make_unique<WalWriter>(wal_path(epoch_), epoch_, keep);
+
+  out.stale_logs_removed = remove_stale_logs(epoch_);
+  return out;
+}
+
+void ShardStore::append(std::uint8_t type, std::span<const std::uint8_t> payload) {
+  if (!wal_) throw std::logic_error("ShardStore::append before open()");
+  wal_->append(type, payload);
+}
+
+void ShardStore::compact(std::span<const std::uint8_t> payload) {
+  if (!wal_) throw std::logic_error("ShardStore::compact before open()");
+  // Order matters for crash safety: the new snapshot must be durable before
+  // the new log exists, and the old log is deleted only once both are.
+  std::uint64_t next = epoch_ + 1;
+  write_sealed_file(snapshot_path(), next, payload);
+  wal_.reset();
+  wal_ = std::make_unique<WalWriter>(wal_path(next), next, 0);
+  std::uint64_t prev = epoch_;
+  epoch_ = next;
+  ++snapshots_written_;
+  std::error_code ec;
+  std::filesystem::remove(wal_path(prev), ec);
+}
+
+std::uint64_t ShardStore::remove_stale_logs(std::uint64_t keep_epoch) const {
+  std::uint64_t removed = 0;
+  const std::string prefix = "shard_" + std::to_string(index_) + ".";
+  std::error_code ec;
+  for (auto it = std::filesystem::directory_iterator(dir_, ec);
+       !ec && it != std::filesystem::directory_iterator(); it.increment(ec)) {
+    const auto name = it->path().filename().string();
+    if (name.size() <= prefix.size() + 4 || name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - 4, 4, ".wal") != 0)
+      continue;
+    if (it->path() == wal_path(keep_epoch)) continue;
+    std::error_code rm_ec;
+    if (std::filesystem::remove(it->path(), rm_ec) && !rm_ec) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace pisa::store

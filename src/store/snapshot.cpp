@@ -1,0 +1,98 @@
+#include "store/snapshot.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "net/codec.hpp"
+
+namespace pisa::store {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4 + 1 + 8 + 8;
+
+void put_u32_le(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64_le(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32_le(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64_le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+void write_sealed_file(const std::filesystem::path& file, std::uint64_t epoch,
+                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kHeaderBytes + payload.size() + 4);
+  put_u32_le(bytes, kSnapshotMagic);
+  bytes.push_back(kSnapshotVersion);
+  put_u64_le(bytes, epoch);
+  put_u64_le(bytes, payload.size());
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  std::uint32_t crc = net::crc32(bytes);
+  put_u32_le(bytes, crc);
+
+  auto tmp = file;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("write_sealed_file: cannot create " + tmp.string());
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out)
+      throw std::runtime_error("write_sealed_file: write failed on " + tmp.string());
+  }
+  std::filesystem::rename(tmp, file);  // atomic replace
+}
+
+std::optional<SealedFile> read_sealed_file(const std::filesystem::path& file) {
+  std::error_code ec;
+  if (!std::filesystem::exists(file, ec)) return std::nullopt;
+
+  std::ifstream in(file, std::ios::binary);
+  if (!in) throw std::runtime_error("read_sealed_file: cannot open " + file.string());
+  std::vector<std::uint8_t> bytes;
+  in.seekg(0, std::ios::end);
+  auto size = in.tellg();
+  if (size > 0) {
+    bytes.resize(static_cast<std::size_t>(size));
+    in.seekg(0, std::ios::beg);
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+    if (!in)
+      throw std::runtime_error("read_sealed_file: read failed on " + file.string());
+  }
+
+  if (bytes.size() < kHeaderBytes + 4 ||
+      get_u32_le(bytes.data()) != kSnapshotMagic || bytes[4] != kSnapshotVersion)
+    throw std::runtime_error("read_sealed_file: bad header in " + file.string());
+  std::uint64_t payload_len = get_u64_le(bytes.data() + 13);
+  if (bytes.size() != kHeaderBytes + payload_len + 4)
+    throw std::runtime_error("read_sealed_file: length mismatch in " +
+                             file.string());
+  std::uint32_t crc = get_u32_le(bytes.data() + bytes.size() - 4);
+  if (net::crc32({bytes.data(), bytes.size() - 4}) != crc)
+    throw std::runtime_error("read_sealed_file: CRC mismatch in " + file.string());
+
+  SealedFile out;
+  out.epoch = get_u64_le(bytes.data() + 5);
+  out.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes),
+                     bytes.end() - 4);
+  return out;
+}
+
+}  // namespace pisa::store

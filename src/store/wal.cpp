@@ -1,0 +1,136 @@
+#include "store/wal.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "net/codec.hpp"
+
+namespace pisa::store {
+
+namespace {
+
+constexpr std::uint64_t kHeaderBytes = 4 + 1 + 8;  // magic | version | epoch
+
+void put_u32_le(std::vector<std::uint8_t>& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64_le(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32_le(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64_le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  std::vector<std::uint8_t> bytes;
+  if (!in) return bytes;
+  in.seekg(0, std::ios::end);
+  auto size = in.tellg();
+  if (size <= 0) return bytes;
+  bytes.resize(static_cast<std::size_t>(size));
+  in.seekg(0, std::ios::beg);
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) bytes.clear();
+  return bytes;
+}
+
+}  // namespace
+
+WalReadResult read_wal(const std::filesystem::path& file) {
+  WalReadResult res;
+  std::error_code ec;
+  if (!std::filesystem::exists(file, ec)) return res;
+  auto bytes = read_file(file);
+
+  if (bytes.size() < kHeaderBytes || get_u32_le(bytes.data()) != kWalMagic ||
+      bytes[4] != kWalVersion) {
+    // Truncated-inside-the-header or foreign file: nothing is recoverable.
+    res.torn_tail = !bytes.empty();
+    res.dropped_bytes = bytes.size();
+    return res;
+  }
+  res.header_valid = true;
+  res.epoch = get_u64_le(bytes.data() + 5);
+  res.valid_bytes = kHeaderBytes;
+
+  std::size_t pos = kHeaderBytes;
+  while (pos < bytes.size()) {
+    // u32 len | u8 type | payload | u32 crc — any shortfall is a torn tail.
+    if (bytes.size() - pos < 4) break;
+    std::uint32_t len = get_u32_le(bytes.data() + pos);
+    if (len == 0 || len > kWalMaxRecordBytes) break;
+    if (bytes.size() - pos < 4 + static_cast<std::uint64_t>(len) + 4) break;
+    const std::uint8_t* body = bytes.data() + pos + 4;
+    std::uint32_t crc = get_u32_le(body + len);
+    if (net::crc32({body, len}) != crc) break;
+    res.records.push_back(
+        {body[0], std::vector<std::uint8_t>(body + 1, body + len)});
+    pos += 4 + len + 4;
+    res.valid_bytes = pos;
+  }
+  res.torn_tail = res.valid_bytes < bytes.size();
+  res.dropped_bytes = bytes.size() - res.valid_bytes;
+  return res;
+}
+
+WalWriter::WalWriter(std::filesystem::path file, std::uint64_t epoch,
+                     std::uint64_t keep_bytes)
+    : path_(std::move(file)), epoch_(epoch) {
+  std::error_code ec;
+  bool fresh = keep_bytes < kHeaderBytes || !std::filesystem::exists(path_, ec);
+  if (!fresh) {
+    // Drop the torn tail (everything past the verified prefix) before the
+    // next append lands, so the log never interleaves garbage and records.
+    if (std::filesystem::file_size(path_, ec) != keep_bytes && !ec)
+      std::filesystem::resize_file(path_, keep_bytes, ec);
+    if (ec) fresh = true;
+  }
+  if (fresh) {
+    out_.open(path_, std::ios::binary | std::ios::trunc);
+    if (!out_) throw std::runtime_error("WalWriter: cannot create " + path_.string());
+    std::vector<std::uint8_t> header;
+    put_u32_le(header, kWalMagic);
+    header.push_back(kWalVersion);
+    put_u64_le(header, epoch_);
+    out_.write(reinterpret_cast<const char*>(header.data()),
+               static_cast<std::streamsize>(header.size()));
+    out_.flush();
+    bytes_ = header.size();
+  } else {
+    out_.open(path_, std::ios::binary | std::ios::app);
+    if (!out_) throw std::runtime_error("WalWriter: cannot open " + path_.string());
+    bytes_ = keep_bytes;
+  }
+  if (!out_) throw std::runtime_error("WalWriter: write failed on " + path_.string());
+}
+
+void WalWriter::append(std::uint8_t type, std::span<const std::uint8_t> payload) {
+  if (payload.size() + 1 > kWalMaxRecordBytes)
+    throw std::invalid_argument("WalWriter: record too large");
+  std::vector<std::uint8_t> rec;
+  rec.reserve(4 + 1 + payload.size() + 4);
+  put_u32_le(rec, static_cast<std::uint32_t>(payload.size() + 1));
+  rec.push_back(type);
+  rec.insert(rec.end(), payload.begin(), payload.end());
+  std::uint32_t crc = net::crc32({rec.data() + 4, payload.size() + 1});
+  put_u32_le(rec, crc);
+  out_.write(reinterpret_cast<const char*>(rec.data()),
+             static_cast<std::streamsize>(rec.size()));
+  out_.flush();
+  if (!out_) throw std::runtime_error("WalWriter: append failed on " + path_.string());
+  ++appended_;
+  bytes_ += rec.size();
+}
+
+}  // namespace pisa::store

@@ -1,0 +1,255 @@
+// Sealed snapshot files and the per-shard store (store/snapshot,
+// store/shard_store): atomic replacement, throw-on-corrupt (the deliberate
+// contrast with the WAL's graceful truncation), and the epoch protocol that
+// makes a crash at ANY point inside compact() recoverable without
+// double-applying a log.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "store/shard_store.hpp"
+#include "store/snapshot.hpp"
+#include "store/wal.hpp"
+
+namespace pisa::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> out;
+  for (int x : v) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("pisa_store_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static std::vector<std::uint8_t> read_bytes(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  }
+
+  static void write_bytes(const fs::path& p, const std::vector<std::uint8_t>& b) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(b.data()),
+              static_cast<std::streamsize>(b.size()));
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(StoreTest, SealedFileRoundTrips) {
+  auto file = dir_ / "x.snap";
+  auto payload = bytes({1, 2, 3, 4, 5});
+  write_sealed_file(file, /*epoch=*/9, payload);
+  auto back = read_sealed_file(file);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->epoch, 9u);
+  EXPECT_EQ(back->payload, payload);
+  EXPECT_FALSE(fs::exists(dir_ / "x.snap.tmp")) << "tmp sibling must be renamed";
+}
+
+TEST_F(StoreTest, MissingSealedFileIsNullopt) {
+  EXPECT_FALSE(read_sealed_file(dir_ / "absent.snap").has_value());
+}
+
+TEST_F(StoreTest, EmptyPayloadRoundTrips) {
+  auto file = dir_ / "empty.snap";
+  write_sealed_file(file, 1, {});
+  auto back = read_sealed_file(file);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->payload.empty());
+}
+
+// Corrupt durable state must abort recovery loudly, never read as empty:
+// flipping ANY byte of a sealed file makes read_sealed_file throw.
+TEST_F(StoreTest, AnySingleByteFlipThrows) {
+  auto file = dir_ / "x.snap";
+  write_sealed_file(file, 3, bytes({10, 20, 30}));
+  auto good = read_bytes(file);
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    auto bad = good;
+    bad[i] ^= 0x01;
+    write_bytes(file, bad);
+    EXPECT_THROW(read_sealed_file(file), std::runtime_error) << "byte " << i;
+  }
+  write_bytes(file, good);
+  EXPECT_NO_THROW(read_sealed_file(file));
+}
+
+TEST_F(StoreTest, TruncatedSealedFileThrows) {
+  auto file = dir_ / "x.snap";
+  write_sealed_file(file, 3, bytes({10, 20, 30}));
+  auto good = read_bytes(file);
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    write_bytes(file, {good.begin(), good.begin() + static_cast<std::ptrdiff_t>(len)});
+    EXPECT_THROW(read_sealed_file(file), std::runtime_error) << "len " << len;
+  }
+}
+
+TEST_F(StoreTest, RewriteReplacesEpochAtomically) {
+  auto file = dir_ / "x.snap";
+  write_sealed_file(file, 1, bytes({1}));
+  write_sealed_file(file, 2, bytes({2, 2}));
+  auto back = read_sealed_file(file);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->epoch, 2u);
+  EXPECT_EQ(back->payload, bytes({2, 2}));
+}
+
+// --- ShardStore: snapshot + WAL + epoch guard -------------------------------
+
+TEST_F(StoreTest, FreshStoreOpensEmptyAtEpochZero) {
+  ShardStore st(dir_, 0);
+  auto rec = st.open();
+  EXPECT_FALSE(rec.snapshot.has_value());
+  EXPECT_TRUE(rec.wal.empty());
+  EXPECT_EQ(rec.epoch, 0u);
+  EXPECT_EQ(st.epoch(), 0u);
+}
+
+TEST_F(StoreTest, AppendsSurviveReopen) {
+  {
+    ShardStore st(dir_, 0);
+    st.open();
+    st.append(1, bytes({0xAB}));
+    st.append(2, bytes({0xCD, 0xEF}));
+  }
+  ShardStore st(dir_, 0);
+  auto rec = st.open();
+  EXPECT_FALSE(rec.snapshot.has_value());
+  ASSERT_EQ(rec.wal.size(), 2u);
+  EXPECT_EQ(rec.wal[0], (WalRecord{1, {0xAB}}));
+  EXPECT_EQ(rec.wal[1], (WalRecord{2, {0xCD, 0xEF}}));
+  EXPECT_FALSE(rec.torn_tail_dropped);
+}
+
+TEST_F(StoreTest, ShardsAreIsolated) {
+  ShardStore a(dir_, 0), b(dir_, 1);
+  a.open();
+  b.open();
+  a.append(1, bytes({1}));
+  b.append(1, bytes({2}));
+  b.append(1, bytes({3}));
+  ShardStore a2(dir_, 0), b2(dir_, 1);
+  EXPECT_EQ(a2.open().wal.size(), 1u);
+  EXPECT_EQ(b2.open().wal.size(), 2u);
+}
+
+TEST_F(StoreTest, CompactRollsTheEpochAndDropsTheOldLog) {
+  {
+    ShardStore st(dir_, 0);
+    st.open();
+    st.append(1, bytes({1}));
+    st.compact(bytes({0x55, 0x66}));
+    EXPECT_EQ(st.epoch(), 1u);
+    EXPECT_EQ(st.wal_records(), 0u);
+    EXPECT_FALSE(fs::exists(st.wal_path(0)));
+    EXPECT_TRUE(fs::exists(st.wal_path(1)));
+    st.append(2, bytes({2}));
+  }
+  ShardStore st(dir_, 0);
+  auto rec = st.open();
+  EXPECT_EQ(rec.epoch, 1u);
+  ASSERT_TRUE(rec.snapshot.has_value());
+  EXPECT_EQ(*rec.snapshot, bytes({0x55, 0x66}));
+  ASSERT_EQ(rec.wal.size(), 1u);
+  EXPECT_EQ(rec.wal[0], (WalRecord{2, {2}}));
+}
+
+// Crash after the new snapshot landed but before the old WAL was removed:
+// the stale-epoch log must be discarded, not replayed over the snapshot
+// that already contains its effects.
+TEST_F(StoreTest, StaleEpochLogIsDiscardedAfterCrashMidCompaction) {
+  {
+    ShardStore st(dir_, 0);
+    st.open();
+    st.append(1, bytes({1}));
+  }
+  // Simulate the crash point: snapshot at epoch 1 exists, the epoch-0 log
+  // with the (now folded-in) record is still on disk.
+  write_sealed_file(dir_ / "shard_0.snap", 1, bytes({0x77}));
+
+  ShardStore st(dir_, 0);
+  auto rec = st.open();
+  EXPECT_EQ(rec.epoch, 1u);
+  ASSERT_TRUE(rec.snapshot.has_value());
+  EXPECT_EQ(*rec.snapshot, bytes({0x77}));
+  EXPECT_TRUE(rec.wal.empty()) << "epoch-0 records must not replay over epoch 1";
+  EXPECT_EQ(rec.stale_logs_removed, 1u);
+  EXPECT_FALSE(fs::exists(st.wal_path(0)));
+}
+
+TEST_F(StoreTest, TornTailIsDroppedOnOpenAndAppendsContinue) {
+  {
+    ShardStore st(dir_, 0);
+    st.open();
+    st.append(1, bytes({1}));
+    st.append(2, bytes({2}));
+  }
+  auto wal = dir_ / "shard_0.0.wal";
+  auto full = read_bytes(wal);
+  write_bytes(wal, {full.begin(), full.end() - 3});  // tear the last record
+
+  ShardStore st(dir_, 0);
+  auto rec = st.open();
+  ASSERT_EQ(rec.wal.size(), 1u);
+  EXPECT_TRUE(rec.torn_tail_dropped);
+  st.append(3, bytes({3}));
+
+  ShardStore st2(dir_, 0);
+  auto rec2 = st2.open();
+  ASSERT_EQ(rec2.wal.size(), 2u);
+  EXPECT_EQ(rec2.wal[1], (WalRecord{3, {3}}));
+  EXPECT_FALSE(rec2.torn_tail_dropped);
+}
+
+TEST_F(StoreTest, CorruptSnapshotThrowsOnOpen) {
+  {
+    ShardStore st(dir_, 0);
+    st.open();
+    st.compact(bytes({1, 2, 3}));
+  }
+  auto snap = dir_ / "shard_0.snap";
+  auto b = read_bytes(snap);
+  b[b.size() / 2] ^= 0x10;
+  write_bytes(snap, b);
+  ShardStore st(dir_, 0);
+  EXPECT_THROW(st.open(), std::runtime_error);
+}
+
+TEST_F(StoreTest, AppendBeforeOpenThrows) {
+  ShardStore st(dir_, 0);
+  EXPECT_THROW(st.append(1, bytes({1})), std::logic_error);
+  EXPECT_THROW(st.compact(bytes({1})), std::logic_error);
+}
+
+TEST_F(StoreTest, RepeatedCompactionsKeepExactlyOneLog) {
+  ShardStore st(dir_, 0);
+  st.open();
+  for (int round = 0; round < 4; ++round) {
+    st.append(1, bytes({round}));
+    st.compact(bytes({round}));
+  }
+  EXPECT_EQ(st.epoch(), 4u);
+  EXPECT_EQ(st.snapshots_written(), 4u);
+  std::size_t wal_files = 0;
+  for (const auto& e : fs::directory_iterator(dir_))
+    if (e.path().extension() == ".wal") ++wal_files;
+  EXPECT_EQ(wal_files, 1u);
+}
+
+}  // namespace
+}  // namespace pisa::store

@@ -1,0 +1,243 @@
+// Write-ahead log seal semantics (store/wal): round-trips, torn-tail
+// truncation over EVERY prefix length, mid-log corruption, header damage
+// and append-after-recovery. The central durability claim — "the log is
+// valid exactly up to the first record that fails its seal" — is what turns
+// a crash mid-append into a clean truncation instead of garbage replay.
+#include "store/wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace pisa::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("pisa_wal_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path file(const char* name = "a.wal") const { return dir_ / name; }
+
+  static std::vector<std::uint8_t> bytes_of(const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  }
+
+  static void write_bytes(const fs::path& p, const std::vector<std::uint8_t>& b) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(b.data()),
+              static_cast<std::streamsize>(b.size()));
+  }
+
+  static std::vector<WalRecord> sample_records() {
+    return {
+        {1, {0xAA, 0xBB, 0xCC}},
+        {2, {}},
+        {1, std::vector<std::uint8_t>(300, 0x5A)},
+        {7, {0x00}},
+    };
+  }
+
+  fs::path write_sample(std::uint64_t epoch = 3) {
+    auto p = file();
+    WalWriter w(p, epoch);
+    for (const auto& r : sample_records()) w.append(r.type, r.payload);
+    return p;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(WalTest, MissingFileReadsAsEmpty) {
+  auto res = read_wal(file());
+  EXPECT_FALSE(res.header_valid);
+  EXPECT_TRUE(res.records.empty());
+  EXPECT_FALSE(res.torn_tail);
+  EXPECT_EQ(res.valid_bytes, 0u);
+}
+
+TEST_F(WalTest, RoundTripsRecordsAndEpoch) {
+  auto p = write_sample(/*epoch=*/42);
+  auto res = read_wal(p);
+  EXPECT_TRUE(res.header_valid);
+  EXPECT_EQ(res.epoch, 42u);
+  EXPECT_FALSE(res.torn_tail);
+  EXPECT_EQ(res.dropped_bytes, 0u);
+  EXPECT_EQ(res.records, sample_records());
+  EXPECT_EQ(res.valid_bytes, fs::file_size(p));
+}
+
+TEST_F(WalTest, WriterReportsSizes) {
+  auto p = file();
+  WalWriter w(p, 1);
+  EXPECT_EQ(w.records_appended(), 0u);
+  w.append(1, std::vector<std::uint8_t>{1, 2, 3});
+  EXPECT_EQ(w.records_appended(), 1u);
+  EXPECT_EQ(w.bytes(), fs::file_size(p));
+}
+
+// The satellite requirement: for EVERY prefix length of a valid log, the
+// reader recovers exactly the records whose bytes are fully within the
+// prefix, flags the torn tail, and valid_bytes never exceeds the prefix.
+TEST_F(WalTest, EveryPrefixLengthRecoversExactlyTheWholeRecords) {
+  auto p = write_sample();
+  auto full = bytes_of(p);
+  auto complete = read_wal(p);
+  ASSERT_EQ(complete.records.size(), sample_records().size());
+
+  // Record boundaries: header end, then after each record.
+  std::vector<std::size_t> boundaries{13};
+  for (const auto& r : sample_records())
+    boundaries.push_back(boundaries.back() + 4 + 1 + r.payload.size() + 4);
+  ASSERT_EQ(boundaries.back(), full.size());
+
+  for (std::size_t len = 0; len <= full.size(); ++len) {
+    write_bytes(p, {full.begin(), full.begin() + static_cast<std::ptrdiff_t>(len)});
+    auto res = read_wal(p);
+
+    // Whole records fully inside the prefix.
+    std::size_t expect_records = 0;
+    while (expect_records + 1 < boundaries.size() &&
+           boundaries[expect_records + 1] <= len)
+      ++expect_records;
+
+    if (len < 13) {
+      EXPECT_FALSE(res.header_valid) << "prefix " << len;
+      EXPECT_EQ(res.torn_tail, len > 0) << "prefix " << len;
+      EXPECT_EQ(res.dropped_bytes, len) << "prefix " << len;
+      continue;
+    }
+    EXPECT_TRUE(res.header_valid) << "prefix " << len;
+    EXPECT_EQ(res.records.size(), expect_records) << "prefix " << len;
+    EXPECT_EQ(res.valid_bytes, boundaries[expect_records]) << "prefix " << len;
+    EXPECT_EQ(res.torn_tail, len != boundaries[expect_records]) << "prefix " << len;
+    EXPECT_EQ(res.dropped_bytes, len - boundaries[expect_records])
+        << "prefix " << len;
+    for (std::size_t i = 0; i < expect_records; ++i)
+      EXPECT_EQ(res.records[i], sample_records()[i]) << "prefix " << len;
+  }
+}
+
+// Flipping any single byte of a record invalidates that record and
+// everything after it — but never the records before it.
+TEST_F(WalTest, MidLogCorruptionTruncatesFromTheDamagedRecord) {
+  auto p = write_sample();
+  auto full = bytes_of(p);
+  // Corrupt one payload byte of the third record (boundaries as above).
+  std::size_t rec3_start = 13 + (4 + 1 + 3 + 4) + (4 + 1 + 0 + 4);
+  auto damaged = full;
+  damaged[rec3_start + 4 + 1 + 10] ^= 0x01;  // inside record 3's payload
+  write_bytes(p, damaged);
+
+  auto res = read_wal(p);
+  EXPECT_TRUE(res.header_valid);
+  ASSERT_EQ(res.records.size(), 2u);
+  EXPECT_EQ(res.records[0], sample_records()[0]);
+  EXPECT_EQ(res.records[1], sample_records()[1]);
+  EXPECT_TRUE(res.torn_tail);
+  EXPECT_EQ(res.valid_bytes, rec3_start);
+}
+
+TEST_F(WalTest, GarbageLengthFieldIsATornTailNotAnAllocation) {
+  auto p = file();
+  WalWriter w(p, 1);
+  w.append(1, std::vector<std::uint8_t>{9});
+  auto full = bytes_of(p);
+  // Append a bogus record whose length field claims 4 GiB.
+  full.insert(full.end(), {0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0x02});
+  write_bytes(p, full);
+
+  auto res = read_wal(p);
+  ASSERT_EQ(res.records.size(), 1u);
+  EXPECT_TRUE(res.torn_tail);
+  EXPECT_EQ(res.dropped_bytes, 6u);
+}
+
+TEST_F(WalTest, ZeroLengthRecordFieldIsATornTail) {
+  auto p = file();
+  { WalWriter w(p, 1); }
+  auto full = bytes_of(p);
+  full.insert(full.end(), {0x00, 0x00, 0x00, 0x00});
+  write_bytes(p, full);
+  auto res = read_wal(p);
+  EXPECT_TRUE(res.header_valid);
+  EXPECT_TRUE(res.records.empty());
+  EXPECT_TRUE(res.torn_tail);
+}
+
+TEST_F(WalTest, WrongMagicOrVersionInvalidatesTheWholeFile) {
+  auto p = write_sample();
+  auto full = bytes_of(p);
+  auto bad_magic = full;
+  bad_magic[0] ^= 0xFF;
+  write_bytes(p, bad_magic);
+  auto res = read_wal(p);
+  EXPECT_FALSE(res.header_valid);
+  EXPECT_TRUE(res.records.empty());
+  EXPECT_EQ(res.dropped_bytes, full.size());
+
+  auto bad_version = full;
+  bad_version[4] = 0x7F;
+  write_bytes(p, bad_version);
+  res = read_wal(p);
+  EXPECT_FALSE(res.header_valid);
+  EXPECT_TRUE(res.records.empty());
+}
+
+// Crash mid-append, reopen, keep writing: the torn tail is truncated away
+// and new records land cleanly after the surviving prefix.
+TEST_F(WalTest, ReopenAfterTornTailTruncatesThenAppends) {
+  auto p = write_sample();
+  auto full = bytes_of(p);
+  std::size_t cut = full.size() - 3;  // tear the final record
+  write_bytes(p, {full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut)});
+
+  auto torn = read_wal(p);
+  ASSERT_TRUE(torn.torn_tail);
+  ASSERT_EQ(torn.records.size(), 3u);
+
+  {
+    WalWriter w(p, torn.epoch, torn.valid_bytes);
+    w.append(9, std::vector<std::uint8_t>{0xEE});
+  }
+  auto res = read_wal(p);
+  EXPECT_FALSE(res.torn_tail);
+  ASSERT_EQ(res.records.size(), 4u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(res.records[i], sample_records()[i]);
+  EXPECT_EQ(res.records[3], (WalRecord{9, {0xEE}}));
+}
+
+TEST_F(WalTest, KeepBytesBelowHeaderStartsFresh) {
+  auto p = write_sample(/*epoch=*/5);
+  {
+    WalWriter w(p, /*epoch=*/6, /*keep_bytes=*/4);  // shorter than a header
+    w.append(1, std::vector<std::uint8_t>{1});
+  }
+  auto res = read_wal(p);
+  EXPECT_TRUE(res.header_valid);
+  EXPECT_EQ(res.epoch, 6u);
+  ASSERT_EQ(res.records.size(), 1u);
+}
+
+TEST_F(WalTest, OversizedRecordThrows) {
+  WalWriter w(file(), 1);
+  EXPECT_THROW(w.append(1, std::vector<std::uint8_t>(kWalMaxRecordBytes)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pisa::store
