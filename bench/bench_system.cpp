@@ -33,18 +33,29 @@
 // run when WAL-on costs more than 15% of WAL-off requests/sec) and the
 // crash-recovery rebuild time measured by the engine itself.
 //
+// The TCP closed-loop sweep (DESIGN.md §3.7) drives the real epoll
+// transport: an RpcServer behind a loopback listener, an RpcClient
+// multiplexing 64 / 256 / 1024 concurrent SU sessions over one pipelined
+// connection, requests pre-encrypted off the clock. Wall-clock req/s,
+// p50/p99 sojourn times and wire bytes land in the same throughput[]
+// table with transport="tcp". `--transport=tcp` runs only this sweep —
+// the socket load-generator mode.
+//
 // `--quick` runs the n=1024 scaling rows, the pack sweep, a two-point
-// thread sweep, the {2, 8}-SU throughput sweep and the full shard ×
-// durability grid with a shortened per-row burst (no 4-lane row, no 16-SU
-// fleet, no n=2048 production row) — the CI perf-smoke configuration that
+// thread sweep, the {2, 8}-SU throughput sweep, the 64-session TCP row and
+// the full shard × durability grid with a shortened per-row burst (no
+// 4-lane row, no 16-SU fleet, no 256/1024-session TCP rows, no n=2048
+// production row) — the CI perf-smoke configuration that
 // scripts/check_perf_regression.py compares against the committed
 // BENCH_system.json.
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -53,7 +64,9 @@
 #include "core/protocol.hpp"
 #include "crypto/chacha_rng.hpp"
 #include "exec/thread_pool.hpp"
+#include "net/rpc_server.hpp"
 #include "radio/pathloss.hpp"
+#include "watch/matrices.hpp"
 
 namespace {
 
@@ -277,17 +290,26 @@ const char* mode_name(ThroughputMode m) {
 }
 
 struct ThroughputRow {
+  std::string transport = "sim";  // "sim" = virtual-time SimulatedNetwork,
+                                  // "tcp" = real epoll sockets (wall clock)
   std::string mode;
   std::size_t concurrency = 0;
   std::size_t entries_per_request = 0;
-  double makespan_us = 0;        // virtual time, first send → last response
+  double makespan_us = 0;        // sim: virtual time; tcp: wall clock
   double requests_per_sec = 0;   // concurrency / makespan
   double p50_latency_us = 0;
   double p95_latency_us = 0;
+  double p99_latency_us = 0;
   std::size_t convert_round_trips = 0;  // SDC→STP conversion messages
   double bytes_per_request = 0;         // Σ all four links / concurrency
+  double wire_bytes_per_request = 0;    // tcp only: TCP payload bytes, both
+                                        // directions, from transport stats
   double serve_wall_ms = 0;             // host wall clock of the drain
 };
+
+double percentile(const std::vector<double>& sorted, std::size_t pct) {
+  return sorted[(sorted.size() * pct + 99) / 100 - 1];
+}
 
 ThroughputRow measure_throughput(ThroughputMode mode, std::size_t concurrency,
                                  std::uint64_t seed) {
@@ -369,7 +391,8 @@ ThroughputRow measure_throughput(ThroughputMode mode, std::size_t concurrency,
   }
   std::sort(latencies.begin(), latencies.end());
   row.p50_latency_us = latencies[(latencies.size() - 1) / 2];
-  row.p95_latency_us = latencies[(latencies.size() * 95 + 99) / 100 - 1];
+  row.p95_latency_us = percentile(latencies, 95);
+  row.p99_latency_us = percentile(latencies, 99);
   row.requests_per_sec = row.makespan_us > 0
                              ? static_cast<double>(concurrency) /
                                    row.makespan_us * 1e6
@@ -386,6 +409,123 @@ void print_throughput_row(const ThroughputRow& r) {
               r.p50_latency_us, r.p95_latency_us, r.convert_round_trips,
               r.convert_round_trips == 1 ? " " : "s", r.bytes_per_request / 1e3,
               r.serve_wall_ms);
+}
+
+// ---- Socket-path throughput (ISSUE 7 / DESIGN.md §3.7) -------------------
+//
+// The closed-loop load generator for the real epoll transport: one
+// RpcServer (SDC + STP behind a TCP listener), one RpcClient multiplexing
+// every SU session over a single pipelined connection. All requests are
+// prepared (encrypted) off the clock, then the whole fleet is poured down
+// the socket at once — each session has exactly one request in flight and
+// waits for its response, which is the closed-loop steady state at
+// concurrency N. Unlike the virtual-time rows above, every number here is
+// wall clock measured across real sockets: framing, CRC sealing, epoll
+// wakeups, write-queue draining and the dispatch lane are all on the
+// timed path. Per-request completion timestamps come from the client's
+// response hook (dispatch-thread accurate), so p50/p99 are sojourn times
+// from burst start. wire_bytes_per_request is the transport's own byte
+// accounting (both directions) divided by the fleet size.
+
+ThroughputRow measure_tcp_throughput(std::size_t concurrency,
+                                     std::uint64_t seed) {
+  core::PisaConfig cfg;
+  cfg.watch.grid_rows = 2;
+  cfg.watch.grid_cols = 2;
+  cfg.watch.block_size_m = 400.0;
+  cfg.watch.channels = 2;
+  cfg.paillier_bits = 512;
+  cfg.rsa_bits = 384;  // the RSA floor: rsa_generate needs >= 384 bits
+  cfg.blind_bits = 16;
+  cfg.mr_rounds = 6;
+  const std::size_t blocks = cfg.watch.grid_rows * cfg.watch.grid_cols;
+  const std::size_t entries = cfg.watch.channels * blocks;
+
+  crypto::ChaChaRng rng{seed};
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  std::vector<watch::PuSite> sites{{0, radio::BlockId{0}}};
+  const double d_c_m = watch::exclusion_radius_m(cfg.watch, model);
+
+  rpc::RpcServer server{cfg, rng};
+  rpc::RpcClient client{cfg, server.group_key(), "127.0.0.1", server.port(),
+                        rng};
+  for (const auto& site : sites) client.add_pu(site);
+  // Fleet setup (keygen + STP registration) is offline in the paper; keep
+  // it off the clock like the sim rows keep register_su_key off theirs.
+  for (std::size_t i = 0; i < concurrency; ++i)
+    client.add_su(static_cast<std::uint32_t>(i + 1));
+  client.pu_update(0, watch::PuTuning{radio::ChannelId{0}, 1e-6});
+
+  // Encrypt every session's request off the clock; the timed section is
+  // purely the serving path (socket + SDC/STP pipeline).
+  std::vector<rpc::RpcClient::PreparedRequest> prepared;
+  prepared.reserve(concurrency);
+  for (std::size_t i = 0; i < concurrency; ++i) {
+    watch::SuRequest req{
+        static_cast<std::uint32_t>(i + 1),
+        radio::BlockId{static_cast<std::uint32_t>(i % blocks)},
+        std::vector<double>(cfg.watch.channels, i % 2 == 0 ? 100.0 : 1e-4)};
+    auto f = watch::build_su_f_matrix(cfg.watch, sites, req.block,
+                                      req.eirp_mw_per_channel, model, d_c_m);
+    prepared.push_back(client.prepare_request(req.su_id, f));
+  }
+
+  ThroughputRow row;
+  row.transport = "tcp";
+  row.mode = "closed_loop";
+  row.concurrency = concurrency;
+  row.entries_per_request = entries;
+
+  std::mutex done_mu;
+  std::vector<double> done_us(concurrency, 0);
+  Clock::time_point t0{};
+  client.set_response_hook([&](std::uint64_t request_id) {
+    double us = std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                    .count();
+    std::lock_guard<std::mutex> lk(done_mu);
+    done_us[request_id - prepared.front().request_id] = us;
+  });
+
+  auto wire0_c = client.transport().stats();
+  t0 = Clock::now();
+  for (const auto& p : prepared) client.submit(p);
+  for (const auto& p : prepared)
+    if (!client.wait_response(p.request_id, nullptr, 600000))
+      std::fprintf(stderr, "warning: tcp request %llu timed out\n",
+                   static_cast<unsigned long long>(p.request_id));
+  row.serve_wall_ms = ms_since(t0);
+  auto wire1_c = client.transport().stats();
+
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lk(done_mu);
+    latencies = done_us;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  row.makespan_us = latencies.back();
+  row.p50_latency_us = latencies[(latencies.size() - 1) / 2];
+  row.p95_latency_us = percentile(latencies, 95);
+  row.p99_latency_us = percentile(latencies, 99);
+  row.requests_per_sec =
+      row.makespan_us > 0
+          ? static_cast<double>(concurrency) / row.makespan_us * 1e6
+          : 0;
+  std::uint64_t wire_bytes = (wire1_c.bytes_sent - wire0_c.bytes_sent) +
+                             (wire1_c.bytes_received - wire0_c.bytes_received);
+  row.wire_bytes_per_request =
+      static_cast<double>(wire_bytes) / static_cast<double>(concurrency);
+  // On the socket path the bytes that matter are the ones on the wire;
+  // report them in the legacy column too so both fields read sensibly.
+  row.bytes_per_request = row.wire_bytes_per_request;
+  return row;
+}
+
+void print_tcp_throughput_row(const ThroughputRow& r) {
+  std::printf("  tcp %-18s x%-4zu | %8.1f req/s | p50 %8.0f us p99 %8.0f us "
+              "| %7.2f kB/req wire | wall %7.1f ms\n",
+              r.mode.c_str(), r.concurrency, r.requests_per_sec,
+              r.p50_latency_us, r.p99_latency_us,
+              r.wire_bytes_per_request / 1e3, r.serve_wall_ms);
 }
 
 // ---- Shard × durability sweep (DESIGN.md §3.6) ---------------------------
@@ -579,6 +719,7 @@ benchjson::JsonFields row_json(const Row& r) {
 
 benchjson::JsonFields throughput_json(const ThroughputRow& r) {
   benchjson::JsonFields j;
+  j.add("transport", r.transport);
   j.add("mode", r.mode);
   j.add("concurrency", r.concurrency);
   j.add("entries_per_request", r.entries_per_request);
@@ -586,8 +727,10 @@ benchjson::JsonFields throughput_json(const ThroughputRow& r) {
   j.add("requests_per_sec", r.requests_per_sec);
   j.add("p50_latency_us", r.p50_latency_us);
   j.add("p95_latency_us", r.p95_latency_us);
+  j.add("p99_latency_us", r.p99_latency_us);
   j.add("convert_round_trips", r.convert_round_trips);
   j.add("bytes_per_request", r.bytes_per_request);
+  j.add("wire_bytes_per_request", r.wire_bytes_per_request);
   j.add("serve_wall_ms", r.serve_wall_ms);
   return j;
 }
@@ -646,14 +789,47 @@ void write_json(const char* path, bool quick, const std::vector<Row>& scaling,
 
 }  // namespace
 
+std::vector<ThroughputRow> run_tcp_sweep(bool quick) {
+  std::printf("TCP closed-loop throughput at n=512, C=2, B=4 (8 "
+              "entries/request; wall-clock req/s over real epoll sockets, "
+              "one pipelined connection):\n");
+  std::vector<std::size_t> fleet{64};
+  if (!quick) {
+    fleet.push_back(256);
+    fleet.push_back(1024);
+  }
+  std::vector<ThroughputRow> rows;
+  for (std::size_t c : fleet) {
+    rows.push_back(measure_tcp_throughput(c, 0x7C9000 + c));
+    print_tcp_throughput_row(rows.back());
+  }
+  std::printf("\n");
+  return rows;
+}
+
 int main(int argc, char** argv) {
   bool quick = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::string_view{argv[i]} == "--quick") quick = true;
+  bool tcp_only = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg{argv[i]};
+    if (arg == "--quick") quick = true;
+    if (arg == "--transport=tcp") tcp_only = true;
+  }
 
-  std::printf("PISA system evaluation (Figure 6 reproduction)%s\n",
-              quick ? " [--quick]" : "");
+  std::printf("PISA system evaluation (Figure 6 reproduction)%s%s\n",
+              quick ? " [--quick]" : "", tcp_only ? " [--transport=tcp]" : "");
   std::printf("==============================================\n\n");
+
+  if (tcp_only) {
+    // Load-generator mode: just the socket sweep, nothing else on the
+    // clock. The JSON still parses like every other run; the non-socket
+    // sections are simply empty.
+    auto tcp_rows = run_tcp_sweep(quick);
+    write_json("BENCH_system.json", quick, {}, {}, {}, tcp_rows, {});
+    std::printf("\nMachine-readable results written to BENCH_system.json\n");
+    std::printf("\nDone.\n");
+    return 0;
+  }
 
   std::printf("Scaling check at n=1024 (per-entry costs must be flat):\n");
   Row r1 = measure(1024, 5, 3, 10, 42);    // 150 entries
@@ -724,6 +900,13 @@ int main(int argc, char** argv) {
                 seq.convert_round_trips, bat.convert_round_trips);
   }
   std::printf("\n");
+
+  // Socket-path closed-loop sweep (DESIGN.md §3.7): the same throughput[]
+  // table gains transport="tcp" rows measured over real sockets. Quick mode
+  // keeps the 64-session row so CI's perf guard always has a tcp row to
+  // compare against the committed snapshot.
+  auto tcp_rows = run_tcp_sweep(quick);
+  throughput.insert(throughput.end(), tcp_rows.begin(), tcp_rows.end());
 
   // Shard × durability sweep (DESIGN.md §3.6): identical workload per shard
   // count, WAL off vs on. The on/off requests/sec pair feeds the 15%

@@ -1,0 +1,82 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "net/codec.hpp"
+
+namespace pisa::net {
+
+std::vector<std::uint8_t> encode_frame(const Message& m) {
+  Encoder body;
+  body.put_string(m.from);
+  body.put_string(m.to);
+  body.put_string(m.type);
+  body.put_u64(m.net_seq);
+  body.put_bytes(m.payload);
+  auto sealed = body.take();
+  seal_frame(sealed);
+
+  std::vector<std::uint8_t> record;
+  record.reserve(4 + sealed.size());
+  auto len = static_cast<std::uint32_t>(sealed.size());
+  for (int i = 0; i < 4; ++i)
+    record.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  record.insert(record.end(), sealed.begin(), sealed.end());
+  return record;
+}
+
+Message decode_frame_body(std::span<const std::uint8_t> body) {
+  std::vector<std::uint8_t> sealed(body.begin(), body.end());
+  if (!open_frame(sealed)) throw DecodeError("frame: checksum mismatch");
+  Decoder dec{sealed};
+  Message m;
+  m.from = dec.get_string();
+  m.to = dec.get_string();
+  m.type = dec.get_string();
+  m.net_seq = dec.get_u64();
+  m.payload = dec.get_bytes();
+  dec.expect_done();
+  return m;
+}
+
+FrameReader::FrameReader(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+void FrameReader::feed(std::span<const std::uint8_t> bytes) {
+  if (error_ != Error::kNone) return;  // poisoned: drop everything
+  // Compact lazily: only when the consumed prefix dominates the buffer, so
+  // steady-state feeds are a single append.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+FrameReader::Poll FrameReader::poll(Message* out) {
+  if (error_ != Error::kNone) return Poll::kReject;
+  if (buf_.size() - pos_ < 4) return Poll::kNeedMore;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+  // Reject an absurd length *before* buffering its body: a flipped length
+  // prefix must never make the reader allocate or wait for gigabytes.
+  if (len > max_frame_bytes_) {
+    error_ = Error::kOversize;
+    return Poll::kReject;
+  }
+  if (buf_.size() - pos_ - 4 < len) return Poll::kNeedMore;
+  std::span<const std::uint8_t> body{buf_.data() + pos_ + 4, len};
+  try {
+    Message m = decode_frame_body(body);
+    pos_ += 4 + len;
+    if (out != nullptr) *out = std::move(m);
+    return Poll::kFrame;
+  } catch (const DecodeError&) {
+    error_ = Error::kBadFrame;
+    return Poll::kReject;
+  }
+}
+
+}  // namespace pisa::net

@@ -1,0 +1,87 @@
+// Wire framing for the real TCP transport.
+//
+// A TCP connection carries a stream of length-prefixed records, each sealed
+// with the same CRC-32 trailer (codec seal_frame/open_frame) the simulated
+// network's reliable channel uses, so one checksum discipline covers both
+// stacks:
+//
+//   u32 record_len (LE) | sealed body (record_len bytes)
+//   sealed body := Encoder{ string from | string to | string type |
+//                           u64 seq | bytes payload } + CRC-32 trailer
+//
+// `seq` is the transport-global send counter (ReliableTransport numbering
+// discipline): every (sender, seq) pair is unique for a transport's
+// lifetime, so application-level DedupWindows keep exactly-once semantics
+// when a reconnecting client re-sends a frame it cannot prove was
+// delivered. A caller may pin the seq of a re-send for exactly that reason.
+//
+// FrameReader is the incremental stream parser: bytes arrive in whatever
+// chunks the kernel hands us (split or coalesced arbitrarily), and the
+// reader yields exactly the records a one-shot parse of the concatenated
+// stream would — the frame_fuzz differential test pins that equivalence
+// against a reference built directly on open_frame + Decoder. A malformed
+// record (oversized length, bad checksum, trailing garbage in the body)
+// poisons the stream permanently: on TCP there is no way to resynchronise
+// framing after a bad length prefix, so the transport drops the connection.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/bus.hpp"
+
+namespace pisa::net {
+
+/// Hard ceiling a framer enforces on record_len before buffering a body.
+/// Large enough for the paper's 29 MB SU request at full C×B scale.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// Serialize a message (with its assigned transport seq) into one wire
+/// record: length prefix + sealed body.
+std::vector<std::uint8_t> encode_frame(const Message& m);
+
+/// Parse one complete sealed body (length prefix already stripped, CRC
+/// trailer still attached). Throws DecodeError on checksum or layout
+/// failure. This is the arbiter both the incremental reader and the
+/// differential fuzz reference call.
+Message decode_frame_body(std::span<const std::uint8_t> body);
+
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// Why a stream was rejected (sticky once set).
+  enum class Error : std::uint8_t {
+    kNone = 0,
+    kOversize,   ///< length prefix exceeds max_frame_bytes
+    kBadFrame,   ///< CRC mismatch or malformed body
+  };
+
+  enum class Poll : std::uint8_t {
+    kNeedMore,  ///< no complete record buffered
+    kFrame,     ///< one record parsed into *out
+    kReject,    ///< stream poisoned (error() says why); all later polls reject
+  };
+
+  /// Append raw stream bytes. Cheap; parsing happens in poll().
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Extract the next record if a complete one is buffered.
+  Poll poll(Message* out);
+
+  Error error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed by a complete record — nonzero at
+  /// connection EOF means the peer died mid-frame (a truncated tail).
+  std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  Error error_ = Error::kNone;
+};
+
+}  // namespace pisa::net

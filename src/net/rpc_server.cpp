@@ -1,0 +1,174 @@
+#include "net/rpc_server.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "core/messages.hpp"
+#include "crypto/key_codec.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace pisa::rpc {
+
+RpcServer::RpcServer(const core::PisaConfig& cfg, bn::RandomSource& rng,
+                     net::TcpOptions opts, std::uint16_t port)
+    : cfg_(cfg), rng_(rng), tcp_(opts) {
+  cfg_.validate();
+  // Same draw order as PisaSystem: STP keygen, then SDC keygen — an oracle
+  // world seeded identically produces the same keys and entity streams.
+  if (cfg_.num_threads > 1)
+    exec_ = std::make_shared<exec::ThreadPool>(cfg_.num_threads);
+  stp_ = std::make_unique<core::StpServer>(cfg_, rng_);
+  sdc_ = std::make_unique<core::SdcServer>(cfg_, stp_->group_key(),
+                                           watch::make_e_matrix(cfg_.watch),
+                                           rng_);
+  if (cfg_.threshold_stp) sdc_->set_threshold_share(stp_->sdc_share());
+  stp_->set_thread_pool(exec_);
+  sdc_->set_thread_pool(exec_);
+  stp_->attach(tcp_, "stp");
+  sdc_->attach(tcp_, "sdc", "stp");
+  tcp_.listen(port);
+}
+
+void RpcServer::crash_sdc() {
+  if (!sdc_) return;
+  tcp_.remove_endpoint("sdc");
+  sdc_.reset();
+}
+
+core::SdcServer& RpcServer::restart_sdc() {
+  if (sdc_) return *sdc_;
+  sdc_ = std::make_unique<core::SdcServer>(cfg_, stp_->group_key(),
+                                           watch::make_e_matrix(cfg_.watch),
+                                           rng_);
+  if (cfg_.threshold_stp) sdc_->set_threshold_share(stp_->sdc_share());
+  sdc_->set_thread_pool(exec_);
+  sdc_->attach(tcp_, "sdc", "stp");
+  return *sdc_;
+}
+
+RpcClient::RpcClient(const core::PisaConfig& cfg,
+                     crypto::PaillierPublicKey group_pk, std::string host,
+                     std::uint16_t port, bn::RandomSource& rng,
+                     net::TcpOptions opts)
+    : cfg_(cfg), group_pk_(std::move(group_pk)), host_(std::move(host)),
+      port_(port), rng_(rng), tcp_(opts),
+      e_matrix_(watch::make_e_matrix(cfg.watch)) {
+  conn_id_ = tcp_.connect(host_, port_, {"sdc", "stp"});
+}
+
+core::SuClient& RpcClient::add_su(std::uint32_t su_id, std::size_t precompute) {
+  if (sus_.contains(su_id))
+    throw std::invalid_argument("RpcClient: duplicate SU id");
+  auto client =
+      std::make_unique<core::SuClient>(su_id, cfg_, group_pk_, rng_);
+  tcp_.register_endpoint(su_name(su_id), [this](const net::Message& msg) {
+    if (msg.type != core::kMsgSuResponse)
+      throw std::runtime_error("SU endpoint: unexpected message " + msg.type);
+    auto resp = core::SuResponseMsg::decode(msg.payload);
+    auto request_id = resp.request_id;
+    {
+      std::lock_guard<std::mutex> lk(rmu_);
+      responses_.insert_or_assign(request_id, std::move(resp));
+    }
+    // Probe before notify: a waiter that wakes for this id observes the
+    // load generator's completion timestamp already recorded.
+    if (on_response_) on_response_(request_id);
+    rcv_.notify_all();
+  });
+  core::KeyRegisterMsg reg{su_id, crypto::serialize(client->public_key())};
+  tcp_.send({su_name(su_id), "stp", core::kMsgKeyRegister, reg.encode()});
+  if (precompute > 0) client->precompute_randomizers(precompute);
+  auto& ref = *client;
+  sus_.emplace(su_id, std::move(client));
+  return ref;
+}
+
+core::PuClient& RpcClient::add_pu(const watch::PuSite& site) {
+  if (pus_.contains(site.pu_id))
+    throw std::invalid_argument("RpcClient: duplicate PU id");
+  std::vector<std::int64_t> e_column(cfg_.watch.channels);
+  for (std::uint32_t c = 0; c < cfg_.watch.channels; ++c)
+    e_column[c] = e_matrix_.at(radio::ChannelId{c}, site.block);
+  auto client = std::make_unique<core::PuClient>(
+      site, cfg_, group_pk_, std::move(e_column), rng_);
+  auto& ref = *client;
+  pus_.emplace(site.pu_id, std::move(client));
+  return ref;
+}
+
+core::SuClient& RpcClient::su(std::uint32_t su_id) {
+  auto it = sus_.find(su_id);
+  if (it == sus_.end()) throw std::out_of_range("RpcClient: unknown SU");
+  return *it->second;
+}
+
+core::PuClient& RpcClient::pu(std::uint32_t pu_id) {
+  auto it = pus_.find(pu_id);
+  if (it == pus_.end()) throw std::out_of_range("RpcClient: unknown PU");
+  return *it->second;
+}
+
+RpcClient::PuUpdateHandle RpcClient::pu_update(std::uint32_t pu_id,
+                                               const watch::PuTuning& tuning) {
+  auto update = pu(pu_id).make_update(tuning);
+  PuUpdateHandle h;
+  h.pu_id = pu_id;
+  h.net_seq = next_pin_seq_++;
+  h.bytes = update.encode(group_pk_.ciphertext_bytes());
+  resend_pu_update(h);
+  return h;
+}
+
+void RpcClient::resend_pu_update(const PuUpdateHandle& handle) {
+  net::Message m;
+  m.from = "pu_" + std::to_string(handle.pu_id);
+  m.to = "sdc";
+  m.type = core::kMsgPuUpdate;
+  m.payload = handle.bytes;
+  m.net_seq = handle.net_seq;  // pinned: duplicates dedup at the SDC
+  tcp_.send(std::move(m));
+}
+
+RpcClient::PreparedRequest RpcClient::prepare_request(
+    std::uint32_t su_id, const watch::QMatrix& f,
+    std::optional<std::pair<std::uint32_t, std::uint32_t>> range,
+    core::PrepMode mode) {
+  PreparedRequest p;
+  p.request_id = next_request_id_++;
+  p.su_id = su_id;
+  std::uint32_t lo = range ? range->first : 0;
+  std::uint32_t hi =
+      range ? range->second : static_cast<std::uint32_t>(f.blocks());
+  auto msg = su(su_id).prepare_request(f, p.request_id, lo, hi, mode);
+  p.bytes = msg.encode(group_pk_.ciphertext_bytes());
+  return p;
+}
+
+void RpcClient::submit(const PreparedRequest& req) {
+  tcp_.send({su_name(req.su_id), "sdc", core::kMsgSuRequest, req.bytes});
+}
+
+bool RpcClient::wait_response(std::uint64_t request_id,
+                              core::SuResponseMsg* out, double timeout_ms) {
+  std::unique_lock<std::mutex> lk(rmu_);
+  bool ok = rcv_.wait_for(
+      lk, std::chrono::microseconds(static_cast<std::int64_t>(timeout_ms * 1e3)),
+      [&] { return responses_.contains(request_id); });
+  if (!ok) return false;
+  auto it = responses_.find(request_id);
+  if (out != nullptr) *out = std::move(it->second);
+  responses_.erase(it);
+  return true;
+}
+
+std::size_t RpcClient::responses_pending() const {
+  std::lock_guard<std::mutex> lk(rmu_);
+  return responses_.size();
+}
+
+void RpcClient::reconnect() {
+  tcp_.close_connection(conn_id_);
+  conn_id_ = tcp_.connect(host_, port_, {"sdc", "stp"});
+}
+
+}  // namespace pisa::rpc

@@ -1,0 +1,198 @@
+// Async RPC serving front-end over the TCP transport (DESIGN.md §3.7).
+//
+// RpcServer hosts the two infrastructure entities — StpServer and
+// SdcServer — behind one TcpTransport listener. Frames arriving from any
+// connection are dispatched serially into the entities' existing attach()
+// handlers (the same ones the simulated network drives), so the whole
+// Figure 4/5 protocol logic is reused verbatim; the entities fan work out
+// on the shared exec::ThreadPool internally, which is what makes the
+// front-end async: the I/O thread keeps accepting and reading while a
+// request is deep in a Paillier pipeline. SDC↔STP conversion traffic stays
+// in-process (both endpoints are local to the transport, so it rides the
+// dispatch lane without touching a socket), exactly like the co-located
+// deployment the paper's Figure 6 accounting assumes.
+//
+// Construction order mirrors PisaSystem byte for byte — STP keygen, SDC
+// keygen, threshold share, thread pools, attach — so a PisaSystem built
+// from an identically-seeded rng is a bit-exact oracle for this server:
+// same group key, same RSA license key, same per-entity ChaCha streams.
+//
+// RpcClient is the matching client bundle: it owns the SU/PU client
+// objects, one client TcpTransport multiplexing every logical session over
+// a single connection, a response registry keyed by request id, and the
+// re-send bookkeeping (pinned net_seq, PR 2 discipline) that turns TCP's
+// at-most-once-across-resets into application-level exactly-once.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bigint/random_source.hpp"
+#include "core/config.hpp"
+#include "core/pu_client.hpp"
+#include "core/sdc_server.hpp"
+#include "core/stp_server.hpp"
+#include "core/su_client.hpp"
+#include "net/tcp_transport.hpp"
+#include "watch/matrices.hpp"
+
+namespace pisa::rpc {
+
+class RpcServer {
+ public:
+  /// Build STP + SDC from `rng` (PisaSystem construction order), attach
+  /// them to a fresh TcpTransport and start listening on 127.0.0.1:`port`
+  /// (0 = ephemeral; read the bound port back with port()).
+  explicit RpcServer(const core::PisaConfig& cfg, bn::RandomSource& rng,
+                     net::TcpOptions opts = {}, std::uint16_t port = 0);
+
+  std::uint16_t port() const { return tcp_.port(); }
+
+  const crypto::PaillierPublicKey& group_key() const {
+    return stp_->group_key();
+  }
+  const crypto::RsaPublicKey& license_key() const {
+    return sdc_->license_key();
+  }
+
+  core::SdcServer& sdc() { return *sdc_; }
+  core::StpServer& stp() { return *stp_; }
+  bool sdc_running() const { return sdc_ != nullptr; }
+
+  /// PR 6 restart semantics on the socket path: the endpoint leaves the
+  /// transport first (in-flight frames to "sdc" become delivery failures,
+  /// never late deliveries), then the entity and all its in-memory state
+  /// are destroyed. restart_sdc() rebuilds it exactly like PisaSystem does.
+  void crash_sdc();
+  core::SdcServer& restart_sdc();
+
+  /// Off-path STP pool maintenance (always-warm mode); benches call this
+  /// between waves, mirroring PisaSystem's post-drain call.
+  void maintain_pools() { stp_->maintain_pools(); }
+
+  net::TcpTransport& transport() { return tcp_; }
+
+ private:
+  core::PisaConfig cfg_;
+  bn::RandomSource& rng_;
+  net::TcpTransport tcp_;
+  std::shared_ptr<exec::ThreadPool> exec_;
+  std::unique_ptr<core::StpServer> stp_;
+  std::unique_ptr<core::SdcServer> sdc_;
+};
+
+class RpcClient {
+ public:
+  /// Connect to an RpcServer and route "sdc"/"stp" over one multiplexed
+  /// connection. `group_pk` is pk_G (retrieved from the STP out of band in
+  /// the paper; handed over directly here). `rng` feeds SU/PU keygen and
+  /// request randomness — seed it like the oracle world's master rng and
+  /// make the same call sequence to get byte-identical traffic.
+  RpcClient(const core::PisaConfig& cfg, crypto::PaillierPublicKey group_pk,
+            std::string host, std::uint16_t port, bn::RandomSource& rng,
+            net::TcpOptions opts = {});
+
+  /// Create an SU client, register "su_<id>" as a local endpoint feeding
+  /// the response registry, and upload pk_j to the STP (paper §III-C). The
+  /// registration frame precedes any request on the same connection, so
+  /// FIFO ordering makes the directory entry visible before first use.
+  core::SuClient& add_su(std::uint32_t su_id, std::size_t precompute = 0);
+
+  /// Create a PU client for `site`, deriving its public E column from the
+  /// shared WatchConfig exactly like PisaSystem.
+  core::PuClient& add_pu(const watch::PuSite& site);
+
+  core::SuClient& su(std::uint32_t su_id);
+  core::PuClient& pu(std::uint32_t pu_id);
+
+  /// One PU tuning update, sent with a pinned net_seq so the exact frame
+  /// can be re-sent after a connection reset: the SDC's (sender, seq)
+  /// DedupWindow folds it into Ñ exactly once no matter how many copies
+  /// arrive (PR 2 discipline; the chaos suite pins this).
+  struct PuUpdateHandle {
+    std::uint32_t pu_id = 0;
+    std::uint64_t net_seq = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+  PuUpdateHandle pu_update(std::uint32_t pu_id, const watch::PuTuning& tuning);
+  void resend_pu_update(const PuUpdateHandle& handle);
+
+  /// An encrypted request, built off the clock: benches prepare every
+  /// session's request first, then pour the whole burst down the pipe.
+  struct PreparedRequest {
+    std::uint64_t request_id = 0;
+    std::uint32_t su_id = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+  PreparedRequest prepare_request(
+      std::uint32_t su_id, const watch::QMatrix& f,
+      std::optional<std::pair<std::uint32_t, std::uint32_t>> range =
+          std::nullopt,
+      core::PrepMode mode = core::PrepMode::kFresh);
+
+  /// Fire one prepared request at the SDC (does not consume the handle —
+  /// re-submitting the same bytes after a reset is the retry path; the SDC
+  /// drops duplicate request ids while the original is still pending and
+  /// re-serves completed ones with a fresh serial).
+  void submit(const PreparedRequest& req);
+
+  /// Block until the response for `request_id` arrives (dispatch thread
+  /// fills the registry) or `timeout_ms` passes. Returns false on timeout.
+  bool wait_response(std::uint64_t request_id, core::SuResponseMsg* out,
+                     double timeout_ms);
+
+  /// Responses received so far (registry size; drained by wait_response).
+  std::size_t responses_pending() const;
+
+  /// Per-response completion probe for load generators: called on the
+  /// dispatch thread the moment each SU response lands in the registry —
+  /// before any wait_response waiter wakes — so per-request completion
+  /// timestamps are exact even when the bench drains waiters lazily. Set
+  /// it before traffic starts; installation is not synchronized against
+  /// in-flight deliveries.
+  void set_response_hook(std::function<void(std::uint64_t)> hook) {
+    on_response_ = std::move(hook);
+  }
+
+  /// Tear the connection down mid-session and dial again (reset
+  /// simulation). Unflushed frames on the old connection are dropped —
+  /// at-most-once — and the re-send helpers above restore exactly-once.
+  void reconnect();
+
+  net::TcpTransport& transport() { return tcp_; }
+
+ private:
+  static std::string su_name(std::uint32_t id) {
+    return "su_" + std::to_string(id);
+  }
+
+  core::PisaConfig cfg_;
+  crypto::PaillierPublicKey group_pk_;
+  std::string host_;
+  std::uint16_t port_;
+  bn::RandomSource& rng_;
+  net::TcpTransport tcp_;
+  std::uint64_t conn_id_ = 0;
+  watch::QMatrix e_matrix_;
+
+  std::map<std::uint32_t, std::unique_ptr<core::SuClient>> sus_;
+  std::map<std::uint32_t, std::unique_ptr<core::PuClient>> pus_;
+
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t next_pin_seq_ = 1;  // pinned seqs for re-sendable frames
+
+  mutable std::mutex rmu_;
+  std::condition_variable rcv_;
+  std::map<std::uint64_t, core::SuResponseMsg> responses_;
+  std::function<void(std::uint64_t)> on_response_;
+};
+
+}  // namespace pisa::rpc

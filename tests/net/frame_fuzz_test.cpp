@@ -1,0 +1,280 @@
+// Differential fuzz of the socket framer (satellite 1, ISSUE 7).
+//
+// The incremental FrameReader must make exactly the accept/reject
+// decisions of a reference parser composed directly from the sealed-frame
+// primitives (open_frame + Decoder) on the concatenated stream — for every
+// chunking of the bytes, and for hostile inputs: truncated length
+// prefixes, oversized lengths, flipped CRC bytes, garbage, and frames
+// split or coalesced the way TCP actually delivers them. It must never
+// crash or over-read (CI runs this suite under ASan/UBSan).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/chacha_rng.hpp"
+#include "net/codec.hpp"
+#include "net/frame.hpp"
+
+namespace pisa::net {
+namespace {
+
+// --- reference parser --------------------------------------------------------
+
+enum class RefKind : std::uint8_t { kFrame, kRejectOversize, kRejectBad, kEnd };
+
+struct RefEvent {
+  RefKind kind = RefKind::kEnd;
+  Message msg;              // kFrame only
+  std::size_t tail = 0;     // kEnd only: unconsumed bytes (truncation)
+};
+
+/// One-shot parse of the whole stream, built straight on the arbiter
+/// primitives (open_frame + Decoder field sequence) — deliberately NOT on
+/// FrameReader or decode_frame_body, so the two sides are independent.
+std::vector<RefEvent> reference_parse(const std::vector<std::uint8_t>& stream,
+                                      std::size_t max_frame_bytes) {
+  std::vector<RefEvent> events;
+  std::size_t pos = 0;
+  for (;;) {
+    std::size_t left = stream.size() - pos;
+    if (left < 4) {
+      events.push_back({RefKind::kEnd, {}, left});
+      return events;
+    }
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+      len |= static_cast<std::uint32_t>(stream[pos + static_cast<std::size_t>(i)])
+             << (8 * i);
+    if (len > max_frame_bytes) {
+      events.push_back({RefKind::kRejectOversize, {}, 0});
+      return events;
+    }
+    if (left - 4 < len) {
+      events.push_back({RefKind::kEnd, {}, left});
+      return events;
+    }
+    std::vector<std::uint8_t> body(stream.begin() + static_cast<std::ptrdiff_t>(pos + 4),
+                                   stream.begin() + static_cast<std::ptrdiff_t>(pos + 4 + len));
+    if (!open_frame(body)) {
+      events.push_back({RefKind::kRejectBad, {}, 0});
+      return events;
+    }
+    try {
+      Decoder dec{body};
+      Message m;
+      m.from = dec.get_string();
+      m.to = dec.get_string();
+      m.type = dec.get_string();
+      m.net_seq = dec.get_u64();
+      m.payload = dec.get_bytes();
+      dec.expect_done();
+      events.push_back({RefKind::kFrame, std::move(m), 0});
+    } catch (const DecodeError&) {
+      events.push_back({RefKind::kRejectBad, {}, 0});
+      return events;
+    }
+    pos += 4 + len;
+  }
+}
+
+/// Drive a FrameReader over the stream in the given chunk sizes and record
+/// the same event sequence.
+std::vector<RefEvent> reader_parse(const std::vector<std::uint8_t>& stream,
+                                   const std::vector<std::size_t>& chunks,
+                                   std::size_t max_frame_bytes) {
+  FrameReader reader(max_frame_bytes);
+  std::vector<RefEvent> events;
+  std::size_t pos = 0;
+  auto drain = [&] {
+    for (;;) {
+      Message m;
+      auto status = reader.poll(&m);
+      if (status == FrameReader::Poll::kNeedMore) return true;
+      if (status == FrameReader::Poll::kReject) {
+        events.push_back({reader.error() == FrameReader::Error::kOversize
+                              ? RefKind::kRejectOversize
+                              : RefKind::kRejectBad,
+                          {}, 0});
+        return false;
+      }
+      events.push_back({RefKind::kFrame, std::move(m), 0});
+    }
+  };
+  for (std::size_t chunk : chunks) {
+    if (pos >= stream.size()) break;
+    std::size_t n = std::min(chunk, stream.size() - pos);
+    reader.feed({stream.data() + pos, n});
+    pos += n;
+    if (!drain()) return events;  // poisoned: decisions are final
+  }
+  while (pos < stream.size()) {  // leftover beyond the chunk plan
+    reader.feed({stream.data() + pos, 1});
+    ++pos;
+    if (!drain()) return events;
+  }
+  events.push_back({RefKind::kEnd, {}, reader.buffered_bytes()});
+  return events;
+}
+
+void expect_equivalent(const std::vector<RefEvent>& ref,
+                       const std::vector<RefEvent>& got,
+                       const std::string& label) {
+  ASSERT_EQ(ref.size(), got.size()) << label;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(static_cast<int>(ref[i].kind), static_cast<int>(got[i].kind))
+        << label << " event " << i;
+    if (ref[i].kind == RefKind::kFrame) {
+      EXPECT_EQ(ref[i].msg.from, got[i].msg.from) << label << " event " << i;
+      EXPECT_EQ(ref[i].msg.to, got[i].msg.to) << label << " event " << i;
+      EXPECT_EQ(ref[i].msg.type, got[i].msg.type) << label << " event " << i;
+      EXPECT_EQ(ref[i].msg.net_seq, got[i].msg.net_seq) << label << " event " << i;
+      EXPECT_EQ(ref[i].msg.payload, got[i].msg.payload) << label << " event " << i;
+    }
+    if (ref[i].kind == RefKind::kEnd) {
+      EXPECT_EQ(ref[i].tail, got[i].tail) << label << " event " << i;
+    }
+  }
+}
+
+// --- generators --------------------------------------------------------------
+
+Message random_message(crypto::ChaChaRng& rng) {
+  Message m;
+  m.from = "peer_" + std::to_string(rng.next_u64() % 16);
+  m.to = "svc_" + std::to_string(rng.next_u64() % 4);
+  m.type = (rng.next_u64() % 2) ? "su_request" : "pu_update";
+  m.net_seq = rng.next_u64();
+  m.payload.resize(rng.next_u64() % 600);
+  for (auto& b : m.payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  return m;
+}
+
+std::vector<std::uint8_t> random_stream(crypto::ChaChaRng& rng,
+                                        std::size_t frames) {
+  std::vector<std::uint8_t> stream;
+  for (std::size_t i = 0; i < frames; ++i) {
+    auto rec = encode_frame(random_message(rng));
+    stream.insert(stream.end(), rec.begin(), rec.end());
+  }
+  return stream;
+}
+
+std::vector<std::size_t> random_chunks(crypto::ChaChaRng& rng,
+                                       std::size_t total) {
+  std::vector<std::size_t> chunks;
+  std::size_t covered = 0;
+  while (covered < total) {
+    std::size_t c = 1 + rng.next_u64() % 97;
+    chunks.push_back(c);
+    covered += c;
+  }
+  return chunks;
+}
+
+constexpr std::size_t kMax = 1u << 20;  // fuzz-sized frame ceiling
+
+void differential(const std::vector<std::uint8_t>& stream,
+                  crypto::ChaChaRng& rng, const std::string& label) {
+  auto ref = reference_parse(stream, kMax);
+  // One-shot, byte-by-byte, and three random chunkings must all agree.
+  expect_equivalent(ref, reader_parse(stream, {stream.size() + 1}, kMax),
+                    label + "/oneshot");
+  expect_equivalent(ref, reader_parse(stream, std::vector<std::size_t>(stream.size(), 1), kMax),
+                    label + "/bytewise");
+  for (int i = 0; i < 3; ++i)
+    expect_equivalent(ref, reader_parse(stream, random_chunks(rng, stream.size()), kMax),
+                      label + "/random" + std::to_string(i));
+}
+
+// --- tests -------------------------------------------------------------------
+
+TEST(FrameFuzz, CleanStreamsAllChunkings) {
+  crypto::ChaChaRng rng{std::uint64_t{0xF00D}};
+  for (int round = 0; round < 10; ++round) {
+    auto stream = random_stream(rng, 1 + rng.next_u64() % 6);
+    differential(stream, rng, "clean round " + std::to_string(round));
+  }
+}
+
+TEST(FrameFuzz, SingleBitFlipsMatchReferenceDecision) {
+  crypto::ChaChaRng rng{std::uint64_t{0xBEEF}};
+  for (int round = 0; round < 24; ++round) {
+    auto stream = random_stream(rng, 3);
+    std::size_t at = rng.next_u64() % stream.size();
+    stream[at] ^= static_cast<std::uint8_t>(1u << (rng.next_u64() % 8));
+    differential(stream, rng, "flip round " + std::to_string(round));
+  }
+}
+
+TEST(FrameFuzz, TruncatedTailsReportIdenticalResidue) {
+  crypto::ChaChaRng rng{std::uint64_t{0xACE}};
+  for (int round = 0; round < 16; ++round) {
+    auto stream = random_stream(rng, 2);
+    stream.resize(rng.next_u64() % stream.size());  // cut anywhere, incl. len prefix
+    differential(stream, rng, "trunc round " + std::to_string(round));
+  }
+}
+
+TEST(FrameFuzz, OversizedLengthRejectsBeforeBuffering) {
+  auto stream = encode_frame(Message{"a", "b", "t", {1, 2, 3}, 7});
+  // Forge a length prefix far beyond the ceiling; the body never follows.
+  std::vector<std::uint8_t> hostile{0xFF, 0xFF, 0xFF, 0x7F};
+  crypto::ChaChaRng rng{std::uint64_t{0x0515}};
+  differential(hostile, rng, "oversize alone");
+  auto mixed = stream;
+  mixed.insert(mixed.end(), hostile.begin(), hostile.end());
+  differential(mixed, rng, "frame then oversize");
+
+  // The reader must reject from the 4 length bytes alone — no allocation,
+  // no waiting for a 2 GB body.
+  FrameReader reader(kMax);
+  reader.feed(std::span<const std::uint8_t>{hostile.data(), hostile.size()});
+  Message m;
+  EXPECT_EQ(reader.poll(&m), FrameReader::Poll::kReject);
+  EXPECT_EQ(reader.error(), FrameReader::Error::kOversize);
+}
+
+TEST(FrameFuzz, PureGarbageNeverCrashes) {
+  crypto::ChaChaRng rng{std::uint64_t{0xD1CE}};
+  for (int round = 0; round < 32; ++round) {
+    std::vector<std::uint8_t> garbage(rng.next_u64() % 512);
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.next_u64());
+    differential(garbage, rng, "garbage round " + std::to_string(round));
+  }
+}
+
+TEST(FrameFuzz, PoisonIsSticky) {
+  crypto::ChaChaRng rng{std::uint64_t{0x5EED}};
+  auto bad = random_stream(rng, 1);
+  bad[bad.size() / 2] ^= 0x40;           // corrupt the first frame
+  auto good = random_stream(rng, 1);     // a pristine frame behind it
+  bad.insert(bad.end(), good.begin(), good.end());
+
+  FrameReader reader(kMax);
+  reader.feed(std::span<const std::uint8_t>{bad.data(), bad.size()});
+  Message m;
+  ASSERT_EQ(reader.poll(&m), FrameReader::Poll::kReject);
+  // No resynchronisation on a byte stream: every later poll and feed is a
+  // rejected no-op.
+  EXPECT_EQ(reader.poll(&m), FrameReader::Poll::kReject);
+  reader.feed(std::span<const std::uint8_t>{good.data(), good.size()});
+  EXPECT_EQ(reader.poll(&m), FrameReader::Poll::kReject);
+}
+
+TEST(FrameFuzz, CoalescedAndSplitFramesRoundTrip) {
+  // The classic TCP delivery shapes, pinned explicitly: two frames in one
+  // read; one frame split across a 1-byte-tail read; prefix split 3+1.
+  crypto::ChaChaRng rng{std::uint64_t{0xCAFE}};
+  auto stream = random_stream(rng, 2);
+  auto ref = reference_parse(stream, kMax);
+  ASSERT_EQ(ref.size(), 3u);  // 2 frames + end
+
+  expect_equivalent(ref, reader_parse(stream, {stream.size()}, kMax), "coalesced");
+  expect_equivalent(ref, reader_parse(stream, {3, 1, stream.size() - 5, 1}, kMax),
+                    "split prefix and tail");
+}
+
+}  // namespace
+}  // namespace pisa::net

@@ -1,0 +1,222 @@
+// Shared helpers for the socket-grade test battery (tests/net/tcp_*).
+//
+// Every socket test binds port 0 and discovers the kernel-assigned port —
+// nothing in tests/ may hardcode a port number, which retires the
+// port-collision flake class for good. ScopedListener is the one idiom for
+// standing a listener up; ChaosProxy is the fault-injecting in-process
+// TCP proxy the chaos suite wedges between real sockets.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "net/tcp_transport.hpp"
+
+namespace pisa::testutil {
+
+/// Bind-port-0 idiom as an RAII helper: stands the transport's listener up
+/// on an ephemeral port and exposes what the kernel picked.
+class ScopedListener {
+ public:
+  explicit ScopedListener(net::TcpTransport& transport)
+      : port_(transport.listen(0)) {}
+  std::uint16_t port() const { return port_; }
+
+ private:
+  std::uint16_t port_;
+};
+
+/// Blocking loopback connect for hand-rolled (non-transport) test peers.
+inline int connect_loopback(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    throw std::runtime_error("connect() failed");
+  }
+  return fd;
+}
+
+inline void write_all(int fd, const std::vector<std::uint8_t>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("send() failed");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Spin until `pred` holds or `timeout_ms` passes; true iff it held.
+inline bool poll_until(const std::function<bool()>& pred, int timeout_ms) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+/// Fault-injecting in-process TCP proxy: client ↔ proxy ↔ upstream, one
+/// pump thread per direction. Faults:
+///   * chunking — forward at most `chunk_bytes` per write (partial writes);
+///   * delay — sleep `delay_us` between forwarded chunks;
+///   * reset — after `reset_after_bytes` of client→server traffic have been
+///     forwarded, hard-close both sides mid-stream (typically mid-frame).
+/// The budget arms once per call; a reconnecting client gets a clean pipe
+/// until the test re-arms it.
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(std::uint16_t upstream_port)
+      : upstream_port_(upstream_port) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("proxy socket() failed");
+    int yes = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof yes);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral, like every listener in tests/
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+        ::listen(listen_fd_, 16) < 0)
+      throw std::runtime_error("proxy bind/listen failed");
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+
+  ~ChaosProxy() {
+    stopping_.store(true);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (auto& t : pumps_)
+      if (t.joinable()) t.join();
+    std::lock_guard<std::mutex> lk(mu_);
+    for (int fd : live_fds_) ::close(fd);
+  }
+
+  std::uint16_t port() const { return port_; }
+
+  void set_chunk_bytes(std::size_t n) { chunk_bytes_.store(n); }
+  void set_delay_us(int us) { delay_us_.store(us); }
+  /// Arm a one-shot mid-stream reset after `bytes` of client→server data.
+  void reset_after(std::int64_t bytes) { reset_budget_.store(bytes); }
+  std::size_t resets() const { return resets_.load(); }
+
+ private:
+  struct Link {
+    int client_fd = -1;
+    int server_fd = -1;
+    std::atomic<bool> dead{false};
+  };
+
+  void accept_loop() {
+    while (!stopping_.load()) {
+      int cfd = ::accept(listen_fd_, nullptr, nullptr);
+      if (cfd < 0) return;
+      int sfd = -1;
+      try {
+        sfd = connect_loopback(upstream_port_);
+      } catch (const std::runtime_error&) {
+        ::close(cfd);
+        continue;
+      }
+      auto link = std::make_shared<Link>();
+      link->client_fd = cfd;
+      link->server_fd = sfd;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        live_fds_.push_back(cfd);
+        live_fds_.push_back(sfd);
+        pumps_.emplace_back([this, link] { pump(link, true); });
+        pumps_.emplace_back([this, link] { pump(link, false); });
+      }
+    }
+  }
+
+  void pump(std::shared_ptr<Link> link, bool client_to_server) {
+    int src = client_to_server ? link->client_fd : link->server_fd;
+    int dst = client_to_server ? link->server_fd : link->client_fd;
+    std::uint8_t buf[4096];
+    while (!stopping_.load() && !link->dead.load()) {
+      ssize_t n = ::recv(src, buf, sizeof buf, 0);
+      if (n <= 0) break;
+      std::size_t off = 0;
+      while (off < static_cast<std::size_t>(n)) {
+        if (stopping_.load() || link->dead.load()) return;
+        std::size_t chunk = chunk_bytes_.load();
+        std::size_t want = static_cast<std::size_t>(n) - off;
+        if (chunk > 0 && chunk < want) want = chunk;
+        if (client_to_server) {
+          // One-shot reset budget: once it runs dry mid-stream, both sides
+          // die with a partial frame on the wire.
+          std::int64_t budget = reset_budget_.load();
+          if (budget >= 0) {
+            if (budget < static_cast<std::int64_t>(want))
+              want = static_cast<std::size_t>(budget);
+            reset_budget_.store(budget - static_cast<std::int64_t>(want));
+            if (want == 0) {
+              kill_link(*link);
+              return;
+            }
+          }
+        }
+        ssize_t w = ::send(dst, buf + off, want, MSG_NOSIGNAL);
+        if (w <= 0) return;
+        off += static_cast<std::size_t>(w);
+        int d = delay_us_.load();
+        if (d > 0) std::this_thread::sleep_for(std::chrono::microseconds(d));
+      }
+    }
+    // Half-close propagation keeps EOF semantics transparent.
+    ::shutdown(dst, SHUT_WR);
+  }
+
+  void kill_link(Link& link) {
+    if (link.dead.exchange(true)) return;
+    reset_budget_.store(-1);  // disarm: the next connection is clean
+    ++resets_;
+    ::shutdown(link.client_fd, SHUT_RDWR);
+    ::shutdown(link.server_fd, SHUT_RDWR);
+  }
+
+  std::uint16_t upstream_port_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> chunk_bytes_{0};
+  std::atomic<int> delay_us_{0};
+  std::atomic<std::int64_t> reset_budget_{-1};
+  std::atomic<std::size_t> resets_{0};
+  std::mutex mu_;
+  std::vector<int> live_fds_;
+  std::vector<std::thread> pumps_;
+  std::thread accept_thread_;
+};
+
+}  // namespace pisa::testutil

@@ -1,0 +1,201 @@
+// Socket chaos suite (satellite 2, ISSUE 7; ctest label `chaos`).
+//
+// A fault-injecting in-process proxy (tests/net/socket_test_util.hpp) sits
+// between real sockets and mangles the byte stream: trickled partial
+// writes, per-chunk delays, and hard mid-frame connection resets. Under
+// all of it the protocol outcomes must stay pinned to their oracles:
+//   * a trickled-but-unharmed stream is byte-identical to the
+//     SimulatedNetwork baseline (same seeds ⇒ same signature bytes);
+//   * PU folds are exactly-once across connection resets — re-sent frames
+//     with pinned net_seqs dedup at the SDC (PR 2 discipline), partial
+//     frames die in the framer, and the encrypted budget tracks the
+//     plaintext oracle;
+//   * an SU request cut mid-frame can be re-submitted verbatim after a
+//     reconnect and completes with the oracle's grant decision.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "crypto/chacha_rng.hpp"
+#include "net/rpc_server.hpp"
+#include "radio/pathloss.hpp"
+#include "socket_test_util.hpp"
+#include "watch/plain_watch.hpp"
+
+namespace pisa::net {
+namespace {
+
+using radio::BlockId;
+using radio::ChannelId;
+using testutil::ChaosProxy;
+
+core::PisaConfig chaos_config() {
+  core::PisaConfig cfg;
+  cfg.watch.grid_rows = 2;
+  cfg.watch.grid_cols = 4;
+  cfg.watch.block_size_m = 400.0;
+  cfg.watch.channels = 2;
+  cfg.paillier_bits = 512;
+  cfg.rsa_bits = 384;
+  cfg.blind_bits = 16;
+  cfg.mr_rounds = 6;
+  return cfg;
+}
+
+std::vector<watch::PuSite> chaos_sites() { return {{0, BlockId{0}}}; }
+
+watch::SuRequest make_request(std::uint32_t su, std::uint32_t block, double mw,
+                              const core::PisaConfig& cfg) {
+  return {su, BlockId{block}, std::vector<double>(cfg.watch.channels, mw)};
+}
+
+/// The TCP-side world: server + proxy + client, plus the plaintext oracle
+/// and the F-matrix builder PisaSystem would use.
+struct ChaosWorld {
+  core::PisaConfig cfg = chaos_config();
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  std::vector<watch::PuSite> sites = chaos_sites();
+  double d_c_m = watch::exclusion_radius_m(cfg.watch, model);
+  crypto::ChaChaRng rng{std::uint64_t{0xC4A05}};
+  rpc::RpcServer server{cfg, rng};
+  ChaosProxy proxy{server.port()};
+  rpc::RpcClient client{cfg, server.group_key(), "127.0.0.1", proxy.port(),
+                        rng};
+  watch::PlainWatch oracle{cfg.watch, sites, model};
+
+  ChaosWorld() {
+    for (const auto& site : sites) client.add_pu(site);
+    client.add_su(1);
+  }
+
+  watch::QMatrix build_f(const watch::SuRequest& r) const {
+    return watch::build_su_f_matrix(cfg.watch, sites, r.block,
+                                    r.eirp_mw_per_channel, model, d_c_m);
+  }
+
+  /// Request → response → outcome, re-submitting the identical prepared
+  /// bytes after a reconnect if the wire ate the first attempt.
+  core::SuClient::Outcome request_with_retry(const watch::SuRequest& r) {
+    auto p = client.prepare_request(r.su_id, build_f(r));
+    core::SuResponseMsg resp;
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      client.submit(p);
+      if (client.wait_response(p.request_id, &resp, 5000))
+        return client.su(r.su_id).process_response(resp, server.license_key());
+      client.reconnect();
+    }
+    ADD_FAILURE() << "request never completed through the chaos proxy";
+    return {};
+  }
+};
+
+TEST(TcpChaos, TrickledPartialWritesStayByteIdenticalToSimulatedOracle) {
+  // Same seed, same call order, but the TCP bytes crawl through the proxy
+  // seven bytes at a time with delays: outcomes must match the simulated
+  // network bit for bit — partial reads/writes cannot perturb anything.
+  core::PisaConfig cfg = chaos_config();
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  crypto::ChaChaRng sim_rng{std::uint64_t{0xC4A05}};
+  core::PisaSystem sim{cfg, chaos_sites(), model, sim_rng};
+
+  ChaosWorld world;  // same seed inside
+  world.proxy.set_chunk_bytes(7);
+  world.proxy.set_delay_us(50);
+
+  sim.add_su(1);
+  watch::PuTuning tuning{ChannelId{0}, 1e-6};
+  sim.pu_update(0, tuning);
+  world.client.pu_update(0, tuning);
+
+  for (int round = 0; round < 2; ++round) {
+    auto req = make_request(1, round == 0 ? 1 : 7, round == 0 ? 100.0 : 1e-4,
+                            cfg);
+    auto sim_out = sim.su_request(req);
+    ASSERT_TRUE(sim_out.completed());
+
+    auto p = world.client.prepare_request(req.su_id, world.build_f(req));
+    world.client.submit(p);
+    core::SuResponseMsg resp;
+    ASSERT_TRUE(world.client.wait_response(p.request_id, &resp, 60000));
+    auto out = world.client.su(1).process_response(resp, world.server.license_key());
+    EXPECT_EQ(out.granted, sim_out.granted) << "round " << round;
+    EXPECT_EQ(out.license, sim_out.license) << "round " << round;
+    EXPECT_EQ(out.signature, sim_out.signature) << "round " << round;
+  }
+}
+
+TEST(TcpChaos, PuFoldsAreExactlyOnceAcrossConnectionResets) {
+  ChaosWorld world;
+
+  // Fold u1 and barrier on a request so it is definitely in Ñ.
+  watch::PuTuning u1{ChannelId{0}, 1e-6};
+  auto h1 = world.client.pu_update(0, u1);
+  world.oracle.pu_update(0, u1);
+  auto barrier1 = make_request(1, 7, 1e-4, world.cfg);
+  auto out1 = world.request_with_retry(barrier1);
+  EXPECT_EQ(out1.granted,
+            world.oracle.process_request(barrier1).granted);
+
+  // Arm a mid-frame reset, then push u2: the proxy forwards 150 bytes of
+  // the update frame and kills the link. The server sees a truncated
+  // stream — the partial frame must NOT fold.
+  world.proxy.reset_after(150);
+  watch::PuTuning u2{ChannelId{1}, 3e-6};
+  auto h2 = world.client.pu_update(0, u2);
+  world.oracle.pu_update(0, u2);
+  ASSERT_TRUE(testutil::poll_until([&] { return world.proxy.resets() >= 1; },
+                                   20000));
+
+  // Reconnect and re-send EVERYTHING the client cannot prove was
+  // delivered — including h1, which definitely was. Pinned net_seqs make
+  // the SDC's (sender, seq) window fold each update exactly once.
+  world.client.reconnect();
+  world.client.resend_pu_update(h1);
+  world.client.resend_pu_update(h2);
+  watch::PuTuning u3{ChannelId{0}, 5e-7};
+  world.client.pu_update(0, u3);
+  world.oracle.pu_update(0, u3);
+
+  // Barrier: a request on the same connection serializes behind the
+  // re-sends, so a response proves every fold above is applied.
+  auto probe = make_request(1, 1, 100.0, world.cfg);
+  auto out = world.request_with_retry(probe);
+  EXPECT_EQ(out.granted, world.oracle.process_request(probe).granted);
+
+  EXPECT_EQ(world.server.sdc().stats().pu_updates, 3u)
+      << "u1 deduped, u2's partial frame dropped, each update folded once";
+  EXPECT_GE(world.server.transport().stats().truncated_streams, 1u)
+      << "the mid-frame reset left a truncated tail at the server";
+
+  // The budget still tracks the plaintext oracle exactly.
+  auto quiet = make_request(1, 7, 1e-4, world.cfg);
+  EXPECT_EQ(world.request_with_retry(quiet).granted,
+            world.oracle.process_request(quiet).granted);
+}
+
+TEST(TcpChaos, RequestCutMidFrameRetriesToTheOracleDecision) {
+  ChaosWorld world;
+  watch::PuTuning u1{ChannelId{0}, 1e-6};
+  world.client.pu_update(0, u1);
+  world.oracle.pu_update(0, u1);
+
+  // Barrier so the fold is in before the chaos starts.
+  auto warm = make_request(1, 7, 1e-4, world.cfg);
+  world.request_with_retry(warm);
+  world.oracle.process_request(warm);
+
+  // Cut the next request's multi-kilobyte frame partway through the
+  // upload; the retry loop reconnects and re-submits the same bytes.
+  world.proxy.reset_after(300);
+  auto req = make_request(1, 1, 100.0, world.cfg);
+  auto out = world.request_with_retry(req);
+  EXPECT_EQ(out.granted, world.oracle.process_request(req).granted);
+  EXPECT_GE(world.proxy.resets(), 1u);
+  // The cut attempt never reached begin_request: exactly the warm-up and
+  // the retried request were served.
+  EXPECT_EQ(world.server.sdc().stats().requests_finished, 2u);
+}
+
+}  // namespace
+}  // namespace pisa::net
