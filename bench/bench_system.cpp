@@ -41,6 +41,13 @@
 // table with transport="tcp". `--transport=tcp` runs only this sweep —
 // the socket load-generator mode.
 //
+// The denial-mix sweep (DESIGN.md §3.8) serves grant:deny mixes of
+// {80:20, 50:50, 20:80} with the encrypted cuckoo denial prefilter off and
+// on, over both transports: with the filter on, requests that hit a
+// confirmed-exhausted block come back as one 32-byte FastDenyMsg instead
+// of running the blinded-conversion pipeline, and the on/off pair at the
+// 80%-deny mix feeds the ≥2x fast-deny guard.
+//
 // `--quick` runs the n=1024 scaling rows, the pack sweep, a two-point
 // thread sweep, the {2, 8}-SU throughput sweep, the 64-session TCP row and
 // the full shard × durability grid with a shortened per-row burst (no
@@ -664,6 +671,293 @@ void print_shard_row(const ShardRow& r) {
       r.snapshots_written == 1 ? "" : "s");
 }
 
+// ---- Denial-mix sweep (DESIGN.md §3.8) -----------------------------------
+//
+// The same grant:deny request mix served with the encrypted cuckoo
+// prefilter off and on, over the virtual-time SimulatedNetwork and the real
+// TCP transport. The geometry keeps exhaustion block-local (d^c ≈ 527 m,
+// 1000 m blocks): three PUs stack onto (channel 0, block 0) until its
+// budget is provably exhausted, deny-mix requests disclose [0,1) and hit
+// the confirmed-exhausted set, grant-mix requests disclose the clean
+// [3,4). With the filter on every deny is a one-round 32-byte FastDenyMsg
+// — no Ṽ blinding, no STP conversion — so wall-clock requests/sec at a
+// deny-heavy mix is the headline number: the within-run on/off pair at
+// 80% deny feeds the ≥2x fast-deny guard in
+// scripts/check_perf_regression.py. stp_decryptions counts conversion
+// entries + probe slots the STP opened during the timed burst; per denied
+// request it must sit at ~0 with the filter on (probes amortize at
+// PU-update time, off the serve path). decisions_match asserts every
+// decision equals the constructed mix — the filter never flips a verdict.
+
+struct DenialRow {
+  std::string transport = "sim";
+  std::size_t deny_pct = 0;
+  bool filter = false;
+  std::size_t requests = 0;
+  std::size_t grants = 0;
+  std::size_t fast_denials = 0;
+  std::size_t full_denials = 0;
+  double serve_wall_ms = 0;
+  double requests_per_sec = 0;          // wall clock over the timed burst
+  std::uint64_t stp_decryptions = 0;    // conversion entries + probe slots
+  double stp_decryptions_per_denied = 0;
+  double wire_bytes_per_request = 0;
+  std::uint64_t prefilter_false_positives = 0;
+  bool decisions_match = true;
+};
+
+core::PisaConfig denial_config(bool filter) {
+  core::PisaConfig cfg;
+  cfg.watch.grid_rows = 1;
+  cfg.watch.grid_cols = 4;
+  cfg.watch.block_size_m = 1000.0;
+  cfg.watch.channels = 2;
+  cfg.watch.pu_min_signal_dbm = -40.0;  // d^c ≈ 527 m < one block: exhaustion
+  cfg.watch.su_max_eirp_dbm = 20.0;     // stays local to the PU-site block
+  cfg.paillier_bits = 512;
+  cfg.rsa_bits = 384;
+  cfg.blind_bits = 48;
+  cfg.mr_rounds = 8;
+  cfg.denial_filter.enabled = filter;
+  return cfg;
+}
+
+std::vector<watch::PuSite> denial_sites() {
+  return {{0, radio::BlockId{0}}, {1, radio::BlockId{0}},
+          {2, radio::BlockId{0}}};
+}
+
+bool deny_slot(std::size_t i, std::size_t deny_pct) {
+  return i % 10 < deny_pct / 10;  // deterministic interleave: 80% = 8-in-10
+}
+
+void finish_denial_row(DenialRow& row, std::uint64_t decryptions,
+                       std::uint64_t entries_per_grant,
+                       std::uint64_t wire_bytes) {
+  row.requests_per_sec =
+      row.serve_wall_ms > 0
+          ? static_cast<double>(row.requests) * 1e3 / row.serve_wall_ms
+          : 0;
+  row.stp_decryptions = decryptions;
+  const std::uint64_t grant_cost =
+      static_cast<std::uint64_t>(row.grants) * entries_per_grant;
+  const std::size_t denied = row.fast_denials + row.full_denials;
+  row.stp_decryptions_per_denied =
+      denied > 0 && decryptions > grant_cost
+          ? static_cast<double>(decryptions - grant_cost) /
+                static_cast<double>(denied)
+          : 0;
+  row.wire_bytes_per_request =
+      static_cast<double>(wire_bytes) / static_cast<double>(row.requests);
+}
+
+DenialRow measure_denial_sim(std::size_t deny_pct, bool filter, bool quick,
+                             std::uint64_t seed) {
+  auto cfg = denial_config(filter);
+  crypto::ChaChaRng rng{seed};
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  core::PisaSystem system{cfg, denial_sites(), model, rng};
+  system.add_su(1);
+  // Exhaust (channel 0, block 0): the folds invalidate, the probe rounds
+  // confirm — all before the timed burst, like PU churn in deployment.
+  for (std::uint32_t pu : {0u, 1u, 2u})
+    system.pu_update(pu, watch::PuTuning{radio::ChannelId{0}, 1e-6});
+
+  watch::SuRequest deny_req{1, radio::BlockId{0},
+                            std::vector<double>(cfg.watch.channels, 1e-4)};
+  watch::SuRequest grant_req{1, radio::BlockId{3},
+                             std::vector<double>(cfg.watch.channels, 1e-4)};
+
+  DenialRow row;
+  row.deny_pct = deny_pct;
+  row.filter = filter;
+  row.requests = quick ? 10 : 30;
+
+  // Untimed warm-up grant: cold-start allocations stay off the clock, and
+  // its conversion-entry count calibrates the per-grant decryption cost.
+  std::uint64_t entries0 = system.stp().entries_converted();
+  auto warm = system.su_request(grant_req, std::make_pair(3u, 4u));
+  if (!warm.completed() || !warm.granted) row.decisions_match = false;
+  const std::uint64_t entries_per_grant =
+      system.stp().entries_converted() - entries0;
+
+  const std::uint64_t dec0 =
+      system.stp().entries_converted() + system.stp().probe_slots_signed();
+  const std::uint64_t fp0 = system.sdc().stats().prefilter_false_positives;
+  std::uint64_t wire_bytes = 0;
+  auto t0 = Clock::now();
+  for (std::size_t i = 0; i < row.requests; ++i) {
+    const bool deny = deny_slot(i, deny_pct);
+    auto out = deny ? system.su_request(deny_req, std::make_pair(0u, 1u))
+                    : system.su_request(grant_req, std::make_pair(3u, 4u));
+    if (!out.completed() || out.granted == deny) row.decisions_match = false;
+    if (out.granted)
+      ++row.grants;
+    else if (out.fast_denied)
+      ++row.fast_denials;
+    else
+      ++row.full_denials;
+    wire_bytes += out.request_bytes + out.convert_bytes +
+                  out.convert_reply_bytes + out.response_bytes;
+  }
+  row.serve_wall_ms = ms_since(t0);
+  const std::uint64_t decryptions = system.stp().entries_converted() +
+                                    system.stp().probe_slots_signed() - dec0;
+  row.prefilter_false_positives =
+      system.sdc().stats().prefilter_false_positives - fp0;
+  finish_denial_row(row, decryptions, entries_per_grant, wire_bytes);
+  return row;
+}
+
+DenialRow measure_denial_tcp(std::size_t deny_pct, bool filter, bool quick,
+                             std::uint64_t seed) {
+  auto cfg = denial_config(filter);
+  crypto::ChaChaRng rng{seed};
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  auto sites = denial_sites();
+  const double d_c_m = watch::exclusion_radius_m(cfg.watch, model);
+
+  rpc::RpcServer server{cfg, rng};
+  rpc::RpcClient client{cfg, server.group_key(), "127.0.0.1", server.port(),
+                        rng};
+  for (const auto& site : sites) client.add_pu(site);
+
+  DenialRow row;
+  row.transport = "tcp";
+  row.deny_pct = deny_pct;
+  row.filter = filter;
+  row.requests = quick ? 10 : 30;
+
+  // One SU session per request, plus a warm-up session; registration is
+  // offline setup, off the clock like every other tcp row.
+  for (std::size_t i = 0; i <= row.requests; ++i)
+    client.add_su(static_cast<std::uint32_t>(i + 1));
+  for (std::uint32_t pu : {0u, 1u, 2u})
+    client.pu_update(pu, watch::PuTuning{radio::ChannelId{0}, 1e-6});
+
+  const std::vector<double> eirp(cfg.watch.channels, 1e-4);
+  auto make_f = [&](const watch::SuRequest& req) {
+    return watch::build_su_f_matrix(cfg.watch, sites, req.block,
+                                    req.eirp_mw_per_channel, model, d_c_m);
+  };
+
+  // Warm-up grant on its own session: FIFO ordering guarantees the PU
+  // folds (and their in-process probe rounds, filter on) fully drain
+  // before the timed burst; its entry count calibrates per-grant cost.
+  const std::uint64_t entries0 = server.stp().entries_converted();
+  {
+    watch::SuRequest req{static_cast<std::uint32_t>(row.requests + 1),
+                         radio::BlockId{3}, eirp};
+    auto p = client.prepare_request(req.su_id, make_f(req),
+                                    std::make_pair(3u, 4u));
+    client.submit(p);
+    core::SuResponseMsg resp;
+    bool fast = false;
+    if (!client.wait_response(p.request_id, &resp, 600000, &fast) || fast ||
+        !client.su(req.su_id)
+             .process_response(resp, server.license_key())
+             .granted)
+      row.decisions_match = false;
+  }
+  const std::uint64_t entries_per_grant =
+      server.stp().entries_converted() - entries0;
+
+  // Prepare (encrypt) the whole mix off the clock.
+  std::vector<rpc::RpcClient::PreparedRequest> prepared;
+  std::vector<bool> expect_deny;
+  prepared.reserve(row.requests);
+  for (std::size_t i = 0; i < row.requests; ++i) {
+    const bool deny = deny_slot(i, deny_pct);
+    expect_deny.push_back(deny);
+    watch::SuRequest req{static_cast<std::uint32_t>(i + 1),
+                         radio::BlockId{deny ? 0u : 3u}, eirp};
+    prepared.push_back(client.prepare_request(
+        req.su_id, make_f(req),
+        deny ? std::make_pair(0u, 1u) : std::make_pair(3u, 4u)));
+  }
+
+  const std::uint64_t dec0 =
+      server.stp().entries_converted() + server.stp().probe_slots_signed();
+  const std::uint64_t fp0 = server.sdc().stats().prefilter_false_positives;
+  auto wire0 = client.transport().stats();
+  auto t0 = Clock::now();
+  for (const auto& p : prepared) client.submit(p);
+  for (std::size_t i = 0; i < prepared.size(); ++i) {
+    core::SuResponseMsg resp;
+    bool fast = false;
+    if (!client.wait_response(prepared[i].request_id, &resp, 600000, &fast)) {
+      std::fprintf(stderr, "warning: denial-sweep tcp request %zu timed out\n",
+                   i);
+      row.decisions_match = false;
+      continue;
+    }
+    bool granted = false;
+    if (fast) {
+      ++row.fast_denials;
+    } else {
+      granted = client.su(prepared[i].su_id)
+                    .process_response(resp, server.license_key())
+                    .granted;
+      if (granted)
+        ++row.grants;
+      else
+        ++row.full_denials;
+    }
+    if (granted == expect_deny[i]) row.decisions_match = false;
+  }
+  row.serve_wall_ms = ms_since(t0);
+  auto wire1 = client.transport().stats();
+  const std::uint64_t decryptions = server.stp().entries_converted() +
+                                    server.stp().probe_slots_signed() - dec0;
+  row.prefilter_false_positives =
+      server.sdc().stats().prefilter_false_positives - fp0;
+  const std::uint64_t wire_bytes =
+      (wire1.bytes_sent - wire0.bytes_sent) +
+      (wire1.bytes_received - wire0.bytes_received);
+  finish_denial_row(row, decryptions, entries_per_grant, wire_bytes);
+  return row;
+}
+
+void print_denial_row(const DenialRow& r) {
+  std::printf(
+      "  %-3s deny=%2zu%% filter=%-3s | %7.2f req/s | grant %2zu fast %2zu "
+      "full %2zu | STP dec/denied %5.2f | %7.2f kB/req | wall %8.1f ms%s\n",
+      r.transport.c_str(), r.deny_pct, r.filter ? "on" : "off",
+      r.requests_per_sec, r.grants, r.fast_denials, r.full_denials,
+      r.stp_decryptions_per_denied, r.wire_bytes_per_request / 1e3,
+      r.serve_wall_ms, r.decisions_match ? "" : "  [DECISION MISMATCH]");
+}
+
+std::vector<DenialRow> run_denial_sweep(bool quick, bool tcp_only) {
+  std::printf(
+      "Denial-mix sweep at n=512, C=2, B=4 (§3.8 prefilter off vs on; "
+      "deny requests hit the exhausted block, wall-clock req/s):\n");
+  std::vector<DenialRow> rows;
+  for (std::size_t deny_pct :
+       {std::size_t{20}, std::size_t{50}, std::size_t{80}}) {
+    for (bool tcp : {false, true}) {
+      if (tcp_only && !tcp) continue;
+      const std::uint64_t seed = 0xFA57DE00 + deny_pct * 4 + (tcp ? 2 : 0);
+      DenialRow off = tcp ? measure_denial_tcp(deny_pct, false, quick, seed)
+                          : measure_denial_sim(deny_pct, false, quick, seed);
+      print_denial_row(off);
+      DenialRow on = tcp ? measure_denial_tcp(deny_pct, true, quick, seed + 1)
+                         : measure_denial_sim(deny_pct, true, quick, seed + 1);
+      print_denial_row(on);
+      if (off.requests_per_sec > 0)
+        std::printf("    -> prefilter at %zu%% deny (%s): %.2fx req/s, "
+                    "%zu full denials -> %zu\n",
+                    deny_pct, on.transport.c_str(),
+                    on.requests_per_sec / off.requests_per_sec,
+                    off.full_denials, on.full_denials);
+      rows.push_back(off);
+      rows.push_back(on);
+    }
+  }
+  std::printf("\n");
+  return rows;
+}
+
 double byte_ratio(std::size_t base, std::size_t packed) {
   return packed > 0 ? static_cast<double>(base) / static_cast<double>(packed)
                     : 0;
@@ -753,11 +1047,32 @@ benchjson::JsonFields shard_json(const ShardRow& r) {
   return j;
 }
 
+benchjson::JsonFields denial_json(const DenialRow& r) {
+  benchjson::JsonFields j;
+  j.add("transport", r.transport);
+  j.add("deny_pct", r.deny_pct);
+  j.add("filter", std::size_t{r.filter ? 1u : 0u});
+  j.add("requests", r.requests);
+  j.add("grants", r.grants);
+  j.add("fast_denials", r.fast_denials);
+  j.add("full_denials", r.full_denials);
+  j.add("serve_wall_ms", r.serve_wall_ms);
+  j.add("requests_per_sec", r.requests_per_sec);
+  j.add("stp_decryptions", static_cast<std::size_t>(r.stp_decryptions));
+  j.add("stp_decryptions_per_denied", r.stp_decryptions_per_denied);
+  j.add("wire_bytes_per_request", r.wire_bytes_per_request);
+  j.add("prefilter_false_positives",
+        static_cast<std::size_t>(r.prefilter_false_positives));
+  j.add("decisions_match", std::size_t{r.decisions_match ? 1u : 0u});
+  return j;
+}
+
 void write_json(const char* path, bool quick, const std::vector<Row>& scaling,
                 const std::vector<Row>& sweep,
                 const std::vector<Row>& pack_sweep,
                 const std::vector<ThroughputRow>& throughput,
-                const std::vector<ShardRow>& shard_sweep) {
+                const std::vector<ShardRow>& shard_sweep,
+                const std::vector<DenialRow>& denial_sweep) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "warning: cannot write %s\n", path);
@@ -775,6 +1090,9 @@ void write_json(const char* path, bool quick, const std::vector<Row>& scaling,
   std::vector<benchjson::JsonFields> shards;
   shards.reserve(shard_sweep.size());
   for (const auto& r : shard_sweep) shards.push_back(shard_json(r));
+  std::vector<benchjson::JsonFields> denials;
+  denials.reserve(denial_sweep.size());
+  for (const auto& r : denial_sweep) denials.push_back(denial_json(r));
   std::fprintf(f, "{\n  \"quick\": %s,\n  \"hardware_threads\": %zu,\n",
                quick ? "true" : "false",
                exec::ThreadPool::hardware_threads());
@@ -782,7 +1100,8 @@ void write_json(const char* path, bool quick, const std::vector<Row>& scaling,
   benchjson::write_row_array(f, "thread_sweep", rows_of(sweep), false);
   benchjson::write_row_array(f, "pack_sweep", rows_of(pack_sweep), false);
   benchjson::write_row_array(f, "throughput", tput, false);
-  benchjson::write_row_array(f, "shard_sweep", shards, true);
+  benchjson::write_row_array(f, "shard_sweep", shards, false);
+  benchjson::write_row_array(f, "denial_sweep", denials, true);
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
@@ -821,11 +1140,13 @@ int main(int argc, char** argv) {
   std::printf("==============================================\n\n");
 
   if (tcp_only) {
-    // Load-generator mode: just the socket sweep, nothing else on the
+    // Load-generator mode: just the socket sweeps, nothing else on the
     // clock. The JSON still parses like every other run; the non-socket
     // sections are simply empty.
     auto tcp_rows = run_tcp_sweep(quick);
-    write_json("BENCH_system.json", quick, {}, {}, {}, tcp_rows, {});
+    auto denial_rows = run_denial_sweep(quick, /*tcp_only=*/true);
+    write_json("BENCH_system.json", quick, {}, {}, {}, tcp_rows, {},
+               denial_rows);
     std::printf("\nMachine-readable results written to BENCH_system.json\n");
     std::printf("\nDone.\n");
     return 0;
@@ -934,6 +1255,11 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
+  // Denial-mix sweep (DESIGN.md §3.8): the grant:deny mix with the
+  // encrypted cuckoo prefilter off vs on, sim and tcp. The 80%-deny on/off
+  // pair feeds the ≥2x fast-deny guard in scripts/check_perf_regression.py.
+  auto denial_rows = run_denial_sweep(quick, /*tcp_only=*/false);
+
   std::vector<Row> scaling{r1, r2};
   if (!quick) {
     std::printf("Production key size n=2048 (paper's configuration):\n");
@@ -944,7 +1270,7 @@ int main(int argc, char** argv) {
   }
 
   write_json("BENCH_system.json", quick, scaling, sweep, pack_sweep,
-             throughput, shard_sweep);
+             throughput, shard_sweep, denial_rows);
   std::printf("\nMachine-readable results written to BENCH_system.json\n");
 
   std::printf("\nDone.\n");

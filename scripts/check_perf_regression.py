@@ -28,12 +28,19 @@ Guarded metrics (the protocol's hot paths):
                         are wall clock over real loopback sockets and use
                         the looser --tcp-threshold (default 2.0).
 
-One guard runs within the *current* run only (no baseline): the shard_sweep
-rows pair durability off/on at each shard count, and WAL-on requests_per_sec
-must stay within `--wal-threshold` (default 1.15, i.e. <= 15% overhead) of
-the WAL-off row measured moments earlier on the same host — write-ahead
-durability is journal-on-the-fold, and must never tax the serve path. Host
-speed cancels out of the pair, so this one is safe to gate on wall clock.
+Three guards run within the *current* run only (no baseline). The
+shard_sweep rows pair durability off/on at each shard count, and WAL-on
+requests_per_sec must stay within `--wal-threshold` (default 1.15, i.e.
+<= 15% overhead) of the WAL-off row measured moments earlier on the same
+host — write-ahead durability is journal-on-the-fold, and must never tax
+the serve path. The denial_sweep rows pair the §3.8 prefilter off/on at
+each (transport, deny_pct): at deny mixes >= 80% the filter-ON row must be
+at least `--fast-deny-factor`x (default 2.0) FASTER — the direction-aware
+inverse of every other guard, because the fast-deny path exists purely to
+win throughput and losing it is a protocol bug, not noise. And every
+denial_sweep row must report decisions_match = 1: the prefilter may only
+accelerate denials, never flip a verdict. Host speed cancels out of all
+three pairings, so they are safe to gate on wall clock.
 
 Exits 1 when any guarded metric is more than `threshold`x worse than the
 committed snapshot, 2 when a snapshot/run file is missing or unparseable.
@@ -147,6 +154,50 @@ def durability_checks(current):
             yield f"wal_overhead requests_per_sec shards={n}", off[n], on[n], True
 
 
+def denial_checks(current, factor):
+    """Prefilter-on vs prefilter-off requests_per_sec at deny-heavy mixes.
+
+    Within the current run only, like the WAL pair: the two rows of a
+    (transport, deny_pct) pair ran back to back on the same host, so the
+    ratio is the §3.8 fast-deny win itself. Direction-aware and inverted
+    relative to every other guard: the filter-ON row must be at least
+    `factor`x FASTER than the filter-off row at deny_pct >= 80 — a one-round
+    32-byte FastDenyMsg replacing the blinded-conversion pipeline is a
+    multiple-x cliff, so losing it (filter silently off, probes never
+    confirming, denials re-entering the full path) trips this even on a
+    noisy host. Encoded in the common check tuple by swapping the roles:
+    'baseline' = factor * filter-off, 'current' = filter-on, higher-is-
+    better with threshold 1.0.
+    """
+    rows = current.get("denial_sweep", [])
+    off = {(r["transport"], r["deny_pct"]): r["requests_per_sec"]
+           for r in rows if not r["filter"]}
+    on = {(r["transport"], r["deny_pct"]): r["requests_per_sec"]
+          for r in rows if r["filter"]}
+    for key in sorted(off):
+        transport, deny_pct = key
+        if deny_pct < 80 or key not in on:
+            continue
+        yield (f"fast_deny requests_per_sec {transport} deny={deny_pct}%",
+               factor * off[key], on[key], True)
+
+
+def decision_checks(current):
+    """Every denial_sweep row must report decisions_match == 1.
+
+    The prefilter is only a fast path: a row where any grant/deny verdict
+    deviated from the constructed mix means a false denial (or a false
+    grant) escaped the test suites onto the bench workload — always a bug,
+    never noise, so the 'threshold' is exact.
+    """
+    for r in current.get("denial_sweep", []):
+        label = "decisions_match {} deny={}% filter={}".format(
+            r["transport"], r["deny_pct"], "on" if r["filter"] else "off")
+        # baseline 1 (expected), current value, lower-is-worse inverted via
+        # higher_is_better so a 0 yields ratio inf -> REGRESSION.
+        yield label, 1.0, float(r["decisions_match"]), True
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline-dir", default=".",
@@ -162,6 +213,10 @@ def main():
                     help="threshold for the transport=tcp throughput rows "
                          "(wall clock over real sockets, so looser than the "
                          "virtual-time rows)")
+    ap.add_argument("--fast-deny-factor", type=float, default=2.0,
+                    help="fail when the prefilter-on requests_per_sec at a "
+                         ">=80%% deny mix is below this multiple of the "
+                         "prefilter-off row (within the current run)")
     args = ap.parse_args()
 
     # Each check is (label, baseline, current, higher_is_better, threshold);
@@ -178,6 +233,10 @@ def main():
                                     args.threshold, args.tcp_threshold))
     checks.extend((*c, args.wal_threshold)
                   for c in durability_checks(system_current))
+    checks.extend((*c, 1.0)
+                  for c in denial_checks(system_current,
+                                         args.fast_deny_factor))
+    checks.extend((*c, 1.0) for c in decision_checks(system_current))
 
     if not checks:
         print("error: no overlapping guarded metrics between baseline and "

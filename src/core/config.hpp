@@ -50,6 +50,27 @@ struct DurabilityConfig {
   std::size_t serial_reserve = 64;
 };
 
+/// Encrypted cuckoo-filter denial fast path (DESIGN.md §3.8). Disabled by
+/// default: the SDC then behaves exactly like the pre-filter server, byte
+/// for byte. Enabled, the SDC tracks provably-exhausted (channel-group,
+/// block) cells in a keyed cuckoo filter backed by an exact set, and denies
+/// a request whose disclosed block range touches a confirmed-exhausted cell
+/// in one cheap round — no Ṽ blinding, no STP round-trip. Cuckoo false
+/// positives are vetoed by the exact set, so decisions are always identical
+/// to the filter-off pipeline (no false denials, ever).
+struct DenialFilterConfig {
+  bool enabled = false;
+
+  /// Target false-positive probability of the keyed cuckoo layer. Only a
+  /// sizing hint (the exact set makes FPs harmless); smaller = fewer wasted
+  /// exact-set probes, larger fingerprints.
+  double fpp = 1.0 / 1024.0;
+
+  /// Per-shard filter capacity in (channel-group, block) cells. 0 = size
+  /// for the shard's whole group-range × blocks grid (always sufficient).
+  std::size_t capacity = 0;
+};
+
 struct PisaConfig {
   watch::WatchConfig watch;
 
@@ -90,6 +111,9 @@ struct PisaConfig {
 
   /// Write-ahead durability + crash recovery for the SDC state engine.
   DurabilityConfig durability;
+
+  /// One-round denial fast path via a keyed cuckoo prefilter (§3.8).
+  DenialFilterConfig denial_filter;
 
   /// Cross-request throughput engine (DESIGN.md §3.5). With
   /// convert_batch_max > 0 the SDC stops sending one ConvertRequestMsg per
@@ -178,6 +202,10 @@ struct PisaConfig {
     if (convert_batch_watchdog_us < 0)
       throw std::invalid_argument(
           "PisaConfig: convert_batch_watchdog_us must be >= 0");
+    if (denial_filter.enabled &&
+        !(denial_filter.fpp > 0.0 && denial_filter.fpp < 1.0))
+      throw std::invalid_argument(
+          "PisaConfig: denial_filter.fpp must be in (0,1)");
     if (reliability.enabled) {
       if (reliability.timeout_us <= 0)
         throw std::invalid_argument("PisaConfig: reliability.timeout_us must be > 0");

@@ -265,6 +265,63 @@ LicenseBody LicenseBody::decode_from(net::Decoder& dec) {
   return b;
 }
 
+std::vector<std::uint8_t> FastDenyMsg::encode() const {
+  net::Encoder enc;
+  enc.put_u64(request_id);
+  const std::array<std::uint8_t, kPadBytes> pad{};
+  enc.put_raw(std::span<const std::uint8_t>(pad.data(), pad.size()));
+  return enc.take();
+}
+
+FastDenyMsg FastDenyMsg::decode(const std::vector<std::uint8_t>& bytes) {
+  net::Decoder dec{bytes};
+  FastDenyMsg m;
+  m.request_id = dec.get_u64();
+  auto pad = dec.get_raw(kPadBytes);
+  for (std::uint8_t b : pad)
+    if (b != 0) throw net::DecodeError("FastDenyMsg: nonzero pad byte");
+  dec.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> BudgetProbeMsg::encode(std::size_t ct_width) const {
+  net::Encoder enc;
+  enc.put_u64(probe_id);
+  put_ciphertexts(enc, v, ct_width);
+  put_ciphertexts(enc, partials, ct_width);
+  return enc.take();
+}
+
+BudgetProbeMsg BudgetProbeMsg::decode(const std::vector<std::uint8_t>& bytes) {
+  net::Decoder dec{bytes};
+  BudgetProbeMsg m;
+  m.probe_id = dec.get_u64();
+  m.v = get_ciphertexts(dec);
+  m.partials = get_ciphertexts(dec);
+  if (!m.partials.empty() && m.partials.size() != m.v.size())
+    throw net::DecodeError("BudgetProbeMsg: partials/v size mismatch");
+  dec.expect_done();
+  return m;
+}
+
+std::vector<std::uint8_t> BudgetProbeResponseMsg::encode() const {
+  net::Encoder enc;
+  enc.put_u64(probe_id);
+  enc.put_bytes(std::span<const std::uint8_t>(signs.data(), signs.size()));
+  return enc.take();
+}
+
+BudgetProbeResponseMsg BudgetProbeResponseMsg::decode(
+    const std::vector<std::uint8_t>& bytes) {
+  net::Decoder dec{bytes};
+  BudgetProbeResponseMsg m;
+  m.probe_id = dec.get_u64();
+  auto signs = dec.get_bytes();
+  m.signs.assign(signs.begin(), signs.end());
+  dec.expect_done();
+  return m;
+}
+
 std::vector<std::uint8_t> SuResponseMsg::encode(std::size_t ct_width) const {
   net::Encoder enc;
   enc.put_u64(request_id);

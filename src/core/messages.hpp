@@ -36,6 +36,10 @@ inline constexpr const char* kMsgSuResponse = "su_response";
 inline constexpr const char* kMsgKeyRegister = "stp_key_register";
 inline constexpr const char* kMsgKeyLookup = "stp_key_lookup";
 inline constexpr const char* kMsgKeyLookupResponse = "stp_key_lookup_response";
+inline constexpr const char* kMsgFastDeny = "su_fast_deny";
+inline constexpr const char* kMsgBudgetProbe = "stp_budget_probe";
+inline constexpr const char* kMsgBudgetProbeResponse =
+    "stp_budget_probe_response";
 
 /// Ciphertext vector codec at fixed width (|n²| bytes per ciphertext).
 void put_ciphertexts(net::Encoder& enc,
@@ -188,6 +192,49 @@ struct KeyLookupResponseMsg {
 
   std::vector<std::uint8_t> encode() const;
   static KeyLookupResponseMsg decode(const std::vector<std::uint8_t>& bytes);
+};
+
+/// One-round denial (DESIGN.md §3.8): the SDC's prefilter proved the
+/// request's disclosed block range touches an exhausted budget cell, so the
+/// full conversion pipeline is skipped. The payload is a fixed 32 bytes —
+/// request id plus an all-zero pad — regardless of grid size, channel
+/// count, or which cells were exhausted, so the message reveals exactly the
+/// deny bit the full-pipeline response would have revealed and nothing
+/// else. decode() enforces the zero pad.
+struct FastDenyMsg {
+  static constexpr std::size_t kPadBytes = 24;
+  static constexpr std::size_t kWireBytes = 8 + kPadBytes;
+
+  std::uint64_t request_id = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static FastDenyMsg decode(const std::vector<std::uint8_t>& bytes);
+};
+
+/// SDC → STP budget sign probe (§3.8): blinded ciphertexts ε·(α·Ñ − β̃)
+/// for the budget cells touched by a PU fold. Deliberately carries no
+/// (group, block) coordinates — the STP sees only which *count* of cells
+/// was refreshed, exactly as it sees conversion sizes today. `partials`
+/// carries the SDC's threshold co-decryptions in threshold-STP mode.
+struct BudgetProbeMsg {
+  std::uint64_t probe_id = 0;
+  std::vector<crypto::PaillierCiphertext> v;
+  std::vector<crypto::PaillierCiphertext> partials;  // empty = classic mode
+
+  std::vector<std::uint8_t> encode(std::size_t ct_width) const;
+  static BudgetProbeMsg decode(const std::vector<std::uint8_t>& bytes);
+};
+
+/// STP → SDC probe reply: one byte per packed slot of each probed cell,
+/// 1 = the decrypted (still ε-masked) slot was positive. The SDC unmasks
+/// with its ε to learn sign(N) per slot — one aggregate bit per channel,
+/// nothing about magnitudes.
+struct BudgetProbeResponseMsg {
+  std::uint64_t probe_id = 0;
+  std::vector<std::uint8_t> signs;  // v.size() × pack_slots entries
+
+  std::vector<std::uint8_t> encode() const;
+  static BudgetProbeResponseMsg decode(const std::vector<std::uint8_t>& bytes);
 };
 
 /// Figure 5 step 11: response to the SU — the license body in clear plus

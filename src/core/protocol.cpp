@@ -95,6 +95,13 @@ SuClient& PisaSystem::add_su(std::uint32_t su_id, std::size_t precompute) {
   // The endpoint must exist before the key upload: under the reliable
   // transport the STP's ACK comes back to it.
   transport().register_endpoint(su_name(su_id), [this](const net::Message& msg) {
+    if (msg.type == kMsgFastDeny) {
+      // §3.8 one-round denial; decode() validates the fixed-size zero pad.
+      auto deny = FastDenyMsg::decode(msg.payload);
+      response_arrival_us_.insert_or_assign(deny.request_id, net_.now_us());
+      fast_denied_.insert(deny.request_id);
+      return;
+    }
     if (msg.type != kMsgSuResponse)
       throw std::runtime_error("SU endpoint: unexpected message " + msg.type);
     auto resp = SuResponseMsg::decode(msg.payload);
@@ -171,6 +178,19 @@ PisaSystem::RequestOutcome PisaSystem::su_request(
   out.convert_reply_bytes = net_.stats("stp", "sdc").bytes - stp_sdc_before;
   out.response_bytes = net_.stats("sdc", su_name(request.su_id)).bytes - sdc_su_before;
   out.latency_us = t_done - t_send;
+
+  if (fast_denied_.erase(rid) != 0) {
+    // §3.8 prefilter denial: no SuResponseMsg exists for this rid.
+    auto outcome = client.process_fast_deny(FastDenyMsg{rid});
+    out.fast_denied = true;
+    out.granted = outcome.granted;
+    auto arrived = response_arrival_us_.find(rid);
+    if (arrived != response_arrival_us_.end()) {
+      out.latency_us = arrived->second - t_send;
+      response_arrival_us_.erase(arrived);
+    }
+    return out;
+  }
 
   auto it = responses_.find(rid);
   if (it == responses_.end()) {
@@ -259,6 +279,19 @@ std::vector<PisaSystem::RequestOutcome> PisaSystem::su_request_many(
   double last_arrival = t_send;
   for (const auto& p : prepared) {
     RequestOutcome out;
+    if (fast_denied_.erase(p.rid) != 0) {
+      auto outcome = su(p.su_id).process_fast_deny(FastDenyMsg{p.rid});
+      out.fast_denied = true;
+      out.granted = outcome.granted;
+      auto arrived = response_arrival_us_.find(p.rid);
+      if (arrived != response_arrival_us_.end()) {
+        out.latency_us = arrived->second - t_send;
+        last_arrival = std::max(last_arrival, arrived->second);
+        response_arrival_us_.erase(arrived);
+      }
+      outs.push_back(std::move(out));
+      continue;
+    }
     auto it = responses_.find(p.rid);
     if (it == responses_.end()) {
       out.status = RequestOutcome::Status::kTransportFailed;

@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -53,6 +54,10 @@ class PisaSystem {
     bool completed() const { return status == Status::kCompleted; }
 
     bool granted = false;
+    /// §3.8: denied in one round by the SDC's prefilter — no conversion
+    /// round, no license. Always false when the decision was a grant, and
+    /// always a decision the full pipeline would also have denied.
+    bool fast_denied = false;
     LicenseBody license;
     bn::BigUint signature;
     /// Human-readable transport diagnosis when status == kTransportFailed.
@@ -162,6 +167,7 @@ class PisaSystem {
   std::map<std::uint32_t, std::unique_ptr<PuClient>> pus_;
   std::map<std::uint32_t, std::unique_ptr<SuClient>> sus_;
   std::map<std::uint64_t, SuResponseMsg> responses_;  // by request id
+  std::set<std::uint64_t> fast_denied_;  // request ids answered by FastDenyMsg
   std::map<std::uint64_t, double> response_arrival_us_;  // by request id
   std::uint64_t next_request_id_ = 1;
 };

@@ -37,11 +37,17 @@ ScenarioStats ScenarioRunner::run(std::vector<ScenarioEvent> events) {
       ++stats.pu_updates;
     } else {
       const auto& req = std::get<SuRequestEvent>(event.action);
-      bool granted = system_.su_request(req.request, std::nullopt, req.mode).granted;
+      auto outcome = system_.su_request(req.request, std::nullopt, req.mode);
+      bool granted = outcome.granted;
       bool expected = oracle_.process_request(req.request).granted;
       decisions_.push_back(granted);
       ++stats.requests;
-      (granted ? stats.grants : stats.denials)++;
+      if (granted) {
+        ++stats.grants;
+      } else {
+        ++stats.denials;
+        (outcome.fast_denied ? stats.fast_denials : stats.full_denials)++;
+      }
       if (granted != expected) ++stats.oracle_mismatches;
     }
   }

@@ -40,7 +40,12 @@ struct ScenarioStats {
   std::size_t pu_updates = 0;
   std::size_t requests = 0;
   std::size_t grants = 0;
-  std::size_t denials = 0;
+  std::size_t denials = 0;  ///< total = fast_denials + full_denials
+  /// §3.8 split of `denials`: one-round prefilter rejects vs denials that
+  /// went through the full blinded-conversion pipeline. Always sums to
+  /// `denials`; fast_denials stays 0 when cfg.denial_filter is off.
+  std::size_t fast_denials = 0;
+  std::size_t full_denials = 0;
   /// Decisions where the encrypted system disagreed with the plaintext
   /// oracle — must stay 0; anything else is a correctness bug.
   std::size_t oracle_mismatches = 0;

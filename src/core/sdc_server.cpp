@@ -41,6 +41,40 @@ crypto::RsaKeyPair load_or_generate_identity(const PisaConfig& cfg,
   return kp;
 }
 
+/// The §3.8 prefilter fingerprint key. Only drawn when the filter is on —
+/// filter-off construction consumes exactly the rng sequence it always did.
+/// With durability on the key persists as a sealed file next to the RSA
+/// identity: a recovered SDC must re-derive the same fingerprints or the
+/// snapshot's cuckoo table bytes would be garbage under a fresh key.
+std::array<std::uint8_t, 32> load_or_generate_filter_key(
+    const PisaConfig& cfg, bn::RandomSource& rng) {
+  std::array<std::uint8_t, 32> key{};
+  if (!cfg.denial_filter.enabled) return key;
+  auto fill = [&] {
+    for (std::size_t i = 0; i < key.size(); i += 8) {
+      std::uint64_t w = rng.next_u64();
+      for (std::size_t j = 0; j < 8; ++j)
+        key[i + j] = static_cast<std::uint8_t>(w >> (8 * j));
+    }
+  };
+  if (!cfg.durability.enabled) {
+    fill();
+    return key;
+  }
+  auto file = std::filesystem::path(cfg.durability.dir) / "filter.key";
+  if (auto sealed = store::read_sealed_file(file)) {
+    if (sealed->payload.size() != key.size())
+      throw std::runtime_error("SdcServer: bad filter.key payload size");
+    std::copy(sealed->payload.begin(), sealed->payload.end(), key.begin());
+    return key;
+  }
+  fill();
+  std::filesystem::create_directories(cfg.durability.dir);
+  store::write_sealed_file(file, /*epoch=*/0,
+                           std::span<const std::uint8_t>(key.data(), key.size()));
+  return key;
+}
+
 }  // namespace
 
 SdcServer::SdcServer(const PisaConfig& cfg, crypto::PaillierPublicKey group_pk,
@@ -50,10 +84,11 @@ SdcServer::SdcServer(const PisaConfig& cfg, crypto::PaillierPublicKey group_pk,
       group_pk_(std::move(group_pk)), e_matrix_(std::move(e_matrix)),
       rsa_(load_or_generate_identity(cfg, rng)),
       issuer_(std::move(issuer_name)),
+      filter_key_(load_or_generate_filter_key(cfg, rng)),
       // The engine validates cfg, checks the E shape/sign invariants,
       // initializes Ñ from E (tail slots seeded with 1 — see sdc_state.hpp)
       // and, with durability on, recovers the previous run's state here.
-      state_(cfg_, group_pk_, e_matrix_),
+      state_(cfg_, group_pk_, e_matrix_, filter_key_),
       seen_frames_(cfg.reliability.dedup_window),
       stream_(rng.next_u64()) {}
 
@@ -84,10 +119,30 @@ crypto::PaillierCiphertext& SdcServer::budget_at(std::uint32_t group,
 
 void SdcServer::handle_pu_update(const PuUpdateMsg& update) {
   auto t0 = Clock::now();
+  // §3.8: a fold changes Ñ at the PU's new block and (on a move) its old
+  // one. Capture both before the apply overwrites the stored column.
+  std::vector<std::uint32_t> touched;
+  if (cfg_.denial_filter.enabled) {
+    touched.push_back(update.block);
+    auto prev = state_.pu_block(update.pu_id);
+    if (prev && *prev != update.block) touched.push_back(*prev);
+  }
   // The engine validates the column shape, retracts this PU's previous
   // contribution (if any), folds the new column — per-shard lanes with
   // num_shards > 1 — and journals the slices first when durability is on.
   state_.apply_pu_update(update);
+  // Conservative invalidation: touched blocks leave the filter *now*, so
+  // no request can be fast-denied on pre-fold budget state. Exhaustion
+  // only returns once the STP confirms the post-fold signs; until then the
+  // full pipeline serves those blocks — slower, never wrong. Direct-call
+  // mode (no transport) cannot probe, so the filter simply stays empty.
+  if (!touched.empty()) {
+    for (std::uint32_t b : touched) {
+      state_.invalidate_block(b);
+      ++block_epoch_[b];
+    }
+    if (net_ != nullptr) send_budget_probe(touched);
+  }
   ++stats_.pu_updates;
   stats_.update.add(ms_since(t0));
 }
@@ -96,6 +151,119 @@ void SdcServer::recompute_budget() {
   auto t0 = Clock::now();
   state_.recompute();
   stats_.update.add(ms_since(t0));
+}
+
+bool SdcServer::fast_deny_check(const SuRequestMsg& request) {
+  auto t0 = Clock::now();
+  const std::size_t groups = cfg_.channel_groups();
+  bool deny = false;
+  for (std::uint32_t b = request.block_lo; !deny && b < request.block_hi; ++b) {
+    for (std::uint32_t g = 0; g < groups; ++g) {
+      auto probe = state_.probe_exhausted(g, b);
+      if (probe.cuckoo_hit && !probe.confirmed)
+        ++stats_.prefilter_false_positives;
+      if (probe.confirmed) {
+        deny = true;
+        break;
+      }
+    }
+  }
+  stats_.prefilter.add(ms_since(t0));
+  if (deny) {
+    ++stats_.prefilter_hits;
+    ++stats_.fast_denials;
+  } else {
+    ++stats_.prefilter_misses;
+  }
+  return deny;
+}
+
+void SdcServer::send_budget_probe(const std::vector<std::uint32_t>& blocks) {
+  const std::size_t groups = cfg_.channel_groups();
+  const std::size_t k = codec_.slots();
+  const std::size_t count = blocks.size() * groups;
+
+  BudgetProbeMsg msg;
+  msg.probe_id = next_probe_id_++;
+  msg.v.resize(count);
+  if (threshold_share_) msg.partials.resize(count);
+
+  PendingProbe pend;
+  pend.blocks = blocks;
+  for (std::uint32_t b : blocks) pend.epochs.push_back(block_epoch_[b]);
+  pend.epsilon.resize(count);
+
+  // Same blinding envelope as eq. (14) minus the F term: each probed entry
+  // ships ε·(α·Ñ − β̃) with fresh α, per-slot β_j ∈ (0, α) and a sign flip
+  // ε, so the STP learns only ε-masked signs — which the SDC unmasks — and
+  // nothing about magnitudes. Randomness is drawn sequentially before the
+  // parallel modexp section, like every other pipeline stage.
+  std::vector<bn::BigUint> alphas(count), betas(count);
+  std::vector<bn::BigInt> beta_slots(k);
+  for (std::size_t i = 0; i < count; ++i) {
+    bn::BigUint alpha = bn::random_bits(stream_, cfg_.blind_bits);
+    alpha.set_bit(cfg_.blind_bits - 1);
+    for (std::size_t j = 0; j < k; ++j) {
+      beta_slots[j] = bn::BigInt{
+          bn::random_below(stream_, alpha - bn::BigUint{1}) + bn::BigUint{1}};
+    }
+    betas[i] = codec_.pack(beta_slots).magnitude();
+    alphas[i] = std::move(alpha);
+    pend.epsilon[i] = (stream_.next_u64() & 1) != 0 ? -1 : 1;
+  }
+  exec::parallel_for(exec_.get(), 0, count, [&](std::size_t i) {
+    const std::uint32_t g = static_cast<std::uint32_t>(i % groups);
+    const std::uint32_t b = blocks[i / groups];
+    auto v = group_pk_.scalar_mul(alphas[i], budget_at(g, b));
+    v = group_pk_.sub_deterministic(v, betas[i]);
+    if (pend.epsilon[i] < 0) v = group_pk_.negate(v);
+    msg.v[i] = std::move(v);
+    if (threshold_share_) {
+      msg.partials[i] = {crypto::threshold_partial_decrypt(
+          group_pk_, *threshold_share_, msg.v[i])};
+    }
+  });
+
+  probes_.emplace(msg.probe_id, std::move(pend));
+  ++stats_.probes_sent;
+  net_->send({self_name_, stp_name_, kMsgBudgetProbe,
+              msg.encode(group_pk_.ciphertext_bytes())});
+}
+
+void SdcServer::handle_probe_response(const BudgetProbeResponseMsg& resp) {
+  auto it = probes_.find(resp.probe_id);
+  if (it == probes_.end()) return;  // duplicate or unknown probe
+  PendingProbe pend = std::move(it->second);
+  probes_.erase(it);
+
+  const std::size_t groups = cfg_.channel_groups();
+  const std::size_t k = codec_.slots();
+  // A malformed reply is dropped, not applied: the blocks simply stay
+  // invalidated (full pipeline, never a wrong answer).
+  if (resp.signs.size() != pend.blocks.size() * groups * k) return;
+
+  for (std::size_t bi = 0; bi < pend.blocks.size(); ++bi) {
+    const std::uint32_t block = pend.blocks[bi];
+    // Epoch guard: a fold since this probe left re-invalidated the block;
+    // its fresher probe (sent by that fold) will carry the truth.
+    if (block_epoch_[block] != pend.epochs[bi]) continue;
+    std::vector<std::uint32_t> exhausted;
+    for (std::uint32_t g = 0; g < groups; ++g) {
+      const std::size_t idx = bi * groups + g;
+      bool any = false;
+      for (std::size_t j = 0; j < k && !any; ++j) {
+        // Tail slots of the last group pad with the constant 1 (always
+        // positive) — skip them so padding never marks a group exhausted.
+        if (g * k + j >= cfg_.watch.channels) break;
+        const bool masked_positive = resp.signs[idx * k + j] != 0;
+        const bool n_positive =
+            pend.epsilon[idx] > 0 ? masked_positive : !masked_positive;
+        any = !n_positive;
+      }
+      if (any) exhausted.push_back(g);
+    }
+    state_.set_block_exhaustion(block, exhausted);
+  }
 }
 
 ConvertRequestMsg SdcServer::begin_request(const SuRequestMsg& request) {
@@ -337,6 +505,18 @@ void SdcServer::attach(net::Transport& net, const std::string& name,
       // conversion round is already in flight — starting it again would
       // double-blind and double-count, so drop the duplicate.
       if (pending_.contains(request.request_id)) return;
+      // §3.8 fast path: a confirmed-exhausted cell in the disclosed range
+      // is a certain denial — answer in this round and skip the blinding,
+      // the conversion round-trip and the license machinery entirely. The
+      // range is bounds-checked first so a malformed request still takes
+      // the full path's validation errors.
+      if (cfg_.denial_filter.enabled && request.block_hi > request.block_lo &&
+          request.block_hi <= state_.budget().blocks() &&
+          fast_deny_check(request)) {
+        net.send({name, msg.from, kMsgFastDeny,
+                  FastDenyMsg{request.request_id}.encode()});
+        return;
+      }
       auto conv = begin_request(request);
       pending_.at(request.request_id).reply_to = msg.from;
       if (cfg_.convert_batch_max > 0) {
@@ -390,6 +570,8 @@ void SdcServer::attach(net::Transport& net, const std::string& name,
       // are already blinded and staged — flush them without waiting for a
       // new linger window.
       if (!inflight_batch_ && !staged_.empty()) flush_batch();
+    } else if (msg.type == kMsgBudgetProbeResponse) {
+      handle_probe_response(BudgetProbeResponseMsg::decode(msg.payload));
     } else if (msg.type == kMsgKeyLookupResponse) {
       auto resp = KeyLookupResponseMsg::decode(msg.payload);
       lookups_in_flight_.erase(resp.su_id);

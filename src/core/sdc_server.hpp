@@ -9,6 +9,7 @@
 //   * the RSA license-signing key (eq. (17)).
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -99,6 +100,9 @@ class SdcServer {
   /// per-shard WALs in cfg.durability.dir.
   const SdcStateEngine& state() const { return state_; }
 
+  /// TEST ONLY: mutable engine access, for planting §3.8 filter collisions.
+  SdcStateEngine& test_state() { return state_; }
+
   /// Force a compaction of every shard now (sealed snapshot + fresh WAL).
   /// No-op when durability is off.
   void checkpoint() { state_.checkpoint(); }
@@ -131,9 +135,19 @@ class SdcServer {
     std::uint64_t requests_finished = 0;
     std::uint64_t batches_sent = 0;     // ConvertBatchMsgs (batching mode)
     std::uint64_t batches_timed_out = 0;  // watchdog-abandoned batches
-    PhaseStat update;  // handle_pu_update
-    PhaseStat phase1;  // begin_request
-    PhaseStat phase2;  // finish_request
+    // §3.8 denial prefilter: every screened request counts exactly one of
+    // hits (confirmed-exhausted → one-round FastDenyMsg) or misses (fell
+    // through to the full pipeline); false_positives counts cuckoo hits the
+    // exact set vetoed along the way (they proceed as misses).
+    std::uint64_t prefilter_hits = 0;
+    std::uint64_t prefilter_misses = 0;
+    std::uint64_t prefilter_false_positives = 0;
+    std::uint64_t fast_denials = 0;  // == prefilter_hits; FastDenyMsgs sent
+    std::uint64_t probes_sent = 0;   // BudgetProbeMsgs to the STP
+    PhaseStat update;     // handle_pu_update
+    PhaseStat phase1;     // begin_request
+    PhaseStat phase2;     // finish_request
+    PhaseStat prefilter;  // fast-deny screen (filter-on requests only)
   };
   const Stats& stats() const { return stats_; }
 
@@ -148,6 +162,19 @@ class SdcServer {
 
   crypto::PaillierCiphertext& budget_at(std::uint32_t group, std::uint32_t b);
   const crypto::PaillierPublicKey& su_key(std::uint32_t su_id) const;
+
+  // --- §3.8 denial prefilter ---
+  /// True iff any (group, block) cell inside the disclosed range is
+  /// confirmed exhausted. The request spans every channel group, and
+  /// N ≤ 0 at one covered cell already forces I = N − X·F ≤ N ≤ 0 there
+  /// (F̃ encrypts non-negative interference), i.e. a certain denial.
+  bool fast_deny_check(const SuRequestMsg& request);
+  /// Blind the touched blocks' budget entries (ε·(α·Ñ − β̃), same envelope
+  /// as eq. (14) without the F term) and ask the STP for their signs.
+  void send_budget_probe(const std::vector<std::uint32_t>& blocks);
+  /// Fold a probe reply into the engine's exhausted sets, discarding blocks
+  /// whose epoch moved (a later PU fold re-invalidated them).
+  void handle_probe_response(const BudgetProbeResponseMsg& resp);
 
   // --- conversion batcher (cfg_.convert_batch_max > 0, DESIGN.md §3.5) ---
   /// Stage one begun request's blinded Ṽ for the next batch; flushes when
@@ -168,6 +195,11 @@ class SdcServer {
   watch::QMatrix e_matrix_;
   crypto::RsaKeyPair rsa_;
   std::string issuer_;
+  /// §3.8 prefilter fingerprint key. All-zero when the filter is off (no
+  /// rng draw, so filter-off construction is byte-identical to before);
+  /// with durability on it persists as a sealed file so a recovered SDC
+  /// rebuilds the same filter bytes.
+  std::array<std::uint8_t, 32> filter_key_{};
   std::shared_ptr<exec::ThreadPool> exec_;
 
   /// Ñ, W̃ columns and the serial counter — sharded, optionally durable.
@@ -184,6 +216,20 @@ class SdcServer {
   // slip past ReliableTransport's dedup window must not re-run handlers.
   net::DedupWindow seen_frames_;
   Stats stats_;
+
+  // §3.8 probe bookkeeping. A block's epoch advances on every invalidation
+  // (PU fold touching it); a probe reply only installs exhaustion for
+  // blocks whose epoch still matches its send-time snapshot, so a stale
+  // reply can never resurrect outdated state — the filter stays
+  // conservative (invalidated = never fast-denied) in the meantime.
+  struct PendingProbe {
+    std::vector<std::uint32_t> blocks;
+    std::vector<std::uint64_t> epochs;   // per block, at send time
+    std::vector<std::int8_t> epsilon;    // ±1 per probed ciphertext
+  };
+  std::map<std::uint64_t, PendingProbe> probes_;
+  std::map<std::uint32_t, std::uint64_t> block_epoch_;
+  std::uint64_t next_probe_id_ = 1;
 
   // Conversion batcher state (network mode only; see attach()). staged_ is
   // the waiting buffer of the double-buffered queue, inflight_batch_ marks

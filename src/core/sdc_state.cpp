@@ -1,5 +1,6 @@
 #include "core/sdc_state.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <stdexcept>
@@ -23,11 +24,13 @@ double ms_since(Clock::time_point t0) {
 
 SdcStateEngine::SdcStateEngine(const PisaConfig& cfg,
                                crypto::PaillierPublicKey group_pk,
-                               watch::QMatrix e_matrix)
+                               watch::QMatrix e_matrix,
+                               const std::array<std::uint8_t, 32>& filter_key)
     : cfg_(cfg), codec_(cfg.slot_bits(), cfg.pack_slots),
       pk_(std::move(group_pk)), e_matrix_(std::move(e_matrix)),
       map_(cfg.channel_groups(), cfg.num_shards),
-      ct_width_(pk_.ciphertext_bytes()) {
+      ct_width_(pk_.ciphertext_bytes()),
+      filter_on_(cfg.denial_filter.enabled), filter_key_(filter_key) {
   cfg_.validate();
   std::size_t blocks = cfg_.watch.grid_rows * cfg_.watch.grid_cols;
   if (e_matrix_.channels() != cfg_.watch.channels || e_matrix_.blocks() != blocks)
@@ -39,6 +42,21 @@ SdcStateEngine::SdcStateEngine(const PisaConfig& cfg,
   budget_ = encrypt_matrix_packed_deterministic(e_matrix_, pk_, codec_,
                                                 /*tail_fill=*/1, nullptr);
   shards_.resize(map_.shards());
+  if (filter_on_) {
+    // Per-shard filters so recovery replays each shard's own kRecExhaust
+    // stream against its own table — a global filter would interleave
+    // shard mutations and lose byte-identical replay.
+    crypto::CuckooParams params;
+    params.fingerprint_bits = crypto::cuckoo_fingerprint_bits(
+        cfg_.denial_filter.fpp);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      params.capacity = cfg_.denial_filter.capacity != 0
+                            ? cfg_.denial_filter.capacity
+                            : map_.size(s) * blocks;
+      shards_[s].filter =
+          std::make_unique<crypto::CuckooFilter>(filter_key_, params);
+    }
+  }
   if (cfg_.durability.enabled) recover();
 }
 
@@ -134,6 +152,116 @@ std::uint64_t SdcStateEngine::next_serial() {
   return serial_;
 }
 
+std::optional<std::uint32_t> SdcStateEngine::pu_block(
+    std::uint32_t pu_id) const {
+  const auto& cols = shards_.front().columns;
+  auto it = cols.find(pu_id);
+  if (it == cols.end()) return std::nullopt;
+  return it->second.block;
+}
+
+SdcStateEngine::FilterProbe SdcStateEngine::probe_exhausted(
+    std::uint32_t group, std::uint32_t block) const {
+  FilterProbe probe;
+  if (!filter_on_ || group >= map_.groups()) return probe;
+  const auto& sh = shards_[map_.shard_of(group)];
+  if (!sh.filter->contains(filter_item(group, block))) return probe;
+  probe.cuckoo_hit = true;
+  auto it = sh.exhausted.find(block);
+  probe.confirmed = it != sh.exhausted.end() && it->second.contains(group);
+  return probe;
+}
+
+void SdcStateEngine::set_block_exhaustion(
+    std::uint32_t block, const std::vector<std::uint32_t>& groups) {
+  if (!filter_on_) return;
+  if (block >= budget_.blocks())
+    throw std::out_of_range("SdcStateEngine: exhaustion block out of range");
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    auto& sh = shards_[s];
+    const std::size_t g0 = map_.begin(s), g1 = map_.end(s);
+    std::vector<std::uint32_t> mine;
+    for (std::uint32_t g : groups)
+      if (g >= g0 && g < g1) mine.push_back(g);
+    std::sort(mine.begin(), mine.end());
+    mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
+
+    auto it = sh.exhausted.find(block);
+    const bool unchanged =
+        it == sh.exhausted.end()
+            ? mine.empty()
+            : std::equal(mine.begin(), mine.end(), it->second.begin(),
+                         it->second.end());
+    if (unchanged) continue;
+
+    // Journal before apply, like the PU folds: the record carries the full
+    // new set so replay applies the identical erase/insert diff in the
+    // identical order against the same prior table.
+    if (sh.store) {
+      net::Encoder enc;
+      enc.put_u32(block);
+      enc.put_u32(static_cast<std::uint32_t>(mine.size()));
+      for (std::uint32_t g : mine) enc.put_u32(g);
+      sh.store->append(kRecExhaust, enc.take());
+    }
+    apply_exhaust(s, block, mine);
+    maybe_compact(s);
+  }
+}
+
+void SdcStateEngine::apply_exhaust(std::size_t s, std::uint32_t block,
+                                   const std::vector<std::uint32_t>& groups) {
+  auto& sh = shards_[s];
+  auto& cur = sh.exhausted[block];
+  const std::set<std::uint32_t> next(groups.begin(), groups.end());
+  for (std::uint32_t g : cur) {
+    if (!next.contains(g) && !sh.filter->erase(filter_item(g, block)))
+      throw std::runtime_error("SdcStateEngine: filter erase of a live cell failed");
+  }
+  for (std::uint32_t g : next) {
+    if (!cur.contains(g) && !sh.filter->insert(filter_item(g, block)))
+      throw std::runtime_error(
+          "SdcStateEngine: cuckoo filter saturated (denial_filter.capacity "
+          "too small for the grid)");
+  }
+  if (next.empty())
+    sh.exhausted.erase(block);
+  else
+    cur = next;
+}
+
+std::size_t SdcStateEngine::exhausted_entries() const {
+  std::size_t total = 0;
+  for (const auto& sh : shards_)
+    for (const auto& [block, groups] : sh.exhausted) total += groups.size();
+  return total;
+}
+
+std::vector<std::uint8_t> SdcStateEngine::filter_state_bytes() const {
+  net::Encoder enc;
+  enc.put_u8(filter_on_ ? 1 : 0);
+  if (!filter_on_) return enc.take();
+  for (const auto& sh : shards_) {
+    enc.put_u32(static_cast<std::uint32_t>(sh.exhausted.size()));
+    for (const auto& [block, groups] : sh.exhausted) {
+      enc.put_u32(block);
+      enc.put_u32(static_cast<std::uint32_t>(groups.size()));
+      for (std::uint32_t g : groups) enc.put_u32(g);
+    }
+    auto table = sh.filter->serialize();
+    enc.put_bytes(std::span<const std::uint8_t>(table.data(), table.size()));
+  }
+  return enc.take();
+}
+
+void SdcStateEngine::test_inject_filter_collision(std::uint32_t group,
+                                                  std::uint32_t block) {
+  if (!filter_on_) throw std::logic_error("denial filter is off");
+  auto& sh = shards_[map_.shard_of(group)];
+  if (!sh.filter->insert(filter_item(group, block)))
+    throw std::runtime_error("test collision insert failed");
+}
+
 void SdcStateEngine::checkpoint() {
   if (!durable()) return;
   exec::parallel_for(pool(), 0, shards_.size(),
@@ -181,6 +309,21 @@ std::vector<std::uint8_t> SdcStateEngine::snapshot_payload(std::size_t s) const 
     enc.put_u32(col.block);
     put_ciphertexts(enc, col.w_column, ct_width_);
   }
+
+  // §3.8 prefilter state: the exact exhausted map plus the cuckoo table
+  // verbatim, so a recovered shard resumes with byte-identical filter bytes
+  // (not merely an equivalent set — the kick history matters).
+  enc.put_u8(filter_on_ ? 1 : 0);
+  if (filter_on_) {
+    enc.put_u32(static_cast<std::uint32_t>(sh.exhausted.size()));
+    for (const auto& [block, groups] : sh.exhausted) {
+      enc.put_u32(block);
+      enc.put_u32(static_cast<std::uint32_t>(groups.size()));
+      for (std::uint32_t g : groups) enc.put_u32(g);
+    }
+    auto table = sh.filter->serialize();
+    enc.put_bytes(std::span<const std::uint8_t>(table.data(), table.size()));
+  }
   return enc.take();
 }
 
@@ -221,6 +364,23 @@ void SdcStateEngine::restore_snapshot(std::size_t s,
       throw std::runtime_error("SdcStateEngine: snapshot column size mismatch");
     sh.columns.insert_or_assign(col.pu_id, std::move(col));
   }
+
+  if ((dec.get_u8() != 0) != filter_on_)
+    throw std::runtime_error(
+        "SdcStateEngine: durable state was written with a different "
+        "denial_filter setting");
+  if (filter_on_) {
+    sh.exhausted.clear();
+    std::uint32_t nblocks = dec.get_u32();
+    for (std::uint32_t i = 0; i < nblocks; ++i) {
+      std::uint32_t block = dec.get_u32();
+      std::uint32_t ngroups = dec.get_u32();
+      auto& groups = sh.exhausted[block];
+      for (std::uint32_t j = 0; j < ngroups; ++j) groups.insert(dec.get_u32());
+    }
+    auto table = dec.get_bytes();
+    sh.filter->deserialize(table);
+  }
   dec.expect_done();
 }
 
@@ -237,6 +397,19 @@ void SdcStateEngine::replay_record(std::size_t s, const store::WalRecord& rec) {
                        g0 + n);
     add_column_range(budget_, slice.block, slice.w_column, pk_, g0, g0 + n);
     sh.columns.insert_or_assign(slice.pu_id, std::move(slice));
+  } else if (rec.type == kRecExhaust) {
+    if (!filter_on_)
+      throw std::runtime_error(
+          "SdcStateEngine: exhaustion WAL record but denial_filter is off");
+    net::Decoder dec{rec.payload};
+    std::uint32_t block = dec.get_u32();
+    std::uint32_t count = dec.get_u32();
+    std::vector<std::uint32_t> groups(count);
+    for (auto& g : groups) g = dec.get_u32();
+    dec.expect_done();
+    if (block >= budget_.blocks())
+      throw std::runtime_error("SdcStateEngine: WAL exhaustion block mismatch");
+    apply_exhaust(s, block, groups);
   } else if (rec.type == kRecSerial) {
     net::Decoder dec{rec.payload};
     std::uint64_t floor = dec.get_u64();

@@ -24,15 +24,19 @@
 //     what turns at-least-once delivery into exactly-once application.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <vector>
 
 #include "core/cipher_ops.hpp"
 #include "core/config.hpp"
 #include "core/messages.hpp"
 #include "core/shard_map.hpp"
+#include "crypto/cuckoo_filter.hpp"
 #include "crypto/packing.hpp"
 #include "crypto/paillier.hpp"
 #include "store/shard_store.hpp"
@@ -49,6 +53,8 @@ class SdcStateEngine {
   /// WAL record types (store/wal payload tags).
   static constexpr std::uint8_t kRecPuColumn = 1;  ///< one shard's column slice
   static constexpr std::uint8_t kRecSerial = 2;    ///< serial floor reservation
+  static constexpr std::uint8_t kRecExhaust = 3;   ///< shard-local exhausted set
+                                                   ///< for one block (§3.8)
 
   /// Initializes Ñ from the public matrix E (deterministic encryption, tail
   /// slots seeded with 1 — see SdcServer) and, when durability is enabled,
@@ -57,8 +63,11 @@ class SdcStateEngine {
   /// torn tail and stale-epoch logs. Throws std::runtime_error when the
   /// durable state was written under a different configuration (shape,
   /// packing, shard count or group key).
+  /// `filter_key` keys the §3.8 cuckoo prefilter fingerprints; it is only
+  /// read when cfg.denial_filter.enabled (pass {} otherwise).
   SdcStateEngine(const PisaConfig& cfg, crypto::PaillierPublicKey group_pk,
-                 watch::QMatrix e_matrix);
+                 watch::QMatrix e_matrix,
+                 const std::array<std::uint8_t, 32>& filter_key = {});
 
   /// Shard lanes (nullptr = sequential). With one shard the inner column
   /// kernels use the pool exactly like the unsharded server did; with more,
@@ -89,6 +98,49 @@ class SdcStateEngine {
 
   std::size_t pu_count() const { return shards_.front().columns.size(); }
 
+  /// The block the engine currently holds a W̃ column for, per PU (every
+  /// shard stores all PU ids; shard 0 is authoritative for the lookup).
+  std::optional<std::uint32_t> pu_block(std::uint32_t pu_id) const;
+
+  // ── §3.8 denial prefilter ─────────────────────────────────────────────
+  //
+  // Each shard keeps an exact exhausted map {block → sorted group set} for
+  // its own channel-group rows, mirrored into a keyed cuckoo filter. The
+  // request path asks the filter first (cheap, keyed-hash lookups); only a
+  // cuckoo hit pays the exact-set probe, and only an exact-set confirmation
+  // may deny — cuckoo false positives can never cause a false denial.
+
+  bool filter_enabled() const { return filter_on_; }
+
+  /// Result of one (group, block) prefilter lookup.
+  struct FilterProbe {
+    bool cuckoo_hit = false;  ///< keyed filter said "maybe exhausted"
+    bool confirmed = false;   ///< exact set agrees — denial is provable
+  };
+  FilterProbe probe_exhausted(std::uint32_t group, std::uint32_t block) const;
+
+  /// Replace the recorded exhausted group set for `block` (full-set
+  /// semantics; groups outside a shard's range are ignored by that shard).
+  /// Journals a kRecExhaust diff per shard whose set actually changed, so
+  /// WAL replay rebuilds the filter byte-identically.
+  void set_block_exhaustion(std::uint32_t block,
+                            const std::vector<std::uint32_t>& groups);
+
+  /// Conservative invalidation: forget everything recorded about `block`.
+  void invalidate_block(std::uint32_t block) { set_block_exhaustion(block, {}); }
+
+  /// Live (group, block) exhausted cells across all shards.
+  std::size_t exhausted_entries() const;
+
+  /// Serialized filter + exhausted-set state of every shard, in shard
+  /// order — the byte-identity oracle for the recovery tests.
+  std::vector<std::uint8_t> filter_state_bytes() const;
+
+  /// TEST ONLY: plant (group, block) in the owning shard's cuckoo table
+  /// without touching the exact set — manufactures a false positive so the
+  /// fallback path can be exercised deterministically.
+  void test_inject_filter_collision(std::uint32_t group, std::uint32_t block);
+
   bool durable() const { return !shards_.front().store ? false : true; }
 
   struct RecoveryStats {
@@ -111,6 +163,10 @@ class SdcStateEngine {
     /// Latest W̃ slice per PU, restricted to this shard's group rows.
     std::map<std::uint32_t, PuUpdateMsg> columns;
     std::unique_ptr<store::ShardStore> store;  ///< null when durability is off
+    /// §3.8: exact exhausted cells {block → sorted groups} for this shard's
+    /// rows, and the keyed cuckoo mirror (null when the filter is off).
+    std::map<std::uint32_t, std::set<std::uint32_t>> exhausted;
+    std::unique_ptr<crypto::CuckooFilter> filter;
   };
 
   exec::ThreadPool* pool() const { return exec_.get(); }
@@ -118,6 +174,14 @@ class SdcStateEngine {
   /// inner-kernel pool — non-null only in the single-shard fast path.
   void apply_slice(std::size_t s, const PuUpdateMsg& update,
                    exec::ThreadPool* inner);
+  /// Apply one shard's exhausted-set replacement for `block` (the journaled
+  /// kRecExhaust operation): erase departed groups from the cuckoo table in
+  /// ascending order, insert new ones in ascending order, store the set.
+  void apply_exhaust(std::size_t s, std::uint32_t block,
+                     const std::vector<std::uint32_t>& groups);
+  static std::uint64_t filter_item(std::uint32_t group, std::uint32_t block) {
+    return (static_cast<std::uint64_t>(group) << 32) | block;
+  }
   void maybe_compact(std::size_t s);
   void compact_shard(std::size_t s);
   std::vector<std::uint8_t> snapshot_payload(std::size_t s) const;
@@ -132,6 +196,9 @@ class SdcStateEngine {
   ShardMap map_;
   std::size_t ct_width_;
   std::shared_ptr<exec::ThreadPool> exec_;
+
+  bool filter_on_ = false;
+  std::array<std::uint8_t, 32> filter_key_{};
 
   CipherMatrix budget_;  // Ñ — shards write disjoint row ranges
   std::vector<Shard> shards_;

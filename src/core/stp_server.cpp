@@ -188,6 +188,38 @@ ConvertResponseMsg StpServer::convert(const ConvertRequestMsg& request) {
   return resp;
 }
 
+BudgetProbeResponseMsg StpServer::probe_signs(const BudgetProbeMsg& probe) {
+  if (deal_ && probe.partials.size() != probe.v.size())
+    throw std::invalid_argument(
+        "StpServer: threshold mode requires one SDC partial per probe entry");
+
+  const std::size_t k = cfg_.pack_slots;
+  const crypto::SlotCodec codec{cfg_.slot_bits(), k};
+  BudgetProbeResponseMsg resp;
+  resp.probe_id = probe.probe_id;
+  resp.signs.resize(probe.v.size() * k);
+  // Decrypt-and-sign only — no sign-to-±1 re-encryption, no SU key, no
+  // randomizer draws, so probes never perturb the conversion stream and
+  // batched/sequential conversion bytes stay identical with probes mixed in.
+  exec::parallel_for(exec_.get(), 0, probe.v.size(), [&](std::size_t i) {
+    bn::BigInt v;
+    if (deal_) {
+      auto p2 = crypto::threshold_partial_decrypt(group_.pk, deal_->share2,
+                                                  probe.v[i]);
+      v = crypto::threshold_combine_signed(group_.pk,
+                                           probe.partials[i].value, p2);
+    } else {
+      v = group_.sk.decrypt_signed(probe.v[i]);
+    }
+    auto slots = codec.unpack(v);
+    for (std::size_t j = 0; j < k; ++j)
+      resp.signs[i * k + j] = slots[j].sign() > 0 ? 1 : 0;
+  });
+  ++probes_;
+  probe_slots_ += probe.v.size() * k;
+  return resp;
+}
+
 ConvertBatchResponseMsg StpServer::convert_batch(const ConvertBatchMsg& batch) {
   ConvertBatchResponseMsg resp;
   resp.batch_id = batch.batch_id;
@@ -237,6 +269,10 @@ void StpServer::attach(net::Transport& net, const std::string& name) {
         widths.push_back(su_key(item.su_id).ciphertext_bytes());
       net.send(
           {name, msg.from, kMsgConvertBatchResponse, response.encode(widths)});
+    } else if (msg.type == kMsgBudgetProbe) {
+      auto probe = BudgetProbeMsg::decode(msg.payload);
+      auto response = probe_signs(probe);
+      net.send({name, msg.from, kMsgBudgetProbeResponse, response.encode()});
     } else if (msg.type == kMsgKeyRegister) {
       auto reg = KeyRegisterMsg::decode(msg.payload);
       register_su_key(reg.su_id,

@@ -52,6 +52,12 @@ class StpServer {
   /// convert() calls issued in the same order.
   ConvertBatchResponseMsg convert_batch(const ConvertBatchMsg& batch);
 
+  /// §3.8 budget sign probe: decrypt each blinded ε·(α·Ñ − β̃) entry
+  /// (threshold-combined when the SDC attached partials) and return one
+  /// sign byte per packed slot. No re-encryption, no SU key involved — the
+  /// values stay ε-masked, so the STP learns no budget signs itself.
+  BudgetProbeResponseMsg probe_signs(const BudgetProbeMsg& probe);
+
   /// Offline optimization: precompute `count` r^n factors for SU `su_id`'s
   /// key so the conversion re-encryption costs one modular multiplication
   /// per entry instead of a full encryption. The STP knows every pk_j in
@@ -90,6 +96,8 @@ class StpServer {
   std::uint64_t conversions_served() const { return conversions_; }
   std::uint64_t entries_converted() const { return entries_; }
   std::uint64_t batches_served() const { return batches_; }
+  std::uint64_t probes_served() const { return probes_; }
+  std::uint64_t probe_slots_signed() const { return probe_slots_; }
 
   /// TEST/AUDIT ONLY: decrypt a group-key ciphertext. Models what a curious
   /// STP could compute; the privacy tests use it to show blinded values
@@ -130,6 +138,8 @@ class StpServer {
   std::uint64_t conversions_ = 0;
   std::uint64_t entries_ = 0;
   std::uint64_t batches_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t probe_slots_ = 0;
 
   /// Private runtime stream for conversion randomness (fast-base setup,
   /// refill-stream seeds, fresh factors), seeded once from the construction

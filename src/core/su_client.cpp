@@ -124,4 +124,8 @@ SuClient::Outcome SuClient::process_response(
   return out;
 }
 
+SuClient::Outcome SuClient::process_fast_deny(const FastDenyMsg&) const {
+  return Outcome{};  // granted = false, empty license, no signature
+}
+
 }  // namespace pisa::core

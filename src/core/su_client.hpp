@@ -82,6 +82,11 @@ class SuClient {
   Outcome process_response(const SuResponseMsg& response,
                            const crypto::RsaPublicKey& issuer_key) const;
 
+  /// §3.8 one-round denial: no ciphertext to decrypt, no license to check —
+  /// the fixed-size FastDenyMsg *is* the (already-validated) deny bit.
+  /// Returns the same denied Outcome the full pipeline would have produced.
+  Outcome process_fast_deny(const FastDenyMsg& deny) const;
+
  private:
   std::uint32_t su_id_;
   PisaConfig cfg_;

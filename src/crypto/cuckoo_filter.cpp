@@ -1,0 +1,200 @@
+#include "crypto/cuckoo_filter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace pisa::crypto {
+namespace {
+
+constexpr std::string_view kFingerprintTag = "PISA-CF1";
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[at + i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[at + i]) << (8 * i);
+  return v;
+}
+
+// Spreads a fingerprint over 64 bits for the partial-key alternate-bucket
+// XOR. Unkeyed is fine: the fingerprint itself is already key-derived.
+std::uint64_t spread(std::uint32_t fp) {
+  std::uint64_t h = fp;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+std::size_t cuckoo_fingerprint_bits(double target_fpp) {
+  if (!(target_fpp > 0.0) || target_fpp >= 1.0)
+    throw std::invalid_argument("cuckoo_fingerprint_bits: fpp must be in (0,1)");
+  double bits = std::ceil(
+      std::log2(2.0 * CuckooFilter::kSlotsPerBucket / target_fpp));
+  if (bits < 4.0) return 4;
+  if (bits > 32.0) return 32;
+  return static_cast<std::size_t>(bits);
+}
+
+CuckooFilter::CuckooFilter(const std::array<std::uint8_t, 32>& key,
+                           CuckooParams params)
+    : key_(key), fp_bits_(params.fingerprint_bits) {
+  if (fp_bits_ < 1 || fp_bits_ > 32)
+    throw std::invalid_argument("CuckooFilter: fingerprint_bits must be 1..32");
+  if (params.capacity == 0)
+    throw std::invalid_argument("CuckooFilter: capacity must be positive");
+  // ≤50% load: two slots of headroom per expected item, so the eviction
+  // chain terminates long before kMaxKicks at any feasible fill.
+  buckets_ = next_pow2((params.capacity + 1) / 2 + 1);
+  table_.assign(buckets_ * kSlotsPerBucket, 0);
+}
+
+CuckooFilter::Hashed CuckooFilter::hash_item(std::uint64_t item) const {
+  Sha256 h;
+  h.update(std::span<const std::uint8_t>(key_.data(), key_.size()));
+  h.update(kFingerprintTag);
+  std::array<std::uint8_t, 8> le{};
+  for (int i = 0; i < 8; ++i) le[i] = static_cast<std::uint8_t>(item >> (8 * i));
+  h.update(std::span<const std::uint8_t>(le.data(), le.size()));
+  const auto digest = h.finalize();
+
+  std::uint32_t raw = 0;
+  for (int i = 0; i < 4; ++i) raw |= static_cast<std::uint32_t>(digest[i]) << (8 * i);
+  const std::uint32_t mask =
+      fp_bits_ == 32 ? 0xffffffffu : ((1u << fp_bits_) - 1u);
+  std::uint32_t fp = raw & mask;
+  if (fp == 0) fp = 1;  // 0 marks an empty slot
+
+  std::uint64_t bucket_raw = 0;
+  for (int i = 0; i < 8; ++i)
+    bucket_raw |= static_cast<std::uint64_t>(digest[8 + i]) << (8 * i);
+  return {fp, static_cast<std::size_t>(bucket_raw & (buckets_ - 1))};
+}
+
+std::size_t CuckooFilter::alt_bucket(std::size_t bucket, std::uint32_t fp) const {
+  return bucket ^ (static_cast<std::size_t>(spread(fp)) & (buckets_ - 1));
+}
+
+bool CuckooFilter::place(std::size_t bucket, std::uint32_t fp) {
+  std::uint32_t* slots = &table_[bucket * kSlotsPerBucket];
+  for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
+    if (slots[s] == 0) {
+      slots[s] = fp;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CuckooFilter::remove(std::size_t bucket, std::uint32_t fp) {
+  std::uint32_t* slots = &table_[bucket * kSlotsPerBucket];
+  for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
+    if (slots[s] == fp) {
+      slots[s] = 0;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CuckooFilter::bucket_has(std::size_t bucket, std::uint32_t fp) const {
+  const std::uint32_t* slots = &table_[bucket * kSlotsPerBucket];
+  for (std::size_t s = 0; s < kSlotsPerBucket; ++s)
+    if (slots[s] == fp) return true;
+  return false;
+}
+
+bool CuckooFilter::insert(std::uint64_t item) {
+  const Hashed h = hash_item(item);
+  if (place(h.bucket, h.fp) || place(alt_bucket(h.bucket, h.fp), h.fp)) {
+    ++count_;
+    return true;
+  }
+  // Both buckets full: evict along a deterministic chain. The victim slot
+  // is derived from the fingerprint being placed (fp + attempt), never from
+  // an RNG, so WAL replay walks the identical chain. The path is recorded
+  // so a dead-end chain can be unwound — a failed insert must leave the
+  // table exactly as it was.
+  std::uint32_t fp = h.fp;
+  std::size_t cur = (h.fp & 1) ? h.bucket : alt_bucket(h.bucket, h.fp);
+  std::vector<std::size_t> path;  // slot indices touched, in order
+  path.reserve(kMaxKicks);
+  for (std::size_t attempt = 0; attempt < kMaxKicks; ++attempt) {
+    const std::size_t slot =
+        cur * kSlotsPerBucket + (fp + attempt) % kSlotsPerBucket;
+    std::swap(table_[slot], fp);
+    path.push_back(slot);
+    cur = alt_bucket(cur, fp);
+    if (place(cur, fp)) {
+      ++count_;
+      return true;
+    }
+  }
+  for (std::size_t i = path.size(); i-- > 0;) std::swap(table_[path[i]], fp);
+  return false;
+}
+
+bool CuckooFilter::erase(std::uint64_t item) {
+  const Hashed h = hash_item(item);
+  if (remove(h.bucket, h.fp) || remove(alt_bucket(h.bucket, h.fp), h.fp)) {
+    --count_;
+    return true;
+  }
+  return false;
+}
+
+bool CuckooFilter::contains(std::uint64_t item) const {
+  const Hashed h = hash_item(item);
+  return bucket_has(h.bucket, h.fp) ||
+         bucket_has(alt_bucket(h.bucket, h.fp), h.fp);
+}
+
+double CuckooFilter::expected_fpp() const {
+  return 2.0 * kSlotsPerBucket / std::ldexp(1.0, static_cast<int>(fp_bits_));
+}
+
+std::vector<std::uint8_t> CuckooFilter::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(20 + table_.size() * 4);
+  put_u32(out, static_cast<std::uint32_t>(fp_bits_));
+  put_u64(out, buckets_);
+  put_u64(out, count_);
+  for (std::uint32_t slot : table_) put_u32(out, slot);
+  return out;
+}
+
+void CuckooFilter::deserialize(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != 20 + table_.size() * 4)
+    throw std::runtime_error("CuckooFilter: serialized size mismatch");
+  if (get_u32(bytes, 0) != fp_bits_ || get_u64(bytes, 4) != buckets_)
+    throw std::runtime_error("CuckooFilter: parameter mismatch");
+  const std::uint64_t count = get_u64(bytes, 12);
+  if (count > table_.size())
+    throw std::runtime_error("CuckooFilter: implausible element count");
+  count_ = count;
+  for (std::size_t i = 0; i < table_.size(); ++i)
+    table_[i] = get_u32(bytes, 20 + i * 4);
+}
+
+}  // namespace pisa::crypto

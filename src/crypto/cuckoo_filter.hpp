@@ -1,0 +1,94 @@
+// Keyed cuckoo filter over 64-bit items (DESIGN.md §3.8).
+//
+// Backing store for the SDC's encrypted denial prefilter: fingerprints are
+// derived from SHA-256 over a secret 32-byte key plus the item, so an
+// observer of the serialized table (WAL records, snapshots, a memory dump)
+// cannot test membership of a (channel-group, block) pair without the key.
+// Standard partial-key cuckoo hashing (Fan et al., CoNEXT'14): each item
+// maps to two candidate buckets of kSlotsPerBucket fingerprint slots, and
+// the alternate bucket is reachable from either bucket and the fingerprint
+// alone, which is what makes deletion sound.
+//
+// Everything here is deterministic — the eviction path derives its victim
+// slot from the fingerprint being placed, not from an RNG — so replaying
+// the same insert/erase sequence rebuilds a byte-identical table. Crash
+// recovery (§3.6) depends on that: the engine journals exhaustion diffs and
+// replays them against a fresh filter.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pisa::crypto {
+
+struct CuckooParams {
+  /// Expected maximum number of distinct live items. The table is sized to
+  /// a power-of-two bucket count at ≤50% load so inserts effectively never
+  /// fail below capacity.
+  std::size_t capacity = 64;
+  /// Fingerprint width in bits (1..32). False-positive probability is
+  /// ≈ 2 · kSlotsPerBucket / 2^fingerprint_bits.
+  std::size_t fingerprint_bits = 16;
+};
+
+/// Fingerprint bits needed to hit a target false-positive probability.
+std::size_t cuckoo_fingerprint_bits(double target_fpp);
+
+class CuckooFilter {
+ public:
+  static constexpr std::size_t kSlotsPerBucket = 4;
+  static constexpr std::size_t kMaxKicks = 512;
+
+  CuckooFilter(const std::array<std::uint8_t, 32>& key, CuckooParams params);
+
+  /// Insert one occurrence of `item`. Returns false only when the table is
+  /// saturated (eviction chain exhausted) — the caller sized it wrong.
+  bool insert(std::uint64_t item);
+
+  /// Remove one occurrence of `item`. Returns false when no matching
+  /// fingerprint is present (the item was never inserted).
+  bool erase(std::uint64_t item);
+
+  /// Membership test: no false negatives for live items; false positives
+  /// at the configured fingerprint-collision rate.
+  bool contains(std::uint64_t item) const;
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::size_t bucket_count() const { return buckets_; }
+  std::size_t fingerprint_bits() const { return fp_bits_; }
+
+  /// ≈ 2 · kSlotsPerBucket / 2^fingerprint_bits.
+  double expected_fpp() const;
+
+  /// Full table state (parameters + slots), reproducible byte-for-byte from
+  /// the same operation sequence. Does NOT include the key.
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Restore a table serialized with the same key and parameters. Throws
+  /// std::runtime_error on a parameter/shape mismatch.
+  void deserialize(std::span<const std::uint8_t> bytes);
+
+ private:
+  struct Hashed {
+    std::uint32_t fp;    // never 0 (0 marks an empty slot)
+    std::size_t bucket;  // primary bucket index
+  };
+
+  Hashed hash_item(std::uint64_t item) const;
+  std::size_t alt_bucket(std::size_t bucket, std::uint32_t fp) const;
+  bool place(std::size_t bucket, std::uint32_t fp);
+  bool remove(std::size_t bucket, std::uint32_t fp);
+  bool bucket_has(std::size_t bucket, std::uint32_t fp) const;
+
+  std::array<std::uint8_t, 32> key_;
+  std::size_t fp_bits_;
+  std::size_t buckets_;  // power of two
+  std::uint64_t count_ = 0;
+  std::vector<std::uint32_t> table_;  // buckets_ * kSlotsPerBucket slots
+};
+
+}  // namespace pisa::crypto

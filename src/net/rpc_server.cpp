@@ -62,6 +62,18 @@ core::SuClient& RpcClient::add_su(std::uint32_t su_id, std::size_t precompute) {
   auto client =
       std::make_unique<core::SuClient>(su_id, cfg_, group_pk_, rng_);
   tcp_.register_endpoint(su_name(su_id), [this](const net::Message& msg) {
+    if (msg.type == core::kMsgFastDeny) {
+      // §3.8 one-round denial: record the rid and wake waiters; decode()
+      // validates the fixed 32-byte shape (leakage discipline).
+      auto deny = core::FastDenyMsg::decode(msg.payload);
+      {
+        std::lock_guard<std::mutex> lk(rmu_);
+        fast_denied_.insert(deny.request_id);
+      }
+      if (on_response_) on_response_(deny.request_id);
+      rcv_.notify_all();
+      return;
+    }
     if (msg.type != core::kMsgSuResponse)
       throw std::runtime_error("SU endpoint: unexpected message " + msg.type);
     auto resp = core::SuResponseMsg::decode(msg.payload);
@@ -149,12 +161,21 @@ void RpcClient::submit(const PreparedRequest& req) {
 }
 
 bool RpcClient::wait_response(std::uint64_t request_id,
-                              core::SuResponseMsg* out, double timeout_ms) {
+                              core::SuResponseMsg* out, double timeout_ms,
+                              bool* fast_denied) {
+  if (fast_denied != nullptr) *fast_denied = false;
   std::unique_lock<std::mutex> lk(rmu_);
   bool ok = rcv_.wait_for(
       lk, std::chrono::microseconds(static_cast<std::int64_t>(timeout_ms * 1e3)),
-      [&] { return responses_.contains(request_id); });
+      [&] {
+        return responses_.contains(request_id) ||
+               fast_denied_.contains(request_id);
+      });
   if (!ok) return false;
+  if (fast_denied_.erase(request_id) != 0) {
+    if (fast_denied != nullptr) *fast_denied = true;
+    return true;
+  }
   auto it = responses_.find(request_id);
   if (out != nullptr) *out = std::move(it->second);
   responses_.erase(it);

@@ -31,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -146,8 +147,12 @@ class RpcClient {
 
   /// Block until the response for `request_id` arrives (dispatch thread
   /// fills the registry) or `timeout_ms` passes. Returns false on timeout.
+  /// A §3.8 prefilter denial also completes the wait: `*fast_denied` is set
+  /// true (when the pointer is given) and `*out` is left untouched — there
+  /// is no SuResponseMsg for a fast-denied request, just the 32-byte
+  /// FastDenyMsg the dispatch thread already validated.
   bool wait_response(std::uint64_t request_id, core::SuResponseMsg* out,
-                     double timeout_ms);
+                     double timeout_ms, bool* fast_denied = nullptr);
 
   /// Responses received so far (registry size; drained by wait_response).
   std::size_t responses_pending() const;
@@ -192,6 +197,7 @@ class RpcClient {
   mutable std::mutex rmu_;
   std::condition_variable rcv_;
   std::map<std::uint64_t, core::SuResponseMsg> responses_;
+  std::set<std::uint64_t> fast_denied_;  // rids answered by FastDenyMsg
   std::function<void(std::uint64_t)> on_response_;
 };
 
