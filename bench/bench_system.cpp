@@ -48,11 +48,23 @@
 // of running the blinded-conversion pipeline, and the on/off pair at the
 // 80%-deny mix feeds the ≥2x fast-deny guard.
 //
+// The scenario sweep (DESIGN.md §3.9) runs the time-stepped dynamic-
+// spectrum schedule — SU mobility, channel churn, PU relocation and
+// power-toggles, license expiry/revocation — twice per fleet size over the
+// same seed: full-column PU updates vs incremental deltas. The delta rows
+// run the PU offline phase first (precomputed r^n pools, §VI-A's
+// pooled-preparation argument applied to the PU side); the full-column
+// rows stay un-pooled — they are the pre-§3.9 baseline. Per-send update
+// cost, ticks/sec, sustained req/s, delta cells/tick and WAL bytes/tick
+// land in scenario_sweep[]; the full/delta pair feeds the ≥3x incremental
+// speedup floor.
+//
 // `--quick` runs the n=1024 scaling rows, the pack sweep, a two-point
-// thread sweep, the {2, 8}-SU throughput sweep, the 64-session TCP row and
-// the full shard × durability grid with a shortened per-row burst (no
-// 4-lane row, no 16-SU fleet, no 256/1024-session TCP rows, no n=2048
-// production row) — the CI perf-smoke configuration that
+// thread sweep, the {2, 8}-SU throughput sweep, the 64-session TCP row,
+// the full shard × durability grid with a shortened per-row burst, and a
+// 40-tick 2-SU scenario pair (no 4-lane row, no 16-SU fleet, no
+// 256/1024-session TCP rows, no n=2048 production row, no 120-tick 4-SU
+// scenario rows) — the CI perf-smoke configuration that
 // scripts/check_perf_regression.py compares against the committed
 // BENCH_system.json.
 #include <unistd.h>
@@ -69,6 +81,7 @@
 
 #include "bench_json.hpp"
 #include "core/protocol.hpp"
+#include "core/scenario_engine.hpp"
 #include "crypto/chacha_rng.hpp"
 #include "exec/thread_pool.hpp"
 #include "net/rpc_server.hpp"
@@ -958,6 +971,154 @@ std::vector<DenialRow> run_denial_sweep(bool quick, bool tcp_only) {
   return rows;
 }
 
+// ---- §3.9 dynamic-spectrum scenario sweep --------------------------------
+//
+// The time-stepped ScenarioEngine — vehicular SU mobility, TV-channel
+// churn, PU relocation/power-toggles, license expiry and revocation — run
+// twice per fleet size over the identical seeded schedule: once with
+// full-column PU updates, once with §3.9 incremental deltas. The tests
+// prove the two runs decide identically tick for tick, so the only thing
+// that differs here is cost: update_ms_per_send (client encrypt + SDC fold
+// + re-probe round, the incremental path's headline) must show the delta
+// rows ≥3x cheaper — scripts/check_perf_regression.py enforces that floor
+// and an absolute ticks/sec guard on the committed snapshot.
+
+struct ScenarioRow {
+  bool use_delta = false;
+  std::size_t num_sus = 0;
+  std::size_t ticks = 0;
+  std::size_t pu_events = 0;
+  std::size_t updates_sent = 0;
+  std::size_t requests = 0;
+  std::size_t grants = 0;
+  std::size_t denials = 0;
+  std::size_t fast_denials = 0;
+  double delta_cells_per_tick = 0;
+  double wal_bytes_per_tick = 0;
+  double update_wall_ms = 0;
+  double update_ms_per_send = 0;
+  double ticks_per_sec = 0;
+  double requests_per_sec = 0;  // sustained: whole-run wall clock
+};
+
+ScenarioRow measure_scenario(bool use_delta, std::size_t num_sus,
+                             std::uint32_t ticks, std::uint64_t seed) {
+  namespace fs = std::filesystem;
+  core::PisaConfig cfg;
+  cfg.watch.grid_rows = 2;
+  cfg.watch.grid_cols = 6;
+  cfg.watch.block_size_m = 400.0;
+  cfg.watch.channels = 3;
+  cfg.paillier_bits = 512;
+  cfg.rsa_bits = 384;
+  cfg.blind_bits = 16;
+  cfg.mr_rounds = 6;
+  cfg.num_shards = 3;
+  cfg.denial_filter.enabled = true;
+  fs::path dir = fs::temp_directory_path() /
+                 ("pisa_bench_scenario_" + std::to_string(::getpid()) + "_" +
+                  std::to_string(num_sus) + (use_delta ? "_delta" : "_full"));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  cfg.durability.enabled = true;
+  cfg.durability.dir = dir.string();
+  cfg.durability.snapshot_every = 8;
+
+  crypto::ChaChaRng rng{seed};
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  std::vector<watch::PuSite> sites{{0, radio::BlockId{0}},
+                                   {1, radio::BlockId{7}},
+                                   {2, radio::BlockId{11}}};
+  core::PisaSystem system{cfg, sites, model, rng};
+  for (std::size_t id = 0; id < num_sus; ++id)
+    system.add_su(static_cast<std::uint32_t>(id));
+  if (use_delta) {
+    // Offline phase of the §3.9 delta path (paper §VI-A's pooled-preparation
+    // argument applied to the PU side): each PU precomputes r^n randomizer
+    // factors between events, so a live delta cell costs one modular
+    // multiplication. The full-column rows stay un-pooled — they are the
+    // pre-§3.9 baseline the speedup guard compares against.
+    for (const auto& site : sites)
+      system.pu(site.pu_id).precompute_randomizers(1024);
+  }
+
+  core::ScenarioConfig sc;
+  sc.ticks = ticks;
+  sc.num_sus = static_cast<std::uint32_t>(num_sus);
+  sc.seed = 0x5CEA0 + num_sus;  // same schedule for the full/delta pair
+  sc.license_ttl_ticks = 8;
+  sc.request_range_blocks = 2;
+  sc.use_delta = use_delta;
+
+  core::SimScenarioDriver driver{system};
+  core::ScenarioEngine engine{cfg, sites, sc, driver};
+  auto res = engine.run();
+
+  ScenarioRow row;
+  row.use_delta = use_delta;
+  row.num_sus = num_sus;
+  row.ticks = res.ticks.size();
+  row.pu_events = res.pu_events;
+  row.updates_sent = res.updates_sent;
+  row.requests = res.requests;
+  row.grants = res.grants;
+  row.denials = res.denials;
+  row.fast_denials = res.fast_denials;
+  row.delta_cells_per_tick =
+      static_cast<double>(res.delta_cells) / static_cast<double>(row.ticks);
+  row.wal_bytes_per_tick =
+      static_cast<double>(res.wal_bytes) / static_cast<double>(row.ticks);
+  row.update_wall_ms = res.update_wall_ms;
+  row.update_ms_per_send =
+      res.updates_sent > 0
+          ? res.update_wall_ms / static_cast<double>(res.updates_sent)
+          : 0;
+  row.ticks_per_sec = res.ticks_per_sec();
+  row.requests_per_sec =
+      res.total_wall_ms > 0
+          ? static_cast<double>(res.requests) * 1e3 / res.total_wall_ms
+          : 0;
+  fs::remove_all(dir);
+  return row;
+}
+
+void print_scenario_row(const ScenarioRow& r) {
+  std::printf(
+      "  %-5s sus=%zu ticks=%-3zu | %6.2f ticks/s %5.2f req/s sustained | "
+      "update %6.2f ms/send (%zu sends) | %5.1f delta cells/tick | wal "
+      "%7.1f B/tick | grant %zu deny %zu (fast %zu)\n",
+      r.use_delta ? "delta" : "full", r.num_sus, r.ticks, r.ticks_per_sec,
+      r.requests_per_sec, r.update_ms_per_send, r.updates_sent,
+      r.delta_cells_per_tick, r.wal_bytes_per_tick, r.grants, r.denials,
+      r.fast_denials);
+}
+
+std::vector<ScenarioRow> run_scenario_sweep(bool quick) {
+  const std::uint32_t ticks = quick ? 40 : 120;
+  std::printf("Dynamic-spectrum scenario sweep at n=512, C=3, B=12 (§3.9 "
+              "mobility/churn/revocation schedule, full-column vs "
+              "incremental updates, %u ticks):\n",
+              ticks);
+  std::vector<std::size_t> fleet{2};
+  if (!quick) fleet.push_back(4);
+  std::vector<ScenarioRow> rows;
+  for (std::size_t sus : fleet) {
+    ScenarioRow full = measure_scenario(false, sus, ticks, 0x5CE0 + sus);
+    print_scenario_row(full);
+    ScenarioRow delta = measure_scenario(true, sus, ticks, 0x5CE0 + sus);
+    print_scenario_row(delta);
+    if (delta.update_ms_per_send > 0)
+      std::printf("    -> incremental update path at %zu SUs: %.2fx "
+                  "cheaper per send (guard: >= 3x), %.2fx ticks/s\n",
+                  sus, full.update_ms_per_send / delta.update_ms_per_send,
+                  delta.ticks_per_sec / full.ticks_per_sec);
+    rows.push_back(full);
+    rows.push_back(delta);
+  }
+  std::printf("\n");
+  return rows;
+}
+
 double byte_ratio(std::size_t base, std::size_t packed) {
   return packed > 0 ? static_cast<double>(base) / static_cast<double>(packed)
                     : 0;
@@ -1067,12 +1228,33 @@ benchjson::JsonFields denial_json(const DenialRow& r) {
   return j;
 }
 
+benchjson::JsonFields scenario_json(const ScenarioRow& r) {
+  benchjson::JsonFields j;
+  j.add("use_delta", std::size_t{r.use_delta ? 1u : 0u});
+  j.add("num_sus", r.num_sus);
+  j.add("ticks", r.ticks);
+  j.add("pu_events", r.pu_events);
+  j.add("updates_sent", r.updates_sent);
+  j.add("requests", r.requests);
+  j.add("grants", r.grants);
+  j.add("denials", r.denials);
+  j.add("fast_denials", r.fast_denials);
+  j.add("delta_cells_per_tick", r.delta_cells_per_tick);
+  j.add("wal_bytes_per_tick", r.wal_bytes_per_tick);
+  j.add("update_wall_ms", r.update_wall_ms);
+  j.add("update_ms_per_send", r.update_ms_per_send);
+  j.add("ticks_per_sec", r.ticks_per_sec);
+  j.add("requests_per_sec", r.requests_per_sec);
+  return j;
+}
+
 void write_json(const char* path, bool quick, const std::vector<Row>& scaling,
                 const std::vector<Row>& sweep,
                 const std::vector<Row>& pack_sweep,
                 const std::vector<ThroughputRow>& throughput,
                 const std::vector<ShardRow>& shard_sweep,
-                const std::vector<DenialRow>& denial_sweep) {
+                const std::vector<DenialRow>& denial_sweep,
+                const std::vector<ScenarioRow>& scenario_sweep) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "warning: cannot write %s\n", path);
@@ -1093,6 +1275,9 @@ void write_json(const char* path, bool quick, const std::vector<Row>& scaling,
   std::vector<benchjson::JsonFields> denials;
   denials.reserve(denial_sweep.size());
   for (const auto& r : denial_sweep) denials.push_back(denial_json(r));
+  std::vector<benchjson::JsonFields> scenarios;
+  scenarios.reserve(scenario_sweep.size());
+  for (const auto& r : scenario_sweep) scenarios.push_back(scenario_json(r));
   std::fprintf(f, "{\n  \"quick\": %s,\n  \"hardware_threads\": %zu,\n",
                quick ? "true" : "false",
                exec::ThreadPool::hardware_threads());
@@ -1101,7 +1286,8 @@ void write_json(const char* path, bool quick, const std::vector<Row>& scaling,
   benchjson::write_row_array(f, "pack_sweep", rows_of(pack_sweep), false);
   benchjson::write_row_array(f, "throughput", tput, false);
   benchjson::write_row_array(f, "shard_sweep", shards, false);
-  benchjson::write_row_array(f, "denial_sweep", denials, true);
+  benchjson::write_row_array(f, "denial_sweep", denials, false);
+  benchjson::write_row_array(f, "scenario_sweep", scenarios, true);
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
@@ -1146,7 +1332,7 @@ int main(int argc, char** argv) {
     auto tcp_rows = run_tcp_sweep(quick);
     auto denial_rows = run_denial_sweep(quick, /*tcp_only=*/true);
     write_json("BENCH_system.json", quick, {}, {}, {}, tcp_rows, {},
-               denial_rows);
+               denial_rows, {});
     std::printf("\nMachine-readable results written to BENCH_system.json\n");
     std::printf("\nDone.\n");
     return 0;
@@ -1260,6 +1446,13 @@ int main(int argc, char** argv) {
   // pair feeds the ≥2x fast-deny guard in scripts/check_perf_regression.py.
   auto denial_rows = run_denial_sweep(quick, /*tcp_only=*/false);
 
+  // Dynamic-spectrum scenario sweep (DESIGN.md §3.9): the identical seeded
+  // mobility/churn/revocation schedule with full-column vs incremental PU
+  // updates. The per-send update-cost pair feeds the ≥3x incremental
+  // speedup floor in scripts/check_perf_regression.py; quick mode shortens
+  // the schedule and keeps the 2-SU fleet only.
+  auto scenario_rows = run_scenario_sweep(quick);
+
   std::vector<Row> scaling{r1, r2};
   if (!quick) {
     std::printf("Production key size n=2048 (paper's configuration):\n");
@@ -1270,7 +1463,7 @@ int main(int argc, char** argv) {
   }
 
   write_json("BENCH_system.json", quick, scaling, sweep, pack_sweep,
-             throughput, shard_sweep, denial_rows);
+             throughput, shard_sweep, denial_rows, scenario_rows);
   std::printf("\nMachine-readable results written to BENCH_system.json\n");
 
   std::printf("\nDone.\n");

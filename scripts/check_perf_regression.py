@@ -42,6 +42,17 @@ denial_sweep row must report decisions_match = 1: the prefilter may only
 accelerate denials, never flip a verdict. Host speed cancels out of all
 three pairings, so they are safe to gate on wall clock.
 
+The scenario_sweep rows (DESIGN.md §3.9) add two more. ticks_per_sec per
+(use_delta, num_sus, ticks) row is guarded against the committed snapshot
+like the tcp rows — wall clock, so behind --tcp-threshold. And within the
+current run, each fleet size's full/delta pair must show the incremental
+update path at least `--delta-speedup-factor`x (default 3.0) cheaper per
+update sent (update_ms_per_send: client encrypt + SDC fold + re-probe) —
+the whole point of shipping footprint diffs instead of C-row columns is
+that cost no longer scales with the grid, and losing the win (deltas
+silently degrading to full columns, dirty tracking gone, re-probes going
+grid-wide) is a protocol bug, not noise.
+
 Exits 1 when any guarded metric is more than `threshold`x worse than the
 committed snapshot, 2 when a snapshot/run file is missing or unparseable.
 Quick-mode measurement windows are short, so the default threshold is a
@@ -182,6 +193,52 @@ def denial_checks(current, factor):
                factor * off[key], on[key], True)
 
 
+# Keyed without the tick count: the committed snapshot is a full-length
+# run, CI's --quick run shortens the schedule, and per-tick throughput is
+# comparable across schedule lengths.
+SCENARIO_KEY = ("use_delta", "num_sus")
+
+
+def scenario_checks(baseline, current, tcp_threshold):
+    """ticks_per_sec per scenario row vs the committed snapshot.
+
+    The scenario engine is wall clock end to end (client crypto + SDC
+    pipeline + mobility bookkeeping), so like the tcp rows it rides the
+    looser --tcp-threshold; a real loss (requests re-entering the full
+    pipeline, update path degrading) is a multiple-x cliff.
+    """
+    base = {tuple(r[k] for k in SCENARIO_KEY): r["ticks_per_sec"]
+            for r in baseline.get("scenario_sweep", [])}
+    cur = {tuple(r[k] for k in SCENARIO_KEY): r["ticks_per_sec"]
+           for r in current.get("scenario_sweep", [])}
+    for key in sorted(base):
+        if key in cur:
+            label = "scenario ticks_per_sec {} sus={}".format(
+                "delta" if key[0] else "full", key[1])
+            yield label, base[key], cur[key], True, tcp_threshold
+
+
+def delta_speedup_checks(current, factor):
+    """Incremental vs full-column per-update cost, paired per fleet size.
+
+    Within the current run only, like the WAL and fast-deny pairs: the two
+    rows ran the identical seeded schedule back to back, so the
+    update_ms_per_send ratio is the §3.9 incremental win itself. Role-swap
+    encoding: 'current' = factor * delta cost, lower-is-better with
+    threshold 1.0, so the check fails exactly when the delta path is less
+    than `factor`x cheaper per update than the full-column path.
+    """
+    rows = current.get("scenario_sweep", [])
+    full = {(r["num_sus"], r["ticks"]): r["update_ms_per_send"]
+            for r in rows if not r["use_delta"]}
+    delta = {(r["num_sus"], r["ticks"]): r["update_ms_per_send"]
+             for r in rows if r["use_delta"]}
+    for key in sorted(full):
+        if key in delta and delta[key] > 0:
+            yield (f"delta_speedup update_ms_per_send sus={key[0]} "
+                   f"ticks={key[1]}", full[key], factor * delta[key], False)
+
+
 def decision_checks(current):
     """Every denial_sweep row must report decisions_match == 1.
 
@@ -217,6 +274,11 @@ def main():
                     help="fail when the prefilter-on requests_per_sec at a "
                          ">=80%% deny mix is below this multiple of the "
                          "prefilter-off row (within the current run)")
+    ap.add_argument("--delta-speedup-factor", type=float, default=3.0,
+                    help="fail when the scenario sweep's incremental update "
+                         "path is less than this many times cheaper per "
+                         "update sent than the full-column path (within the "
+                         "current run)")
     args = ap.parse_args()
 
     # Each check is (label, baseline, current, higher_is_better, threshold);
@@ -236,6 +298,11 @@ def main():
     checks.extend((*c, 1.0)
                   for c in denial_checks(system_current,
                                          args.fast_deny_factor))
+    checks.extend(scenario_checks(system_baseline, system_current,
+                                  args.tcp_threshold))
+    checks.extend((*c, 1.0)
+                  for c in delta_speedup_checks(system_current,
+                                                args.delta_speedup_factor))
     checks.extend((*c, 1.0) for c in decision_checks(system_current))
 
     if not checks:

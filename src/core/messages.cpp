@@ -50,6 +50,49 @@ PuUpdateMsg PuUpdateMsg::decode(const std::vector<std::uint8_t>& bytes) {
   return m;
 }
 
+std::vector<std::uint8_t> PuDeltaMsg::encode(std::size_t ct_width) const {
+  net::Encoder enc;
+  enc.put_u32(pu_id);
+  enc.put_u64(delta_seq);
+  enc.put_u32(static_cast<std::uint32_t>(cells.size()));
+  enc.put_u32(static_cast<std::uint32_t>(ct_width));
+  for (const auto& cell : cells) {
+    enc.put_u32(cell.group);
+    enc.put_u32(cell.block);
+    enc.put_raw(cell.delta.value.to_bytes_be(ct_width));
+  }
+  return enc.take();
+}
+
+PuDeltaMsg PuDeltaMsg::decode(const std::vector<std::uint8_t>& bytes) {
+  net::Decoder dec{bytes};
+  PuDeltaMsg m;
+  m.pu_id = dec.get_u32();
+  m.delta_seq = dec.get_u64();
+  if (m.delta_seq == 0)
+    throw net::DecodeError("PuDeltaMsg: zero delta_seq");
+  std::uint32_t count = dec.get_u32();
+  std::uint32_t width = dec.get_u32();
+  if (count == 0) throw net::DecodeError("PuDeltaMsg: empty delta");
+  if (width == 0 || width > (1u << 20))
+    throw net::DecodeError("PuDeltaMsg: implausible ciphertext width");
+  // Each cell is an 8-byte coordinate header plus one fixed-width
+  // ciphertext — bound the allocation by the actual input before reserving.
+  if (static_cast<std::uint64_t>(count) * (8 + static_cast<std::uint64_t>(width)) >
+      dec.remaining())
+    throw net::DecodeError("PuDeltaMsg: cell count exceeds remaining input");
+  m.cells.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Cell cell;
+    cell.group = dec.get_u32();
+    cell.block = dec.get_u32();
+    cell.delta = {bn::BigUint::from_bytes_be(dec.get_raw(width))};
+    m.cells.push_back(std::move(cell));
+  }
+  dec.expect_done();
+  return m;
+}
+
 std::vector<std::uint8_t> SuRequestMsg::encode(std::size_t ct_width) const {
   net::Encoder enc;
   enc.put_u32(su_id);

@@ -26,6 +26,7 @@ namespace pisa::core {
 
 /// Message-type strings used on the simulated network.
 inline constexpr const char* kMsgPuUpdate = "pu_update";
+inline constexpr const char* kMsgPuDelta = "pu_delta";
 inline constexpr const char* kMsgSuRequest = "su_request";
 inline constexpr const char* kMsgConvertRequest = "stp_convert_request";
 inline constexpr const char* kMsgConvertResponse = "stp_convert_response";
@@ -58,6 +59,28 @@ struct PuUpdateMsg {
 
   std::vector<std::uint8_t> encode(std::size_t ct_width) const;
   static PuUpdateMsg decode(const std::vector<std::uint8_t>& bytes);
+};
+
+/// Incremental PU update (DESIGN.md §3.9): only the (channel-group, block)
+/// budget cells whose interference contribution changed travel. Each cell
+/// carries Ẽ(new_w − old_w) for that packed slot group — the SDC folds it
+/// with a single ciphertext multiplication, so a moving PU costs O(diff)
+/// instead of a full ⌈C/k⌉-column refold per touched block. `delta_seq` is
+/// the PU's per-sender monotonic counter (starting at 1): shards persist the
+/// last applied seq so at-least-once delivery folds each delta exactly once.
+struct PuDeltaMsg {
+  struct Cell {
+    std::uint32_t group = 0;
+    std::uint32_t block = 0;
+    crypto::PaillierCiphertext delta;
+  };
+
+  std::uint32_t pu_id = 0;
+  std::uint64_t delta_seq = 0;
+  std::vector<Cell> cells;
+
+  std::vector<std::uint8_t> encode(std::size_t ct_width) const;
+  static PuDeltaMsg decode(const std::vector<std::uint8_t>& bytes);
 };
 
 /// Figure 5 step 1–2: SU j requests transmission. `block_lo`/`block_hi`

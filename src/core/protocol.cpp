@@ -43,14 +43,13 @@ PisaSystem::PisaSystem(const PisaConfig& cfg, std::vector<watch::PuSite> sites,
   stp_->attach(transport(), "stp");
   sdc_->attach(transport(), "sdc", "stp");
 
+  // Each PU takes the full public E matrix: a mobile receiver must be able
+  // to recompute w = T − E at whatever block it drives into.
   auto e = watch::make_e_matrix(cfg_.watch);
   for (const auto& site : sites_) {
-    std::vector<std::int64_t> e_column(cfg_.watch.channels);
-    for (std::uint32_t c = 0; c < cfg_.watch.channels; ++c)
-      e_column[c] = e.at(radio::ChannelId{c}, site.block);
     auto [it, inserted] = pus_.emplace(
-        site.pu_id, std::make_unique<PuClient>(site, cfg_, stp_->group_key(),
-                                               std::move(e_column), rng_));
+        site.pu_id,
+        std::make_unique<PuClient>(site, cfg_, stp_->group_key(), e, rng_));
     if (!inserted)
       throw std::invalid_argument("PisaSystem: duplicate PU id");
     it->second->set_thread_pool(exec_);
@@ -137,6 +136,20 @@ void PisaSystem::pu_update(std::uint32_t pu_id, const watch::PuTuning& tuning) {
   transport().send({"pu_" + std::to_string(pu_id), "sdc", kMsgPuUpdate,
                     update.encode(stp_->group_key().ciphertext_bytes())});
   net_.run();
+}
+
+bool PisaSystem::pu_delta(std::uint32_t pu_id, const watch::PuTuning& tuning) {
+  auto& client = pu(pu_id);
+  auto delta = client.make_delta(tuning);
+  if (!delta) return false;
+  transport().send({"pu_" + std::to_string(pu_id), "sdc", kMsgPuDelta,
+                    delta->encode(stp_->group_key().ciphertext_bytes())});
+  net_.run();
+  return true;
+}
+
+void PisaSystem::pu_move(std::uint32_t pu_id, std::uint32_t block) {
+  pu(pu_id).move_to(block);
 }
 
 watch::QMatrix PisaSystem::build_f(const watch::SuRequest& request) const {

@@ -44,6 +44,16 @@ class PisaSystem {
   /// Drive a PU tuning change through the network (Figure 4).
   void pu_update(std::uint32_t pu_id, const watch::PuTuning& tuning);
 
+  /// §3.9 incremental path: diff `tuning` (at the PU's current block)
+  /// against its delivered footprint and ship only the changed cells.
+  /// Returns false when the footprint is already current (nothing sent).
+  bool pu_delta(std::uint32_t pu_id, const watch::PuTuning& tuning);
+
+  /// Vehicular mobility: relocate the PU's receiver. Takes effect on its
+  /// next pu_update / pu_delta (the delta path retracts the old block's
+  /// cells automatically).
+  void pu_move(std::uint32_t pu_id, std::uint32_t block);
+
   struct RequestOutcome {
     /// kCompleted covers both grant and deny (see `granted`);
     /// kTransportFailed means the request round could not be delivered

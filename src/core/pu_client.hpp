@@ -1,21 +1,36 @@
-// Primary-user (TV receiver) client (paper Figure 4).
+// Primary-user (TV receiver) client (paper Figure 4, plus the §3.9
+// incremental path).
 //
 // On every channel switch / power-off the PU builds its W column
 // W(c) = T − E_S(c, block) for the tuned channel and 0 elsewhere, encrypts
 // all C entries under pk_G (so the SDC cannot tell which channel changed)
 // and ships them. The block index travels in clear — receiver locations are
 // public, registered data (§III-D).
+//
+// The incremental path (make_delta) keeps a footprint cache — the packed
+// plaintext contribution per (channel-group, block) cell currently folded
+// at the SDC — and on each tuning/mobility event emits only the cells whose
+// contribution changed, as encryptions of (new − old). A moving or
+// channel-hopping PU therefore ships 1–2 ciphertexts per event instead of a
+// full ⌈C/pack_slots⌉ column per touched block, and the SDC folds each with
+// one multiplication. A deterministic-part cache plus an optional
+// precomputed r^n pool make repeated w values along a trace one modular
+// multiplication per cell after the offline phase.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "bigint/random_source.hpp"
 #include "core/config.hpp"
 #include "core/messages.hpp"
+#include "crypto/chacha_rng.hpp"
 #include "crypto/paillier.hpp"
 #include "watch/config.hpp"
+#include "watch/matrices.hpp"
 
 namespace pisa::exec {
 class ThreadPool;
@@ -25,32 +40,98 @@ namespace pisa::core {
 
 class PuClient {
  public:
-  /// `e_column` holds the public E_S(c, site.block) budget for this PU's
-  /// block, one entry per channel.
+  /// `e_matrix` is the full public E_S budget matrix (C×B): a mobile PU
+  /// must be able to compute w = T − E at any block it visits. `rng` seeds
+  /// this client's private ChaCha stream once at construction; afterwards
+  /// every encryption draw comes off that stream, so how many ciphertexts
+  /// an update path needs (full column vs delta cells) cannot shift any
+  /// other entity's randomness.
   PuClient(watch::PuSite site, const PisaConfig& cfg,
-           crypto::PaillierPublicKey group_pk,
-           std::vector<std::int64_t> e_column, bn::RandomSource& rng);
+           crypto::PaillierPublicKey group_pk, watch::QMatrix e_matrix,
+           bn::RandomSource& rng);
 
   const watch::PuSite& site() const { return site_; }
 
-  /// Build the encrypted update for a (re)tuning event. Receiver-off is the
-  /// all-zeros column (still encrypted, still ⌈C/pack_slots⌉ packed
-  /// ciphertexts — indistinguishable from any other update).
-  PuUpdateMsg make_update(const watch::PuTuning& tuning) const;
+  /// The block this PU currently occupies (starts at site().block; mobility
+  /// moves it). Public, registered data — it travels in clear.
+  std::uint32_t current_block() const { return block_; }
 
-  /// Serialized size of one update in bytes (Fig. 6: ≈ 0.05 MB at C = 100).
+  /// Vehicular mobility: re-register at `block`. The next make_update /
+  /// make_delta emits the contribution from the new location (make_delta
+  /// retracts the old block's cells explicitly).
+  void move_to(std::uint32_t block);
+
+  /// Build the encrypted full-column update for a (re)tuning event at the
+  /// current block. Receiver-off is the all-zeros column (still encrypted,
+  /// still ⌈C/pack_slots⌉ packed ciphertexts — indistinguishable from any
+  /// other update). Commits the footprint cache: the caller is expected to
+  /// deliver the message.
+  PuUpdateMsg make_update(const watch::PuTuning& tuning);
+
+  /// §3.9 incremental update: diff the desired state (tuning at the current
+  /// block) against the footprint cache and emit only the changed cells as
+  /// encryptions of (new − old). Returns nullopt when nothing changed.
+  /// Commits the footprint and bumps the per-PU delta sequence; the caller
+  /// is expected to deliver the message (in order).
+  std::optional<PuDeltaMsg> make_delta(const watch::PuTuning& tuning);
+
+  /// Last emitted delta sequence number (0 = none yet).
+  std::uint64_t delta_seq() const { return delta_seq_; }
+
+  /// Nonzero (group, block) cells currently folded at the SDC, as tracked
+  /// by the footprint cache.
+  std::size_t footprint_cells() const { return footprint_.size(); }
+
+  /// Serialized size of one full update in bytes (Fig. 6: ≈ 0.05 MB at
+  /// C = 100). Pure arithmetic — consumes no randomness.
   std::size_t update_bytes() const;
+
+  /// Offline phase for the delta path: precompute `count` r^n randomizer
+  /// factors so each later delta cell costs one modular multiplication
+  /// (paper §VI-A's pooled-preparation argument applied to the PU side).
+  void precompute_randomizers(std::size_t count);
+  std::size_t randomizers_available() const {
+    return rpool_ ? rpool_->available() : 0;
+  }
 
   /// Execution lanes for column encryption (nullptr = sequential).
   void set_thread_pool(std::shared_ptr<exec::ThreadPool> pool);
 
  private:
+  static std::uint64_t cell_key(std::uint32_t group, std::uint32_t block) {
+    return (static_cast<std::uint64_t>(group) << 32) | block;
+  }
+  /// Packed plaintext for the single nonzero group of (channel, block):
+  /// w = T − E at slot channel % pack_slots, other slots zero.
+  bn::BigInt packed_cell_value(std::uint32_t channel, std::uint32_t block,
+                               std::int64_t t) const;
+  /// Desired footprint for `tuning` at the current block (empty when off).
+  std::map<std::uint64_t, bn::BigInt> desired_footprint(
+      const watch::PuTuning& tuning) const;
+  /// E(diff) = E_det(lift(diff)) · r^n — the deterministic part comes from
+  /// the value cache, r^n from the pool when one was precomputed.
+  crypto::PaillierCiphertext encrypt_delta(const bn::BigInt& diff);
+
+  /// Deterministic-part cache bound: traces revisit few distinct w values,
+  /// so a small cache captures them; past the bound it resets wholesale.
+  static constexpr std::size_t kDetCacheMax = 1024;
+
   watch::PuSite site_;
   PisaConfig cfg_;
   crypto::PaillierPublicKey group_pk_;
-  std::vector<std::int64_t> e_column_;
-  bn::RandomSource& rng_;
+  watch::QMatrix e_matrix_;
   std::shared_ptr<exec::ThreadPool> exec_;
+  std::uint32_t block_;
+  std::uint64_t delta_seq_ = 0;
+  /// Packed plaintext contribution per nonzero (group, block) cell, as the
+  /// SDC currently holds it for this PU.
+  std::map<std::uint64_t, bn::BigInt> footprint_;
+  std::map<bn::BigUint, crypto::PaillierCiphertext> det_cache_;
+  std::optional<crypto::FastRandomizerBase> fast_base_;
+  std::optional<crypto::RandomizerPool> rpool_;
+  /// Private encryption stream, seeded once from the construction rng
+  /// (same isolation argument as SdcServer::stream_). Declared last.
+  crypto::ChaChaRng stream_;
 };
 
 }  // namespace pisa::core

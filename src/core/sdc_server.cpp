@@ -137,14 +137,52 @@ void SdcServer::handle_pu_update(const PuUpdateMsg& update) {
   // full pipeline serves those blocks — slower, never wrong. Direct-call
   // mode (no transport) cannot probe, so the filter simply stays empty.
   if (!touched.empty()) {
+    const std::size_t groups = cfg_.channel_groups();
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> cells;
+    cells.reserve(touched.size() * groups);
     for (std::uint32_t b : touched) {
       state_.invalidate_block(b);
-      ++block_epoch_[b];
+      for (std::uint32_t g = 0; g < groups; ++g) {
+        ++cell_epoch_[SdcStateEngine::cell_key(g, b)];
+        cells.emplace_back(g, b);
+      }
     }
-    if (net_ != nullptr) send_budget_probe(touched);
+    if (net_ != nullptr) send_budget_probe(cells);
   }
   ++stats_.pu_updates;
   stats_.update.add(ms_since(t0));
+}
+
+void SdcServer::handle_pu_delta(const PuDeltaMsg& delta) {
+  auto t0 = Clock::now();
+  // Capture the touched cells before the fold: apply_pu_delta validates and
+  // may advance per-shard seq state, so a throw must leave the filter as-is.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cells;
+  if (cfg_.denial_filter.enabled) {
+    cells.reserve(delta.cells.size());
+    for (const auto& cell : delta.cells) cells.emplace_back(cell.group, cell.block);
+  }
+  state_.apply_pu_delta(delta);
+  if (!cells.empty()) {
+    // Cell-granular conservative invalidation: only the folded cells lose
+    // their recorded exhaustion (update_block_exhaustion with an empty
+    // evidence set); untouched groups of the same block keep theirs — their
+    // budget entries did not move. Blocks are processed in first-appearance
+    // order, matching the probe's cell order.
+    std::vector<std::uint32_t> order;
+    std::map<std::uint32_t, std::vector<std::uint32_t>> by_block;
+    for (const auto& [g, b] : cells) {
+      auto [it, fresh] = by_block.try_emplace(b);
+      if (fresh) order.push_back(b);
+      it->second.push_back(g);
+      ++cell_epoch_[SdcStateEngine::cell_key(g, b)];
+    }
+    for (std::uint32_t b : order) state_.update_block_exhaustion(b, by_block[b], {});
+    if (net_ != nullptr) send_budget_probe(cells);
+  }
+  ++stats_.pu_deltas;
+  stats_.delta_cells += delta.cells.size();
+  stats_.delta.add(ms_since(t0));
 }
 
 void SdcServer::recompute_budget() {
@@ -178,10 +216,10 @@ bool SdcServer::fast_deny_check(const SuRequestMsg& request) {
   return deny;
 }
 
-void SdcServer::send_budget_probe(const std::vector<std::uint32_t>& blocks) {
-  const std::size_t groups = cfg_.channel_groups();
+void SdcServer::send_budget_probe(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& cells) {
   const std::size_t k = codec_.slots();
-  const std::size_t count = blocks.size() * groups;
+  const std::size_t count = cells.size();
 
   BudgetProbeMsg msg;
   msg.probe_id = next_probe_id_++;
@@ -189,15 +227,19 @@ void SdcServer::send_budget_probe(const std::vector<std::uint32_t>& blocks) {
   if (threshold_share_) msg.partials.resize(count);
 
   PendingProbe pend;
-  pend.blocks = blocks;
-  for (std::uint32_t b : blocks) pend.epochs.push_back(block_epoch_[b]);
+  pend.cells = cells;
+  pend.epochs.reserve(count);
+  for (const auto& [g, b] : cells)
+    pend.epochs.push_back(cell_epoch_[SdcStateEngine::cell_key(g, b)]);
   pend.epsilon.resize(count);
 
-  // Same blinding envelope as eq. (14) minus the F term: each probed entry
+  // Same blinding envelope as eq. (14) minus the F term: each probed cell
   // ships ε·(α·Ñ − β̃) with fresh α, per-slot β_j ∈ (0, α) and a sign flip
   // ε, so the STP learns only ε-masked signs — which the SDC unmasks — and
   // nothing about magnitudes. Randomness is drawn sequentially before the
-  // parallel modexp section, like every other pipeline stage.
+  // parallel modexp section, like every other pipeline stage. The full
+  // path's block-major cell order makes the draw sequence (and the wire
+  // bytes) identical to the pre-§3.9 per-block probes.
   std::vector<bn::BigUint> alphas(count), betas(count);
   std::vector<bn::BigInt> beta_slots(k);
   for (std::size_t i = 0; i < count; ++i) {
@@ -212,9 +254,8 @@ void SdcServer::send_budget_probe(const std::vector<std::uint32_t>& blocks) {
     pend.epsilon[i] = (stream_.next_u64() & 1) != 0 ? -1 : 1;
   }
   exec::parallel_for(exec_.get(), 0, count, [&](std::size_t i) {
-    const std::uint32_t g = static_cast<std::uint32_t>(i % groups);
-    const std::uint32_t b = blocks[i / groups];
-    auto v = group_pk_.scalar_mul(alphas[i], budget_at(g, b));
+    auto v = group_pk_.scalar_mul(alphas[i],
+                                  budget_at(cells[i].first, cells[i].second));
     v = group_pk_.sub_deterministic(v, betas[i]);
     if (pend.epsilon[i] < 0) v = group_pk_.negate(v);
     msg.v[i] = std::move(v);
@@ -236,20 +277,29 @@ void SdcServer::handle_probe_response(const BudgetProbeResponseMsg& resp) {
   PendingProbe pend = std::move(it->second);
   probes_.erase(it);
 
-  const std::size_t groups = cfg_.channel_groups();
   const std::size_t k = codec_.slots();
-  // A malformed reply is dropped, not applied: the blocks simply stay
+  // A malformed reply is dropped, not applied: the cells simply stay
   // invalidated (full pipeline, never a wrong answer).
-  if (resp.signs.size() != pend.blocks.size() * groups * k) return;
+  if (resp.signs.size() != pend.cells.size() * k) return;
 
-  for (std::size_t bi = 0; bi < pend.blocks.size(); ++bi) {
-    const std::uint32_t block = pend.blocks[bi];
-    // Epoch guard: a fold since this probe left re-invalidated the block;
-    // its fresher probe (sent by that fold) will carry the truth.
-    if (block_epoch_[block] != pend.epochs[bi]) continue;
-    std::vector<std::uint32_t> exhausted;
-    for (std::uint32_t g = 0; g < groups; ++g) {
-      const std::size_t idx = bi * groups + g;
+  // Group the probed cells by block, preserving first-appearance order,
+  // then install per-block evidence: a cell whose epoch moved since the
+  // probe left drops out of `probed` entirely (a fresher probe is in
+  // flight and will carry the truth for it).
+  std::vector<std::uint32_t> order;
+  std::map<std::uint32_t, std::vector<std::size_t>> by_block;
+  for (std::size_t i = 0; i < pend.cells.size(); ++i) {
+    auto [slot, fresh] = by_block.try_emplace(pend.cells[i].second);
+    if (fresh) order.push_back(pend.cells[i].second);
+    slot->second.push_back(i);
+  }
+  for (std::uint32_t block : order) {
+    std::vector<std::uint32_t> probed, exhausted;
+    for (std::size_t idx : by_block[block]) {
+      const std::uint32_t g = pend.cells[idx].first;
+      if (cell_epoch_[SdcStateEngine::cell_key(g, block)] != pend.epochs[idx])
+        continue;
+      probed.push_back(g);
       bool any = false;
       for (std::size_t j = 0; j < k && !any; ++j) {
         // Tail slots of the last group pad with the constant 1 (always
@@ -262,7 +312,7 @@ void SdcServer::handle_probe_response(const BudgetProbeResponseMsg& resp) {
       }
       if (any) exhausted.push_back(g);
     }
-    state_.set_block_exhaustion(block, exhausted);
+    if (!probed.empty()) state_.update_block_exhaustion(block, probed, exhausted);
   }
 }
 
@@ -499,6 +549,8 @@ void SdcServer::attach(net::Transport& net, const std::string& name,
     if (!seen_frames_.first_time(msg.from, msg.net_seq)) return;
     if (msg.type == kMsgPuUpdate) {
       handle_pu_update(PuUpdateMsg::decode(msg.payload));
+    } else if (msg.type == kMsgPuDelta) {
+      handle_pu_delta(PuDeltaMsg::decode(msg.payload));
     } else if (msg.type == kMsgSuRequest) {
       auto request = SuRequestMsg::decode(msg.payload);
       // Replayed request id (retransmission past both dedup windows): the

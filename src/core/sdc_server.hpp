@@ -16,6 +16,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <memory>
@@ -66,6 +67,12 @@ class SdcServer {
   /// Figure 4 step 4: fold a PU's W̃ column into Ñ. Incremental: retract the
   /// PU's previous column homomorphically, then add the new one.
   void handle_pu_update(const PuUpdateMsg& update);
+
+  /// §3.9 delta fold: multiply each carried cell into Ñ — O(cells) work —
+  /// then conservatively invalidate exactly those cells' filter state and
+  /// re-probe them (the full path re-probes whole blocks). Same
+  /// external-decision semantics as replaying the PU's full column.
+  void handle_pu_delta(const PuDeltaMsg& delta);
 
   /// Ablation path: rebuild Ñ from Ẽ and every stored W̃ column (the paper's
   /// literal "aggregate all PU inputs" formulation, eq. (9)/(10)).
@@ -144,7 +151,11 @@ class SdcServer {
     std::uint64_t prefilter_false_positives = 0;
     std::uint64_t fast_denials = 0;  // == prefilter_hits; FastDenyMsgs sent
     std::uint64_t probes_sent = 0;   // BudgetProbeMsgs to the STP
+    // §3.9 incremental path:
+    std::uint64_t pu_deltas = 0;     // handle_pu_delta calls
+    std::uint64_t delta_cells = 0;   // cells folded across those calls
     PhaseStat update;     // handle_pu_update
+    PhaseStat delta;      // handle_pu_delta
     PhaseStat phase1;     // begin_request
     PhaseStat phase2;     // finish_request
     PhaseStat prefilter;  // fast-deny screen (filter-on requests only)
@@ -169,11 +180,14 @@ class SdcServer {
   /// N ≤ 0 at one covered cell already forces I = N − X·F ≤ N ≤ 0 there
   /// (F̃ encrypts non-negative interference), i.e. a certain denial.
   bool fast_deny_check(const SuRequestMsg& request);
-  /// Blind the touched blocks' budget entries (ε·(α·Ñ − β̃), same envelope
-  /// as eq. (14) without the F term) and ask the STP for their signs.
-  void send_budget_probe(const std::vector<std::uint32_t>& blocks);
-  /// Fold a probe reply into the engine's exhausted sets, discarding blocks
-  /// whose epoch moved (a later PU fold re-invalidated them).
+  /// Blind the given (group, block) budget cells (ε·(α·Ñ − β̃), same
+  /// envelope as eq. (14) without the F term) and ask the STP for their
+  /// signs. The full path passes block-major cells (every group of each
+  /// touched block); the delta path passes exactly the folded cells.
+  void send_budget_probe(
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& cells);
+  /// Fold a probe reply into the engine's exhausted sets, discarding cells
+  /// whose epoch moved (a later fold re-invalidated them).
   void handle_probe_response(const BudgetProbeResponseMsg& resp);
 
   // --- conversion batcher (cfg_.convert_batch_max > 0, DESIGN.md §3.5) ---
@@ -217,18 +231,19 @@ class SdcServer {
   net::DedupWindow seen_frames_;
   Stats stats_;
 
-  // §3.8 probe bookkeeping. A block's epoch advances on every invalidation
-  // (PU fold touching it); a probe reply only installs exhaustion for
-  // blocks whose epoch still matches its send-time snapshot, so a stale
-  // reply can never resurrect outdated state — the filter stays
+  // §3.8/§3.9 probe bookkeeping. A cell's epoch advances on every
+  // invalidation (full folds bump every cell of the touched blocks, delta
+  // folds only the carried cells); a probe reply only installs exhaustion
+  // evidence for cells whose epoch still matches its send-time snapshot,
+  // so a stale reply can never resurrect outdated state — the filter stays
   // conservative (invalidated = never fast-denied) in the meantime.
   struct PendingProbe {
-    std::vector<std::uint32_t> blocks;
-    std::vector<std::uint64_t> epochs;   // per block, at send time
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> cells;  // (g, b)
+    std::vector<std::uint64_t> epochs;   // per cell, at send time
     std::vector<std::int8_t> epsilon;    // ±1 per probed ciphertext
   };
   std::map<std::uint64_t, PendingProbe> probes_;
-  std::map<std::uint32_t, std::uint64_t> block_epoch_;
+  std::map<std::uint64_t, std::uint64_t> cell_epoch_;  // by engine cell_key
   std::uint64_t next_probe_id_ = 1;
 
   // Conversion batcher state (network mode only; see attach()). staged_ is

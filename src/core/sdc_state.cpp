@@ -117,15 +117,112 @@ void SdcStateEngine::apply_slice(std::size_t s, const PuUpdateMsg& update,
                        g0 + n);
     add_column_range(budget_, slice.block, slice.w_column, pk_, g0, g0 + n);
   }
+  // A full column resets the PU's contribution wholesale, so any §3.9 delta
+  // cells accumulated on top of the previous column are retracted with it.
+  if (it != sh.columns.end()) {
+    for (std::size_t g = g0; g < g0 + n; ++g)
+      sh.dirty.insert(cell_key(static_cast<std::uint32_t>(g), it->second.block));
+  }
+  retract_deltas(s, update.pu_id);
+  for (std::size_t g = g0; g < g0 + n; ++g)
+    sh.dirty.insert(cell_key(static_cast<std::uint32_t>(g), slice.block));
   sh.columns.insert_or_assign(update.pu_id, std::move(slice));
+}
+
+void SdcStateEngine::retract_deltas(std::size_t s, std::uint32_t pu_id) {
+  auto& sh = shards_[s];
+  auto it = sh.deltas.find(pu_id);
+  if (it == sh.deltas.end()) return;
+  const std::size_t blocks = budget_.blocks();
+  for (const auto& [key, ct] : it->second) {
+    const std::size_t g = key >> 32, b = key & 0xffffffffu;
+    auto& entry = budget_[g * blocks + b];
+    entry = pk_.sub(entry, ct);
+    sh.dirty.insert(key);
+  }
+  sh.deltas.erase(it);
+}
+
+void SdcStateEngine::apply_pu_delta(const PuDeltaMsg& delta) {
+  if (delta.cells.empty())
+    throw std::invalid_argument("SdcStateEngine: empty delta");
+  if (delta.delta_seq == 0)
+    throw std::invalid_argument("SdcStateEngine: zero delta_seq");
+  std::set<std::uint64_t> seen;
+  for (const auto& cell : delta.cells) {
+    if (cell.group >= map_.groups())
+      throw std::invalid_argument(
+          "SdcStateEngine: delta cell group out of range");
+    if (cell.block >= budget_.blocks())
+      throw std::out_of_range("SdcStateEngine: delta cell block out of range");
+    if (!seen.insert(cell_key(cell.group, cell.block)).second)
+      throw std::invalid_argument("SdcStateEngine: duplicate delta cell");
+  }
+
+  if (map_.shards() == 1) {
+    apply_delta_slice(0, delta, /*live=*/true);
+  } else {
+    // Per-shard lanes, like apply_pu_update: each lane slices out its own
+    // cells and touches only its own rows, WAL and seq map. Shards with no
+    // cells in this delta do nothing — their seq guard stays behind, which
+    // is safe because a seq only orders the deltas that carry cells for
+    // that shard (delivery is ordered per PU).
+    exec::parallel_for(pool(), 0, map_.shards(), [&](std::size_t s) {
+      const std::size_t g0 = map_.begin(s), g1 = map_.end(s);
+      PuDeltaMsg slice;
+      slice.pu_id = delta.pu_id;
+      slice.delta_seq = delta.delta_seq;
+      for (const auto& cell : delta.cells)
+        if (cell.group >= g0 && cell.group < g1) slice.cells.push_back(cell);
+      if (!slice.cells.empty()) apply_delta_slice(s, slice, /*live=*/true);
+    });
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) maybe_compact(s);
+}
+
+void SdcStateEngine::apply_delta_slice(std::size_t s, const PuDeltaMsg& slice,
+                                       bool live) {
+  auto& sh = shards_[s];
+  auto seq_it = sh.delta_seqs.find(slice.pu_id);
+  // Exactly-once under ordered at-least-once delivery: a re-delivered (or
+  // crash-torn, partially applied) delta is rejected by exactly the shards
+  // that already journaled it and applied by the rest.
+  if (seq_it != sh.delta_seqs.end() && slice.delta_seq <= seq_it->second)
+    return;
+
+  // Journal before apply, like the column folds (replay reads the record
+  // that is already on disk).
+  if (live && sh.store) sh.store->append(kRecDelta, slice.encode(ct_width_));
+
+  const std::size_t blocks = budget_.blocks();
+  auto& acc = sh.deltas[slice.pu_id];
+  for (const auto& cell : slice.cells) {
+    const std::uint64_t key = cell_key(cell.group, cell.block);
+    auto& entry = budget_[cell.group * blocks + cell.block];
+    entry = pk_.add(entry, cell.delta);
+    auto [pos, inserted] = acc.try_emplace(key, cell.delta);
+    if (!inserted) pos->second = pk_.add(pos->second, cell.delta);
+    if (live) sh.dirty.insert(key);
+  }
+  if (live) sh.delta_cells_folded += slice.cells.size();
+  sh.delta_seqs[slice.pu_id] = slice.delta_seq;
 }
 
 void SdcStateEngine::recompute() {
   budget_ = encrypt_matrix_packed_deterministic(e_matrix_, pk_, codec_,
                                                 /*tail_fill=*/1, pool());
+  const std::size_t blocks = budget_.blocks();
+  auto add_deltas = [&](std::size_t s) {
+    for (const auto& [id, cells] : shards_[s].deltas)
+      for (const auto& [key, ct] : cells) {
+        const std::size_t g = key >> 32, b = key & 0xffffffffu;
+        budget_[g * blocks + b] = pk_.add(budget_[g * blocks + b], ct);
+      }
+  };
   if (map_.shards() == 1) {
     for (const auto& [id, col] : shards_[0].columns)
       add_column(budget_, col.block, col.w_column, pk_, pool());
+    add_deltas(0);
   } else {
     // Per-shard lanes again; Paillier addition is commutative over
     // canonical residues, so per-shard column order cannot change bytes.
@@ -133,6 +230,7 @@ void SdcStateEngine::recompute() {
       const std::size_t g0 = map_.begin(s), n = map_.size(s);
       for (const auto& [id, col] : shards_[s].columns)
         add_column_range(budget_, col.block, col.w_column, pk_, g0, g0 + n);
+      add_deltas(s);
     });
   }
 }
@@ -178,35 +276,62 @@ void SdcStateEngine::set_block_exhaustion(
   if (block >= budget_.blocks())
     throw std::out_of_range("SdcStateEngine: exhaustion block out of range");
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    auto& sh = shards_[s];
     const std::size_t g0 = map_.begin(s), g1 = map_.end(s);
     std::vector<std::uint32_t> mine;
     for (std::uint32_t g : groups)
       if (g >= g0 && g < g1) mine.push_back(g);
     std::sort(mine.begin(), mine.end());
     mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
-
-    auto it = sh.exhausted.find(block);
-    const bool unchanged =
-        it == sh.exhausted.end()
-            ? mine.empty()
-            : std::equal(mine.begin(), mine.end(), it->second.begin(),
-                         it->second.end());
-    if (unchanged) continue;
-
-    // Journal before apply, like the PU folds: the record carries the full
-    // new set so replay applies the identical erase/insert diff in the
-    // identical order against the same prior table.
-    if (sh.store) {
-      net::Encoder enc;
-      enc.put_u32(block);
-      enc.put_u32(static_cast<std::uint32_t>(mine.size()));
-      for (std::uint32_t g : mine) enc.put_u32(g);
-      sh.store->append(kRecExhaust, enc.take());
-    }
-    apply_exhaust(s, block, mine);
-    maybe_compact(s);
+    replace_block_exhaustion(s, block, mine);
   }
+}
+
+void SdcStateEngine::update_block_exhaustion(
+    std::uint32_t block, const std::vector<std::uint32_t>& probed,
+    const std::vector<std::uint32_t>& exhausted) {
+  if (!filter_on_) return;
+  if (block >= budget_.blocks())
+    throw std::out_of_range("SdcStateEngine: exhaustion block out of range");
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const auto& sh = shards_[s];
+    const std::size_t g0 = map_.begin(s), g1 = map_.end(s);
+    // Start from the recorded set; only probed groups may change state.
+    std::set<std::uint32_t> next;
+    if (auto it = sh.exhausted.find(block); it != sh.exhausted.end())
+      next = it->second;
+    for (std::uint32_t g : probed)
+      if (g >= g0 && g < g1) next.erase(g);
+    for (std::uint32_t g : exhausted)
+      if (g >= g0 && g < g1) next.insert(g);
+    replace_block_exhaustion(
+        s, block, std::vector<std::uint32_t>(next.begin(), next.end()));
+  }
+}
+
+void SdcStateEngine::replace_block_exhaustion(
+    std::size_t s, std::uint32_t block,
+    const std::vector<std::uint32_t>& mine) {
+  auto& sh = shards_[s];
+  auto it = sh.exhausted.find(block);
+  const bool unchanged =
+      it == sh.exhausted.end()
+          ? mine.empty()
+          : std::equal(mine.begin(), mine.end(), it->second.begin(),
+                       it->second.end());
+  if (unchanged) return;
+
+  // Journal before apply, like the PU folds: the record carries the full
+  // new set so replay applies the identical erase/insert diff in the
+  // identical order against the same prior table.
+  if (sh.store) {
+    net::Encoder enc;
+    enc.put_u32(block);
+    enc.put_u32(static_cast<std::uint32_t>(mine.size()));
+    for (std::uint32_t g : mine) enc.put_u32(g);
+    sh.store->append(kRecExhaust, enc.take());
+  }
+  apply_exhaust(s, block, mine);
+  maybe_compact(s);
 }
 
 void SdcStateEngine::apply_exhaust(std::size_t s, std::uint32_t block,
@@ -254,6 +379,21 @@ std::vector<std::uint8_t> SdcStateEngine::filter_state_bytes() const {
   return enc.take();
 }
 
+std::vector<std::uint8_t> SdcStateEngine::exhausted_state_bytes() const {
+  net::Encoder enc;
+  enc.put_u8(filter_on_ ? 1 : 0);
+  if (!filter_on_) return enc.take();
+  for (const auto& sh : shards_) {
+    enc.put_u32(static_cast<std::uint32_t>(sh.exhausted.size()));
+    for (const auto& [block, groups] : sh.exhausted) {
+      enc.put_u32(block);
+      enc.put_u32(static_cast<std::uint32_t>(groups.size()));
+      for (std::uint32_t g : groups) enc.put_u32(g);
+    }
+  }
+  return enc.take();
+}
+
 void SdcStateEngine::test_inject_filter_collision(std::uint32_t group,
                                                   std::uint32_t block) {
   if (!filter_on_) throw std::logic_error("denial filter is off");
@@ -276,6 +416,8 @@ void SdcStateEngine::maybe_compact(std::size_t s) {
 
 void SdcStateEngine::compact_shard(std::size_t s) {
   shards_[s].store->compact(snapshot_payload(s));
+  // Everything dirty is now inside the sealed snapshot.
+  shards_[s].dirty.clear();
 }
 
 std::vector<std::uint8_t> SdcStateEngine::snapshot_payload(std::size_t s) const {
@@ -308,6 +450,24 @@ std::vector<std::uint8_t> SdcStateEngine::snapshot_payload(std::size_t s) const 
     enc.put_u32(id);
     enc.put_u32(col.block);
     put_ciphertexts(enc, col.w_column, ct_width_);
+  }
+
+  // §3.9 delta state: per PU the last applied delta_seq (the exactly-once
+  // guard must survive compaction even when a full column cleared the
+  // cells) plus the net accumulated delta ciphertext per cell.
+  enc.put_u32(static_cast<std::uint32_t>(sh.delta_seqs.size()));
+  for (const auto& [id, seq] : sh.delta_seqs) {
+    enc.put_u32(id);
+    enc.put_u64(seq);
+    auto dit = sh.deltas.find(id);
+    const std::size_t ncells = dit == sh.deltas.end() ? 0 : dit->second.size();
+    enc.put_u32(static_cast<std::uint32_t>(ncells));
+    if (dit != sh.deltas.end()) {
+      for (const auto& [key, ct] : dit->second) {
+        enc.put_u64(key);
+        enc.put_raw(ct.value.to_bytes_be(ct_width_));
+      }
+    }
   }
 
   // §3.8 prefilter state: the exact exhausted map plus the cuckoo table
@@ -365,6 +525,24 @@ void SdcStateEngine::restore_snapshot(std::size_t s,
     sh.columns.insert_or_assign(col.pu_id, std::move(col));
   }
 
+  sh.deltas.clear();
+  sh.delta_seqs.clear();
+  std::uint32_t npus = dec.get_u32();
+  for (std::uint32_t i = 0; i < npus; ++i) {
+    std::uint32_t pu_id = dec.get_u32();
+    std::uint64_t seq = dec.get_u64();
+    std::uint32_t ncells = dec.get_u32();
+    sh.delta_seqs[pu_id] = seq;
+    for (std::uint32_t j = 0; j < ncells; ++j) {
+      std::uint64_t key = dec.get_u64();
+      const std::size_t g = key >> 32, b = key & 0xffffffffu;
+      if (g < g0 || g >= g0 + n || b >= blocks)
+        throw std::runtime_error(
+            "SdcStateEngine: snapshot delta cell out of shard range");
+      sh.deltas[pu_id][key] = {bn::BigUint::from_bytes_be(dec.get_raw(ct_width_))};
+    }
+  }
+
   if ((dec.get_u8() != 0) != filter_on_)
     throw std::runtime_error(
         "SdcStateEngine: durable state was written with a different "
@@ -396,7 +574,18 @@ void SdcStateEngine::replay_record(std::size_t s, const store::WalRecord& rec) {
       sub_column_range(budget_, it->second.block, it->second.w_column, pk_, g0,
                        g0 + n);
     add_column_range(budget_, slice.block, slice.w_column, pk_, g0, g0 + n);
+    // Mirror the live path: a full column retracts the PU's accumulated
+    // §3.9 delta cells along with its previous column.
+    retract_deltas(s, slice.pu_id);
     sh.columns.insert_or_assign(slice.pu_id, std::move(slice));
+  } else if (rec.type == kRecDelta) {
+    auto slice = PuDeltaMsg::decode(rec.payload);
+    for (const auto& cell : slice.cells) {
+      if (cell.group < g0 || cell.group >= g0 + n ||
+          cell.block >= budget_.blocks())
+        throw std::runtime_error("SdcStateEngine: WAL delta cell mismatch");
+    }
+    apply_delta_slice(s, slice, /*live=*/false);
   } else if (rec.type == kRecExhaust) {
     if (!filter_on_)
       throw std::runtime_error(
@@ -460,6 +649,23 @@ std::uint64_t SdcStateEngine::snapshots_written() const {
   std::uint64_t total = 0;
   for (const auto& sh : shards_)
     if (sh.store) total += sh.store->snapshots_written();
+  return total;
+}
+
+std::size_t SdcStateEngine::dirty_cells() const {
+  std::size_t total = 0;
+  for (const auto& sh : shards_) total += sh.dirty.size();
+  return total;
+}
+
+std::vector<std::uint64_t> SdcStateEngine::dirty_cells(std::size_t shard) const {
+  const auto& d = shards_.at(shard).dirty;
+  return {d.begin(), d.end()};
+}
+
+std::uint64_t SdcStateEngine::delta_cells_folded() const {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh.delta_cells_folded;
   return total;
 }
 

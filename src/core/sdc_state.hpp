@@ -55,6 +55,8 @@ class SdcStateEngine {
   static constexpr std::uint8_t kRecSerial = 2;    ///< serial floor reservation
   static constexpr std::uint8_t kRecExhaust = 3;   ///< shard-local exhausted set
                                                    ///< for one block (§3.8)
+  static constexpr std::uint8_t kRecDelta = 4;     ///< shard-local delta cells
+                                                   ///< for one PU (§3.9)
 
   /// Initializes Ñ from the public matrix E (deterministic encryption, tail
   /// slots seeded with 1 — see SdcServer) and, when durability is enabled,
@@ -81,6 +83,22 @@ class SdcStateEngine {
   /// Fold one PU column: journal the per-shard slices, retract the PU's
   /// previous column, add the new one. Idempotent under re-delivery.
   void apply_pu_update(const PuUpdateMsg& update);
+
+  /// Fold an incremental PU delta (§3.9): each cell multiplies one budget
+  /// entry — O(cells) work instead of O(groups × touched blocks). Per-shard
+  /// delta sequence numbers turn at-least-once ordered delivery into
+  /// exactly-once application: a shard applies a delta iff its
+  /// `delta_seq` exceeds the last one it journaled for that PU, so a
+  /// crash-torn delta (applied by some shards, lost by others) heals on
+  /// re-delivery without double-folding anywhere. Throws on out-of-range
+  /// cell coordinates, duplicate cells, an empty cell list or a zero seq.
+  void apply_pu_delta(const PuDeltaMsg& delta);
+
+  /// Cell key for dirty/delta bookkeeping: (group, block) packed into one
+  /// word, ordered group-major.
+  static std::uint64_t cell_key(std::uint32_t group, std::uint32_t block) {
+    return (static_cast<std::uint64_t>(group) << 32) | block;
+  }
 
   /// Rebuild Ñ from Ẽ and every stored column (the paper's literal
   /// eq. (9)/(10) aggregation). Derivable state — nothing is journaled.
@@ -126,6 +144,17 @@ class SdcStateEngine {
   void set_block_exhaustion(std::uint32_t block,
                             const std::vector<std::uint32_t>& groups);
 
+  /// Partial-evidence variant for the §3.9 delta path: only the groups in
+  /// `probed` were re-evaluated, so only their membership may change —
+  /// groups outside `probed` keep their recorded state (their budget cells
+  /// did not move). New set = (current − probed) ∪ (probed ∩ exhausted).
+  /// The resulting exact sets match what a full-block re-probe would
+  /// install (exhausted_state_bytes is the cross-path oracle); raw cuckoo
+  /// table bytes may differ — the paths erase/insert in different orders.
+  void update_block_exhaustion(std::uint32_t block,
+                               const std::vector<std::uint32_t>& probed,
+                               const std::vector<std::uint32_t>& exhausted);
+
   /// Conservative invalidation: forget everything recorded about `block`.
   void invalidate_block(std::uint32_t block) { set_block_exhaustion(block, {}); }
 
@@ -135,6 +164,14 @@ class SdcStateEngine {
   /// Serialized filter + exhausted-set state of every shard, in shard
   /// order — the byte-identity oracle for the recovery tests.
   std::vector<std::uint8_t> filter_state_bytes() const;
+
+  /// Exact exhausted sets only, no cuckoo table bytes — the cross-path
+  /// equivalence oracle (§3.9). Decisions depend solely on the exact sets
+  /// (a denial needs a cuckoo hit *and* exact-set confirmation, and the
+  /// filter has no false negatives for recorded cells), while the table's
+  /// raw bytes are insert/erase-history-dependent and may differ between
+  /// the delta path and a full-rebuild oracle.
+  std::vector<std::uint8_t> exhausted_state_bytes() const;
 
   /// TEST ONLY: plant (group, block) in the owning shard's cuckoo table
   /// without touching the exact set — manufactures a false positive so the
@@ -158,6 +195,22 @@ class SdcStateEngine {
   std::uint64_t wal_bytes() const;
   std::uint64_t snapshots_written() const;
 
+  // ── §3.9 dirty-pack tracking ──────────────────────────────────────────
+  //
+  // Each shard records the (group, block) budget cells touched since its
+  // last compaction — full-column folds mark every cell of the touched
+  // blocks in the shard's rows, delta folds mark only their cells. The set
+  // is what makes WAL volume and exhaustion re-probes diff-proportional,
+  // and the bench reads it to report delta cells per tick.
+
+  /// Dirty budget cells across all shards since their last compaction.
+  std::size_t dirty_cells() const;
+  /// One shard's dirty cell keys (cell_key order) — test introspection.
+  std::vector<std::uint64_t> dirty_cells(std::size_t shard) const;
+  /// Total delta cells folded by apply_pu_delta since construction
+  /// (live applies only; recovery replay does not count).
+  std::uint64_t delta_cells_folded() const;
+
  private:
   struct Shard {
     /// Latest W̃ slice per PU, restricted to this shard's group rows.
@@ -167,6 +220,16 @@ class SdcStateEngine {
     /// rows, and the keyed cuckoo mirror (null when the filter is off).
     std::map<std::uint32_t, std::set<std::uint32_t>> exhausted;
     std::unique_ptr<crypto::CuckooFilter> filter;
+    /// §3.9: net accumulated delta ciphertext per (PU, cell) on top of the
+    /// PU's stored column — retracted alongside the column when a full
+    /// update or a fresh fold for the same cell arrives.
+    std::map<std::uint32_t, std::map<std::uint64_t, crypto::PaillierCiphertext>>
+        deltas;
+    /// Last delta_seq journaled-and-applied per PU by *this* shard.
+    std::map<std::uint32_t, std::uint64_t> delta_seqs;
+    /// Budget cells touched since the last compaction.
+    std::set<std::uint64_t> dirty;
+    std::uint64_t delta_cells_folded = 0;
   };
 
   exec::ThreadPool* pool() const { return exec_.get(); }
@@ -174,13 +237,27 @@ class SdcStateEngine {
   /// inner-kernel pool — non-null only in the single-shard fast path.
   void apply_slice(std::size_t s, const PuUpdateMsg& update,
                    exec::ThreadPool* inner);
+  /// Fold one shard's delta slice (cells already restricted to its rows,
+  /// non-empty): seq-check, journal, multiply each cell into the budget and
+  /// into the PU's accumulated-delta map, mark dirty. `live` is false during
+  /// WAL replay: the record is already on disk and the dirty/fold counters
+  /// describe live traffic only.
+  void apply_delta_slice(std::size_t s, const PuDeltaMsg& slice, bool live);
+  /// Retract shard `s`'s accumulated delta cells for `pu_id` from the
+  /// budget and clear them (the seq guard survives).
+  void retract_deltas(std::size_t s, std::uint32_t pu_id);
+  /// Journal + apply a shard's new exhausted set for `block` when it
+  /// differs from the recorded one. `mine` must be sorted, deduped and
+  /// restricted to the shard's rows.
+  void replace_block_exhaustion(std::size_t s, std::uint32_t block,
+                                const std::vector<std::uint32_t>& mine);
   /// Apply one shard's exhausted-set replacement for `block` (the journaled
   /// kRecExhaust operation): erase departed groups from the cuckoo table in
   /// ascending order, insert new ones in ascending order, store the set.
   void apply_exhaust(std::size_t s, std::uint32_t block,
                      const std::vector<std::uint32_t>& groups);
   static std::uint64_t filter_item(std::uint32_t group, std::uint32_t block) {
-    return (static_cast<std::uint64_t>(group) << 32) | block;
+    return cell_key(group, block);
   }
   void maybe_compact(std::size_t s);
   void compact_shard(std::size_t s);

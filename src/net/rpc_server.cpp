@@ -98,11 +98,8 @@ core::SuClient& RpcClient::add_su(std::uint32_t su_id, std::size_t precompute) {
 core::PuClient& RpcClient::add_pu(const watch::PuSite& site) {
   if (pus_.contains(site.pu_id))
     throw std::invalid_argument("RpcClient: duplicate PU id");
-  std::vector<std::int64_t> e_column(cfg_.watch.channels);
-  for (std::uint32_t c = 0; c < cfg_.watch.channels; ++c)
-    e_column[c] = e_matrix_.at(radio::ChannelId{c}, site.block);
   auto client = std::make_unique<core::PuClient>(
-      site, cfg_, group_pk_, std::move(e_column), rng_);
+      site, cfg_, group_pk_, e_matrix_, rng_);
   auto& ref = *client;
   pus_.emplace(site.pu_id, std::move(client));
   return ref;
@@ -138,6 +135,31 @@ void RpcClient::resend_pu_update(const PuUpdateHandle& handle) {
   m.type = core::kMsgPuUpdate;
   m.payload = handle.bytes;
   m.net_seq = handle.net_seq;  // pinned: duplicates dedup at the SDC
+  tcp_.send(std::move(m));
+}
+
+std::optional<RpcClient::PuUpdateHandle> RpcClient::pu_delta(
+    std::uint32_t pu_id, const watch::PuTuning& tuning) {
+  auto delta = pu(pu_id).make_delta(tuning);
+  if (!delta) return std::nullopt;
+  PuUpdateHandle h;
+  h.pu_id = pu_id;
+  h.net_seq = next_pin_seq_++;
+  h.bytes = delta->encode(group_pk_.ciphertext_bytes());
+  resend_pu_delta(h);
+  return h;
+}
+
+void RpcClient::resend_pu_delta(const PuUpdateHandle& handle) {
+  net::Message m;
+  m.from = "pu_" + std::to_string(handle.pu_id);
+  m.to = "sdc";
+  m.type = core::kMsgPuDelta;
+  m.payload = handle.bytes;
+  // Pinned seq dedups transport-level duplicates; the engine's per-PU
+  // delta_seq additionally folds each delta exactly once even when a crash
+  // tore a partial application (shards re-check their own applied seq).
+  m.net_seq = handle.net_seq;
   tcp_.send(std::move(m));
 }
 

@@ -107,8 +107,8 @@ class RpcClient {
   /// FIFO ordering makes the directory entry visible before first use.
   core::SuClient& add_su(std::uint32_t su_id, std::size_t precompute = 0);
 
-  /// Create a PU client for `site`, deriving its public E column from the
-  /// shared WatchConfig exactly like PisaSystem.
+  /// Create a PU client for `site` with the shared public E matrix, exactly
+  /// like PisaSystem (a mobile PU needs the full matrix).
   core::PuClient& add_pu(const watch::PuSite& site);
 
   core::SuClient& su(std::uint32_t su_id);
@@ -125,6 +125,13 @@ class RpcClient {
   };
   PuUpdateHandle pu_update(std::uint32_t pu_id, const watch::PuTuning& tuning);
   void resend_pu_update(const PuUpdateHandle& handle);
+
+  /// §3.9 incremental update over the socket, with the same pinned-seq
+  /// re-send discipline as pu_update. Returns nullopt (nothing sent) when
+  /// the PU's delivered footprint already matches `tuning`.
+  std::optional<PuUpdateHandle> pu_delta(std::uint32_t pu_id,
+                                         const watch::PuTuning& tuning);
+  void resend_pu_delta(const PuUpdateHandle& handle);
 
   /// An encrypted request, built off the clock: benches prepare every
   /// session's request first, then pour the whole burst down the pipe.

@@ -64,6 +64,7 @@ void TcpTransport::stop() {
   }
   wake_io();
   dispatch_cv_.notify_all();
+  dispatch_idle_cv_.notify_all();
   if (io_thread_.joinable()) io_thread_.join();
   if (dispatch_thread_.joinable()) dispatch_thread_.join();
   std::lock_guard<std::mutex> lk(mu_);
@@ -515,6 +516,15 @@ void TcpTransport::io_loop() {
 
 // --- dispatch thread ---------------------------------------------------------
 
+bool TcpTransport::quiesce(double timeout_ms) {
+  std::unique_lock<std::mutex> lk(dmu_);
+  return dispatch_idle_cv_.wait_for(
+      lk, std::chrono::microseconds(static_cast<std::int64_t>(timeout_ms * 1e3)),
+      [this] {
+        return stopping_.load() || (dispatch_.empty() && !dispatch_busy_);
+      });
+}
+
 void TcpTransport::dispatch_loop() {
   for (;;) {
     DispatchItem item;
@@ -528,6 +538,7 @@ void TcpTransport::dispatch_loop() {
       item = std::move(dispatch_.front());
       dispatch_.pop_front();
       depth_after = dispatch_.size();
+      dispatch_busy_ = true;
     }
     // Crossing the low-water mark un-pauses reads (the I/O thread makes the
     // actual epoll changes on its next pass).
@@ -535,20 +546,26 @@ void TcpTransport::dispatch_loop() {
 
     if (item.fn) {
       item.fn();
-      continue;
-    }
-    Handler handler;
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      auto it = endpoints_.find(item.msg.to);
-      if (it == endpoints_.end()) {
-        ++stats_.dropped_no_endpoint;
-        record_failure_locked(item.msg, "unknown endpoint");
-        continue;
+    } else {
+      Handler handler;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = endpoints_.find(item.msg.to);
+        if (it == endpoints_.end()) {
+          ++stats_.dropped_no_endpoint;
+          record_failure_locked(item.msg, "unknown endpoint");
+        } else {
+          handler = it->second;  // copy: handler may remove/replace itself
+        }
       }
-      handler = it->second;  // copy: handler may remove/replace itself
+      if (handler) handler(item.msg);
     }
-    handler(item.msg);
+
+    {
+      std::lock_guard<std::mutex> lk(dmu_);
+      dispatch_busy_ = false;
+      if (dispatch_.empty()) dispatch_idle_cv_.notify_all();
+    }
   }
 }
 

@@ -134,6 +134,15 @@ class TcpTransport final : public Transport {
   /// drained — the clean-teardown handshake tests use before stop().
   bool flush(double timeout_ms);
 
+  /// Block until the dispatch lane is idle — queue empty and no handler
+  /// executing — or `timeout_ms` elapses. Returns true when idle. Because
+  /// handlers enqueue their local follow-on sends before returning (the
+  /// serial lane), an idle lane means every causal chain rooted in an
+  /// already-dispatched frame has fully run; frames still in the kernel or
+  /// on the I/O thread are not covered, so callers gate on an
+  /// application-level arrival signal first.
+  bool quiesce(double timeout_ms);
+
   struct Stats {
     std::uint64_t connections_accepted = 0;
     std::uint64_t connections_opened = 0;   ///< client-side connect()s
@@ -231,7 +240,9 @@ class TcpTransport final : public Transport {
 
   std::mutex dmu_;
   std::condition_variable dispatch_cv_;
+  std::condition_variable dispatch_idle_cv_;  // quiesce(): lane went idle
   std::deque<DispatchItem> dispatch_;
+  bool dispatch_busy_ = false;  // a handler is executing (dmu_)
 
   std::atomic<bool> stopping_{false};
   std::thread io_thread_;

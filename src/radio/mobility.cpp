@@ -1,0 +1,44 @@
+#include "radio/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pisa::radio {
+
+namespace {
+
+/// Fold `x` into [0, span) by specular reflection, flipping `v` when the
+/// net number of boundary bounces is odd. Reflection is periodic with
+/// period 2·span, so folding by fmod preserves bounce parity exactly.
+double reflect(double x, double span, double& v) {
+  const double period = 2.0 * span;
+  x = std::fmod(x, period);
+  if (x < 0) x += period;
+  if (x >= span) {
+    x = period - x;
+    v = -v;
+  }
+  // x == span can survive the fold (exact boundary hit); keep the point
+  // strictly inside so block_at never sees an out-of-area coordinate.
+  return std::min(x, std::nexttoward(span, 0.0));
+}
+
+}  // namespace
+
+void advance(Vehicle& v, const ServiceArea& area, double dt_s) {
+  if (!(dt_s > 0))
+    throw std::invalid_argument("mobility: dt must be positive");
+  const double w = static_cast<double>(area.cols()) * area.block_size_m();
+  const double h = static_cast<double>(area.rows()) * area.block_size_m();
+  if (!(w > 0) || !(h > 0))
+    throw std::invalid_argument("mobility: degenerate service area");
+  v.pos.x = reflect(v.pos.x + v.vx * dt_s, w, v.vx);
+  v.pos.y = reflect(v.pos.y + v.vy * dt_s, h, v.vy);
+}
+
+BlockId block_of(const Vehicle& v, const ServiceArea& area) {
+  return area.block_at(v.pos);
+}
+
+}  // namespace pisa::radio

@@ -1,0 +1,30 @@
+// Vehicular mobility over the service-area plane (§3.9 scenario engine).
+//
+// A Vehicle is a point mass with a constant-speed velocity vector; advance()
+// integrates it one time step and reflects it specularly off the service
+// area's boundary, so trajectories stay inside the grid forever without any
+// caller-side clamping. The model is deliberately tiny and deterministic —
+// the scenario engine seeds headings from its own ChaCha stream, so a run is
+// a pure function of (config, seed).
+#pragma once
+
+#include "radio/grid.hpp"
+
+namespace pisa::radio {
+
+struct Vehicle {
+  Point pos;       // meters, inside [0, cols·block) × [0, rows·block)
+  double vx = 0;   // meters / second
+  double vy = 0;
+};
+
+/// Advance `v` by `dt_s` seconds with specular reflection at the area edges
+/// (position folds back in, the offending velocity component flips). Throws
+/// std::invalid_argument for a non-positive dt or a degenerate (zero-area)
+/// grid.
+void advance(Vehicle& v, const ServiceArea& area, double dt_s);
+
+/// The block under the vehicle's current position.
+BlockId block_of(const Vehicle& v, const ServiceArea& area);
+
+}  // namespace pisa::radio

@@ -71,6 +71,63 @@ TEST_F(FuzzFixture, PuUpdateMsgSurvivesHostileBytes) {
   fuzz_decode<PuUpdateMsg>(m.encode(width), 150);
 }
 
+TEST_F(FuzzFixture, PuDeltaMsgSurvivesHostileBytes) {
+  PuDeltaMsg m;
+  m.pu_id = 2;
+  m.delta_seq = 7;
+  m.cells.push_back({0, 3, ct()});
+  m.cells.push_back({1, 0, ct()});
+  m.cells.push_back({4, 9, ct()});
+  fuzz_decode<PuDeltaMsg>(m.encode(width), 150);
+}
+
+TEST_F(FuzzFixture, PuDeltaMsgRejectsTargetedMalformations) {
+  // Hand-built frames hitting each decoder guard exactly: the fuzz loop
+  // above finds these probabilistically, this pins them deterministically.
+  auto frame = [&](std::uint64_t seq, std::uint32_t count, std::uint32_t w,
+                   std::size_t cells_emitted) {
+    net::Encoder enc;
+    enc.put_u32(1);  // pu_id
+    enc.put_u64(seq);
+    enc.put_u32(count);
+    enc.put_u32(w);
+    for (std::size_t i = 0; i < cells_emitted; ++i) {
+      enc.put_u32(static_cast<std::uint32_t>(i));  // group
+      enc.put_u32(0);                              // block
+      enc.put_raw(std::vector<std::uint8_t>(w, 0xAB));
+    }
+    return enc.take();
+  };
+  const auto w32 = static_cast<std::uint32_t>(width);
+
+  // Zero sequence number: the exactly-once guard needs seq >= 1.
+  EXPECT_THROW(PuDeltaMsg::decode(frame(0, 1, w32, 1)), net::DecodeError);
+  // Empty cell list: a delta must change something.
+  EXPECT_THROW(PuDeltaMsg::decode(frame(5, 0, w32, 0)), net::DecodeError);
+  // Implausible ciphertext widths (zero, and far beyond any real modulus).
+  EXPECT_THROW(PuDeltaMsg::decode(frame(5, 1, 0, 0)), net::DecodeError);
+  EXPECT_THROW(PuDeltaMsg::decode(frame(5, 1, (1u << 20) + 1, 0)),
+               net::DecodeError);
+  // Oversize cell count: the claimed count must be bounded by the actual
+  // input before any allocation happens.
+  EXPECT_THROW(PuDeltaMsg::decode(frame(5, 0xFFFFFFFFu, w32, 1)),
+               net::DecodeError);
+  EXPECT_THROW(PuDeltaMsg::decode(frame(5, 3, w32, 2)), net::DecodeError);
+  // Trailing garbage after the last cell.
+  auto padded = frame(5, 2, w32, 2);
+  padded.push_back(0x00);
+  EXPECT_THROW(PuDeltaMsg::decode(padded), net::DecodeError);
+
+  // Out-of-range coordinates are NOT a codec concern — the decoder has no
+  // grid shape. They decode fine and the state engine rejects them at
+  // apply (see delta_update_test.cpp), so a hostile PU cannot smuggle a
+  // fold outside the budget matrix.
+  auto wild = PuDeltaMsg::decode(frame(5, 2, w32, 2));
+  EXPECT_EQ(wild.cells.size(), 2u);
+  auto valid = frame(5, 2, w32, 2);
+  EXPECT_EQ(wild.encode(width), valid) << "decode/encode round-trip";
+}
+
 TEST_F(FuzzFixture, SuRequestMsgSurvivesHostileBytes) {
   SuRequestMsg m;
   m.su_id = 1;

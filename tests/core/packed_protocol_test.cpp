@@ -99,7 +99,7 @@ TEST(PackedBudget, SlotsCarryPerChannelBudgetsAndTailFill) {
   std::vector<std::int64_t> e_column(cfg.watch.channels);
   for (std::uint32_t c = 0; c < cfg.watch.channels; ++c)
     e_column[c] = e.at(ChannelId{c}, BlockId{2});
-  PuClient pu{{7, BlockId{2}}, cfg, stp.group_key(), e_column, rng};
+  PuClient pu{{7, BlockId{2}}, cfg, stp.group_key(), e, rng};
   watch::PuTuning tuning{ChannelId{1}, 2e-4};
   sdc.handle_pu_update(pu.make_update(tuning));
   std::int64_t t = cfg.watch.quantizer.quantize_mw(tuning.signal_mw);

@@ -51,8 +51,9 @@ struct PrivacyFixture : ::testing::Test {
 TEST_F(PrivacyFixture, PuUpdatesAreLengthIndistinguishable) {
   // The SDC (or any eavesdropper) must not tell which channel a PU tuned to
   // — or whether it turned off — from the update's shape.
-  std::vector<std::int64_t> e_col(cfg.watch.channels, 1000);
-  PuClient pu{watch::PuSite{0, BlockId{2}}, cfg, stp.group_key(), e_col, rng};
+  watch::QMatrix e_m{cfg.watch.channels, cfg.watch.make_area().num_blocks(),
+                     1000};
+  PuClient pu{watch::PuSite{0, BlockId{2}}, cfg, stp.group_key(), e_m, rng};
 
   std::size_t baseline = 0;
   for (std::uint32_t c = 0; c < cfg.watch.channels; ++c) {
@@ -69,8 +70,9 @@ TEST_F(PrivacyFixture, PuUpdatesAreLengthIndistinguishable) {
 }
 
 TEST_F(PrivacyFixture, IdenticalTuningsProduceDistinctCiphertexts) {
-  std::vector<std::int64_t> e_col(cfg.watch.channels, 1000);
-  PuClient pu{watch::PuSite{0, BlockId{2}}, cfg, stp.group_key(), e_col, rng};
+  watch::QMatrix e_m{cfg.watch.channels, cfg.watch.make_area().num_blocks(),
+                     1000};
+  PuClient pu{watch::PuSite{0, BlockId{2}}, cfg, stp.group_key(), e_m, rng};
   auto m1 = pu.make_update(watch::PuTuning{ChannelId{1}, 1e-6});
   auto m2 = pu.make_update(watch::PuTuning{ChannelId{1}, 1e-6});
   for (std::uint32_t c = 0; c < cfg.watch.channels; ++c) {

@@ -1,0 +1,65 @@
+// radio::Vehicle mobility: specular reflection keeps trajectories inside the
+// service area for arbitrarily large steps, preserves speed, and block_of
+// always lands on a valid block.
+#include "radio/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bigint/random_source.hpp"
+
+namespace pisa::radio {
+namespace {
+
+ServiceArea area() { return ServiceArea{3, 5, 100.0, 2}; }
+
+TEST(Mobility, StaysInsideForever) {
+  auto a = area();
+  bn::SplitMix64Random rng{0xCAFE};
+  auto frac = [&] {
+    return static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53;
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    Vehicle v{Point{frac() * 500.0, frac() * 300.0}, (frac() - 0.5) * 80.0,
+              (frac() - 0.5) * 80.0};
+    const double speed = std::hypot(v.vx, v.vy);
+    for (int step = 0; step < 500; ++step) {
+      advance(v, a, 1.0 + frac() * 30.0);  // steps up to many block widths
+      ASSERT_GE(v.pos.x, 0.0);
+      ASSERT_LT(v.pos.x, 500.0);
+      ASSERT_GE(v.pos.y, 0.0);
+      ASSERT_LT(v.pos.y, 300.0);
+      ASSERT_NEAR(std::hypot(v.vx, v.vy), speed, 1e-9)
+          << "reflection must preserve speed";
+      ASSERT_LT(block_of(v, a).index, a.num_blocks());
+    }
+  }
+}
+
+TEST(Mobility, ReflectsOffBoundary) {
+  auto a = area();
+  // Heading straight at the x = 500 wall from 30 m out: one second at
+  // 50 m/s lands 20 m past the wall, reflecting to 480 with vx flipped.
+  Vehicle v{Point{470.0, 150.0}, 50.0, 0.0};
+  advance(v, a, 1.0);
+  EXPECT_NEAR(v.pos.x, 480.0, 1e-9);
+  EXPECT_LT(v.vx, 0.0) << "x velocity flips at the wall";
+  EXPECT_NEAR(v.pos.y, 150.0, 1e-12);
+
+  // A double bounce (full period 2·span) returns to the start, same heading.
+  Vehicle w{Point{100.0, 50.0}, 1000.0, 0.0};
+  advance(w, a, 1.0);  // travels 1000 = one full reflection period
+  EXPECT_NEAR(w.pos.x, 100.0, 1e-9);
+  EXPECT_GT(w.vx, 0.0) << "even bounce count restores the heading";
+}
+
+TEST(Mobility, RejectsDegenerateInputs) {
+  auto a = area();
+  Vehicle v{Point{10.0, 10.0}, 1.0, 1.0};
+  EXPECT_THROW(advance(v, a, 0.0), std::invalid_argument);
+  EXPECT_THROW(advance(v, a, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pisa::radio
