@@ -59,12 +59,22 @@
 // land in scenario_sweep[]; the full/delta pair feeds the ≥3x incremental
 // speedup floor.
 //
+// The PIR sweep (DESIGN.md §3.10) pits the XOR multi-server PIR query
+// path against the blinded-conversion pipeline on the same seeded world at
+// the scaling[] grid sizes, over both transports: per-request wall-clock
+// latency, wire bytes per request (framing included on tcp) and the
+// replica-side XOR scan cost, with a decisions_match flag asserting the
+// two privacy mechanisms reach identical verdicts. The within-run
+// Paillier/PIR latency pair feeds the ≥10x PIR floor in
+// scripts/check_perf_regression.py.
+//
 // `--quick` runs the n=1024 scaling rows, the pack sweep, a two-point
 // thread sweep, the {2, 8}-SU throughput sweep, the 64-session TCP row,
-// the full shard × durability grid with a shortened per-row burst, and a
-// 40-tick 2-SU scenario pair (no 4-lane row, no 16-SU fleet, no
-// 256/1024-session TCP rows, no n=2048 production row, no 120-tick 4-SU
-// scenario rows) — the CI perf-smoke configuration that
+// the full shard × durability grid with a shortened per-row burst, a
+// 40-tick 2-SU scenario pair, and one sim-transport PIR row at the small
+// grid (no 4-lane row, no 16-SU fleet, no 256/1024-session TCP rows, no
+// n=2048 production row, no 120-tick 4-SU scenario rows, no tcp or
+// 10×60 PIR rows) — the CI perf-smoke configuration that
 // scripts/check_perf_regression.py compares against the committed
 // BENCH_system.json.
 #include <unistd.h>
@@ -87,6 +97,20 @@
 #include "net/rpc_server.hpp"
 #include "radio/pathloss.hpp"
 #include "watch/matrices.hpp"
+#include "watch/plain_watch.hpp"
+
+// Snapshot attribution (bench/CMakeLists.txt injects these at configure
+// time): committed BENCH_system.json records which source revision and
+// compiler flags produced it, so numbers stay comparable across PRs.
+#ifndef PISA_GIT_REV
+#define PISA_GIT_REV "unknown"
+#endif
+#ifndef PISA_BENCH_BUILD_TYPE
+#define PISA_BENCH_BUILD_TYPE "unknown"
+#endif
+#ifndef PISA_BENCH_FLAGS
+#define PISA_BENCH_FLAGS ""
+#endif
 
 namespace {
 
@@ -1119,6 +1143,270 @@ std::vector<ScenarioRow> run_scenario_sweep(bool quick) {
   return rows;
 }
 
+// ---- §3.10 XOR-PIR vs Paillier query-path sweep --------------------------
+//
+// The head-to-head ROADMAP item 1 asks for: the same seeded world served
+// through the blinded-conversion pipeline and through the XOR multi-server
+// PIR path, at the scaling[] grid sizes. The Paillier rows carry the full
+// query-path cost (SU-side encryption + SDC blind + STP convert + SDC
+// finish); the PIR rows carry share-splitting, ℓ replica scans and the
+// XOR reconstruction — no public-key operation anywhere. Latency is wall
+// clock per request, bytes are all links of one request (sim: encoded
+// payloads off the network stats; tcp: transport byte counters, framing
+// included, both directions). decisions_match asserts every verdict equals
+// the PlainWatch oracle on both paths — swapping the privacy mechanism
+// must never flip a decision. The within-run Paillier/PIR latency pair
+// feeds the ≥10x floor in scripts/check_perf_regression.py; the committed
+// full-mode snapshot is the ≥50x / ≥10x headline at the 10×60 grid.
+
+struct PirRow {
+  std::string transport = "sim";
+  std::size_t channels = 0, blocks = 0;
+  std::size_t replicas = 0;
+  std::size_t paillier_requests = 0, pir_requests = 0;
+  double paillier_request_ms = 0;  // mean end-to-end, prep included
+  double pir_request_ms = 0;       // mean end-to-end, split + scans + rebuild
+  double latency_speedup = 0;      // paillier / pir
+  double paillier_bytes_per_request = 0;
+  double pir_bytes_per_request = 0;
+  double byte_reduction = 0;       // paillier / pir
+  double pir_scan_ms_per_request = 0;  // Σ replica-side XOR scan, all ℓ
+  bool decisions_match = true;
+};
+
+core::PisaConfig pir_sweep_config(std::size_t channels, std::size_t rows,
+                                  std::size_t cols, bool pir) {
+  core::PisaConfig cfg;
+  cfg.watch.grid_rows = rows;
+  cfg.watch.grid_cols = cols;
+  cfg.watch.block_size_m = 100.0;
+  cfg.watch.channels = channels;
+  cfg.paillier_bits = 1024;  // the scaling[] rows' key size
+  cfg.rsa_bits = 512;
+  cfg.blind_bits = 128;
+  cfg.mr_rounds = 12;
+  if (pir) {
+    cfg.query_mode = core::QueryMode::kPir;
+    cfg.pir.replicas = 2;
+  }
+  return cfg;
+}
+
+watch::SuRequest pir_sweep_request(std::size_t i, std::size_t channels,
+                                   std::size_t blocks) {
+  // Deterministic block walk with alternating strong/weak EIRP so both
+  // grant and deny verdicts appear in every row's mix.
+  return watch::SuRequest{
+      1, radio::BlockId{static_cast<std::uint32_t>((i * 7) % blocks)},
+      std::vector<double>(channels, i % 2 == 0 ? 100.0 : 1e-4)};
+}
+
+PirRow measure_pir_sim(std::size_t channels, std::size_t rows,
+                       std::size_t cols, bool quick, std::uint64_t seed) {
+  const std::size_t blocks = rows * cols;
+  crypto::ChaChaRng rng_enc{seed};
+  crypto::ChaChaRng rng_pir{seed};
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  std::vector<watch::PuSite> sites{{0, radio::BlockId{0}}};
+  auto enc_cfg = pir_sweep_config(channels, rows, cols, false);
+  auto pir_cfg = pir_sweep_config(channels, rows, cols, true);
+  core::PisaSystem encrypted{enc_cfg, sites, model, rng_enc};
+  core::PisaSystem pirsys{pir_cfg, sites, model, rng_pir};
+  watch::PlainWatch oracle{enc_cfg.watch, sites, model};
+  encrypted.add_su(1);
+  pirsys.add_su(1);
+  watch::PuTuning tuning{radio::ChannelId{0}, 1e-6};
+  encrypted.pu_update(0, tuning);
+  pirsys.pu_update(0, tuning);
+  oracle.pu_update(0, tuning);
+
+  PirRow row;
+  row.channels = channels;
+  row.blocks = blocks;
+  row.replicas = pir_cfg.pir.replicas;
+  // The Paillier side costs seconds per request at these grids; the PIR
+  // side costs microseconds, so it can afford a larger averaging window.
+  row.paillier_requests = quick ? 1 : 2;
+  row.pir_requests = quick ? 8 : 16;
+
+  std::size_t paillier_bytes = 0;
+  auto t0 = Clock::now();
+  for (std::size_t i = 0; i < row.paillier_requests; ++i) {
+    auto req = pir_sweep_request(i, channels, blocks);
+    auto out = encrypted.su_request(req);
+    if (!out.completed() || out.granted != oracle.process_request(req).granted)
+      row.decisions_match = false;
+    paillier_bytes += out.request_bytes + out.convert_bytes +
+                      out.convert_reply_bytes + out.response_bytes;
+  }
+  row.paillier_request_ms =
+      ms_since(t0) / static_cast<double>(row.paillier_requests);
+  row.paillier_bytes_per_request =
+      static_cast<double>(paillier_bytes) /
+      static_cast<double>(row.paillier_requests);
+
+  std::size_t pir_bytes = 0;
+  t0 = Clock::now();
+  for (std::size_t i = 0; i < row.pir_requests; ++i) {
+    auto req = pir_sweep_request(i, channels, blocks);
+    auto out = pirsys.su_request(req);
+    if (!out.completed() || out.granted != oracle.process_request(req).granted)
+      row.decisions_match = false;
+    pir_bytes += out.request_bytes + out.response_bytes;
+  }
+  row.pir_request_ms = ms_since(t0) / static_cast<double>(row.pir_requests);
+  row.pir_bytes_per_request =
+      static_cast<double>(pir_bytes) / static_cast<double>(row.pir_requests);
+
+  double scan_ms = 0;
+  for (std::size_t i = 0; i < row.replicas; ++i)
+    if (auto* rep = pirsys.pir_replica(i)) scan_ms += rep->stats().scan_total_ms;
+  row.pir_scan_ms_per_request =
+      scan_ms / static_cast<double>(row.pir_requests);
+  row.latency_speedup = speedup(row.paillier_request_ms, row.pir_request_ms);
+  row.byte_reduction =
+      row.pir_bytes_per_request > 0
+          ? row.paillier_bytes_per_request / row.pir_bytes_per_request
+          : 0;
+  return row;
+}
+
+PirRow measure_pir_tcp(std::size_t channels, std::size_t rows,
+                       std::size_t cols, bool quick, std::uint64_t seed) {
+  const std::size_t blocks = rows * cols;
+  auto cfg = pir_sweep_config(channels, rows, cols, true);
+  radio::ExtendedHataModel model{600.0, 30.0, 10.0};
+  std::vector<watch::PuSite> sites{{0, radio::BlockId{0}}};
+
+  crypto::ChaChaRng server_rng{seed};
+  rpc::RpcServer server{cfg, server_rng};
+  crypto::ChaChaRng client_rng{seed + 1};
+  rpc::RpcClient client{cfg, server.group_key(), "127.0.0.1", server.port(),
+                        client_rng};
+  watch::PlainWatch oracle{cfg.watch, sites, model};
+  for (const auto& site : sites) client.add_pu(site);
+  client.add_su(1);
+  watch::PuTuning tuning{radio::ChannelId{0}, 1e-6};
+  client.pu_update(0, tuning);
+  oracle.pu_update(0, tuning);
+
+  PirRow row;
+  row.transport = "tcp";
+  row.channels = channels;
+  row.blocks = blocks;
+  row.replicas = cfg.pir.replicas;
+  row.paillier_requests = quick ? 1 : 2;
+  row.pir_requests = quick ? 8 : 16;
+
+  // Both privacy mechanisms ride the same pipelined connection, so the
+  // transport byte counters (framing included, both directions) isolate
+  // each request's wire cost as a before/after delta.
+  auto wire = [&client]() {
+    auto s = client.transport().stats();
+    return s.bytes_sent + s.bytes_received;
+  };
+
+  std::uint64_t paillier_bytes = 0;
+  auto t0 = Clock::now();
+  for (std::size_t i = 0; i < row.paillier_requests; ++i) {
+    auto req = pir_sweep_request(i, channels, blocks);
+    auto f = oracle.build_request_matrix(req);
+    auto w0 = wire();
+    auto prepared = client.prepare_request(req.su_id, f);
+    client.submit(prepared);
+    core::SuResponseMsg resp;
+    if (!client.wait_response(prepared.request_id, &resp, 600000)) {
+      std::fprintf(stderr, "warning: pir-sweep paillier request timed out\n");
+      row.decisions_match = false;
+      continue;
+    }
+    bool granted =
+        client.su(req.su_id).process_response(resp, server.license_key())
+            .granted;
+    if (granted != oracle.process_request(req).granted)
+      row.decisions_match = false;
+    paillier_bytes += wire() - w0;
+  }
+  row.paillier_request_ms =
+      ms_since(t0) / static_cast<double>(row.paillier_requests);
+  row.paillier_bytes_per_request =
+      static_cast<double>(paillier_bytes) /
+      static_cast<double>(row.paillier_requests);
+
+  std::uint64_t pir_bytes = 0;
+  t0 = Clock::now();
+  for (std::size_t i = 0; i < row.pir_requests; ++i) {
+    auto req = pir_sweep_request(i, channels, blocks);
+    auto f = oracle.build_request_matrix(req);
+    auto w0 = wire();
+    auto out = client.pir_request(req.su_id, f, 0,
+                                  static_cast<std::uint32_t>(blocks), 600000);
+    pir_bytes += wire() - w0;
+    if (!out.completed || out.granted != oracle.process_request(req).granted)
+      row.decisions_match = false;
+  }
+  row.pir_request_ms = ms_since(t0) / static_cast<double>(row.pir_requests);
+  row.pir_bytes_per_request =
+      static_cast<double>(pir_bytes) / static_cast<double>(row.pir_requests);
+
+  double scan_ms = 0;
+  for (std::size_t i = 0; i < row.replicas; ++i)
+    if (auto* rep = server.pir_replica(i)) scan_ms += rep->stats().scan_total_ms;
+  row.pir_scan_ms_per_request =
+      scan_ms / static_cast<double>(row.pir_requests);
+  row.latency_speedup = speedup(row.paillier_request_ms, row.pir_request_ms);
+  row.byte_reduction =
+      row.pir_bytes_per_request > 0
+          ? row.paillier_bytes_per_request / row.pir_bytes_per_request
+          : 0;
+  return row;
+}
+
+void print_pir_row(const PirRow& r) {
+  std::printf(
+      "  %-3s C=%-2zu B=%-3zu | paillier %8.1f ms %8.1f kB/req | pir %7.2f ms "
+      "%6.2f kB/req (scan %5.2f ms) | %6.1fx latency %5.1fx bytes%s\n",
+      r.transport.c_str(), r.channels, r.blocks, r.paillier_request_ms,
+      r.paillier_bytes_per_request / 1e3, r.pir_request_ms,
+      r.pir_bytes_per_request / 1e3, r.pir_scan_ms_per_request,
+      r.latency_speedup, r.byte_reduction,
+      r.decisions_match ? "" : "  [DECISION MISMATCH]");
+}
+
+std::vector<PirRow> run_pir_sweep(bool quick, bool tcp_only) {
+  std::printf(
+      "XOR-PIR vs Paillier query path at n=1024 (§3.10 head-to-head at the "
+      "scaling[] grids; wall-clock per-request latency):\n");
+  struct GridSize {
+    std::size_t channels, rows, cols;
+  };
+  // The scaling[] grid sizes: 5×30 always, the 10×60 headline in full mode.
+  std::vector<GridSize> sizes{{5, 3, 10}};
+  if (!quick) sizes.push_back({10, 5, 12});
+  std::vector<PirRow> out;
+  for (const auto& s : sizes) {
+    if (!tcp_only) {
+      out.push_back(measure_pir_sim(s.channels, s.rows, s.cols, quick,
+                                    0x919000 + s.channels));
+      print_pir_row(out.back());
+    }
+    // Quick mode keeps one size and one transport (sim) so the perf-smoke
+    // CI job covers the path without paying for the socket pair twice.
+    if (!quick || tcp_only) {
+      out.push_back(measure_pir_tcp(s.channels, s.rows, s.cols, quick,
+                                    0x919100 + s.channels));
+      print_pir_row(out.back());
+    }
+    const auto& last = out.back();
+    std::printf("    -> PIR at C=%zu B=%zu: %.0fx lower query latency "
+                "(guard: >= 10x), %.1fx fewer wire bytes\n",
+                s.channels, s.rows * s.cols, last.latency_speedup,
+                last.byte_reduction);
+  }
+  std::printf("\n");
+  return out;
+}
+
 double byte_ratio(std::size_t base, std::size_t packed) {
   return packed > 0 ? static_cast<double>(base) / static_cast<double>(packed)
                     : 0;
@@ -1228,6 +1516,25 @@ benchjson::JsonFields denial_json(const DenialRow& r) {
   return j;
 }
 
+benchjson::JsonFields pir_json(const PirRow& r) {
+  benchjson::JsonFields j;
+  j.add("transport", r.transport);
+  j.add("channels", r.channels);
+  j.add("blocks", r.blocks);
+  j.add("replicas", r.replicas);
+  j.add("paillier_requests", r.paillier_requests);
+  j.add("pir_requests", r.pir_requests);
+  j.add("paillier_request_ms", r.paillier_request_ms);
+  j.add("pir_request_ms", r.pir_request_ms);
+  j.add("latency_speedup", r.latency_speedup);
+  j.add("paillier_bytes_per_request", r.paillier_bytes_per_request);
+  j.add("pir_bytes_per_request", r.pir_bytes_per_request);
+  j.add("byte_reduction", r.byte_reduction);
+  j.add("pir_scan_ms_per_request", r.pir_scan_ms_per_request);
+  j.add("decisions_match", std::size_t{r.decisions_match ? 1u : 0u});
+  return j;
+}
+
 benchjson::JsonFields scenario_json(const ScenarioRow& r) {
   benchjson::JsonFields j;
   j.add("use_delta", std::size_t{r.use_delta ? 1u : 0u});
@@ -1254,7 +1561,8 @@ void write_json(const char* path, bool quick, const std::vector<Row>& scaling,
                 const std::vector<ThroughputRow>& throughput,
                 const std::vector<ShardRow>& shard_sweep,
                 const std::vector<DenialRow>& denial_sweep,
-                const std::vector<ScenarioRow>& scenario_sweep) {
+                const std::vector<ScenarioRow>& scenario_sweep,
+                const std::vector<PirRow>& pir_sweep) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "warning: cannot write %s\n", path);
@@ -1278,16 +1586,23 @@ void write_json(const char* path, bool quick, const std::vector<Row>& scaling,
   std::vector<benchjson::JsonFields> scenarios;
   scenarios.reserve(scenario_sweep.size());
   for (const auto& r : scenario_sweep) scenarios.push_back(scenario_json(r));
-  std::fprintf(f, "{\n  \"quick\": %s,\n  \"hardware_threads\": %zu,\n",
-               quick ? "true" : "false",
-               exec::ThreadPool::hardware_threads());
+  std::vector<benchjson::JsonFields> pir;
+  pir.reserve(pir_sweep.size());
+  for (const auto& r : pir_sweep) pir.push_back(pir_json(r));
+  std::fprintf(f,
+               "{\n  \"quick\": %s,\n  \"git_rev\": \"%s\",\n"
+               "  \"build_type\": \"%s\",\n  \"build_flags\": \"%s\",\n"
+               "  \"hardware_threads\": %zu,\n",
+               quick ? "true" : "false", PISA_GIT_REV, PISA_BENCH_BUILD_TYPE,
+               PISA_BENCH_FLAGS, exec::ThreadPool::hardware_threads());
   benchjson::write_row_array(f, "scaling", rows_of(scaling), false);
   benchjson::write_row_array(f, "thread_sweep", rows_of(sweep), false);
   benchjson::write_row_array(f, "pack_sweep", rows_of(pack_sweep), false);
   benchjson::write_row_array(f, "throughput", tput, false);
   benchjson::write_row_array(f, "shard_sweep", shards, false);
   benchjson::write_row_array(f, "denial_sweep", denials, false);
-  benchjson::write_row_array(f, "scenario_sweep", scenarios, true);
+  benchjson::write_row_array(f, "scenario_sweep", scenarios, false);
+  benchjson::write_row_array(f, "pir_sweep", pir, true);
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
@@ -1331,8 +1646,9 @@ int main(int argc, char** argv) {
     // sections are simply empty.
     auto tcp_rows = run_tcp_sweep(quick);
     auto denial_rows = run_denial_sweep(quick, /*tcp_only=*/true);
+    auto pir_rows = run_pir_sweep(quick, /*tcp_only=*/true);
     write_json("BENCH_system.json", quick, {}, {}, {}, tcp_rows, {},
-               denial_rows, {});
+               denial_rows, {}, pir_rows);
     std::printf("\nMachine-readable results written to BENCH_system.json\n");
     std::printf("\nDone.\n");
     return 0;
@@ -1453,6 +1769,12 @@ int main(int argc, char** argv) {
   // the schedule and keeps the 2-SU fleet only.
   auto scenario_rows = run_scenario_sweep(quick);
 
+  // XOR-PIR vs Paillier head-to-head (DESIGN.md §3.10): the same seeded
+  // world served through both privacy mechanisms at the scaling[] grids.
+  // The within-run latency pair feeds the ≥10x PIR floor in
+  // scripts/check_perf_regression.py; quick mode keeps the sim 5×30 row.
+  auto pir_rows = run_pir_sweep(quick, /*tcp_only=*/false);
+
   std::vector<Row> scaling{r1, r2};
   if (!quick) {
     std::printf("Production key size n=2048 (paper's configuration):\n");
@@ -1463,7 +1785,7 @@ int main(int argc, char** argv) {
   }
 
   write_json("BENCH_system.json", quick, scaling, sweep, pack_sweep,
-             throughput, shard_sweep, denial_rows, scenario_rows);
+             throughput, shard_sweep, denial_rows, scenario_rows, pir_rows);
   std::printf("\nMachine-readable results written to BENCH_system.json\n");
 
   std::printf("\nDone.\n");

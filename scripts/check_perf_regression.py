@@ -53,6 +53,20 @@ that cost no longer scales with the grid, and losing the win (deltas
 silently degrading to full columns, dirty tracking gone, re-probes going
 grid-wide) is a protocol bug, not noise.
 
+The pir_sweep rows (DESIGN.md §3.10) guard the XOR multi-server PIR query
+path three ways. Against the committed snapshot, per (transport, channels,
+blocks) row: pir_request_ms and pir_scan_ms_per_request are wall clock, so
+they ride --tcp-threshold like the other wall-clock rows, while
+pir_bytes_per_request is deterministic framing arithmetic and gets the
+tight default threshold — a byte-count jump means the codec grew, not the
+host slowed down. Within the current run, every row's Paillier/PIR latency
+pair must show the PIR path at least `--pir-latency-factor`x (default 10)
+faster — the whole point of the mode is replacing per-entry public-key
+work with XOR scans, and losing that win (a modexp creeping onto the query
+path, scans going super-linear) is a protocol bug, not noise. And every
+pir_sweep row must report decisions_match = 1: swapping the privacy
+mechanism must never flip a grant/deny verdict.
+
 Exits 1 when any guarded metric is more than `threshold`x worse than the
 committed snapshot, 2 when a snapshot/run file is missing or unparseable.
 Quick-mode measurement windows are short, so the default threshold is a
@@ -239,6 +253,73 @@ def delta_speedup_checks(current, factor):
                    f"ticks={key[1]}", full[key], factor * delta[key], False)
 
 
+PIR_KEY = ("transport", "channels", "blocks")
+# Wall-clock per-row metrics guarded against the committed snapshot behind
+# the looser --tcp-threshold (lower is better).
+PIR_WALL_METRICS = ("pir_request_ms", "pir_scan_ms_per_request")
+
+
+def pir_snapshot_checks(baseline, current, threshold, tcp_threshold):
+    """pir_sweep latency / scan / wire bytes vs the committed snapshot.
+
+    Yields full 5-tuples like throughput_checks: the wall-clock metrics
+    carry --tcp-threshold (host jitter must not fail the build; a real
+    loss — a modexp on the query path, the scan kernel degrading to
+    byte-at-a-time — is a multiple-x cliff), while pir_bytes_per_request
+    is deterministic codec arithmetic and carries the tight default
+    threshold.
+    """
+    base = {tuple(r[k] for k in PIR_KEY): r
+            for r in baseline.get("pir_sweep", [])}
+    cur = {tuple(r[k] for k in PIR_KEY): r
+           for r in current.get("pir_sweep", [])}
+    for key in sorted(base):
+        if key not in cur:
+            continue
+        label = "pir {} C={} B={}".format(*key)
+        for metric in PIR_WALL_METRICS:
+            if base[key].get(metric, 0) > 0 and metric in cur[key]:
+                yield (f"{metric} {label}", base[key][metric],
+                       cur[key][metric], False, tcp_threshold)
+        if base[key].get("pir_bytes_per_request", 0) > 0:
+            yield (f"pir_bytes_per_request {label}",
+                   base[key]["pir_bytes_per_request"],
+                   cur[key]["pir_bytes_per_request"], False, threshold)
+
+
+def pir_floor_checks(current, factor):
+    """PIR vs Paillier query latency, paired within every pir_sweep row.
+
+    Within the current run only, like the WAL / fast-deny / delta pairs:
+    both paths served the identical seeded world moments apart on the same
+    host, so the latency ratio is the §3.10 win itself. Role-swap
+    encoding: 'current' = factor * PIR latency, lower-is-better with
+    threshold 1.0, so the check fails exactly when the PIR path is less
+    than `factor`x faster than the blinded-conversion path at the matched
+    grid.
+    """
+    for r in current.get("pir_sweep", []):
+        if r.get("pir_request_ms", 0) <= 0:
+            continue
+        label = "pir_latency_floor {} C={} B={}".format(
+            r["transport"], r["channels"], r["blocks"])
+        yield (label, r["paillier_request_ms"],
+               factor * r["pir_request_ms"], False)
+
+
+def pir_decision_checks(current):
+    """Every pir_sweep row must report decisions_match == 1.
+
+    Both the Paillier and the PIR serve of each request are compared to
+    the PlainWatch oracle inside the bench; a 0 here means one privacy
+    mechanism flipped a grant/deny verdict — always a bug, never noise.
+    """
+    for r in current.get("pir_sweep", []):
+        label = "decisions_match pir {} C={} B={}".format(
+            r["transport"], r["channels"], r["blocks"])
+        yield label, 1.0, float(r["decisions_match"]), True
+
+
 def decision_checks(current):
     """Every denial_sweep row must report decisions_match == 1.
 
@@ -279,6 +360,10 @@ def main():
                          "path is less than this many times cheaper per "
                          "update sent than the full-column path (within the "
                          "current run)")
+    ap.add_argument("--pir-latency-factor", type=float, default=10.0,
+                    help="fail when the PIR query path is less than this "
+                         "many times faster than the Paillier path at the "
+                         "matched grid (within the current run)")
     args = ap.parse_args()
 
     # Each check is (label, baseline, current, higher_is_better, threshold);
@@ -304,6 +389,12 @@ def main():
                   for c in delta_speedup_checks(system_current,
                                                 args.delta_speedup_factor))
     checks.extend((*c, 1.0) for c in decision_checks(system_current))
+    checks.extend(pir_snapshot_checks(system_baseline, system_current,
+                                      args.threshold, args.tcp_threshold))
+    checks.extend((*c, 1.0)
+                  for c in pir_floor_checks(system_current,
+                                            args.pir_latency_factor))
+    checks.extend((*c, 1.0) for c in pir_decision_checks(system_current))
 
     if not checks:
         print("error: no overlapping guarded metrics between baseline and "

@@ -71,6 +71,25 @@ struct DenialFilterConfig {
   std::size_t capacity = 0;
 };
 
+/// How an SU learns whether its transmission is licensed (DESIGN.md §3.10).
+enum class QueryMode {
+  /// The paper's pipeline: encrypted F under the group key, blinded Ṽ,
+  /// STP conversion, RSA license. Default; every prior suite runs this.
+  kPaillier,
+  /// XOR multi-server PIR over the plaintext decision database: the SU
+  /// splits each row fetch into random shares across non-colluding
+  /// replicas and evaluates the margins locally. No modexp on the query
+  /// path; the fetched positions are hidden information-theoretically.
+  kPir,
+};
+
+/// XOR-PIR query path knobs (active when query_mode == kPir).
+struct PirConfig {
+  /// Non-colluding database replicas (ℓ-of-ℓ XOR sharing). Replica 0 is
+  /// hosted inside the SDC process; the rest are standalone servers.
+  std::size_t replicas = 2;
+};
+
 struct PisaConfig {
   watch::WatchConfig watch;
 
@@ -114,6 +133,14 @@ struct PisaConfig {
 
   /// One-round denial fast path via a keyed cuckoo prefilter (§3.8).
   DenialFilterConfig denial_filter;
+
+  /// Spectrum-query transport (§3.10): Paillier round-trip (paper) or the
+  /// XOR multi-server PIR fast path. PU provisioning and licensing are
+  /// unaffected; only how SUs learn grant/deny changes.
+  QueryMode query_mode = QueryMode::kPaillier;
+
+  /// Replica layout for the PIR path.
+  PirConfig pir;
 
   /// Cross-request throughput engine (DESIGN.md §3.5). With
   /// convert_batch_max > 0 the SDC stops sending one ConvertRequestMsg per
@@ -202,6 +229,11 @@ struct PisaConfig {
     if (convert_batch_watchdog_us < 0)
       throw std::invalid_argument(
           "PisaConfig: convert_batch_watchdog_us must be >= 0");
+    if (query_mode == QueryMode::kPir &&
+        (pir.replicas < 2 || pir.replicas > 16))
+      throw std::invalid_argument(
+          "PisaConfig: pir.replicas must be in [2, 16] (one server sees the "
+          "query in the clear; more than 16 buys nothing but wire bytes)");
     if (denial_filter.enabled &&
         !(denial_filter.fpp > 0.0 && denial_filter.fpp < 1.0))
       throw std::invalid_argument(

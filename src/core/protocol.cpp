@@ -61,6 +61,18 @@ PisaSystem::PisaSystem(const PisaConfig& cfg, std::vector<watch::PuSite> sites,
           throw std::runtime_error("PU endpoint: unexpected message " + msg.type);
         });
   }
+
+  // §3.10 PIR mode: replica 0 is already attached inside the SDC; bring up
+  // the standalone replicas 1..ℓ−1 on the same transport.
+  if (cfg_.query_mode == QueryMode::kPir) {
+    for (std::size_t i = 1; i < cfg_.pir.replicas; ++i) {
+      auto srv =
+          std::make_unique<pir::PirServer>(e, cfg_.pack_slots, pir::PirDurability{});
+      srv->set_thread_pool(exec_);
+      srv->attach(transport(), pir::replica_name(i));
+      pir_extras_.push_back(std::move(srv));
+    }
+  }
 }
 
 net::Transport& PisaSystem::transport() {
@@ -73,7 +85,28 @@ void PisaSystem::crash_sdc() {
   // Endpoint first, then the object: in-flight messages to "sdc" must fail
   // delivery, and destroying the server drops all of its in-memory state.
   transport().remove_endpoint("sdc");
+  // The co-located PIR replica 0 dies with the process.
+  if (cfg_.query_mode == QueryMode::kPir)
+    transport().remove_endpoint(pir::replica_name(0));
   sdc_.reset();
+}
+
+void PisaSystem::crash_pir_replica(std::size_t index) {
+  if (index == 0 || index >= cfg_.pir.replicas)
+    throw std::out_of_range(
+        "PisaSystem: crash_pir_replica needs a standalone replica index "
+        "(crash replica 0 via crash_sdc)");
+  auto& slot = pir_extras_.at(index - 1);
+  if (!slot) return;
+  transport().remove_endpoint(pir::replica_name(index));
+  slot.reset();
+}
+
+pir::PirServer* PisaSystem::pir_replica(std::size_t index) {
+  if (cfg_.query_mode != QueryMode::kPir || index >= cfg_.pir.replicas)
+    return nullptr;
+  if (index == 0) return sdc_ ? sdc_->pir_server() : nullptr;
+  return pir_extras_.at(index - 1).get();
 }
 
 SdcServer& PisaSystem::restart_sdc() {
@@ -94,6 +127,13 @@ SuClient& PisaSystem::add_su(std::uint32_t su_id, std::size_t precompute) {
   // The endpoint must exist before the key upload: under the reliable
   // transport the STP's ACK comes back to it.
   transport().register_endpoint(su_name(su_id), [this](const net::Message& msg) {
+    if (msg.type == pir::kMsgPirReply) {
+      auto reply = pir::PirReplyMsg::decode(msg.payload);
+      // Last reply's arrival is the request's completion time.
+      response_arrival_us_.insert_or_assign(reply.request_id, net_.now_us());
+      pir_replies_[reply.request_id].push_back(std::move(reply));
+      return;
+    }
     if (msg.type == kMsgFastDeny) {
       // §3.8 one-round denial; decode() validates the fixed-size zero pad.
       auto deny = FastDenyMsg::decode(msg.payload);
@@ -113,6 +153,11 @@ SuClient& PisaSystem::add_su(std::uint32_t su_id, std::size_t precompute) {
   transport().send({su_name(su_id), "stp", kMsgKeyRegister, reg.encode()});
   net_.run();
   if (precompute > 0) client->precompute_randomizers(precompute);
+  if (cfg_.query_mode == QueryMode::kPir)
+    pir_clients_.emplace(
+        su_id, std::make_unique<pir::PirClient>(
+                   su_id, cfg_.pir.replicas,
+                   cfg_.watch.make_area().num_blocks(), rng_));
   auto& ref = *client;
   sus_.emplace(su_id, std::move(client));
   return ref;
@@ -132,18 +177,41 @@ PuClient& PisaSystem::pu(std::uint32_t pu_id) {
 
 void PisaSystem::pu_update(std::uint32_t pu_id, const watch::PuTuning& tuning) {
   auto& client = pu(pu_id);
+  // PIR mode: build the plaintext column before make_update commits the
+  // footprint (it is const and consumes no randomness either way), and ship
+  // it to every replica alongside the encrypted column.
+  std::optional<pir::PirUpdateMsg> pir_msg;
+  if (cfg_.query_mode == QueryMode::kPir)
+    pir_msg = client.make_pir_update(tuning);
   auto update = client.make_update(tuning);
   transport().send({"pu_" + std::to_string(pu_id), "sdc", kMsgPuUpdate,
                     update.encode(stp_->group_key().ciphertext_bytes())});
+  if (pir_msg) {
+    auto bytes = pir_msg->encode();
+    for (std::size_t i = 0; i < cfg_.pir.replicas; ++i)
+      transport().send({"pu_" + std::to_string(pu_id), pir::replica_name(i),
+                        pir::kMsgPirUpdate, bytes});
+  }
   net_.run();
 }
 
 bool PisaSystem::pu_delta(std::uint32_t pu_id, const watch::PuTuning& tuning) {
   auto& client = pu(pu_id);
+  std::optional<pir::PirUpdateMsg> pir_msg;
+  if (cfg_.query_mode == QueryMode::kPir)
+    pir_msg = client.make_pir_update(tuning);
   auto delta = client.make_delta(tuning);
   if (!delta) return false;
   transport().send({"pu_" + std::to_string(pu_id), "sdc", kMsgPuDelta,
                     delta->encode(stp_->group_key().ciphertext_bytes())});
+  // Replicas always take the full current column — they diff against their
+  // stored copy, so a delta-sized event still refreshes only touched rows.
+  if (pir_msg) {
+    auto bytes = pir_msg->encode();
+    for (std::size_t i = 0; i < cfg_.pir.replicas; ++i)
+      transport().send({"pu_" + std::to_string(pu_id), pir::replica_name(i),
+                        pir::kMsgPirUpdate, bytes});
+  }
   net_.run();
   return true;
 }
@@ -160,10 +228,17 @@ watch::QMatrix PisaSystem::build_f(const watch::SuRequest& request) const {
 PisaSystem::RequestOutcome PisaSystem::su_request(
     const watch::SuRequest& request,
     std::optional<std::pair<std::uint32_t, std::uint32_t>> range, PrepMode mode) {
+  std::uint64_t rid = next_request_id_++;
+  if (cfg_.query_mode == QueryMode::kPir) {
+    std::uint32_t lo = range ? range->first : 0;
+    std::uint32_t hi = range ? range->second
+                             : static_cast<std::uint32_t>(
+                                   cfg_.watch.make_area().num_blocks());
+    return su_request_pir(request, rid, lo, hi);
+  }
   auto& client = su(request.su_id);
   auto f = build_f(request);
 
-  std::uint64_t rid = next_request_id_++;
   std::uint32_t lo = range ? range->first : 0;
   std::uint32_t hi = range ? range->second : static_cast<std::uint32_t>(f.blocks());
   auto msg = client.prepare_request(f, rid, lo, hi, mode);
@@ -239,9 +314,116 @@ PisaSystem::RequestOutcome PisaSystem::su_request(
   return out;
 }
 
+PisaSystem::RequestOutcome PisaSystem::su_request_pir(
+    const watch::SuRequest& request, std::uint64_t rid, std::uint32_t lo,
+    std::uint32_t hi) {
+  auto it = pir_clients_.find(request.su_id);
+  if (it == pir_clients_.end())
+    throw std::out_of_range("PisaSystem: unknown SU");
+  auto& client = *it->second;
+  auto f = build_f(request);
+
+  auto queries = client.make_queries(rid, lo, hi);
+
+  std::vector<std::size_t> up_before(cfg_.pir.replicas),
+      down_before(cfg_.pir.replicas);
+  for (std::size_t i = 0; i < cfg_.pir.replicas; ++i) {
+    up_before[i] =
+        net_.stats(su_name(request.su_id), pir::replica_name(i)).bytes;
+    down_before[i] =
+        net_.stats(pir::replica_name(i), su_name(request.su_id)).bytes;
+  }
+  std::size_t failures_before = reliable_ ? reliable_->failures().size() : 0;
+
+  double t_send = net_.now_us();
+  for (std::size_t i = 0; i < cfg_.pir.replicas; ++i)
+    transport().send({su_name(request.su_id), pir::replica_name(i),
+                      pir::kMsgPirQuery, queries[i].encode()});
+  net_.run();
+  double t_done = net_.now_us();
+
+  RequestOutcome out;
+  for (std::size_t i = 0; i < cfg_.pir.replicas; ++i) {
+    out.request_bytes +=
+        net_.stats(su_name(request.su_id), pir::replica_name(i)).bytes -
+        up_before[i];
+    out.response_bytes +=
+        net_.stats(pir::replica_name(i), su_name(request.su_id)).bytes -
+        down_before[i];
+  }
+  out.latency_us = t_done - t_send;
+
+  auto replies = pir_replies_.find(rid);
+  std::vector<pir::PirReplyMsg> got;
+  if (replies != pir_replies_.end()) {
+    got = std::move(replies->second);
+    pir_replies_.erase(replies);
+  }
+  auto arrived = response_arrival_us_.find(rid);
+  if (arrived != response_arrival_us_.end()) {
+    out.latency_us = arrived->second - t_send;
+    response_arrival_us_.erase(arrived);
+  }
+
+  if (got.size() != cfg_.pir.replicas) {
+    // A replica vanished (crash) or exhausted its retry budget: XOR
+    // reconstruction from ℓ−1 shares is garbage, so this is a typed
+    // delivery failure — never a wrong answer, never a hang.
+    out.status = RequestOutcome::Status::kTransportFailed;
+    out.failure = "got " + std::to_string(got.size()) + "/" +
+                  std::to_string(cfg_.pir.replicas) + " PIR replies";
+    if (reliable_) {
+      const auto& fails = reliable_->failures();
+      for (std::size_t i = failures_before; i < fails.size(); ++i) {
+        const auto& fl = fails[i];
+        out.failure += "; gave up on " + fl.type + " " + fl.from + "->" +
+                       fl.to + " seq " + std::to_string(fl.seq) + " after " +
+                       std::to_string(fl.attempts) + " attempts";
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::vector<std::int64_t>> rows;
+  try {
+    auto raw = client.reconstruct(got);
+    rows.reserve(raw.size());
+    for (const auto& r : raw)
+      rows.push_back(pir::decode_budget_row(r, cfg_.watch.channels));
+  } catch (const std::runtime_error& e) {
+    // Version/shape divergence across replicas: refuse the reconstruction
+    // and surface it as a delivery failure the caller can retry.
+    out.status = RequestOutcome::Status::kTransportFailed;
+    out.failure = e.what();
+    return out;
+  }
+
+  auto decision = pir::evaluate_rows(cfg_.watch, f, lo, rows);
+  out.granted = decision.granted;
+  return out;
+}
+
 std::vector<PisaSystem::RequestOutcome> PisaSystem::su_request_many(
     const std::vector<watch::SuRequest>& requests, PrepMode mode,
     MultiRequestStats* stats) {
+  if (cfg_.query_mode == QueryMode::kPir) {
+    // No conversion round to coalesce and no modexp-heavy preparation: the
+    // burst degenerates to sequential full-range queries.
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<RequestOutcome> outs;
+    outs.reserve(requests.size());
+    MultiRequestStats agg;
+    for (const auto& r : requests) {
+      auto out = su_request(r);
+      agg.request_bytes += out.request_bytes;
+      agg.response_bytes += out.response_bytes;
+      agg.makespan_us += out.latency_us;
+      outs.push_back(std::move(out));
+    }
+    agg.serve_wall_ms = wall_ms_since(t0);
+    if (stats != nullptr) *stats = agg;
+    return outs;
+  }
   struct Prepared {
     std::uint64_t rid = 0;
     std::uint32_t su_id = 0;

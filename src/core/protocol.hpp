@@ -24,6 +24,8 @@
 #include "core/su_client.hpp"
 #include "net/bus.hpp"
 #include "net/reliable_channel.hpp"
+#include "pir/pir_client.hpp"
+#include "pir/pir_replica.hpp"
 #include "radio/pathloss.hpp"
 #include "watch/plain_watch.hpp"
 
@@ -148,6 +150,16 @@ class PisaSystem {
 
   bool sdc_running() const { return sdc_ != nullptr; }
 
+  /// Kill a standalone PIR replica (index ≥ 1; replica 0 rides crash_sdc):
+  /// endpoint removed, object destroyed. Queries in flight to it fail
+  /// delivery and the issuing SU sees a typed kTransportFailed — never a
+  /// hang, never a reconstruction from a partial reply set. Idempotent.
+  void crash_pir_replica(std::size_t index);
+
+  /// Replica `index` (0 = the SDC-hosted one), or nullptr when that replica
+  /// is crashed / the system is not in PIR mode.
+  pir::PirServer* pir_replica(std::size_t index);
+
   SdcServer& sdc() { return *sdc_; }
   StpServer& stp() { return *stp_; }
   SuClient& su(std::uint32_t su_id);
@@ -163,6 +175,14 @@ class PisaSystem {
   /// transport when cfg.reliability.enabled, the raw bus otherwise.
   net::Transport& transport();
 
+  /// §3.10 query path: split the fetch of [lo, hi) into XOR shares, one
+  /// query per replica, reconstruct and decide locally. Fills the same
+  /// RequestOutcome su_request does (license fields stay empty — a PIR
+  /// grant is a local decision, not a signed license).
+  RequestOutcome su_request_pir(const watch::SuRequest& request,
+                                std::uint64_t rid, std::uint32_t lo,
+                                std::uint32_t hi);
+
   PisaConfig cfg_;
   std::vector<watch::PuSite> sites_;
   const radio::PathLossModel& model_;
@@ -176,6 +196,12 @@ class PisaSystem {
   std::unique_ptr<SdcServer> sdc_;
   std::map<std::uint32_t, std::unique_ptr<PuClient>> pus_;
   std::map<std::uint32_t, std::unique_ptr<SuClient>> sus_;
+  /// §3.10 standalone replicas 1..ℓ−1 (replica 0 lives inside the SDC);
+  /// a crashed replica's slot holds null.
+  std::vector<std::unique_ptr<pir::PirServer>> pir_extras_;
+  std::map<std::uint32_t, std::unique_ptr<pir::PirClient>> pir_clients_;
+  /// PIR replies collected at the SU endpoints, keyed by request id.
+  std::map<std::uint64_t, std::vector<pir::PirReplyMsg>> pir_replies_;
   std::map<std::uint64_t, SuResponseMsg> responses_;  // by request id
   std::set<std::uint64_t> fast_denied_;  // request ids answered by FastDenyMsg
   std::map<std::uint64_t, double> response_arrival_us_;  // by request id

@@ -102,6 +102,25 @@ PuUpdateMsg PuClient::make_update(const watch::PuTuning& tuning) {
   return msg;
 }
 
+pir::PirUpdateMsg PuClient::make_pir_update(
+    const watch::PuTuning& tuning) const {
+  pir::PirUpdateMsg msg;
+  msg.pu_id = site_.pu_id;
+  msg.block = block_;
+  msg.w_column.assign(cfg_.watch.channels, 0);
+  if (tuning.channel) {
+    const std::uint32_t tuned = tuning.channel->index;
+    if (tuned >= cfg_.watch.channels)
+      throw std::out_of_range("PuClient: bad channel");
+    std::int64_t t = cfg_.watch.quantizer.quantize_mw(tuning.signal_mw);
+    if (t <= 0)
+      throw std::domain_error("PuClient: active PU needs positive signal");
+    msg.w_column[tuned] =
+        t - e_matrix_.at(radio::ChannelId{tuned}, radio::BlockId{block_});
+  }
+  return msg;
+}
+
 std::optional<PuDeltaMsg> PuClient::make_delta(const watch::PuTuning& tuning) {
   auto next = desired_footprint(tuning);
 

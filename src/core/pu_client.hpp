@@ -29,6 +29,7 @@
 #include "core/messages.hpp"
 #include "crypto/chacha_rng.hpp"
 #include "crypto/paillier.hpp"
+#include "pir/pir_messages.hpp"
 #include "watch/config.hpp"
 #include "watch/matrices.hpp"
 
@@ -67,6 +68,15 @@ class PuClient {
   /// other update). Commits the footprint cache: the caller is expected to
   /// deliver the message.
   PuUpdateMsg make_update(const watch::PuTuning& tuning);
+
+  /// Plaintext counterpart of make_update for the PIR replicas (§3.10): the
+  /// same C-entry W column — w = T − E at the tuned channel of the current
+  /// block, 0 elsewhere (all zeros when off) — unpacked and unencrypted.
+  /// The threat model accepts that replica operators see spectrum-map data;
+  /// it is the *SU query* the PIR path protects. Consumes no randomness and
+  /// does not touch the encrypted path's footprint cache: replicas diff
+  /// incoming columns against their own stored state.
+  pir::PirUpdateMsg make_pir_update(const watch::PuTuning& tuning) const;
 
   /// §3.9 incremental update: diff the desired state (tuning at the current
   /// block) against the footprint cache and emit only the changed cells as

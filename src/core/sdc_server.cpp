@@ -90,11 +90,26 @@ SdcServer::SdcServer(const PisaConfig& cfg, crypto::PaillierPublicKey group_pk,
       // and, with durability on, recovers the previous run's state here.
       state_(cfg_, group_pk_, e_matrix_, filter_key_),
       seen_frames_(cfg.reliability.dedup_window),
-      stream_(rng.next_u64()) {}
+      stream_(rng.next_u64()) {
+  if (cfg_.query_mode == QueryMode::kPir) {
+    // Replica 0 lives in this process and shares the SDC's store directory
+    // (its own subdirectory), so crash-recovering the SDC also recovers a
+    // byte-identical PIR database.
+    pir::PirDurability dur;
+    if (cfg_.durability.enabled) {
+      dur.enabled = true;
+      dur.dir = (std::filesystem::path(cfg_.durability.dir) / "pir0").string();
+      dur.snapshot_every = cfg_.durability.snapshot_every;
+    }
+    pir_server_ =
+        std::make_unique<pir::PirServer>(e_matrix_, cfg_.pack_slots, dur);
+  }
+}
 
 void SdcServer::set_thread_pool(std::shared_ptr<exec::ThreadPool> pool) {
   exec_ = std::move(pool);
   state_.set_thread_pool(exec_);
+  if (pir_server_) pir_server_->set_thread_pool(exec_);
 }
 
 void SdcServer::register_su_key(std::uint32_t su_id, crypto::PaillierPublicKey pk) {
@@ -534,6 +549,9 @@ void SdcServer::attach(net::Transport& net, const std::string& name,
   net_ = &net;
   self_name_ = name;
   stp_name_ = stp_name;
+  // PIR mode: the co-located replica 0 answers on its own endpoint, so PU
+  // columns and SU share queries never mix into the Paillier handler below.
+  if (pir_server_) pir_server_->attach(net, pir::replica_name(0));
   // Completing a request needs pk_j (eq. (16) operates under the SU's key).
   // Keys arrive asynchronously from the STP directory, so conversions that
   // beat their key are parked in awaiting_key_ and drained on arrival.

@@ -32,6 +32,7 @@
 #include "crypto/threshold_paillier.hpp"
 #include "net/bus.hpp"
 #include "net/reliable_channel.hpp"
+#include "pir/pir_replica.hpp"
 #include "radio/grid.hpp"
 #include "watch/matrices.hpp"
 
@@ -113,6 +114,11 @@ class SdcServer {
   /// Force a compaction of every shard now (sealed snapshot + fresh WAL).
   /// No-op when durability is off.
   void checkpoint() { state_.checkpoint(); }
+
+  /// The co-located PIR replica 0 (§3.10); null unless cfg.query_mode is
+  /// kPir. attach() registers it as endpoint "pir_0" on the same transport.
+  pir::PirServer* pir_server() { return pir_server_.get(); }
+  const pir::PirServer* pir_server() const { return pir_server_.get(); }
 
   /// The slot layout the budget/blinding paths use (1 slot = the paper's
   /// per-entry layout).
@@ -220,6 +226,8 @@ class SdcServer {
   /// Declared after group_pk_/e_matrix_: its constructor consumes both, and
   /// with durability on it recovers the whole state from disk right here.
   SdcStateEngine state_;
+  /// §3.10 co-located PIR replica 0; null in Paillier mode.
+  std::unique_ptr<pir::PirServer> pir_server_;
   std::optional<crypto::ThresholdKeyShare> threshold_share_;
   std::map<std::uint32_t, crypto::PaillierPublicKey> su_keys_;
   std::map<std::uint64_t, PendingRequest> pending_;

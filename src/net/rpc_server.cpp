@@ -26,12 +26,43 @@ RpcServer::RpcServer(const core::PisaConfig& cfg, bn::RandomSource& rng,
   sdc_->set_thread_pool(exec_);
   stp_->attach(tcp_, "stp");
   sdc_->attach(tcp_, "sdc", "stp");
+  // §3.10: the SDC attach above registered replica 0; the standalone
+  // replicas live behind the same listener as their own endpoints.
+  if (cfg_.query_mode == core::QueryMode::kPir) {
+    auto e = watch::make_e_matrix(cfg_.watch);
+    for (std::size_t i = 1; i < cfg_.pir.replicas; ++i) {
+      auto srv = std::make_unique<pir::PirServer>(e, cfg_.pack_slots,
+                                                  pir::PirDurability{});
+      srv->set_thread_pool(exec_);
+      srv->attach(tcp_, pir::replica_name(i));
+      pir_extras_.push_back(std::move(srv));
+    }
+  }
   tcp_.listen(port);
+}
+
+pir::PirServer* RpcServer::pir_replica(std::size_t index) {
+  if (cfg_.query_mode != core::QueryMode::kPir || index >= cfg_.pir.replicas)
+    return nullptr;
+  if (index == 0) return sdc_ ? sdc_->pir_server() : nullptr;
+  return pir_extras_.at(index - 1).get();
+}
+
+void RpcServer::crash_pir_replica(std::size_t index) {
+  if (index == 0 || index >= cfg_.pir.replicas)
+    throw std::out_of_range(
+        "RpcServer: crash_pir_replica needs a standalone replica index");
+  auto& slot = pir_extras_.at(index - 1);
+  if (!slot) return;
+  tcp_.remove_endpoint(pir::replica_name(index));
+  slot.reset();
 }
 
 void RpcServer::crash_sdc() {
   if (!sdc_) return;
   tcp_.remove_endpoint("sdc");
+  if (cfg_.query_mode == core::QueryMode::kPir)
+    tcp_.remove_endpoint(pir::replica_name(0));
   sdc_.reset();
 }
 
@@ -53,7 +84,15 @@ RpcClient::RpcClient(const core::PisaConfig& cfg,
     : cfg_(cfg), group_pk_(std::move(group_pk)), host_(std::move(host)),
       port_(port), rng_(rng), tcp_(opts),
       e_matrix_(watch::make_e_matrix(cfg.watch)) {
-  conn_id_ = tcp_.connect(host_, port_, {"sdc", "stp"});
+  conn_id_ = tcp_.connect(host_, port_, route_names());
+}
+
+std::vector<std::string> RpcClient::route_names() const {
+  std::vector<std::string> names{"sdc", "stp"};
+  if (cfg_.query_mode == core::QueryMode::kPir)
+    for (std::size_t i = 0; i < cfg_.pir.replicas; ++i)
+      names.push_back(pir::replica_name(i));
+  return names;
 }
 
 core::SuClient& RpcClient::add_su(std::uint32_t su_id, std::size_t precompute) {
@@ -62,6 +101,20 @@ core::SuClient& RpcClient::add_su(std::uint32_t su_id, std::size_t precompute) {
   auto client =
       std::make_unique<core::SuClient>(su_id, cfg_, group_pk_, rng_);
   tcp_.register_endpoint(su_name(su_id), [this](const net::Message& msg) {
+    if (msg.type == pir::kMsgPirReply) {
+      auto reply = pir::PirReplyMsg::decode(msg.payload);
+      auto request_id = reply.request_id;
+      bool complete;
+      {
+        std::lock_guard<std::mutex> lk(rmu_);
+        auto& slot = pir_replies_[request_id];
+        slot.push_back(std::move(reply));
+        complete = slot.size() >= cfg_.pir.replicas;
+      }
+      if (complete && on_response_) on_response_(request_id);
+      rcv_.notify_all();
+      return;
+    }
     if (msg.type == core::kMsgFastDeny) {
       // §3.8 one-round denial: record the rid and wake waiters; decode()
       // validates the fixed 32-byte shape (leakage discipline).
@@ -90,6 +143,11 @@ core::SuClient& RpcClient::add_su(std::uint32_t su_id, std::size_t precompute) {
   core::KeyRegisterMsg reg{su_id, crypto::serialize(client->public_key())};
   tcp_.send({su_name(su_id), "stp", core::kMsgKeyRegister, reg.encode()});
   if (precompute > 0) client->precompute_randomizers(precompute);
+  if (cfg_.query_mode == core::QueryMode::kPir)
+    pir_clients_.emplace(
+        su_id, std::make_unique<pir::PirClient>(
+                   su_id, cfg_.pir.replicas,
+                   cfg_.watch.make_area().num_blocks(), rng_));
   auto& ref = *client;
   sus_.emplace(su_id, std::move(client));
   return ref;
@@ -117,6 +175,21 @@ core::PuClient& RpcClient::pu(std::uint32_t pu_id) {
   return *it->second;
 }
 
+void RpcClient::send_pir_updates(std::uint32_t pu_id,
+                                 const watch::PuTuning& tuning) {
+  if (cfg_.query_mode != core::QueryMode::kPir) return;
+  auto bytes = pu(pu_id).make_pir_update(tuning).encode();
+  for (std::size_t i = 0; i < cfg_.pir.replicas; ++i) {
+    net::Message m;
+    m.from = "pu_" + std::to_string(pu_id);
+    m.to = pir::replica_name(i);
+    m.type = pir::kMsgPirUpdate;
+    m.payload = bytes;
+    m.net_seq = next_pin_seq_++;
+    tcp_.send(std::move(m));
+  }
+}
+
 RpcClient::PuUpdateHandle RpcClient::pu_update(std::uint32_t pu_id,
                                                const watch::PuTuning& tuning) {
   auto update = pu(pu_id).make_update(tuning);
@@ -125,6 +198,7 @@ RpcClient::PuUpdateHandle RpcClient::pu_update(std::uint32_t pu_id,
   h.net_seq = next_pin_seq_++;
   h.bytes = update.encode(group_pk_.ciphertext_bytes());
   resend_pu_update(h);
+  send_pir_updates(pu_id, tuning);
   return h;
 }
 
@@ -147,6 +221,7 @@ std::optional<RpcClient::PuUpdateHandle> RpcClient::pu_delta(
   h.net_seq = next_pin_seq_++;
   h.bytes = delta->encode(group_pk_.ciphertext_bytes());
   resend_pu_delta(h);
+  send_pir_updates(pu_id, tuning);
   return h;
 }
 
@@ -209,9 +284,69 @@ std::size_t RpcClient::responses_pending() const {
   return responses_.size();
 }
 
+RpcClient::PirOutcome RpcClient::pir_request(std::uint32_t su_id,
+                                             const watch::QMatrix& f,
+                                             std::uint32_t block_lo,
+                                             std::uint32_t block_hi,
+                                             double timeout_ms) {
+  auto it = pir_clients_.find(su_id);
+  if (it == pir_clients_.end())
+    throw std::out_of_range("RpcClient: unknown SU");
+  auto& client = *it->second;
+
+  std::uint64_t rid = next_request_id_++;
+  auto queries = client.make_queries(rid, block_lo, block_hi);
+
+  PirOutcome out;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto bytes = queries[i].encode();
+    out.query_bytes += bytes.size();
+    tcp_.send({su_name(su_id), pir::replica_name(i), pir::kMsgPirQuery,
+               std::move(bytes)});
+  }
+
+  std::vector<pir::PirReplyMsg> got;
+  {
+    std::unique_lock<std::mutex> lk(rmu_);
+    bool ok = rcv_.wait_for(
+        lk,
+        std::chrono::microseconds(static_cast<std::int64_t>(timeout_ms * 1e3)),
+        [&] {
+          auto slot = pir_replies_.find(rid);
+          return slot != pir_replies_.end() &&
+                 slot->second.size() >= cfg_.pir.replicas;
+        });
+    auto slot = pir_replies_.find(rid);
+    if (slot != pir_replies_.end()) {
+      got = std::move(slot->second);
+      pir_replies_.erase(slot);
+    }
+    if (!ok) {
+      out.failure = "timed out with " + std::to_string(got.size()) + "/" +
+                    std::to_string(cfg_.pir.replicas) + " PIR replies";
+      return out;
+    }
+  }
+  for (const auto& r : got) out.reply_bytes += r.encode().size();
+
+  try {
+    auto raw = client.reconstruct(got);
+    std::vector<std::vector<std::int64_t>> rows;
+    rows.reserve(raw.size());
+    for (const auto& r : raw)
+      rows.push_back(pir::decode_budget_row(r, cfg_.watch.channels));
+    auto decision = pir::evaluate_rows(cfg_.watch, f, block_lo, rows);
+    out.completed = true;
+    out.granted = decision.granted;
+  } catch (const std::runtime_error& e) {
+    out.failure = e.what();
+  }
+  return out;
+}
+
 void RpcClient::reconnect() {
   tcp_.close_connection(conn_id_);
-  conn_id_ = tcp_.connect(host_, port_, {"sdc", "stp"});
+  conn_id_ = tcp_.connect(host_, port_, route_names());
 }
 
 }  // namespace pisa::rpc

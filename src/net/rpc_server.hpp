@@ -43,7 +43,10 @@
 #include "core/stp_server.hpp"
 #include "core/su_client.hpp"
 #include "net/tcp_transport.hpp"
+#include "pir/pir_client.hpp"
+#include "pir/pir_replica.hpp"
 #include "watch/matrices.hpp"
+#include "watch/plain_sdc.hpp"
 
 namespace pisa::rpc {
 
@@ -75,6 +78,15 @@ class RpcServer {
   void crash_sdc();
   core::SdcServer& restart_sdc();
 
+  /// §3.10: replica `index` (0 = SDC-hosted), or nullptr when crashed /
+  /// not in PIR mode.
+  pir::PirServer* pir_replica(std::size_t index);
+
+  /// Kill a standalone replica (index ≥ 1): endpoint off the transport,
+  /// object destroyed. A query in flight to it times out at the client —
+  /// typed, never a partial reconstruction. Idempotent.
+  void crash_pir_replica(std::size_t index);
+
   /// Off-path STP pool maintenance (always-warm mode); benches call this
   /// between waves, mirroring PisaSystem's post-drain call.
   void maintain_pools() { stp_->maintain_pools(); }
@@ -88,6 +100,8 @@ class RpcServer {
   std::shared_ptr<exec::ThreadPool> exec_;
   std::unique_ptr<core::StpServer> stp_;
   std::unique_ptr<core::SdcServer> sdc_;
+  /// §3.10 standalone replicas 1..ℓ−1 (null slot = crashed).
+  std::vector<std::unique_ptr<pir::PirServer>> pir_extras_;
 };
 
 class RpcClient {
@@ -174,6 +188,23 @@ class RpcClient {
     on_response_ = std::move(hook);
   }
 
+  /// §3.10 PIR round trip over the socket: split [block_lo, block_hi) into
+  /// XOR shares, fire one query per replica, wait for all ℓ replies (or
+  /// `timeout_ms`), reconstruct and decide locally against `f`.
+  struct PirOutcome {
+    /// False when a reply set never completed (replica crashed / timeout)
+    /// or the replicas' versions diverged — `failure` says which. The
+    /// decision fields are only meaningful when true.
+    bool completed = false;
+    bool granted = false;
+    std::string failure;
+    std::size_t query_bytes = 0;  ///< Σ encoded queries (SU → replicas)
+    std::size_t reply_bytes = 0;  ///< Σ encoded replies (replicas → SU)
+  };
+  PirOutcome pir_request(std::uint32_t su_id, const watch::QMatrix& f,
+                         std::uint32_t block_lo, std::uint32_t block_hi,
+                         double timeout_ms);
+
   /// Tear the connection down mid-session and dial again (reset
   /// simulation). Unflushed frames on the old connection are dropped —
   /// at-most-once — and the re-send helpers above restore exactly-once.
@@ -186,6 +217,15 @@ class RpcClient {
     return "su_" + std::to_string(id);
   }
 
+  /// Logical peers multiplexed over the one connection: sdc + stp, plus
+  /// every PIR replica in PIR mode.
+  std::vector<std::string> route_names() const;
+
+  /// PIR mode: ship the PU's current plaintext column to every replica
+  /// (pinned seqs — replica-side dedup keeps versions in lockstep under
+  /// resends). No-op in Paillier mode.
+  void send_pir_updates(std::uint32_t pu_id, const watch::PuTuning& tuning);
+
   core::PisaConfig cfg_;
   crypto::PaillierPublicKey group_pk_;
   std::string host_;
@@ -197,6 +237,7 @@ class RpcClient {
 
   std::map<std::uint32_t, std::unique_ptr<core::SuClient>> sus_;
   std::map<std::uint32_t, std::unique_ptr<core::PuClient>> pus_;
+  std::map<std::uint32_t, std::unique_ptr<pir::PirClient>> pir_clients_;
 
   std::uint64_t next_request_id_ = 1;
   std::uint64_t next_pin_seq_ = 1;  // pinned seqs for re-sendable frames
@@ -205,6 +246,8 @@ class RpcClient {
   std::condition_variable rcv_;
   std::map<std::uint64_t, core::SuResponseMsg> responses_;
   std::set<std::uint64_t> fast_denied_;  // rids answered by FastDenyMsg
+  /// PIR replies by request id (complete at cfg.pir.replicas entries).
+  std::map<std::uint64_t, std::vector<pir::PirReplyMsg>> pir_replies_;
   std::function<void(std::uint64_t)> on_response_;
 };
 

@@ -1,0 +1,104 @@
+#include "pir/pir_database.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "exec/thread_pool.hpp"
+
+namespace pisa::pir {
+
+namespace {
+
+/// XOR 64 bytes of `src` into `acc`, eight u64 lanes wide. memcpy keeps the
+/// loads alignment-safe (and UBSan-clean); compilers fuse the eight lanes
+/// into vector XORs.
+inline void xor_64(std::uint8_t* acc, const std::uint8_t* src) {
+  for (int lane = 0; lane < 8; ++lane) {
+    std::uint64_t a, s;
+    std::memcpy(&a, acc + lane * 8, 8);
+    std::memcpy(&s, src + lane * 8, 8);
+    a ^= s;
+    std::memcpy(acc + lane * 8, &a, 8);
+  }
+}
+
+}  // namespace
+
+PirDatabase::PirDatabase(std::size_t channels, std::size_t blocks)
+    : channels_(channels), blocks_(blocks),
+      row_bytes_((channels * 8 + 63) / 64 * 64),
+      data_(blocks * row_bytes_, 0) {
+  if (channels == 0 || blocks == 0)
+    throw std::invalid_argument("PirDatabase: empty grid");
+}
+
+void PirDatabase::set_cell(std::size_t channel, std::size_t block,
+                           std::int64_t value) {
+  if (channel >= channels_ || block >= blocks_)
+    throw std::out_of_range("PirDatabase: bad (channel, block)");
+  std::uint64_t le = static_cast<std::uint64_t>(value);
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i)
+    buf[i] = static_cast<std::uint8_t>(le >> (8 * i));
+  std::memcpy(&data_[block * row_bytes_ + channel * 8], buf, 8);
+}
+
+std::int64_t PirDatabase::cell(std::size_t channel, std::size_t block) const {
+  if (channel >= channels_ || block >= blocks_)
+    throw std::out_of_range("PirDatabase: bad (channel, block)");
+  const std::uint8_t* p = &data_[block * row_bytes_ + channel * 8];
+  std::uint64_t le = 0;
+  for (int i = 0; i < 8; ++i)
+    le |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return static_cast<std::int64_t>(le);
+}
+
+std::vector<std::uint8_t> PirDatabase::scan(
+    const std::vector<std::uint8_t>& bits) const {
+  if (bits.size() < (blocks_ + 7) / 8)
+    throw std::invalid_argument("PirDatabase::scan: share too short");
+  std::vector<std::uint8_t> out(row_bytes_, 0);
+  // Row-major sweep: the selected-row test is one bit probe per row, the
+  // fold is 64-byte-wide XOR accumulation over the contiguous row. Skipped
+  // rows cost only the probe, so the sweep is bandwidth-bound on the ~half
+  // of the database a random share selects.
+  for (std::size_t b = 0; b < blocks_; ++b) {
+    if ((bits[b >> 3] & (1u << (b & 7))) == 0) continue;
+    const std::uint8_t* row = &data_[b * row_bytes_];
+    for (std::size_t off = 0; off < row_bytes_; off += 64)
+      xor_64(&out[off], row + off);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> PirDatabase::scan_many(
+    const std::vector<std::vector<std::uint8_t>>& shares,
+    exec::ThreadPool* pool) const {
+  std::vector<std::vector<std::uint8_t>> out(shares.size());
+  exec::parallel_for(pool, 0, shares.size(),
+                     [&](std::size_t i) { out[i] = scan(shares[i]); });
+  return out;
+}
+
+std::vector<std::int64_t> PirDatabase::decode_row(
+    const std::vector<std::uint8_t>& row) const {
+  if (row.size() != row_bytes_)
+    throw std::invalid_argument("PirDatabase::decode_row: bad row width");
+  return decode_budget_row(row, channels_);
+}
+
+std::vector<std::int64_t> decode_budget_row(const std::vector<std::uint8_t>& row,
+                                            std::size_t channels) {
+  if (row.size() < channels * 8)
+    throw std::invalid_argument("decode_budget_row: row too short");
+  std::vector<std::int64_t> values(channels);
+  for (std::size_t c = 0; c < channels; ++c) {
+    std::uint64_t le = 0;
+    for (int i = 0; i < 8; ++i)
+      le |= static_cast<std::uint64_t>(row[c * 8 + i]) << (8 * i);
+    values[c] = static_cast<std::int64_t>(le);
+  }
+  return values;
+}
+
+}  // namespace pisa::pir

@@ -1,0 +1,159 @@
+// One PIR replica: the plaintext decision state plus its block-row database
+// (DESIGN.md §3.10).
+//
+// A replica holds the same budget aggregation the SDC computes over
+// ciphertexts — N = E + Σ W_i, maintained from plaintext PU columns — and
+// serves XOR scan queries over the PirDatabase projection of N. Replica 0
+// is hosted inside the SDC process (PirServer wraps it onto the SDC's
+// transport) and journals every applied column to its own WAL + snapshot
+// under the SDC's store directory, so a crashed/restarted SDC recovers a
+// bit-identical database. Additional replicas are standalone PirServer
+// entities; the non-collusion assumption between them is what buys the SU
+// information-theoretic query privacy.
+//
+// Refresh invariant (§3.9 dirty tracking applied to the PIR projection):
+// applying a column update diffs the incoming column against the stored
+// one, folds the per-cell differences into N, and rewrites only the touched
+// (channel-group, block) segments of the database — keyed exactly like
+// SdcStateEngine::cell_key, so a delta-sized PU event costs a delta-sized
+// database refresh, never a full rebuild. A full rebuild from E + columns
+// produces byte-identical rows (the recovery path relies on this).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/reliable_channel.hpp"
+#include "pir/pir_database.hpp"
+#include "pir/pir_messages.hpp"
+#include "store/shard_store.hpp"
+#include "watch/matrices.hpp"
+
+namespace pisa::exec {
+class ThreadPool;
+}
+namespace pisa::net {
+class Transport;
+struct Message;
+}
+
+namespace pisa::pir {
+
+/// Durability knobs for a replica (replica 0 only in practice).
+struct PirDurability {
+  bool enabled = false;
+  std::string dir;                  ///< replica store directory
+  std::size_t snapshot_every = 256; ///< auto-compact after this many records
+};
+
+class PirReplica {
+ public:
+  /// WAL record type: one journaled PirUpdateMsg.
+  static constexpr std::uint8_t kRecPirColumn = 1;
+
+  /// `e_matrix` is the public C×B budget matrix E; `pack_slots` only keys
+  /// the dirty-cell bookkeeping (the row layout itself is pack-agnostic).
+  /// With durability on, the constructor recovers snapshot + WAL from
+  /// `durability.dir` immediately; throws std::runtime_error when the
+  /// durable state was written under a different grid shape.
+  PirReplica(watch::QMatrix e_matrix, std::size_t pack_slots,
+             const PirDurability& durability = {});
+
+  /// Replace the PU's stored column (journal first, then apply). Re-applied
+  /// duplicates are modular no-ops on N and leave the database bytes
+  /// unchanged. Throws std::invalid_argument on a shape mismatch.
+  void apply_update(const PirUpdateMsg& update);
+
+  /// Answer one query batch: XOR-fold the database under every share.
+  /// Throws std::invalid_argument when the client's db_rows disagrees with
+  /// this replica's grid (a query for a different world).
+  PirReplyMsg answer(const PirQueryMsg& query, exec::ThreadPool* pool) const;
+
+  const PirDatabase& database() const { return db_; }
+  /// Updates applied since genesis (recovery replays restore this too).
+  std::uint64_t version() const { return version_; }
+  std::size_t pu_count() const { return columns_.size(); }
+
+  /// Budget cells rewritten by apply_update since construction — the
+  /// diff-proportional refresh counter the bench reports.
+  std::uint64_t cells_refreshed() const { return cells_refreshed_; }
+
+  /// Compact now: sealed snapshot of columns + version, fresh WAL. No-op
+  /// when durability is off.
+  void checkpoint();
+
+  bool durable() const { return store_ != nullptr; }
+  std::uint64_t wal_records() const {
+    return store_ ? store_->wal_records() : 0;
+  }
+
+ private:
+  struct Column {
+    std::uint32_t block = 0;
+    std::vector<std::int64_t> values;  // C entries
+  };
+
+  void apply(const PirUpdateMsg& update, bool journal);
+  /// Fold `delta` into N(channel, block) and rewrite that database cell.
+  void fold_cell(std::size_t channel, std::size_t block, std::int64_t delta);
+  std::vector<std::uint8_t> snapshot_payload() const;
+  void restore_snapshot(const std::vector<std::uint8_t>& payload);
+  void recover(const PirDurability& durability);
+
+  watch::QMatrix e_;
+  std::size_t pack_slots_ = 1;
+  watch::QMatrix n_;  ///< plaintext budget N = E + Σ stored columns
+  PirDatabase db_;    ///< the row projection of N the scan kernel serves
+  std::map<std::uint32_t, Column> columns_;
+  std::uint64_t version_ = 0;
+  std::uint64_t cells_refreshed_ = 0;
+  std::size_t snapshot_every_ = 0;
+  std::unique_ptr<store::ShardStore> store_;  ///< null when durability off
+};
+
+/// Network entity wrapper: attaches a replica to a transport endpoint and
+/// serves pir_update / pir_query messages. Used standalone for replicas
+/// 1..ℓ−1 and embedded in SdcServer for the co-located replica 0.
+class PirServer {
+ public:
+  PirServer(watch::QMatrix e_matrix, std::size_t pack_slots,
+            const PirDurability& durability = {});
+
+  /// Register `name` on the transport. Handlers decode, apply/answer and
+  /// reply to the sender; malformed payloads (net::DecodeError) and
+  /// wrong-shape queries are counted and dropped, never thrown across the
+  /// transport.
+  void attach(net::Transport& net, const std::string& name);
+
+  void set_thread_pool(std::shared_ptr<exec::ThreadPool> pool);
+
+  PirReplica& replica() { return replica_; }
+  const PirReplica& replica() const { return replica_; }
+
+  struct Stats {
+    std::uint64_t updates = 0;
+    std::uint64_t queries = 0;
+    std::uint64_t rejected = 0;  ///< malformed or wrong-shape messages
+    double scan_total_ms = 0;
+    double scan_last_ms = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void handle(net::Transport& net, const std::string& name,
+              const net::Message& msg);
+
+  PirReplica replica_;
+  std::shared_ptr<exec::ThreadPool> exec_;
+  /// At-least-once defence: a pinned-seq resend that re-applied a column on
+  /// one replica but not another would skew their version counters apart
+  /// and poison every later reconstruction, so duplicates must drop here
+  /// exactly like at the SDC (seq 0 = raw delivery, always passes).
+  net::DedupWindow seen_frames_{4096};
+  Stats stats_;
+};
+
+}  // namespace pisa::pir
